@@ -1,0 +1,466 @@
+// Benchmarks covering the paper's evaluation (§7.2), one group per table
+// and figure. The full series (the rows the paper plots) are regenerated
+// by `go run ./cmd/gremlin-bench`; the benchmarks here measure the
+// underlying operations with testing.B so regressions are visible in
+// `go test -bench`.
+//
+//   - Table 2  (data-plane interface): cost of each fault primitive on the
+//     live proxy data path.
+//   - Table 3  (checker interface): cost of queries, base assertions, and
+//     pattern checks over populated logs.
+//   - Figure 5/6 (case study): request cost through the WordPress stack,
+//     with and without staged faults.
+//   - Figure 7 (orchestration/assertions vs. app size): rule fan-out and
+//     per-service assertion cost on binary trees.
+//   - Figure 8 (rule matching): matcher scan cost by rule count, and the
+//     end-to-end proxied request with 200 non-matching rules installed.
+package gremlin_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin"
+	"gremlin/internal/checker"
+	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/proxy"
+	"gremlin/internal/rules"
+	"gremlin/internal/topology"
+	"gremlin/internal/trace"
+)
+
+// ---- Table 2: fault-injection primitives on the data path ----
+
+func benchAgent(b *testing.B, installed ...rules.Rule) (*proxy.Agent, string) {
+	b.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	b.Cleanup(backend.Close)
+	agent, err := proxy.New(proxy.Config{
+		ServiceName: "client",
+		Routes: []proxy.Route{{
+			Dst:        "server",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{strings.TrimPrefix(backend.URL, "http://")},
+		}},
+		RNG: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent.Start()
+	b.Cleanup(func() {
+		if err := agent.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	if err := agent.InstallRules(installed...); err != nil {
+		b.Fatal(err)
+	}
+	u, err := agent.RouteURL("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return agent, u
+}
+
+func doProxied(b *testing.B, client *http.Client, url, id string, wantErr bool) {
+	b.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace.SetRequestID(req, id)
+	resp, err := client.Do(req)
+	if err != nil {
+		if !wantErr {
+			b.Fatal(err)
+		}
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+}
+
+func BenchmarkTable2ProxyForwardNoFault(b *testing.B) {
+	_, u := benchAgent(b)
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+func BenchmarkTable2AbortPrimitive(b *testing.B) {
+	_, u := benchAgent(b, rules.Rule{
+		ID: "ab", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	})
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+func BenchmarkTable2DelayPrimitive(b *testing.B) {
+	_, u := benchAgent(b, rules.Rule{
+		ID: "dl", Src: "client", Dst: "server",
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 1,
+	})
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+func BenchmarkTable2ModifyPrimitive(b *testing.B) {
+	_, u := benchAgent(b, rules.Rule{
+		ID: "md", Src: "client", Dst: "server", On: rules.OnResponse,
+		Action: rules.ActionModify, Pattern: "test-*",
+		SearchBytes: "ok", ReplaceBytes: "ko",
+	})
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+// ---- Table 3: assertion checker operations ----
+
+// populateStore fills a store with n request/reply pairs.
+func populateStore(b *testing.B, n int) *eventlog.Store {
+	b.Helper()
+	store := eventlog.NewStore()
+	base := time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		at := base.Add(time.Duration(i) * time.Millisecond)
+		status := 200
+		if i%4 == 0 {
+			status = 503
+		}
+		err := store.Log(
+			eventlog.Record{Timestamp: at, RequestID: fmt.Sprintf("test-%d", i),
+				Src: "a", Dst: "b", Kind: eventlog.KindRequest, Method: "GET", URI: "/x"},
+			eventlog.Record{Timestamp: at.Add(time.Millisecond), RequestID: fmt.Sprintf("test-%d", i),
+				Src: "a", Dst: "b", Kind: eventlog.KindReply, Status: status, LatencyMillis: 1},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store
+}
+
+func BenchmarkTable3GetRequests(b *testing.B) {
+	c := checker.New(populateStore(b, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetRequests("a", "b", "test-*"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3ReplyLatency(b *testing.B) {
+	c := checker.New(populateStore(b, 1000))
+	rl, err := c.GetReplies("a", "b", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.ReplyLatency(rl, true)
+	}
+}
+
+func BenchmarkTable3Combine(b *testing.B) {
+	c := checker.New(populateStore(b, 1000))
+	rl, err := c.GetReplies("a", "b", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.Combine(rl,
+			checker.StatusSeen{Status: 503, NumMatch: 5, WithRule: true},
+			checker.AtMost{Tdelta: time.Minute, WithRule: true, Num: 1000},
+		)
+	}
+}
+
+func BenchmarkTable3HasBoundedRetries(b *testing.B) {
+	c := checker.New(populateStore(b, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HasBoundedRetries("a", "b", 1000, "", checker.BoundedRetriesOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3HasCircuitBreaker(b *testing.B) {
+	c := checker.New(populateStore(b, 1000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HasCircuitBreaker("a", "b", 5, time.Millisecond, "", checker.CircuitBreakerOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 5/6: the WordPress stack ----
+
+func benchWordPress(b *testing.B, faults ...gremlin.Rule) *topology.App {
+	b.Helper()
+	spec := topology.WordPress(topology.WordPressOptions{BackendWorkTime: time.Microsecond})
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	if len(faults) > 0 {
+		if err := app.Agent(topology.WordPressService).InstallRules(faults...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return app
+}
+
+func BenchmarkFigure5WordPressHealthy(b *testing.B) {
+	app := benchWordPress(b)
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, app.EntryURL()+"/search", "test-1", false)
+	}
+}
+
+func BenchmarkFigure5WordPressDelayedSearch(b *testing.B) {
+	app := benchWordPress(b, gremlin.Rule{
+		ID: "d", Src: topology.WordPressService, Dst: topology.ElasticsearchService,
+		Action: gremlin.ActionDelay, Pattern: "test-*", DelayMillis: 1,
+	})
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, app.EntryURL()+"/search", "test-1", false)
+	}
+}
+
+func BenchmarkFigure6WordPressAbortedSearch(b *testing.B) {
+	app := benchWordPress(b, gremlin.Rule{
+		ID: "a", Src: topology.WordPressService, Dst: topology.ElasticsearchService,
+		Action: gremlin.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	})
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, app.EntryURL()+"/search", "test-1", false)
+	}
+}
+
+// ---- Figure 7: orchestration and assertions vs. application size ----
+
+func benchTree(b *testing.B, depth int) (*topology.App, *core.Runner) {
+	b.Helper()
+	spec := topology.BinaryTree(depth, 0)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	runner := core.NewRunner(app.Graph, orchestrator.New(app.Registry), app.Store, app.Store)
+	return app, runner
+}
+
+func delayAllScenarios(app *topology.App) []core.Scenario {
+	var out []core.Scenario
+	for _, e := range app.Graph.Edges() {
+		out = append(out, core.Delay{Src: e.Src, Dst: e.Dst, Interval: time.Millisecond})
+	}
+	return out
+}
+
+func benchmarkFigure7Orchestration(b *testing.B, depth int) {
+	app, _ := benchTree(b, depth)
+	orch := orchestrator.New(app.Registry)
+	recipe := core.Recipe{Name: "fig7", Scenarios: delayAllScenarios(app)}
+	ruleset, err := recipe.Translate(app.Graph)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		applied, err := orch.Apply(ruleset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := applied.Revert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7Orchestration1Service(b *testing.B)   { benchmarkFigure7Orchestration(b, 0) }
+func BenchmarkFigure7Orchestration7Services(b *testing.B)  { benchmarkFigure7Orchestration(b, 2) }
+func BenchmarkFigure7Orchestration31Services(b *testing.B) { benchmarkFigure7Orchestration(b, 4) }
+
+func benchmarkFigure7Assertions(b *testing.B, depth int) {
+	app, runner := benchTree(b, depth)
+	// One warm pass of traffic so assertions have observations to read.
+	if _, err := loadgen.Run(app.EntryURL(), loadgen.Options{N: 100, Concurrency: 8}); err != nil {
+		b.Fatal(err)
+	}
+	c := runner.Checker()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, svc := range app.Services() {
+			if _, err := c.HasTimeouts(svc, time.Minute, "test-*"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7Assertions1Service(b *testing.B)   { benchmarkFigure7Assertions(b, 0) }
+func BenchmarkFigure7Assertions7Services(b *testing.B)  { benchmarkFigure7Assertions(b, 2) }
+func BenchmarkFigure7Assertions31Services(b *testing.B) { benchmarkFigure7Assertions(b, 4) }
+
+// ---- Figure 8: rule-matching overhead ----
+
+func benchmarkFigure8Match(b *testing.B, count int) {
+	m := rules.NewMatcher(rand.New(rand.NewSource(1)))
+	for i := 0; i < count; i++ {
+		if err := m.Install(rules.Rule{
+			ID: fmt.Sprintf("r%d", i), Src: "client", Dst: "server",
+			Action: rules.ActionDelay, Pattern: fmt.Sprintf("re:^never-%d-[0-9]+$", i),
+			DelayMillis: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := rules.Message{Src: "client", Dst: "server", Type: rules.OnRequest, RequestID: "test-12345"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := m.Decide(msg); d.Fired {
+			b.Fatal("no rule should match")
+		}
+	}
+}
+
+func BenchmarkFigure8Match1Rule(b *testing.B)    { benchmarkFigure8Match(b, 1) }
+func BenchmarkFigure8Match10Rules(b *testing.B)  { benchmarkFigure8Match(b, 10) }
+func BenchmarkFigure8Match50Rules(b *testing.B)  { benchmarkFigure8Match(b, 50) }
+func BenchmarkFigure8Match200Rules(b *testing.B) { benchmarkFigure8Match(b, 200) }
+
+func BenchmarkFigure8ProxiedRequest200Rules(b *testing.B) {
+	batch := make([]rules.Rule, 0, 200)
+	for i := 0; i < 200; i++ {
+		batch = append(batch, rules.Rule{
+			ID: fmt.Sprintf("r%d", i), Src: "client", Dst: "server",
+			Action: rules.ActionDelay, Pattern: fmt.Sprintf("re:^never-%d-[0-9]+$", i),
+			DelayMillis: 1,
+		})
+	}
+	_, u := benchAgent(b, batch...)
+	client := &http.Client{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+// ---- Table 1 / §5: recipe translation for the outage scenarios ----
+
+func BenchmarkTable1RecipeTranslate(b *testing.B) {
+	spec := topology.MessageBus(topology.MessageBusOptions{})
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	recipe := core.Recipe{
+		Name:      "cassandra-crash",
+		Scenarios: []core.Scenario{core.Crash{Service: topology.CassandraService}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recipe.Translate(app.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Event store throughput (the logging pipeline both planes share) ----
+
+func BenchmarkEventStoreLog(b *testing.B) {
+	store := eventlog.NewStore()
+	rec := eventlog.Record{Src: "a", Dst: "b", Kind: eventlog.KindReply, Status: 200, RequestID: "test-1"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Log(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventStoreSelect(b *testing.B) {
+	store := populateStore(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Select(eventlog.Query{Src: "a", Kind: eventlog.KindReply, IDPattern: "test-*"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the prefix-structured-request-ID optimization the paper
+// suggests (§7.2) applied to the 200-rule worst case.
+func BenchmarkFigure8Match200RulesFastPath(b *testing.B) {
+	m := rules.NewMatcher(rand.New(rand.NewSource(1)))
+	m.UseLiteralPrefixFastPath(true)
+	for i := 0; i < 200; i++ {
+		if err := m.Install(rules.Rule{
+			ID: fmt.Sprintf("r%d", i), Src: "client", Dst: "server",
+			Action: rules.ActionDelay, Pattern: fmt.Sprintf("never-%d-*", i),
+			DelayMillis: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := rules.Message{Src: "client", Dst: "server", Type: rules.OnRequest, RequestID: "test-12345"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := m.Decide(msg); d.Fired {
+			b.Fatal("no rule should match")
+		}
+	}
+}

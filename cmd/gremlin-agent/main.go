@@ -1,0 +1,149 @@
+// Command gremlin-agent runs a standalone Gremlin agent: the sidecar
+// Layer-7 proxy through which a microservice reaches its dependencies.
+// The agent injects faults on messages matching its installed rules and
+// ships observations to the event-log store.
+//
+// The agent is configured from a JSON file mirroring the paper's
+// "localhost:<port> -> (list of remotehost[:remoteport])" dependency
+// mappings:
+//
+//	{
+//	  "service": "serviceA",
+//	  "control": "127.0.0.1:9001",
+//	  "logstore": "http://127.0.0.1:9200",
+//	  "routes": [
+//	    {"dst": "serviceB", "listenAddr": "127.0.0.1:7001",
+//	     "targets": ["10.0.0.2:8080", "10.0.0.3:8080"]}
+//	  ]
+//	}
+//
+// Usage:
+//
+//	gremlin-agent -config agent.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/proxy"
+)
+
+type fileConfig struct {
+	Service  string        `json:"service"`
+	AgentID  string        `json:"agentId,omitempty"`
+	Control  string        `json:"control"`
+	LogStore string        `json:"logstore,omitempty"`
+	Routes   []proxy.Route `json:"routes"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gremlin-agent", flag.ContinueOnError)
+	configPath := fs.String("config", "", "path to the agent JSON config (required)")
+	flushEvery := fs.Duration("flush", 2*time.Second, "interval for flushing buffered observations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		fs.Usage()
+		return fmt.Errorf("gremlin-agent: -config is required")
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var cfg fileConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return fmt.Errorf("gremlin-agent: parse %s: %w", *configPath, err)
+	}
+
+	var (
+		sink     eventlog.Sink
+		buffered *eventlog.BufferedSink
+	)
+	if cfg.LogStore != "" {
+		client := eventlog.NewClient(cfg.LogStore, nil)
+		if !client.Healthy() {
+			log.Printf("warning: log store %s not reachable yet; observations will be buffered", cfg.LogStore)
+		}
+		buffered = eventlog.NewBufferedSink(client, 256)
+		sink = buffered
+	}
+
+	agent, err := proxy.New(proxy.Config{
+		ServiceName: cfg.Service,
+		AgentID:     cfg.AgentID,
+		ControlAddr: cfg.Control,
+		Routes:      cfg.Routes,
+		Sink:        sink,
+	})
+	if err != nil {
+		return err
+	}
+	agent.Start()
+	fmt.Printf("gremlin-agent for service %q\n", cfg.Service)
+	fmt.Printf("  control API: %s\n", agent.ControlURL())
+	for _, r := range cfg.Routes {
+		addr, err := agent.RouteAddr(r.Dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  route %s -> %v via %s\n", r.Dst, r.Targets, addr)
+	}
+
+	// Periodic flush so observations reach the store promptly even under
+	// light traffic.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if buffered == nil {
+			return
+		}
+		ticker := time.NewTicker(*flushEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := buffered.Flush(); err != nil {
+					log.Printf("flush observations: %v", err)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	waitForSignal()
+	fmt.Println("shutting down")
+	close(stop)
+	<-done
+	err = agent.Close()
+	if buffered != nil {
+		if ferr := buffered.Close(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM. Tests replace it to drive the
+// binary's full lifecycle without signals.
+var waitForSignal = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/trace"
+)
+
+func TestRunRequiresConfig(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("want error without -config")
+	}
+	if err := run([]string{"-config", "/does/not/exist.json"}); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "agent.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Fatal("want parse error")
+	}
+
+	// Structurally valid JSON, invalid agent config (no routes).
+	if err := os.WriteFile(bad, []byte(`{"service":"a","control":"127.0.0.1:0"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", bad}); err == nil {
+		t.Fatal("want config validation error")
+	}
+}
+
+// controlURLFromOutput is impossible with ephemeral ports printed to
+// stdout; instead the test fixes a port by asking the kernel first.
+func freePort(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.NotFoundHandler())
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	srv.Close()
+	return addr
+}
+
+func TestRunFullAgentLifecycle(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "backend")
+	}))
+	defer backend.Close()
+
+	// A live log store for the agent to ship observations to.
+	store := eventlog.NewStore()
+	storeServer, err := eventlog.NewServer("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := storeServer.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	controlAddr := freePort(t)
+	routeAddr := freePort(t)
+	cfg := map[string]any{
+		"service":  "client",
+		"control":  controlAddr,
+		"logstore": storeServer.URL(),
+		"routes": []map[string]any{{
+			"dst":        "server",
+			"listenAddr": routeAddr,
+			"targets":    []string{strings.TrimPrefix(backend.URL, "http://")},
+		}},
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(t.TempDir(), "agent.json")
+	if err := os.WriteFile(cfgPath, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	waitForSignal = func() {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-config", cfgPath, "-flush", "10ms"})
+	}()
+	<-started
+
+	// The agent proxies and the control API answers.
+	ctl := agentapi.New("http://"+controlAddr, nil)
+	if !ctl.Healthy() {
+		t.Fatal("control API not healthy")
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://"+routeAddr+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, "test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || string(body) != "backend" {
+		t.Fatalf("proxied request: %d %q", resp.StatusCode, body)
+	}
+	if err := ctl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("observations did not reach the log store")
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+// Command gremlin-bench regenerates the paper's evaluation (§7) against
+// live in-process deployments and prints the series that EXPERIMENTS.md
+// records:
+//
+//	Table 1  — historical outages replayed (fragile FAIL / hardened PASS)
+//	Figure 5 — WordPress response-time CDFs under injected delays
+//	Figure 6 — aborted-then-delayed CDFs (circuit-breaker test)
+//	Figure 7 — orchestration + assertion time vs. application size
+//	Figure 8 — proxy rule-matching overhead CDFs
+//
+// Usage:
+//
+//	gremlin-bench                 # all figures at laptop scale (0.1x delays)
+//	gremlin-bench -fig 7          # one figure
+//	gremlin-bench -scale 1        # paper-scale delays (slow: Figure 5 alone
+//	                              # injects 100 requests behind 1-4 s delays)
+//	gremlin-bench -requests 10000 # paper-scale request counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gremlin/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gremlin-bench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: table1 | 5 | 6 | 7 | 8 | all")
+	scale := fs.Float64("scale", 0.1, "multiplier on the paper's injected delays (1 = paper scale)")
+	requests := fs.Int("requests", 0, "override per-point request count (0 = scaled defaults)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Scale: *scale, Requests: *requests, Seed: *seed}
+
+	runFig := func(name string, f func() error) error {
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("  [%s regenerated in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	all := *fig == "all"
+	if all || *fig == "table1" {
+		if err := runFig("table 1", func() error {
+			rows, err := experiments.Table1(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintTable1(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *fig == "5" {
+		if err := runFig("figure 5", func() error {
+			series, err := experiments.Figure5(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure5(os.Stdout, series)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *fig == "6" {
+		if err := runFig("figure 6", func() error {
+			res, err := experiments.Figure6(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure6(os.Stdout, res)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *fig == "7" {
+		if err := runFig("figure 7", func() error {
+			rows, err := experiments.Figure7(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure7(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if all || *fig == "8" {
+		if err := runFig("figure 8", func() error {
+			rows, err := experiments.Figure8(opts)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure8(os.Stdout, rows)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	switch *fig {
+	case "all", "5", "6", "7", "8", "table1":
+		return nil
+	default:
+		return fmt.Errorf("gremlin-bench: unknown figure %q", *fig)
+	}
+}

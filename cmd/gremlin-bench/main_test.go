@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Fatal("want error for unknown figure")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-scale"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestRunSingleFigureTiny(t *testing.T) {
+	// Figure 7 is the cheapest end-to-end figure; run it at minimal load
+	// to exercise the whole path.
+	if err := run([]string{"-fig", "7", "-requests", "5", "-scale", "0.01"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,488 @@
+// Command gremlin-ctl is the operator's CLI for the Gremlin control plane:
+// it installs, lists and clears fault-injection rules on agents, inspects
+// agents, and queries the event-log store.
+//
+// Usage:
+//
+//	gremlin-ctl info    -agent http://127.0.0.1:9001
+//	gremlin-ctl rules   -agent http://127.0.0.1:9001
+//	gremlin-ctl install -agent http://127.0.0.1:9001 -file rules.json
+//	gremlin-ctl remove  -agent http://127.0.0.1:9001 -id rule-1
+//	gremlin-ctl clear   -agent http://127.0.0.1:9001
+//	gremlin-ctl flush   -agent http://127.0.0.1:9001
+//	gremlin-ctl query   -store http://127.0.0.1:9200 -src a -dst b -kind reply -pattern 'test-*'
+//	gremlin-ctl stats   -store http://127.0.0.1:9200
+//	gremlin-ctl wipe    -store http://127.0.0.1:9200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/registry"
+	"gremlin/internal/rules"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		usage()
+		return fmt.Errorf("gremlin-ctl: missing subcommand")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "info", "rules", "install", "remove", "clear", "flush":
+		return agentCommand(sub, rest)
+	case "query", "stats", "wipe":
+		return storeCommand(sub, rest)
+	case "run":
+		return runCommand(rest)
+	case "autorun":
+		return autorunCommand(rest)
+	case "chaos":
+		return chaosCommand(rest)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("gremlin-ctl: unknown subcommand %q", sub)
+	}
+}
+
+// runCommand executes a recipe file against a live deployment: translate
+// over the graph, install rules via the registry's agents, optionally
+// inject load, evaluate assertions against the store, revert.
+func runCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl run", flag.ContinueOnError)
+	var (
+		recipePath   = fs.String("recipe", "", "recipe JSON file (required)")
+		graphPath    = fs.String("graph", "", "application graph JSON file: [{\"src\":..,\"dst\":..}] (required)")
+		registryPath = fs.String("registry", "", "registry JSON file: [{\"service\":..,\"addr\":..,\"agentControlUrl\":..}] (required)")
+		storeURL     = fs.String("store", "", "event store URL (required)")
+		loadURL      = fs.String("load-url", "", "URL to inject test load at (optional)")
+		requests     = fs.Int("requests", 100, "number of test requests when -load-url is set")
+		concurrency  = fs.Int("concurrency", 1, "load concurrency")
+		keep         = fs.Bool("keep", false, "leave the fault rules installed after the run")
+		clearLogs    = fs.Bool("clear-logs", true, "wipe the store before injecting load")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for name, v := range map[string]string{
+		"-recipe": *recipePath, "-graph": *graphPath, "-registry": *registryPath, "-store": *storeURL,
+	} {
+		if v == "" {
+			return fmt.Errorf("gremlin-ctl run: %s is required", name)
+		}
+	}
+
+	recipeRaw, err := os.ReadFile(*recipePath)
+	if err != nil {
+		return err
+	}
+	recipe, err := core.ParseRecipe(recipeRaw)
+	if err != nil {
+		return err
+	}
+
+	graphRaw, err := os.ReadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	var edges []graph.Edge
+	if err := json.Unmarshal(graphRaw, &edges); err != nil {
+		return fmt.Errorf("parse %s: %w", *graphPath, err)
+	}
+	g := graph.FromEdges(edges)
+
+	registryRaw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return err
+	}
+	var instances []registry.Instance
+	if err := json.Unmarshal(registryRaw, &instances); err != nil {
+		return fmt.Errorf("parse %s: %w", *registryPath, err)
+	}
+	reg := registry.NewStatic(instances...)
+
+	storeClient := eventlog.NewClient(*storeURL, nil)
+	if !storeClient.Healthy() {
+		return fmt.Errorf("gremlin-ctl run: event store %s not reachable", *storeURL)
+	}
+	runner := core.NewRunner(g, orchestrator.New(reg), storeClient, core.ClearerFunc(func() int {
+		n, err := storeClient.Clear()
+		if err != nil {
+			log.Printf("clear store: %v", err)
+		}
+		return n
+	}))
+
+	opts := core.RunOptions{KeepRules: *keep, ClearLogs: *clearLogs}
+	if *loadURL != "" {
+		opts.Load = func() error {
+			res, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests, Concurrency: *concurrency})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("load: %s\n", res)
+			return nil
+		}
+	}
+	report, err := runner.Run(recipe, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	if !report.Passed() {
+		return fmt.Errorf("gremlin-ctl run: %d assertions failed", len(report.Failed()))
+	}
+	return nil
+}
+
+// autorunCommand generates a systematic test plan from the application
+// graph (an Overload and a Crash recipe per service with dependents) and
+// executes it as a chain, stopping at the first failing recipe.
+func autorunCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl autorun", flag.ContinueOnError)
+	var (
+		graphPath    = fs.String("graph", "", "application graph JSON file (required)")
+		registryPath = fs.String("registry", "", "registry JSON file (required)")
+		storeURL     = fs.String("store", "", "event store URL (required)")
+		loadURL      = fs.String("load-url", "", "URL to inject test load at (required)")
+		requests     = fs.Int("requests", 10, "test requests per recipe")
+		skip         = fs.String("skip", "user", "comma-separated services to exclude as fault targets")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for name, v := range map[string]string{
+		"-graph": *graphPath, "-registry": *registryPath, "-store": *storeURL, "-load-url": *loadURL,
+	} {
+		if v == "" {
+			return fmt.Errorf("gremlin-ctl autorun: %s is required", name)
+		}
+	}
+
+	graphRaw, err := os.ReadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	var edges []graph.Edge
+	if err := json.Unmarshal(graphRaw, &edges); err != nil {
+		return fmt.Errorf("parse %s: %w", *graphPath, err)
+	}
+	g := graph.FromEdges(edges)
+
+	registryRaw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return err
+	}
+	var instances []registry.Instance
+	if err := json.Unmarshal(registryRaw, &instances); err != nil {
+		return fmt.Errorf("parse %s: %w", *registryPath, err)
+	}
+	reg := registry.NewStatic(instances...)
+
+	recipes, err := core.GenerateRecipes(g, core.GenerateOptions{
+		SkipServices: splitComma(*skip),
+	})
+	if err != nil {
+		return err
+	}
+	if len(recipes) == 0 {
+		return fmt.Errorf("gremlin-ctl autorun: the graph yields no testable services")
+	}
+	fmt.Printf("generated %d recipes\n", len(recipes))
+
+	storeClient := eventlog.NewClient(*storeURL, nil)
+	runner := core.NewRunner(g, orchestrator.New(reg), storeClient, core.ClearerFunc(func() int {
+		n, err := storeClient.Clear()
+		if err != nil {
+			log.Printf("clear store: %v", err)
+		}
+		return n
+	}))
+	reports, err := runner.RunChain(core.RunOptions{
+		ClearLogs: true,
+		Load: func() error {
+			_, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests})
+			return err
+		},
+	}, recipes...)
+	for _, rep := range reports {
+		fmt.Print(rep)
+	}
+	if err != nil {
+		return err
+	}
+	if len(reports) > 0 && !reports[len(reports)-1].Passed() {
+		return fmt.Errorf("gremlin-ctl autorun: stopped at failing recipe %s (%d of %d run)",
+			reports[len(reports)-1].Recipe, len(reports), len(recipes))
+	}
+	fmt.Printf("all %d recipes passed\n", len(reports))
+	return nil
+}
+
+// chaosCommand runs the randomized baseline (the paper's §8.1 Chaos
+// Monkey comparison): stage a random fault, hold it for -duration, revert,
+// repeat -rounds times. No assertions are evaluated — faithfully
+// reproducing the baseline's limitation that "manual validation that the
+// microservices survived the failure is still required."
+func chaosCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl chaos", flag.ContinueOnError)
+	var (
+		graphPath    = fs.String("graph", "", "application graph JSON file (required)")
+		registryPath = fs.String("registry", "", "registry JSON file (required)")
+		rounds       = fs.Int("rounds", 3, "number of random faults to stage")
+		duration     = fs.Duration("duration", 5*time.Second, "how long each fault stays active")
+		seed         = fs.Int64("seed", 0, "random seed (0 = nondeterministic)")
+		allTraffic   = fs.Bool("all-traffic", false, "hit every request, Chaos Monkey style (default: test traffic only)")
+		skip         = fs.String("skip", "user", "comma-separated services to exclude")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *registryPath == "" {
+		return fmt.Errorf("gremlin-ctl chaos: -graph and -registry are required")
+	}
+
+	graphRaw, err := os.ReadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	var edges []graph.Edge
+	if err := json.Unmarshal(graphRaw, &edges); err != nil {
+		return fmt.Errorf("parse %s: %w", *graphPath, err)
+	}
+	g := graph.FromEdges(edges)
+
+	registryRaw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return err
+	}
+	var instances []registry.Instance
+	if err := json.Unmarshal(registryRaw, &instances); err != nil {
+		return fmt.Errorf("parse %s: %w", *registryPath, err)
+	}
+	reg := registry.NewStatic(instances...)
+	orch := orchestrator.New(reg)
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("chaos mode: %d rounds, %s each, seed %d\n", *rounds, *duration, *seed)
+
+	for round := 1; round <= *rounds; round++ {
+		scenario, err := core.RandomScenario(g, rng, core.ChaosOptions{
+			SkipServices: splitComma(*skip),
+			AllTraffic:   *allTraffic,
+		})
+		if err != nil {
+			return err
+		}
+		recipe := core.Recipe{Name: fmt.Sprintf("chaos-%d", round), Scenarios: []core.Scenario{scenario}}
+		ruleset, err := recipe.Translate(g)
+		if err != nil {
+			return err
+		}
+		applied, err := orch.Apply(ruleset)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("round %d: %s active for %s (%d rules on %d agents)\n",
+			round, scenario.Describe(), *duration, len(ruleset), applied.AgentCount())
+		time.Sleep(*duration)
+		if err := applied.Revert(); err != nil {
+			return err
+		}
+		fmt.Printf("round %d: reverted\n", round)
+	}
+	fmt.Println("chaos complete — note: no assertions were evaluated; use 'run' or 'autorun' for systematic verdicts")
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func agentCommand(sub string, args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl "+sub, flag.ContinueOnError)
+	agentURL := fs.String("agent", "", "agent control URL (required)")
+	file := fs.String("file", "", "rules JSON file (install)")
+	id := fs.String("id", "", "rule ID (remove)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *agentURL == "" {
+		return fmt.Errorf("gremlin-ctl %s: -agent is required", sub)
+	}
+	client := agentapi.New(*agentURL, nil)
+
+	switch sub {
+	case "info":
+		info, err := client.Info()
+		if err != nil {
+			return err
+		}
+		return printJSON(info)
+	case "rules":
+		list, err := client.ListRules()
+		if err != nil {
+			return err
+		}
+		for _, r := range list {
+			fmt.Println(r)
+		}
+		fmt.Printf("%d rules installed\n", len(list))
+		return nil
+	case "install":
+		if *file == "" {
+			return fmt.Errorf("gremlin-ctl install: -file is required")
+		}
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var batch []rules.Rule
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			return fmt.Errorf("parse %s: %w", *file, err)
+		}
+		if err := client.InstallRules(batch...); err != nil {
+			return err
+		}
+		fmt.Printf("installed %d rules\n", len(batch))
+		return nil
+	case "remove":
+		if *id == "" {
+			return fmt.Errorf("gremlin-ctl remove: -id is required")
+		}
+		if err := client.RemoveRule(*id); err != nil {
+			return err
+		}
+		fmt.Printf("removed rule %s\n", *id)
+		return nil
+	case "clear":
+		n, err := client.ClearRules()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d rules\n", n)
+		return nil
+	case "flush":
+		if err := client.Flush(); err != nil {
+			return err
+		}
+		fmt.Println("flushed")
+		return nil
+	}
+	return nil
+}
+
+func storeCommand(sub string, args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl "+sub, flag.ContinueOnError)
+	var (
+		storeURL = fs.String("store", "", "event store URL (required)")
+		src      = fs.String("src", "", "filter by source service")
+		dst      = fs.String("dst", "", "filter by destination service")
+		kind     = fs.String("kind", "", "filter by kind: request|reply")
+		pat      = fs.String("pattern", "", "filter by request-ID pattern")
+		limit    = fs.Int("limit", 100, "maximum records to print")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeURL == "" {
+		return fmt.Errorf("gremlin-ctl %s: -store is required", sub)
+	}
+	client := eventlog.NewClient(*storeURL, nil)
+
+	switch sub {
+	case "query":
+		recs, err := client.Select(eventlog.Query{
+			Src: *src, Dst: *dst, Kind: eventlog.Kind(*kind), IDPattern: *pat, Limit: *limit,
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Printf("%s %-8s %s->%s id=%s status=%d latency=%.1fms fault=%q\n",
+				r.Timestamp.Format(time.RFC3339Nano), r.Kind, r.Src, r.Dst,
+				r.RequestID, r.Status, r.LatencyMillis, r.FaultAction)
+		}
+		fmt.Printf("%d records\n", len(recs))
+		return nil
+	case "stats":
+		n, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d records\n", n)
+		return nil
+	case "wipe":
+		n, err := client.Clear()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dropped %d records\n", n)
+		return nil
+	}
+	return nil
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `gremlin-ctl — Gremlin control-plane CLI
+
+agent commands (-agent <control URL>):
+  info      show agent identity and routes
+  rules     list installed rules
+  install   install rules from -file <rules.json>
+  remove    remove one rule by -id
+  clear     remove all rules
+  flush     flush buffered observations to the store
+
+store commands (-store <store URL>):
+  query     print records (-src -dst -kind -pattern -limit)
+  stats     record count
+  wipe      drop all records
+
+recipe execution:
+  run       execute a recipe file end to end
+  autorun   generate a test plan from the graph and run it as a chain
+  chaos     randomized fault injection (the Chaos Monkey baseline; no assertions)
+            -recipe recipe.json -graph graph.json -registry registry.json
+            -store <url> [-load-url <url> -requests 100] [-keep]`)
+}

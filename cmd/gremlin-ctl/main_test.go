@@ -1,0 +1,337 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/registry"
+	"gremlin/internal/topology"
+)
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"explode"}); err == nil {
+		t.Fatal("want error")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("want error for missing subcommand")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+}
+
+func TestAgentCommandsRequireAgentFlag(t *testing.T) {
+	for _, sub := range []string{"info", "rules", "install", "remove", "clear", "flush"} {
+		if err := run([]string{sub}); err == nil {
+			t.Errorf("%s without -agent should fail", sub)
+		}
+	}
+}
+
+func TestStoreCommandsRequireStoreFlag(t *testing.T) {
+	for _, sub := range []string{"query", "stats", "wipe"} {
+		if err := run([]string{sub}); err == nil {
+			t.Errorf("%s without -store should fail", sub)
+		}
+	}
+}
+
+func TestRunCommandRequiredFlags(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("run without flags should fail")
+	}
+}
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEndToEndCtlAgainstLiveTopology drives the full CLI surface against a
+// running application: info, install, rules, run (recipe file), query,
+// stats, clear, wipe.
+func TestEndToEndCtlAgainstLiveTopology(t *testing.T) {
+	spec := topology.TwoServices(5, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	storeServer, err := eventlog.NewServer("127.0.0.1:0", app.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := storeServer.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dir := t.TempDir()
+
+	// Serialize the live deployment for the CLI.
+	graphPath := writeJSON(t, dir, "graph.json", app.Graph.Edges())
+	var instances []registry.Instance
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, ins...)
+	}
+	registryPath := writeJSON(t, dir, "registry.json", instances)
+	recipePath := writeJSON(t, dir, "recipe.json", map[string]any{
+		"name":      "ctl-overload",
+		"scenarios": []map[string]any{{"type": "overload", "service": "serviceB", "abortFraction": 1.0}},
+		"checks": []map[string]any{{
+			"type": "boundedRetries", "src": "serviceA", "dst": "serviceB", "maxTries": 5,
+		}},
+	})
+
+	agentURL := app.Agent("serviceA").ControlURL()
+
+	// info / rules / stats against the live deployment.
+	if err := run([]string{"info", "-agent", agentURL}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := run([]string{"rules", "-agent", agentURL}); err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+	if err := run([]string{"stats", "-store", storeServer.URL()}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+
+	// Full recipe execution through the CLI, with load.
+	if err := run([]string{"run",
+		"-recipe", recipePath,
+		"-graph", graphPath,
+		"-registry", registryPath,
+		"-store", storeServer.URL(),
+		"-load-url", app.EntryURL(),
+		"-requests", "1",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Manual rule install + query + clear + wipe.
+	rulesPath := writeJSON(t, dir, "rules.json", []map[string]any{{
+		"id": "manual-1", "src": "serviceA", "dst": "serviceB",
+		"action": "abort", "pattern": "test-*", "errorCode": 503,
+	}})
+	if err := run([]string{"install", "-agent", agentURL, "-file", rulesPath}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := run([]string{"query", "-store", storeServer.URL(), "-kind", "reply", "-limit", "5"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := run([]string{"remove", "-agent", agentURL, "-id", "manual-1"}); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := run([]string{"clear", "-agent", agentURL}); err != nil {
+		t.Fatalf("clear: %v", err)
+	}
+	if err := run([]string{"flush", "-agent", agentURL}); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := run([]string{"wipe", "-store", storeServer.URL()}); err != nil {
+		t.Fatalf("wipe: %v", err)
+	}
+}
+
+// TestRunCommandFailingRecipe: a failing assertion surfaces as a non-nil
+// error (CI-friendly exit code).
+func TestRunCommandFailingRecipe(t *testing.T) {
+	spec := topology.TwoServices(20, time.Millisecond) // 20 retries: fails the 5-retry check
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	storeServer, err := eventlog.NewServer("127.0.0.1:0", app.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := storeServer.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dir := t.TempDir()
+	graphPath := writeJSON(t, dir, "graph.json", app.Graph.Edges())
+	var instances []registry.Instance
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, ins...)
+	}
+	registryPath := writeJSON(t, dir, "registry.json", instances)
+	recipePath := writeJSON(t, dir, "recipe.json", map[string]any{
+		"name":      "fails",
+		"scenarios": []map[string]any{{"type": "disconnect", "from": "serviceA", "to": "serviceB"}},
+		"checks": []map[string]any{{
+			"type": "boundedRetries", "src": "serviceA", "dst": "serviceB", "maxTries": 5,
+		}},
+	})
+
+	err = run([]string{"run",
+		"-recipe", recipePath,
+		"-graph", graphPath,
+		"-registry", registryPath,
+		"-store", storeServer.URL(),
+		"-load-url", app.EntryURL(),
+		"-requests", "1",
+	})
+	if err == nil {
+		t.Fatal("failing recipe should return an error")
+	}
+}
+
+// TestAutorunAgainstLiveTopology generates and chains recipes over a live
+// deployment. The TwoServices app has bounded retries but no breaker, so
+// the chain passes the overload recipe and stops at the crash recipe.
+func TestAutorunAgainstLiveTopology(t *testing.T) {
+	spec := topology.TwoServices(3, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	storeServer, err := eventlog.NewServer("127.0.0.1:0", app.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := storeServer.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dir := t.TempDir()
+	graphPath := writeJSON(t, dir, "graph.json", app.Graph.Edges())
+	var instances []registry.Instance
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, ins...)
+	}
+	registryPath := writeJSON(t, dir, "registry.json", instances)
+
+	err = run([]string{"autorun",
+		"-graph", graphPath,
+		"-registry", registryPath,
+		"-store", storeServer.URL(),
+		"-load-url", app.EntryURL(),
+		"-requests", "5",
+		"-skip", "user",
+	})
+	// serviceB's dependent serviceA has bounded retries but no breaker:
+	// the crash recipe fails, so autorun reports an error.
+	if err == nil {
+		t.Fatal("autorun should stop at the failing crash recipe")
+	}
+	if !strings.Contains(err.Error(), "auto-crash-serviceB") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAutorunRequiredFlags(t *testing.T) {
+	if err := run([]string{"autorun"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestChaosAgainstLiveTopology(t *testing.T) {
+	spec := topology.TwoServices(0, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dir := t.TempDir()
+	graphPath := writeJSON(t, dir, "graph.json", app.Graph.Edges())
+	var instances []registry.Instance
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, ins...)
+	}
+	registryPath := writeJSON(t, dir, "registry.json", instances)
+
+	if err := run([]string{"chaos",
+		"-graph", graphPath,
+		"-registry", registryPath,
+		"-rounds", "2",
+		"-duration", "10ms",
+		"-seed", "9",
+	}); err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	// All rules reverted afterwards.
+	if n := app.Agent("serviceA").Matcher().Len(); n != 0 {
+		t.Fatalf("%d rules left installed after chaos", n)
+	}
+}
+
+func TestChaosRequiredFlags(t *testing.T) {
+	if err := run([]string{"chaos"}); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunUnknownTopology(t *testing.T) {
+	if err := run([]string{"-topology", "mystery"}); err == nil {
+		t.Fatal("want error for unknown topology")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-depth"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestRunEachTopologyLifecycle(t *testing.T) {
+	for _, topo := range []string{"twoservices", "wordpress", "enterprise", "messagebus", "tree"} {
+		t.Run(topo, func(t *testing.T) {
+			release := make(chan struct{})
+			waitForSignal = func() { <-release }
+			done := make(chan error, 1)
+			go func() {
+				done <- run([]string{"-topology", topo, "-depth", "1", "-store-addr", "127.0.0.1:0"})
+			}()
+			close(release)
+			if err := <-done; err != nil {
+				t.Fatalf("run(%s): %v", topo, err)
+			}
+		})
+	}
+}
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb\n", "  ")
+	if got != "  a\n  b\n" {
+		t.Fatalf("indent = %q", got)
+	}
+	if got := indent("tail", "> "); got != "> tail" {
+		t.Fatalf("indent without trailing newline = %q", got)
+	}
+}

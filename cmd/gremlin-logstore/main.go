@@ -1,0 +1,74 @@
+// Command gremlin-logstore runs the centralized event-log store that
+// Gremlin agents ship their observations to and the Assertion Checker
+// queries — the stand-in for the paper's logstash→Elasticsearch pipeline.
+//
+// Usage:
+//
+//	gremlin-logstore -addr 127.0.0.1:9200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gremlin/internal/eventlog"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gremlin-logstore", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9200", "listen address")
+	persist := fs.String("persist", "", "JSON Lines file to load at startup and save on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store := eventlog.NewStore()
+	if *persist != "" {
+		n, err := store.LoadFile(*persist)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d records from %s\n", n, *persist)
+	}
+
+	srv, err := eventlog.NewServer(*addr, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gremlin-logstore listening on %s\n", srv.URL())
+	fmt.Println("  POST   /v1/records  ingest observations")
+	fmt.Println("  POST   /v1/query    query observations")
+	fmt.Println("  DELETE /v1/records  clear")
+	fmt.Println("  GET    /v1/stats    record count")
+
+	waitForSignal()
+	fmt.Println("shutting down")
+	err = srv.Close()
+	if *persist != "" {
+		n, serr := store.SaveFile(*persist)
+		if serr != nil && err == nil {
+			err = serr
+		} else if serr == nil {
+			fmt.Printf("saved %d records to %s\n", n, *persist)
+		}
+	}
+	return err
+}
+
+// waitForSignal blocks until SIGINT/SIGTERM. Tests replace it to drive the
+// binary's full lifecycle without signals.
+var waitForSignal = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

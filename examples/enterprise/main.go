@@ -1,0 +1,145 @@
+// Command enterprise reproduces the paper's enterprise-application case
+// study (§7.1, Figure 4): a user-facing web app aggregating a service
+// catalog, a developer-activity service, and the (simulated) github.com
+// and stackoverflow.com APIs.
+//
+// The web app's dependency clients are built on a timeout abstraction with
+// the same bug the case study found in the Unirest library: the timeout
+// covers slow responses but NOT TCP connection failures, so a crashed
+// backend leaks raw transport errors (and long stalls) into the app. The
+// program demonstrates how Gremlin recipes surface the bug:
+//
+//   - a Delay fault is handled (the timeout path works), but
+//   - a Crash fault (severed connections) bypasses the timeout — the
+//     HasTimeouts assertion fails, flagging the leaky abstraction.
+//
+// It then re-runs with a correct timeout stack to show the recipe passing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gremlin"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/resilience"
+	"gremlin/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Case study: enterprise application (Figure 4) ===")
+	fmt.Println("webapp -> {catalog, activity}; activity -> {github.com, stackoverflow.com}")
+
+	// The web app uses a "unirest-like" leaky timeout on every dependency.
+	leaky := func(dep string, base resilience.Doer) resilience.Doer {
+		return resilience.NewLeakyTimeout(base, 150*time.Millisecond)
+	}
+	app, err := topology.Build(topology.Enterprise(topology.EnterpriseOptions{
+		ExternalLatency: 10 * time.Millisecond,
+		WebAppClient:    leaky,
+	}))
+	if err != nil {
+		return err
+	}
+	defer closeApp(app)
+	runner := gremlin.NewRunner(app.Graph, gremlin.NewOrchestrator(app.Registry), app.Store, app.Store)
+
+	// Recipe 1: slow catalog — the library's timeout handles this case.
+	fmt.Println("\n--- 1. Delay(webapp->catalog, 2s): does the timeout fire? ---")
+	report, err := runner.Run(gremlin.Recipe{
+		Name: "slow-catalog",
+		Scenarios: []gremlin.Scenario{gremlin.Delay{
+			Src: topology.WebAppService, Dst: topology.CatalogService, Interval: 2 * time.Second,
+		}},
+		Checks: []gremlin.Check{gremlin.ExpectTimeouts(topology.WebAppService, time.Second)},
+	}, gremlin.RunOptions{ClearLogs: true, Load: load(app, 5)})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	fmt.Println("  -> slow responses are cut off at ~150 ms: the happy-path timeout works.")
+
+	// Recipe 2: network instability — crash the catalog (severed TCP
+	// connections). The leaky timeout never arms on connection failures,
+	// so raw errors percolate instead of the graceful timeout path
+	// (the paper: "the Unirest library's implementation of the timeout
+	// resiliency pattern did not gracefully handle corner cases involving
+	// TCP connection timeout").
+	fmt.Println("\n--- 2. Crash(catalog): severed connections bypass the leaky timeout ---")
+	report, err = runner.Run(gremlin.Recipe{
+		Name:      "catalog-crash",
+		Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.CatalogService}},
+		Checks: []gremlin.Check{
+			// The webapp aggregates best-effort, so it still answers — but
+			// the *error class* it saw is visible in the logs: severed
+			// connections (status 0) rather than clean timeouts.
+			gremlin.ExpectCustom("saw-severed-connections", func(c *gremlin.Checker) (bool, string, error) {
+				rl, err := c.GetReplies(topology.WebAppService, topology.CatalogService, "test-*")
+				if err != nil {
+					return false, "", err
+				}
+				severed := 0
+				for _, r := range rl {
+					if r.Status == 0 {
+						severed++
+					}
+				}
+				return severed > 0, fmt.Sprintf("%d/%d calls ended with severed connections leaking through the timeout layer", severed, len(rl)), nil
+			}),
+			gremlin.ExpectFallback(topology.WebAppService, 0.99),
+		},
+	}, gremlin.RunOptions{ClearLogs: true, Load: load(app, 5)})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	fmt.Println("  -> finding: the timeout library leaks TCP-level failures (the Unirest bug).")
+
+	// The fix: a correct timeout wrapper that covers connection failures.
+	fmt.Println("\n--- 3. Fixed web app (correct timeout), same Crash fault ---")
+	fixedApp, err := topology.Build(topology.Enterprise(topology.EnterpriseOptions{
+		ExternalLatency: 10 * time.Millisecond,
+		WebAppClient: func(dep string, base resilience.Doer) resilience.Doer {
+			return resilience.NewTimeout(base, 150*time.Millisecond)
+		},
+	}))
+	if err != nil {
+		return err
+	}
+	defer closeApp(fixedApp)
+	fixedRunner := gremlin.NewRunner(fixedApp.Graph, gremlin.NewOrchestrator(fixedApp.Registry), fixedApp.Store, fixedApp.Store)
+	report, err = fixedRunner.Run(gremlin.Recipe{
+		Name:      "catalog-crash-fixed",
+		Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.CatalogService}},
+		Checks: []gremlin.Check{
+			gremlin.ExpectTimeouts(topology.WebAppService, time.Second),
+			gremlin.ExpectFallback(topology.WebAppService, 0.99),
+		},
+	}, gremlin.RunOptions{ClearLogs: true, Load: load(fixedApp, 5)})
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func load(app *topology.App, n int) func() error {
+	return func() error {
+		_, err := loadgen.Run(app.EntryURL(), loadgen.Options{N: n, Concurrency: 2})
+		return err
+	}
+}
+
+func closeApp(app *topology.App) {
+	if err := app.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+	}
+}

@@ -1,0 +1,147 @@
+// Command pubsub replays the Parse.ly "Kafkapocalypse" (Table 1, 2015)
+// with its real mechanics on an asynchronous message bus: services publish
+// data points into a bus whose delivery workers forward them to a
+// Cassandra-like store. When the store crashes, deliveries fail, the
+// bounded queues fill, and publishers start receiving backpressure errors
+// — "cascading failure due to message bus overload."
+//
+// The bus's delivery path runs through a Gremlin agent, so the crash is
+// staged with an ordinary Crash rule and reverted afterwards; queue depth
+// and backpressure are observable live in the bus stats.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"gremlin"
+	"gremlin/internal/bus"
+	"gremlin/internal/httpx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Outage replay: message-bus cascade on a real async bus ===")
+	store := gremlin.NewStore()
+
+	// cassandra: the downstream datastore.
+	cassandra, err := httpx.NewServer("127.0.0.1:0", http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = io.WriteString(w, "stored\n")
+		}))
+	if err != nil {
+		return err
+	}
+	cassandra.Start()
+	defer cassandra.Close()
+
+	// The bus's sidecar Gremlin agent: deliveries messagebus -> cassandra.
+	agent, err := gremlin.NewAgent(gremlin.AgentConfig{
+		ServiceName: "messagebus",
+		ControlAddr: "127.0.0.1:0",
+		Routes: []gremlin.Route{{
+			Dst:        "cassandra",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{strings.TrimPrefix(cassandra.URL(), "http://")},
+		}},
+		Sink: store,
+	})
+	if err != nil {
+		return err
+	}
+	agent.Start()
+	defer agent.Close()
+	deliveryURL, err := agent.RouteURL("cassandra")
+	if err != nil {
+		return err
+	}
+
+	// The bus: bounded queues, at-least-once delivery with retries.
+	mbus, err := bus.New(bus.Config{QueueDepth: 8, RetryBackoff: 2 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	mbus.Start()
+	defer mbus.Close()
+	if err := mbus.Subscribe("metrics", "cassandra", deliveryURL+"/store"); err != nil {
+		return err
+	}
+
+	publish := func(n int) (accepted, rejected int) {
+		for i := 0; i < n; i++ {
+			if err := mbus.Publish("metrics", fmt.Sprintf("test-%d", i), []byte("datapoint")); err != nil {
+				rejected++
+			} else {
+				accepted++
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return
+	}
+
+	fmt.Println("\n--- healthy: publishers stream data points through the bus ---")
+	acc, rej := publish(30)
+	waitDrain(mbus)
+	st := mbus.Stats()
+	fmt.Printf("  published=%d rejected=%d delivered=%d queue=%d\n",
+		acc, rej, st.Delivered, st.QueueDepths["metrics/cassandra"])
+
+	fmt.Println("\n--- Crash(cassandra): deliveries sever, retries pile up, queues fill ---")
+	if err := agent.InstallRules(gremlin.Rule{
+		ID: "crash-cass", Src: "messagebus", Dst: "cassandra",
+		Action: gremlin.ActionAbort, Pattern: "test-*",
+		ErrorCode: gremlin.AbortSeverConnection,
+	}); err != nil {
+		return err
+	}
+	acc, rej = publish(30)
+	st = mbus.Stats()
+	fmt.Printf("  published=%d REJECTED=%d (backpressure) queue=%d redeliveries=%d\n",
+		acc, rej, st.QueueDepths["metrics/cassandra"], st.Redelivered)
+	fmt.Println("  -> the Parse.ly cascade: a dead datastore turned into blocked publishers")
+
+	fmt.Println("\n--- revert the fault: queues drain, publishing recovers ---")
+	ctl := gremlin.NewAgentClient(agent.ControlURL())
+	if _, err := ctl.ClearRules(); err != nil {
+		return err
+	}
+	waitDrain(mbus)
+	acc, rej = publish(10)
+	st = mbus.Stats()
+	fmt.Printf("  published=%d rejected=%d queue=%d delivered=%d\n",
+		acc, rej, st.QueueDepths["metrics/cassandra"], st.Delivered)
+
+	// The whole incident is visible in the event log.
+	checker := gremlin.NewChecker(store)
+	rl, err := checker.GetReplies("messagebus", "cassandra", "test-*")
+	if err != nil {
+		return err
+	}
+	severed := 0
+	for _, r := range rl {
+		if r.Status == 0 {
+			severed++
+		}
+	}
+	fmt.Printf("\n  event log: %d delivery attempts observed, %d severed by the staged crash\n",
+		len(rl), severed)
+	return nil
+}
+
+func waitDrain(b *bus.Bus) {
+	for i := 0; i < 1000; i++ {
+		if b.Stats().QueueDepths["metrics/cassandra"] == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,48 @@
+package gremlin_test
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes each example program end to end and requires a
+// clean exit — the examples are living documentation and must not rot.
+// The wordpress example is exercised separately (its Figure 5/6 sweeps
+// take ~45 s; internal/experiments covers the same flows).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn full topologies; skipped with -short")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/enterprise",
+		"./examples/outages",
+		"./examples/pubsub",
+		"./examples/shadow",
+	}
+	for _, dir := range examples {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", dir)
+			cmd.Dir = "."
+			done := make(chan error, 1)
+			var out []byte
+			go func() {
+				var err error
+				out, err = cmd.CombinedOutput()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("%s failed: %v\n%s", dir, err, out)
+				}
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("%s timed out", dir)
+			}
+		})
+	}
+}

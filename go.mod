@@ -1,0 +1,3 @@
+module gremlin
+
+go 1.22

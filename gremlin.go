@@ -1,0 +1,297 @@
+// Package gremlin is the public API of the Gremlin resilience-testing
+// framework — a from-scratch Go reproduction of "Gremlin: Systematic
+// Resilience Testing of Microservices" (Heorhiadi et al., ICDCS 2016).
+//
+// Gremlin stages failures by manipulating the network interactions between
+// microservices and validates the application's recovery behaviour from
+// the same vantage point. It is split, SDN-style, into:
+//
+//   - a data plane of Gremlin agents (sidecar Layer-7 proxies) that
+//     intercept inter-service messages, apply Abort/Delay/Modify faults to
+//     matching request flows, and log every observation; and
+//   - a control plane — the Recipe Translator (Scenario/Recipe), the
+//     Failure Orchestrator (Orchestrator), and the Assertion Checker
+//     (Checker) — that turns high-level outage descriptions into agent
+//     rules and validates assertions against the collected event logs.
+//
+// # Quickstart
+//
+// Run an agent next to each microservice, point the service's dependency
+// URLs at the agent's local routes, and execute a recipe:
+//
+//	runner := gremlin.NewRunner(appGraph, gremlin.NewOrchestrator(reg), store, store)
+//	report, err := runner.Run(gremlin.Recipe{
+//	    Name:      "overload-b",
+//	    Scenarios: []gremlin.Scenario{gremlin.Overload{Service: "serviceB"}},
+//	    Checks:    []gremlin.Check{gremlin.ExpectBoundedRetries("serviceA", "serviceB", 5)},
+//	}, gremlin.RunOptions{Load: injectTestTraffic})
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package gremlin
+
+import (
+	"gremlin/internal/agentapi"
+	"gremlin/internal/checker"
+	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/proxy"
+	"gremlin/internal/registry"
+	"gremlin/internal/rules"
+)
+
+// DefaultPattern is the request-ID pattern recipes default to, confining
+// fault injection to synthetic test traffic ("test-*").
+const DefaultPattern = core.DefaultPattern
+
+// HeaderRequestID is the header carrying the request ID between services.
+const HeaderRequestID = "X-Gremlin-ID"
+
+// Data-plane types: fault-injection rules and the agent (sidecar proxy).
+type (
+	// Rule is a primitive fault-injection rule (Abort/Delay/Modify) as
+	// installed on an agent.
+	Rule = rules.Rule
+
+	// Agent is a running Gremlin agent: per-dependency proxy listeners
+	// plus a REST control API.
+	Agent = proxy.Agent
+
+	// AgentConfig configures an Agent.
+	AgentConfig = proxy.Config
+
+	// Route maps one outbound dependency of the co-located microservice.
+	Route = proxy.Route
+
+	// AgentClient drives a remote agent's control API.
+	AgentClient = agentapi.Client
+)
+
+// Fault actions and message types.
+const (
+	ActionAbort  = rules.ActionAbort
+	ActionDelay  = rules.ActionDelay
+	ActionModify = rules.ActionModify
+
+	OnRequest  = rules.OnRequest
+	OnResponse = rules.OnResponse
+
+	// AbortSeverConnection as a Rule.ErrorCode severs the TCP connection
+	// instead of returning an HTTP error (crash emulation).
+	AbortSeverConnection = rules.AbortSeverConnection
+)
+
+// NewAgent creates a Gremlin agent. Call Start to begin proxying and Close
+// to shut down.
+func NewAgent(cfg AgentConfig) (*Agent, error) { return proxy.New(cfg) }
+
+// NewAgentClient returns a client for an agent's REST control API.
+func NewAgentClient(controlURL string) *AgentClient { return agentapi.New(controlURL, nil) }
+
+// Event-log types: the centralized observation store.
+type (
+	// Record is one observation (request or reply) logged by an agent.
+	Record = eventlog.Record
+
+	// Query selects records from the store.
+	Query = eventlog.Query
+
+	// Store is the in-memory event store.
+	Store = eventlog.Store
+
+	// StoreServer exposes a Store over HTTP (the logstash/Elasticsearch
+	// substitute).
+	StoreServer = eventlog.Server
+
+	// StoreClient ships records to and queries a remote StoreServer.
+	StoreClient = eventlog.Client
+
+	// Sink consumes observation records (agents log through it).
+	Sink = eventlog.Sink
+
+	// Source answers record queries (the checker reads through it).
+	Source = eventlog.Source
+)
+
+// Record kinds.
+const (
+	KindRequest = eventlog.KindRequest
+	KindReply   = eventlog.KindReply
+)
+
+// NewStore creates an empty in-memory event store.
+func NewStore() *Store { return eventlog.NewStore() }
+
+// NewStoreServer starts an event-store server on addr ("127.0.0.1:0" for
+// an ephemeral port).
+func NewStoreServer(addr string, store *Store) (*StoreServer, error) {
+	return eventlog.NewServer(addr, store)
+}
+
+// NewStoreClient returns a client for a remote event store.
+func NewStoreClient(baseURL string) *StoreClient { return eventlog.NewClient(baseURL, nil) }
+
+// Application graph and registry types.
+type (
+	// Graph is the logical application graph (caller→callee edges).
+	Graph = graph.Graph
+
+	// GraphEdge is one caller→callee dependency.
+	GraphEdge = graph.Edge
+
+	// Registry resolves logical service names to physical instances and
+	// their agents.
+	Registry = registry.Registry
+
+	// StaticRegistry is a fixed, thread-safe Registry.
+	StaticRegistry = registry.Static
+
+	// Instance is one physical service instance plus its agent.
+	Instance = registry.Instance
+)
+
+// NewGraph creates an empty application graph.
+func NewGraph() *Graph { return graph.New() }
+
+// GraphFromEdges builds a graph from an edge list.
+func GraphFromEdges(edges []GraphEdge) *Graph { return graph.FromEdges(edges) }
+
+// NewRegistry builds a static registry from instances.
+func NewRegistry(instances ...Instance) *StaticRegistry { return registry.NewStatic(instances...) }
+
+// Control-plane types: orchestrator, checker, recipes, runner.
+type (
+	// Orchestrator is the Failure Orchestrator: it ships rules to every
+	// agent of the affected services.
+	Orchestrator = orchestrator.Orchestrator
+
+	// Applied is a handle to an applied rule set; Revert removes it.
+	Applied = orchestrator.Applied
+
+	// Checker is the Assertion Checker over an event-log source.
+	Checker = checker.Checker
+
+	// CheckResult is the outcome of one assertion.
+	CheckResult = checker.Result
+
+	// RList is a time-ordered record list returned by checker queries.
+	RList = checker.RList
+
+	// Scenario is a high-level failure scenario.
+	Scenario = core.Scenario
+
+	// Recipe is a complete test: scenarios plus assertions.
+	Recipe = core.Recipe
+
+	// Check is one assertion evaluated after load injection.
+	Check = core.Check
+
+	// Runner executes recipes end to end.
+	Runner = core.Runner
+
+	// RunOptions tunes recipe execution.
+	RunOptions = core.RunOptions
+
+	// Report is the outcome of one recipe run, with per-phase timings.
+	Report = core.Report
+)
+
+// Failure scenarios (paper §5). Each decomposes into primitive rules over
+// the application graph.
+type (
+	// Abort aborts matching messages on one edge.
+	Abort = core.Abort
+
+	// Delay delays matching messages on one edge.
+	Delay = core.Delay
+
+	// Modify rewrites bytes in matching messages on one edge.
+	Modify = core.Modify
+
+	// Disconnect returns an HTTP error for every request on one edge.
+	Disconnect = core.Disconnect
+
+	// Crash severs connections from all dependents of a service.
+	Crash = core.Crash
+
+	// Hang delays all requests to a service by a very long interval.
+	Hang = core.Hang
+
+	// Overload aborts a fraction of requests to a service and delays the
+	// rest.
+	Overload = core.Overload
+
+	// FakeSuccess corrupts a service's successful responses.
+	FakeSuccess = core.FakeSuccess
+
+	// DegradeNetwork delays every edge of the application graph.
+	DegradeNetwork = core.DegradeNetwork
+
+	// Partition severs all edges crossing a cut of the graph.
+	Partition = core.Partition
+)
+
+// NewOrchestrator creates a Failure Orchestrator over a registry.
+func NewOrchestrator(reg Registry) *Orchestrator { return orchestrator.New(reg) }
+
+// NewChecker creates an Assertion Checker reading from source.
+func NewChecker(source Source) *Checker { return checker.New(source) }
+
+// NewRunner creates a recipe Runner. store may be nil if recipes never
+// clear logs between steps; pass the same *Store used as the agents' sink
+// for in-process deployments.
+func NewRunner(g *Graph, orch *Orchestrator, source Source, store core.Clearer) *Runner {
+	return core.NewRunner(g, orch, source, store)
+}
+
+// Assertion constructors (Table 3 pattern checks).
+var (
+	// ExpectTimeouts asserts the service answers upstreams within a bound.
+	ExpectTimeouts = core.ExpectTimeouts
+
+	// ExpectBoundedRetries asserts bounded retries on one edge.
+	ExpectBoundedRetries = core.ExpectBoundedRetries
+
+	// ExpectCircuitBreaker asserts a breaker opens after repeated failures.
+	ExpectCircuitBreaker = core.ExpectCircuitBreaker
+
+	// ExpectBulkhead asserts healthy dependencies keep their request rate
+	// while one dependency is slow.
+	ExpectBulkhead = core.ExpectBulkhead
+
+	// ExpectNoCalls asserts an edge carried no test traffic.
+	ExpectNoCalls = core.ExpectNoCalls
+
+	// ExpectFallback asserts the service kept succeeding during the outage.
+	ExpectFallback = core.ExpectFallback
+
+	// ExpectExponentialBackoff asserts retry gaps grow between attempts.
+	ExpectExponentialBackoff = core.ExpectExponentialBackoff
+
+	// ExpectCustom wraps an arbitrary closure as a named assertion.
+	ExpectCustom = core.ExpectCustom
+)
+
+// GenerateOptions tunes GenerateRecipes.
+type GenerateOptions = core.GenerateOptions
+
+// ChaosOptions tunes RandomScenario.
+type ChaosOptions = core.ChaosOptions
+
+// RandomScenario generates one randomized failure over the application
+// graph — the Chaos Monkey baseline the paper contrasts itself with
+// (§8.1). A seeded rng yields a reproducible chaos schedule.
+var RandomScenario = core.RandomScenario
+
+// GenerateRecipes proposes a systematic test plan from the application
+// graph alone: an Overload and a Crash recipe per service with dependents,
+// asserting bounded retries, timeouts, and circuit breakers on every
+// caller edge (the automation sketched in the paper's §9).
+func GenerateRecipes(g *Graph, opts GenerateOptions) ([]Recipe, error) {
+	return core.GenerateRecipes(g, opts)
+}
+
+// ParseRecipe decodes a recipe from its JSON wire form (see
+// internal/core.ParseRecipe for the schema).
+func ParseRecipe(data []byte) (Recipe, error) { return core.ParseRecipe(data) }

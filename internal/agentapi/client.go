@@ -1,0 +1,132 @@
+// Package agentapi provides the Go client for a Gremlin agent's REST
+// control API. The Failure Orchestrator uses it to program the data plane;
+// the gremlin-ctl tool uses it for manual operation.
+package agentapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gremlin/internal/proxy"
+	"gremlin/internal/rules"
+)
+
+// Client talks to one Gremlin agent control endpoint.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// New creates a client for the agent control API at baseURL. If hc is nil a
+// default client with a 10 s timeout is used.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{baseURL: baseURL, http: hc}
+}
+
+// BaseURL returns the control endpoint this client targets.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Info fetches the agent's identity and routes.
+func (c *Client) Info() (proxy.InfoBody, error) {
+	var info proxy.InfoBody
+	err := c.do(http.MethodGet, "/v1/info", nil, &info)
+	if err != nil {
+		return proxy.InfoBody{}, fmt.Errorf("agentapi: info: %w", err)
+	}
+	return info, nil
+}
+
+// InstallRules installs a batch of fault-injection rules on the agent.
+func (c *Client) InstallRules(batch ...rules.Rule) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := c.do(http.MethodPost, "/v1/rules", batch, nil); err != nil {
+		return fmt.Errorf("agentapi: install %d rules: %w", len(batch), err)
+	}
+	return nil
+}
+
+// ListRules returns the rules installed on the agent.
+func (c *Client) ListRules() ([]rules.Rule, error) {
+	var out []rules.Rule
+	if err := c.do(http.MethodGet, "/v1/rules", nil, &out); err != nil {
+		return nil, fmt.Errorf("agentapi: list rules: %w", err)
+	}
+	return out, nil
+}
+
+// RemoveRule removes one rule by ID.
+func (c *Client) RemoveRule(id string) error {
+	if err := c.do(http.MethodDelete, "/v1/rules/"+url.PathEscape(id), nil, nil); err != nil {
+		return fmt.Errorf("agentapi: remove rule %q: %w", id, err)
+	}
+	return nil
+}
+
+// ClearRules removes all rules, returning how many were installed.
+func (c *Client) ClearRules() (int, error) {
+	var out map[string]int
+	if err := c.do(http.MethodDelete, "/v1/rules", nil, &out); err != nil {
+		return 0, fmt.Errorf("agentapi: clear rules: %w", err)
+	}
+	return out["removed"], nil
+}
+
+// Flush asks the agent to flush buffered observation records to the store.
+func (c *Client) Flush() error {
+	if err := c.do(http.MethodPost, "/v1/flush", nil, nil); err != nil {
+		return fmt.Errorf("agentapi: flush: %w", err)
+	}
+	return nil
+}
+
+// Healthy reports whether the agent's control API responds.
+func (c *Client) Healthy() bool {
+	return c.do(http.MethodGet, "/healthz", nil, nil) == nil
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("marshal: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("agent returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}

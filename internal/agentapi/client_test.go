@@ -1,0 +1,97 @@
+package agentapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/rules"
+)
+
+// The client's behaviour against a live agent is covered by
+// internal/proxy's control tests; these tests pin the client's own
+// contract: URL construction, error surfacing, and response decoding
+// against a canned server.
+
+func cannedServer(t *testing.T, status int, body string, capture *[]string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if capture != nil {
+			*capture = append(*capture, r.Method+" "+r.RequestURI)
+		}
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBaseURL(t *testing.T) {
+	c := New("http://agent:9001", nil)
+	if c.BaseURL() != "http://agent:9001" {
+		t.Fatalf("BaseURL = %q", c.BaseURL())
+	}
+}
+
+func TestPathsAndMethods(t *testing.T) {
+	var calls []string
+	srv := cannedServer(t, 200, `[]`, &calls)
+	c := New(srv.URL, nil)
+
+	if _, err := c.ListRules(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveRule("has space/slash"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Healthy() {
+		t.Fatal("healthy server reported unhealthy")
+	}
+
+	want := []string{
+		"GET /v1/rules",
+		"DELETE /v1/rules/has%20space%2Fslash",
+		"POST /v1/flush",
+		"GET /healthz",
+	}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v", calls)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q", i, calls[i], want[i])
+		}
+	}
+}
+
+func TestServerErrorSurfaced(t *testing.T) {
+	srv := cannedServer(t, 400, `{"error":"mis-targeted rule"}`, nil)
+	c := New(srv.URL, nil)
+	err := c.InstallRules(rules.Rule{ID: "x", Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: 503})
+	if err == nil || !strings.Contains(err.Error(), "mis-targeted rule") {
+		t.Fatalf("err = %v, want body surfaced", err)
+	}
+}
+
+func TestMalformedResponseBody(t *testing.T) {
+	srv := cannedServer(t, 200, `not json`, nil)
+	c := New(srv.URL, nil)
+	if _, err := c.ListRules(); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := c.Info(); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestDefaultClientTimeout(t *testing.T) {
+	c := New("http://127.0.0.1:1", nil)
+	if c.http.Timeout != 10*time.Second {
+		t.Fatalf("default timeout = %v", c.http.Timeout)
+	}
+}

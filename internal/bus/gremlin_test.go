@@ -1,0 +1,101 @@
+package bus
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/proxy"
+	"gremlin/internal/rules"
+)
+
+// TestGremlinFaultsOnDeliveryPath wires the bus's delivery client through
+// a Gremlin agent and stages a crash of the subscriber — the full Table 1
+// cascade on a real asynchronous bus: deliveries sever, the worker
+// retries, the queue fills, publishers get backpressure; reverting the
+// fault drains the queue.
+func TestGremlinFaultsOnDeliveryPath(t *testing.T) {
+	store := eventlog.NewStore()
+
+	// The downstream datastore ("cassandra").
+	var healthy = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "stored")
+	}))
+	t.Cleanup(healthy.Close)
+
+	// The bus's sidecar agent: deliveries flow messagebus -> cassandra.
+	agent, err := proxy.New(proxy.Config{
+		ServiceName: "messagebus",
+		ControlAddr: "127.0.0.1:0",
+		Routes: []proxy.Route{{
+			Dst:        "cassandra",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{strings.TrimPrefix(healthy.URL, "http://")},
+		}},
+		Sink: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Start()
+	t.Cleanup(func() {
+		if err := agent.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	routeURL, err := agent.RouteURL("cassandra")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := newBus(t, Config{QueueDepth: 4, RetryBackoff: time.Millisecond})
+	if err := b.Subscribe("metrics", "cassandra", routeURL+"/store"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy path: publish delivers through the agent and is observed.
+	if err := b.Publish("metrics", "test-1", []byte("dp")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return b.Stats().Delivered == 1 }, "healthy delivery")
+	recs, err := store.Select(eventlog.Query{Src: "messagebus", Dst: "cassandra", Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Status != 200 || recs[0].RequestID != "test-1" {
+		t.Fatalf("delivery observation = %+v", recs)
+	}
+
+	// Stage the crash: sever messagebus -> cassandra.
+	if err := agent.InstallRules(rules.Rule{
+		ID: "crash-cass", Src: "messagebus", Dst: "cassandra",
+		Action: rules.ActionAbort, Pattern: "test-*",
+		ErrorCode: rules.AbortSeverConnection,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue fills; publishers get backpressure.
+	var backpressure error
+	for i := 0; i < 50 && backpressure == nil; i++ {
+		backpressure = b.Publish("metrics", "test-1", []byte("dp"))
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(backpressure, ErrQueueFull) {
+		t.Fatalf("want queue-full backpressure, got %v", backpressure)
+	}
+
+	// Revert the fault: the queue drains and publishing recovers.
+	agent.Matcher().Clear()
+	waitFor(t, func() bool {
+		return b.Stats().QueueDepths["metrics/cassandra"] == 0
+	}, "drain after revert")
+	waitFor(t, func() bool {
+		return b.Publish("metrics", "test-2", []byte("dp")) == nil
+	}, "publish recovers")
+}

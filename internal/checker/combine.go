@@ -1,0 +1,229 @@
+package checker
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Step is one stage of a Combine chain. Evaluating a step against the
+// remaining record list either succeeds — consuming the prefix of records
+// that satisfied it — or fails the whole chain.
+type Step interface {
+	// Consume evaluates the step on rl. On success it returns the number
+	// of leading records consumed and ok=true; on failure ok=false.
+	Consume(rl RList) (consumed int, ok bool)
+
+	// Describe renders the step for assertion reports.
+	Describe() string
+}
+
+// Combine chains base assertions "in the style of a state machine" (paper
+// §4.2): each step consumes the portion of records that made it true before
+// the remainder is passed to the next step. It returns true only if every
+// step succeeds in order.
+func Combine(rl RList, steps ...Step) bool {
+	ok, _ := CombineTrace(rl, steps...)
+	return ok
+}
+
+// CombineTrace is Combine with a human-readable trace of each step's
+// outcome, for recipe reports.
+func CombineTrace(rl RList, steps ...Step) (bool, string) {
+	var (
+		b        strings.Builder
+		rest     = rl
+		boundary time.Time
+	)
+	for i, s := range steps {
+		if ba, ok := s.(boundaryAware); ok && !boundary.IsZero() {
+			s = ba.withBoundary(boundary)
+		}
+		consumed, ok := s.Consume(rest)
+		fmt.Fprintf(&b, "step %d %s: ", i+1, s.Describe())
+		if !ok {
+			fmt.Fprintf(&b, "FAILED with %d records remaining", len(rest))
+			return false, b.String()
+		}
+		fmt.Fprintf(&b, "ok, consumed %d of %d; ", consumed, len(rest))
+		if consumed > len(rest) {
+			consumed = len(rest)
+		}
+		if consumed > 0 {
+			boundary = rest[consumed-1].Timestamp
+		}
+		rest = rest[consumed:]
+	}
+	b.WriteString("all steps passed")
+	return true, b.String()
+}
+
+// boundaryAware is implemented by steps whose semantics depend on the
+// timestamp of the last record consumed by the preceding steps.
+type boundaryAware interface {
+	withBoundary(t time.Time) Step
+}
+
+// StatusSeen is a Step that succeeds once numMatch replies with the given
+// status have been observed, consuming records through the numMatch-th
+// occurrence. It corresponds to Table 3's CheckStatus used inside Combine.
+type StatusSeen struct {
+	Status   int
+	NumMatch int
+	WithRule bool
+}
+
+// Consume implements Step.
+func (s StatusSeen) Consume(rl RList) (int, bool) {
+	if s.NumMatch <= 0 {
+		return 0, true
+	}
+	n := 0
+	for i, r := range rl {
+		if !counted(r, s.WithRule) || r.Status != s.Status {
+			continue
+		}
+		n++
+		if n == s.NumMatch {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// Describe implements Step.
+func (s StatusSeen) Describe() string {
+	return fmt.Sprintf("CheckStatus(status=%d, n=%d, withRule=%v)", s.Status, s.NumMatch, s.WithRule)
+}
+
+// FailuresSeen is a Step that succeeds once numMatch failed replies (HTTP
+// 4xx/5xx or severed connections) have been observed, consuming through the
+// numMatch-th failure.
+type FailuresSeen struct {
+	NumMatch int
+	WithRule bool
+}
+
+// Consume implements Step.
+func (s FailuresSeen) Consume(rl RList) (int, bool) {
+	if s.NumMatch <= 0 {
+		return 0, true
+	}
+	n := 0
+	for i, r := range rl {
+		if !counted(r, s.WithRule) || !IsFailureStatus(r.Status) {
+			continue
+		}
+		n++
+		if n == s.NumMatch {
+			return i + 1, true
+		}
+	}
+	return 0, false
+}
+
+// Describe implements Step.
+func (s FailuresSeen) Describe() string {
+	return fmt.Sprintf("FailuresSeen(n=%d, withRule=%v)", s.NumMatch, s.WithRule)
+}
+
+// AtMost is a Step asserting that at most Num records occur within Tdelta
+// of the first remaining record; it consumes the window. It corresponds to
+// Table 3's AtMostRequests used inside Combine.
+type AtMost struct {
+	Tdelta   time.Duration
+	WithRule bool
+	Num      int
+}
+
+// Consume implements Step.
+func (s AtMost) Consume(rl RList) (int, bool) {
+	if len(rl) == 0 {
+		return 0, true
+	}
+	window := windowLen(rl, s.Tdelta)
+	return window, NumRequests(rl[:window], 0, s.WithRule) <= s.Num
+}
+
+// Describe implements Step.
+func (s AtMost) Describe() string {
+	return fmt.Sprintf("AtMostRequests(tdelta=%s, withRule=%v, n=%d)", s.Tdelta, s.WithRule, s.Num)
+}
+
+// AtLeast is a Step asserting that at least Num records occur within Tdelta
+// of the first remaining record; it consumes the window.
+type AtLeast struct {
+	Tdelta   time.Duration
+	WithRule bool
+	Num      int
+}
+
+// Consume implements Step.
+func (s AtLeast) Consume(rl RList) (int, bool) {
+	window := windowLen(rl, s.Tdelta)
+	return window, NumRequests(rl[:window], 0, s.WithRule) >= s.Num
+}
+
+// Describe implements Step.
+func (s AtLeast) Describe() string {
+	return fmt.Sprintf("AtLeastRequests(tdelta=%s, withRule=%v, n=%d)", s.Tdelta, s.WithRule, s.Num)
+}
+
+// QuietFor is a Step asserting that no records occur for the given duration
+// after the previous step's last consumed record — i.e. the caller backed
+// off. Because steps only see the remaining list, the quiet period is
+// measured between the end of the consumed prefix and the first remaining
+// record; an empty remainder trivially satisfies it. Used to validate the
+// open phase of a circuit breaker.
+//
+// QuietFor needs the timestamp of the boundary record, so it must follow a
+// consuming step inside CombineWithBoundary-aware chains; Combine wires
+// this automatically.
+type QuietFor struct {
+	Tdelta time.Duration
+
+	// boundary is the timestamp of the last consumed record, set by
+	// Combine's execution (via SetBoundary) before Consume runs.
+	boundary time.Time
+}
+
+// Consume implements Step. When no boundary is known (QuietFor used first
+// in a chain), the gap is measured between the first two remaining records.
+func (s QuietFor) Consume(rl RList) (int, bool) {
+	if len(rl) == 0 {
+		return 0, true
+	}
+	if !s.boundary.IsZero() {
+		return 0, !rl[0].Timestamp.Before(s.boundary.Add(s.Tdelta))
+	}
+	if len(rl) == 1 {
+		return 1, true
+	}
+	return 1, !rl[1].Timestamp.Before(rl[0].Timestamp.Add(s.Tdelta))
+}
+
+// Describe implements Step.
+func (s QuietFor) Describe() string {
+	return fmt.Sprintf("QuietFor(tdelta=%s)", s.Tdelta)
+}
+
+// withBoundary implements boundaryAware.
+func (s QuietFor) withBoundary(t time.Time) Step {
+	s.boundary = t
+	return s
+}
+
+// windowLen returns how many leading records of rl fall within tdelta of
+// the first record (all of them when tdelta == 0).
+func windowLen(rl RList, tdelta time.Duration) int {
+	if tdelta <= 0 || len(rl) == 0 {
+		return len(rl)
+	}
+	cutoff := rl[0].Timestamp.Add(tdelta)
+	for i, r := range rl {
+		if !r.Timestamp.Before(cutoff) {
+			return i
+		}
+	}
+	return len(rl)
+}

@@ -1,0 +1,363 @@
+package checker
+
+import (
+	"fmt"
+	"time"
+)
+
+// Result is the outcome of one pattern check, with enough detail for the
+// operator to understand a failure without digging through raw logs.
+type Result struct {
+	// Check names the pattern check and its arguments.
+	Check string `json:"check"`
+
+	// Passed reports whether the expectation held.
+	Passed bool `json:"passed"`
+
+	// Details explains the outcome.
+	Details string `json:"details"`
+}
+
+func (r Result) String() string {
+	state := "PASS"
+	if !r.Passed {
+		state = "FAIL"
+	}
+	return fmt.Sprintf("%s %s: %s", state, r.Check, r.Details)
+}
+
+// HasTimeouts checks that src replies to its upstream services within
+// maxLatency (Table 3): the signature of a working timeout pattern is that
+// src's own response time stays bounded even while its dependencies are
+// degraded. idPattern confines the check to matching request flows ("" for
+// all).
+func (c *Checker) HasTimeouts(src string, maxLatency time.Duration, idPattern string) (Result, error) {
+	name := fmt.Sprintf("HasTimeouts(%s, %s)", src, maxLatency)
+	rl, err := c.GetReplies("", src, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(rl) == 0 {
+		return Result{Check: name, Passed: false,
+			Details: "no replies from " + src + " observed; cannot validate timeouts"}, nil
+	}
+	worst := MaxLatency(rl, true)
+	if worst > maxLatency {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("slowest reply took %s (> %s) across %d replies — no effective timeout",
+				worst.Round(time.Millisecond), maxLatency, len(rl))}, nil
+	}
+	return Result{Check: name, Passed: true,
+		Details: fmt.Sprintf("all %d replies within %s (slowest %s)",
+			len(rl), maxLatency, worst.Round(time.Millisecond))}, nil
+}
+
+// BoundedRetriesOptions tunes HasBoundedRetries. Zero values take the
+// paper's defaults: 5 failures observed, then at most MaxTries more calls
+// within 1 minute.
+type BoundedRetriesOptions struct {
+	// FailureThreshold is how many failed replies must be observed before
+	// the retry budget is evaluated (paper default 5).
+	FailureThreshold int
+
+	// Window is the interval within which the additional calls are counted
+	// (paper default 1 minute).
+	Window time.Duration
+}
+
+func (o BoundedRetriesOptions) withDefaults() BoundedRetriesOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 5
+	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	return o
+}
+
+// HasBoundedRetries checks that src implements a bounded-retry pattern when
+// calling dst (Table 3): once FailureThreshold failed replies have been
+// observed, src sends at most maxTries more requests to dst within the
+// window. Implemented exactly as the paper sketches, via Combine.
+func (c *Checker) HasBoundedRetries(src, dst string, maxTries int, idPattern string, opts BoundedRetriesOptions) (Result, error) {
+	o := opts.withDefaults()
+	name := fmt.Sprintf("HasBoundedRetries(%s, %s, %d)", src, dst, maxTries)
+	rl, err := c.GetReplies(src, dst, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(rl) == 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no calls from %s to %s observed", src, dst)}, nil
+	}
+	// A caller that gave up before the failure threshold was even reached
+	// has retries bounded more tightly than asked: pass, provided the total
+	// call volume itself respects threshold + budget.
+	if failures := CountFailures(rl, true); failures < o.FailureThreshold {
+		total := NumRequests(rl, 0, true)
+		if total <= o.FailureThreshold+maxTries {
+			return Result{Check: name, Passed: true,
+				Details: fmt.Sprintf("only %d failures observed (< threshold %d) across %d calls — retries stopped early",
+					failures, o.FailureThreshold, total)}, nil
+		}
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("%d calls observed with only %d failures; exceeds threshold %d + budget %d",
+				total, failures, o.FailureThreshold, maxTries)}, nil
+	}
+	ok, explain := CombineTrace(rl,
+		FailuresSeen{NumMatch: o.FailureThreshold, WithRule: true},
+		AtMost{Tdelta: o.Window, WithRule: true, Num: maxTries},
+	)
+	return Result{Check: name, Passed: ok, Details: explain}, nil
+}
+
+// CircuitBreakerOptions tunes HasCircuitBreaker.
+type CircuitBreakerOptions struct {
+	// SuccessThreshold, when positive, additionally validates the
+	// half-open phase (Table 3: "SuccessThreshold requests should close
+	// the circuit breaker"): once calls resume after the quiet window, at
+	// most SuccessThreshold probe calls may be sent before the first
+	// successful reply — a caller that resumes at full rate while the
+	// dependency is still unproven fails the check. Zero validates only
+	// the open phase, matching the paper's §7.1 experiments.
+	SuccessThreshold int
+}
+
+// HasCircuitBreaker checks that src trips a circuit breaker on calls to dst
+// (Table 3): after threshold failed calls, src must stop *sending* requests
+// to dst for at least tdelta (the breaker's open phase). A caller without a
+// breaker keeps hammering the failed dependency and fails this check.
+//
+// Failures are counted on reply records (that is where the status lives);
+// the quiet period is evaluated on request records, i.e. on send times —
+// a reply's timestamp is delayed by the callee's (or Gremlin's injected)
+// latency, which would make a merely-slow caller look quiet.
+func (c *Checker) HasCircuitBreaker(src, dst string, threshold int, tdelta time.Duration, idPattern string, opts CircuitBreakerOptions) (Result, error) {
+	name := fmt.Sprintf("HasCircuitBreaker(%s, %s, %d, %s)", src, dst, threshold, tdelta)
+	reps, err := c.GetReplies(src, dst, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(reps) == 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no calls from %s to %s observed", src, dst)}, nil
+	}
+
+	// Locate the threshold-th failure.
+	var (
+		failures int
+		tripAt   time.Time
+	)
+	for _, r := range reps {
+		if !counted(r, true) || !IsFailureStatus(r.Status) {
+			continue
+		}
+		failures++
+		if failures == threshold {
+			tripAt = r.Timestamp
+			break
+		}
+	}
+	if failures < threshold {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("only %d failures observed (< threshold %d); breaker never exercised", failures, threshold)}, nil
+	}
+
+	// The open phase: no request may be *sent* within (tripAt, tripAt+tdelta).
+	reqs, err := c.GetRequests(src, dst, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	quietUntil := tripAt.Add(tdelta)
+	var inWindow int
+	var firstOffender time.Time
+	for _, r := range reqs {
+		if r.Timestamp.After(tripAt) && r.Timestamp.Before(quietUntil) {
+			if inWindow == 0 {
+				firstOffender = r.Timestamp
+			}
+			inWindow++
+		}
+	}
+	if inWindow > 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("%d requests sent within %s of the %d-th failure (first after %s) — breaker absent or not tripping",
+				inWindow, tdelta, threshold, firstOffender.Sub(tripAt).Round(time.Millisecond))}, nil
+	}
+
+	// Quiet window satisfied. Qualify the verdict when the observation
+	// stream ends before the window does: "no requests seen" is weak
+	// evidence if the test simply stopped injecting load at the trip point.
+	details := fmt.Sprintf("no requests sent for %s after the %d-th failure — breaker open phase observed", tdelta, threshold)
+	if last := lastTimestamp(reps, reqs); last.Before(quietUntil) {
+		details += fmt.Sprintf(" (observations end %s into the window; extend the test load for stronger evidence)",
+			last.Sub(tripAt).Round(time.Millisecond))
+	}
+
+	// Half-open phase (optional): once calls resume, at most
+	// SuccessThreshold probes before the first success.
+	if opts.SuccessThreshold > 0 {
+		probes := 0
+		for _, r := range reps {
+			if !r.Timestamp.After(quietUntil) {
+				continue
+			}
+			probes++
+			if !IsFailureStatus(r.Status) {
+				break
+			}
+			if probes > opts.SuccessThreshold {
+				return Result{Check: name, Passed: false,
+					Details: fmt.Sprintf("%s; but %d calls resumed without a success (> %d allowed probes) — half-open phase not limited",
+						details, probes, opts.SuccessThreshold)}, nil
+			}
+		}
+		if probes > 0 {
+			details += fmt.Sprintf("; half-open phase resumed with %d probe(s)", probes)
+		}
+	}
+	return Result{Check: name, Passed: true, Details: details}, nil
+}
+
+// lastTimestamp returns the latest timestamp across the given record lists.
+func lastTimestamp(lists ...RList) time.Time {
+	var last time.Time
+	for _, rl := range lists {
+		for _, r := range rl {
+			if r.Timestamp.After(last) {
+				last = r.Timestamp
+			}
+		}
+	}
+	return last
+}
+
+// HasBulkhead checks that src maintains at least rate requests/second to
+// each of its dependencies other than slowDst while slowDst is degraded
+// (Table 3): a service without bulkhead isolation exhausts its shared
+// resources on the slow dependency and starves the others.
+func (c *Checker) HasBulkhead(src, slowDst string, rate float64, idPattern string) (Result, error) {
+	name := fmt.Sprintf("HasBulkhead(%s, slow=%s, rate=%.1f/s)", src, slowDst, rate)
+	dsts, err := c.Destinations(src)
+	if err != nil {
+		return Result{}, err
+	}
+	var others []string
+	for _, d := range dsts {
+		if d != slowDst {
+			others = append(others, d)
+		}
+	}
+	if len(others) == 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("%s has no observed dependencies besides %s", src, slowDst)}, nil
+	}
+	for _, d := range others {
+		rl, err := c.GetRequests(src, d, idPattern)
+		if err != nil {
+			return Result{}, err
+		}
+		got := RequestRate(rl)
+		if got < rate {
+			return Result{Check: name, Passed: false,
+				Details: fmt.Sprintf("rate to %s fell to %.2f req/s (< %.2f) — no bulkhead isolation", d, got, rate)}, nil
+		}
+	}
+	return Result{Check: name, Passed: true,
+		Details: fmt.Sprintf("rate to %d other dependencies stayed >= %.2f req/s", len(others), rate)}, nil
+}
+
+// NoCallsTo checks that src made no calls at all to dst on matching flows —
+// useful after a Disconnect or Partition scenario to verify a dependency
+// was truly isolated, or to verify a caller honours a kill switch.
+func (c *Checker) NoCallsTo(src, dst, idPattern string) (Result, error) {
+	name := fmt.Sprintf("NoCallsTo(%s, %s)", src, dst)
+	rl, err := c.GetRequests(src, dst, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(rl) > 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("%d calls observed", len(rl))}, nil
+	}
+	return Result{Check: name, Passed: true, Details: "no calls observed"}, nil
+}
+
+// HasFallback checks that src kept answering its own upstreams successfully
+// (status < 400) on at least okFraction of replies while the staged failure
+// was active — the signature of a working fallback path such as
+// ElasticPress falling back from Elasticsearch to MySQL (§7.1).
+func (c *Checker) HasFallback(src string, okFraction float64, idPattern string) (Result, error) {
+	name := fmt.Sprintf("HasFallback(%s, %.0f%%)", src, okFraction*100)
+	rl, err := c.GetReplies("", src, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(rl) == 0 {
+		return Result{Check: name, Passed: false,
+			Details: "no replies from " + src + " observed"}, nil
+	}
+	okCount := 0
+	for _, r := range rl {
+		if !IsFailureStatus(r.Status) {
+			okCount++
+		}
+	}
+	frac := float64(okCount) / float64(len(rl))
+	passed := frac >= okFraction
+	return Result{Check: name, Passed: passed,
+		Details: fmt.Sprintf("%d/%d replies succeeded (%.0f%%)", okCount, len(rl), frac*100)}, nil
+}
+
+// HasExponentialBackoff checks that src's retries against dst space out
+// over time: among consecutive request send times within one flow, each
+// gap must be at least growthFactor times the previous gap (within a 20%
+// tolerance for scheduling noise). §2.1 calls for retries to be
+// "accompanied with an exponential backoff strategy to avoid overloading
+// the callee"; a retrier that hammers at a fixed interval fails this
+// check. Flows with fewer than three requests are skipped (no two gaps to
+// compare); the check fails if no flow had enough retries to judge.
+func (c *Checker) HasExponentialBackoff(src, dst string, growthFactor float64, idPattern string) (Result, error) {
+	name := fmt.Sprintf("HasExponentialBackoff(%s, %s, x%.1f)", src, dst, growthFactor)
+	if growthFactor <= 1 {
+		return Result{}, fmt.Errorf("checker: growth factor %v must exceed 1", growthFactor)
+	}
+	reqs, err := c.GetRequests(src, dst, idPattern)
+	if err != nil {
+		return Result{}, err
+	}
+	// Group send times by flow ID, preserving order.
+	byFlow := make(map[string][]time.Time)
+	var order []string
+	for _, r := range reqs {
+		if _, seen := byFlow[r.RequestID]; !seen {
+			order = append(order, r.RequestID)
+		}
+		byFlow[r.RequestID] = append(byFlow[r.RequestID], r.Timestamp)
+	}
+	const tolerance = 0.8
+	judged := 0
+	for _, id := range order {
+		times := byFlow[id]
+		if len(times) < 3 {
+			continue
+		}
+		judged++
+		prevGap := times[1].Sub(times[0])
+		for i := 2; i < len(times); i++ {
+			gap := times[i].Sub(times[i-1])
+			if float64(gap) < float64(prevGap)*growthFactor*tolerance {
+				return Result{Check: name, Passed: false,
+					Details: fmt.Sprintf("flow %q: retry gap %s after %s did not grow by ~x%.1f — fixed-interval retries overload the callee",
+						id, gap.Round(time.Millisecond), prevGap.Round(time.Millisecond), growthFactor)}, nil
+			}
+			prevGap = gap
+		}
+	}
+	if judged == 0 {
+		return Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no flow had >= 3 requests from %s to %s; cannot judge backoff", src, dst)}, nil
+	}
+	return Result{Check: name, Passed: true,
+		Details: fmt.Sprintf("retry gaps grew by >= ~x%.1f across %d flows", growthFactor, judged)}, nil
+}

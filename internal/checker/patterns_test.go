@@ -1,0 +1,463 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+)
+
+func TestHasTimeoutsPass(t *testing.T) {
+	s := storeWith(t,
+		reply("user", "web", "test-1", 0, withLatency(200)),
+		reply("user", "web", "test-2", time.Second, withLatency(800)),
+	)
+	res, err := New(s).HasTimeouts("web", time.Second, "test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("want pass: %s", res)
+	}
+}
+
+func TestHasTimeoutsFail(t *testing.T) {
+	s := storeWith(t,
+		reply("user", "web", "test-1", 0, withLatency(200)),
+		reply("user", "web", "test-2", time.Second, withLatency(3000)),
+	)
+	res, err := New(s).HasTimeouts("web", time.Second, "test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure: %s", res)
+	}
+	if !strings.Contains(res.Details, "no effective timeout") {
+		t.Fatalf("details = %q", res.Details)
+	}
+}
+
+func TestHasTimeoutsNoData(t *testing.T) {
+	res, err := New(eventlog.NewStore()).HasTimeouts("web", time.Second, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("no data should not pass")
+	}
+}
+
+func TestHasTimeoutsQueryError(t *testing.T) {
+	if _, err := New(eventlog.NewStore()).HasTimeouts("web", time.Second, "re:["); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func boundedRetryLog(extraRetries int) []eventlog.Record {
+	var recs []eventlog.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, reply("a", "b", "test-1",
+			time.Duration(i)*100*time.Millisecond, withStatus(503), gremlinMade()))
+	}
+	for i := 0; i < extraRetries; i++ {
+		recs = append(recs, reply("a", "b", "test-1",
+			500*time.Millisecond+time.Duration(i)*100*time.Millisecond, withStatus(503), gremlinMade()))
+	}
+	return recs
+}
+
+func TestHasBoundedRetriesPass(t *testing.T) {
+	s := storeWith(t, boundedRetryLog(3)...)
+	res, err := New(s).HasBoundedRetries("a", "b", 5, "test-*", BoundedRetriesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("want pass: %s", res)
+	}
+}
+
+func TestHasBoundedRetriesFail(t *testing.T) {
+	s := storeWith(t, boundedRetryLog(40)...)
+	res, err := New(s).HasBoundedRetries("a", "b", 5, "test-*", BoundedRetriesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure: %s", res)
+	}
+}
+
+func TestHasBoundedRetriesNoData(t *testing.T) {
+	res, err := New(eventlog.NewStore()).HasBoundedRetries("a", "b", 5, "", BoundedRetriesOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("no observations should not pass")
+	}
+}
+
+func TestHasBoundedRetriesCustomOptions(t *testing.T) {
+	// Only 2 failures staged; default threshold of 5 would never trigger,
+	// custom threshold of 2 evaluates the retry budget.
+	s := storeWith(t,
+		reply("a", "b", "t", 0, withStatus(503), gremlinMade()),
+		reply("a", "b", "t", 100*time.Millisecond, withStatus(503), gremlinMade()),
+		reply("a", "b", "t", 200*time.Millisecond, withStatus(503), gremlinMade()),
+	)
+	res, err := New(s).HasBoundedRetries("a", "b", 1, "", BoundedRetriesOptions{
+		FailureThreshold: 2,
+		Window:           time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("1 retry after 2 failures should pass with budget 1: %s", res)
+	}
+}
+
+// call logs one request/reply pair: request sent at `at`, reply 5 ms later.
+func call(src, dst, id string, at time.Duration, opts ...recOpt) []eventlog.Record {
+	return []eventlog.Record{
+		request(src, dst, id, at),
+		reply(src, dst, id, at+5*time.Millisecond, opts...),
+	}
+}
+
+func TestHasCircuitBreakerPass(t *testing.T) {
+	var recs []eventlog.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, call("a", "b", "t", time.Duration(i)*100*time.Millisecond,
+			withStatus(503), gremlinMade())...)
+	}
+	// Next call only after a 30 s quiet period.
+	recs = append(recs, call("a", "b", "t", 31*time.Second, withStatus(200))...)
+	s := storeWith(t, recs...)
+	res, err := New(s).HasCircuitBreaker("a", "b", 5, 30*time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("want pass: %s", res)
+	}
+}
+
+func TestHasCircuitBreakerFail(t *testing.T) {
+	var recs []eventlog.Record
+	for i := 0; i < 10; i++ { // keeps calling through the failures
+		recs = append(recs, call("a", "b", "t", time.Duration(i)*100*time.Millisecond,
+			withStatus(503), gremlinMade())...)
+	}
+	s := storeWith(t, recs...)
+	res, err := New(s).HasCircuitBreaker("a", "b", 5, 30*time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure: %s", res)
+	}
+	if !strings.Contains(res.Details, "breaker absent") {
+		t.Fatalf("details = %q", res.Details)
+	}
+}
+
+func TestHasCircuitBreakerSlowRepliesAreNotQuiet(t *testing.T) {
+	// A caller that keeps *sending* requests whose replies arrive late
+	// (e.g. a Gremlin Delay fault) must not look quiet: the quiet phase is
+	// measured on request send times.
+	var recs []eventlog.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, call("a", "b", "t", time.Duration(i)*10*time.Millisecond,
+			withStatus(503), gremlinMade())...)
+	}
+	// Request sent immediately after the 5th failure; its reply arrives 3 s
+	// later because of an injected delay.
+	recs = append(recs,
+		request("a", "b", "t", 60*time.Millisecond),
+		reply("a", "b", "t", 60*time.Millisecond+3*time.Second, withStatus(200), withInjected(3000)),
+	)
+	s := storeWith(t, recs...)
+	res, err := New(s).HasCircuitBreaker("a", "b", 5, time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure — the request was sent during the quiet window: %s", res)
+	}
+}
+
+func TestHasCircuitBreakerInsufficientFailures(t *testing.T) {
+	s := storeWith(t, call("a", "b", "t", 0, withStatus(503), gremlinMade())...)
+	res, err := New(s).HasCircuitBreaker("a", "b", 5, time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure for insufficient failures: %s", res)
+	}
+	if !strings.Contains(res.Details, "breaker never exercised") {
+		t.Fatalf("details = %q", res.Details)
+	}
+}
+
+func TestHasCircuitBreakerNoData(t *testing.T) {
+	res, err := New(eventlog.NewStore()).HasCircuitBreaker("a", "b", 5, time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("no observations should not pass")
+	}
+}
+
+func TestHasBulkheadPass(t *testing.T) {
+	var recs []eventlog.Record
+	// Calls to the slow dependency trickle...
+	recs = append(recs, request("web", "slow", "t", 0))
+	// ...while the healthy dependency keeps a steady 10/s for 2 s.
+	for i := 0; i < 20; i++ {
+		recs = append(recs, request("web", "fast", "t", time.Duration(i)*100*time.Millisecond))
+	}
+	s := storeWith(t, recs...)
+	res, err := New(s).HasBulkhead("web", "slow", 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("want pass: %s", res)
+	}
+}
+
+func TestHasBulkheadFail(t *testing.T) {
+	var recs []eventlog.Record
+	recs = append(recs, request("web", "slow", "t", 0))
+	// Starved: only 3 calls to the healthy dependency over 10 s.
+	for i := 0; i < 3; i++ {
+		recs = append(recs, request("web", "fast", "t", time.Duration(i)*5*time.Second))
+	}
+	s := storeWith(t, recs...)
+	res, err := New(s).HasBulkhead("web", "slow", 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure: %s", res)
+	}
+	if !strings.Contains(res.Details, "no bulkhead") {
+		t.Fatalf("details = %q", res.Details)
+	}
+}
+
+func TestHasBulkheadNoOtherDeps(t *testing.T) {
+	s := storeWith(t, request("web", "slow", "t", 0))
+	res, err := New(s).HasBulkhead("web", "slow", 5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("no other dependencies observed should not pass")
+	}
+}
+
+func TestNoCallsTo(t *testing.T) {
+	s := storeWith(t, request("a", "b", "test-1", 0))
+	c := New(s)
+	res, err := c.NoCallsTo("a", "b", "test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("calls exist; want failure")
+	}
+	res, err = c.NoCallsTo("a", "c", "test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatal("no calls to c; want pass")
+	}
+}
+
+func TestHasFallback(t *testing.T) {
+	s := storeWith(t,
+		reply("user", "web", "t1", 0, withStatus(200)),
+		reply("user", "web", "t2", time.Second, withStatus(200)),
+		reply("user", "web", "t3", 2*time.Second, withStatus(500)),
+		reply("user", "web", "t4", 3*time.Second, withStatus(200)),
+	)
+	c := New(s)
+	res, err := c.HasFallback("web", 0.7, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("75%% ok >= 70%%: %s", res)
+	}
+	res, err = c.HasFallback("web", 0.9, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("75%% ok < 90%%: %s", res)
+	}
+	res, err = New(eventlog.NewStore()).HasFallback("web", 0.5, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("no data should not pass")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	pass := Result{Check: "X", Passed: true, Details: "d"}
+	if got := pass.String(); !strings.HasPrefix(got, "PASS") {
+		t.Fatalf("String = %q", got)
+	}
+	fail := Result{Check: "X", Passed: false, Details: "d"}
+	if got := fail.String(); !strings.HasPrefix(got, "FAIL") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func backoffFlow(id string, gaps ...time.Duration) []eventlog.Record {
+	var recs []eventlog.Record
+	at := time.Duration(0)
+	recs = append(recs, request("a", "b", id, at))
+	for _, g := range gaps {
+		at += g
+		recs = append(recs, request("a", "b", id, at))
+	}
+	return recs
+}
+
+func TestHasExponentialBackoffPass(t *testing.T) {
+	s := storeWith(t, backoffFlow("test-1",
+		10*time.Millisecond, 20*time.Millisecond, 40*time.Millisecond, 80*time.Millisecond)...)
+	res, err := New(s).HasExponentialBackoff("a", "b", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("doubling gaps should pass: %s", res)
+	}
+}
+
+func TestHasExponentialBackoffFailFixedInterval(t *testing.T) {
+	s := storeWith(t, backoffFlow("test-1",
+		10*time.Millisecond, 10*time.Millisecond, 10*time.Millisecond)...)
+	res, err := New(s).HasExponentialBackoff("a", "b", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("fixed-interval retries should fail: %s", res)
+	}
+	if !strings.Contains(res.Details, "did not grow") {
+		t.Fatalf("details = %q", res.Details)
+	}
+}
+
+func TestHasExponentialBackoffToleratesJitter(t *testing.T) {
+	// Growth factor 2 with 20% tolerance: gaps of 10, 17, 30 ms pass
+	// (17 >= 10*2*0.8 = 16; 30 >= 17*2*0.8 = 27.2).
+	s := storeWith(t, backoffFlow("test-1",
+		10*time.Millisecond, 17*time.Millisecond, 30*time.Millisecond)...)
+	res, err := New(s).HasExponentialBackoff("a", "b", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("jittered exponential gaps should pass: %s", res)
+	}
+}
+
+func TestHasExponentialBackoffInsufficientData(t *testing.T) {
+	s := storeWith(t, backoffFlow("test-1", 10*time.Millisecond)...) // 2 requests: 1 gap
+	res, err := New(s).HasExponentialBackoff("a", "b", 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("insufficient data should not pass: %s", res)
+	}
+}
+
+func TestHasExponentialBackoffBadFactor(t *testing.T) {
+	if _, err := New(eventlog.NewStore()).HasExponentialBackoff("a", "b", 1, ""); err == nil {
+		t.Fatal("want error for factor <= 1")
+	}
+}
+
+func TestHasExponentialBackoffMultipleFlows(t *testing.T) {
+	recs := backoffFlow("test-1", 10*time.Millisecond, 20*time.Millisecond)
+	recs = append(recs, backoffFlow("test-2", 10*time.Millisecond, 20*time.Millisecond)...)
+	recs = append(recs, backoffFlow("test-3", 5*time.Millisecond)...) // too short, skipped
+	s := storeWith(t, recs...)
+	res, err := New(s).HasExponentialBackoff("a", "b", 2, "test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed || !strings.Contains(res.Details, "2 flows") {
+		t.Fatalf("res = %s", res)
+	}
+}
+
+func TestHasCircuitBreakerHalfOpenProbes(t *testing.T) {
+	// 5 failures, quiet for 30s, then probes resume.
+	mkLog := func(probeFailures int) []eventlog.Record {
+		var recs []eventlog.Record
+		for i := 0; i < 5; i++ {
+			recs = append(recs, call("a", "b", "t", time.Duration(i)*100*time.Millisecond,
+				withStatus(503), gremlinMade())...)
+		}
+		at := 31 * time.Second
+		for i := 0; i < probeFailures; i++ {
+			recs = append(recs, call("a", "b", "t", at, withStatus(503))...)
+			at += 100 * time.Millisecond
+		}
+		recs = append(recs, call("a", "b", "t", at, withStatus(200))...)
+		return recs
+	}
+
+	// One failing probe then a success: within a 2-probe budget.
+	s := storeWith(t, mkLog(1)...)
+	res, err := New(s).HasCircuitBreaker("a", "b", 5, 30*time.Second, "",
+		CircuitBreakerOptions{SuccessThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("want pass: %s", res)
+	}
+	if !strings.Contains(res.Details, "half-open phase resumed") {
+		t.Fatalf("details = %q", res.Details)
+	}
+
+	// Five failing probes before the success: exceeds the budget.
+	s = storeWith(t, mkLog(5)...)
+	res, err = New(s).HasCircuitBreaker("a", "b", 5, 30*time.Second, "",
+		CircuitBreakerOptions{SuccessThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("want failure: %s", res)
+	}
+	if !strings.Contains(res.Details, "half-open phase not limited") {
+		t.Fatalf("details = %q", res.Details)
+	}
+
+	// SuccessThreshold zero skips the half-open validation entirely.
+	res, err = New(s).HasCircuitBreaker("a", "b", 5, 30*time.Second, "", CircuitBreakerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("open-phase-only check should pass: %s", res)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GenerateOptions tunes automatic recipe generation.
+type GenerateOptions struct {
+	// MaxRetries is the retry budget asserted on every caller edge
+	// (default 5, the paper's running example).
+	MaxRetries int
+
+	// MaxLatency is the response-time bound asserted on every dependent
+	// during an overload (default 2 s).
+	MaxLatency time.Duration
+
+	// BreakerThreshold is the failure count after which a circuit breaker
+	// is expected to open (default 5).
+	BreakerThreshold int
+
+	// BreakerQuiet is the expected open-phase duration (default 10 s).
+	BreakerQuiet time.Duration
+
+	// SkipServices names services to exclude as fault targets — typically
+	// the synthetic edge caller and pure entry points.
+	SkipServices []string
+}
+
+func (o GenerateOptions) withDefaults() GenerateOptions {
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 5
+	}
+	if o.MaxLatency <= 0 {
+		o.MaxLatency = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerQuiet <= 0 {
+		o.BreakerQuiet = 10 * time.Second
+	}
+	return o
+}
+
+// GenerateRecipes proposes a systematic test plan from the application
+// graph alone — the automation the paper sketches as future work (§9:
+// "given semantic annotations to the application graph, it might be
+// possible to automatically identify microservices and resiliency patterns
+// in need of testing, then construct and run appropriate recipes").
+//
+// For every service that has dependents, two recipes are generated:
+//
+//   - an Overload of the service, asserting that each dependent bounds its
+//     retries and keeps answering its own upstreams within MaxLatency; and
+//   - a Crash of the service, asserting that each dependent trips a
+//     circuit breaker.
+//
+// Recipes are ordered least-intrusive first (all overloads, then all
+// crashes), so RunChain stops before staging crashes into an application
+// that already failed the gentler test.
+func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
+	o := opts.withDefaults()
+	skip := make(map[string]bool, len(o.SkipServices))
+	for _, s := range o.SkipServices {
+		skip[s] = true
+	}
+
+	targets := make([]string, 0, len(g.Services()))
+	for _, svc := range g.Services() {
+		if skip[svc] {
+			continue
+		}
+		deps, err := g.Dependents(svc)
+		if err != nil {
+			return nil, fmt.Errorf("core: generate recipes: %w", err)
+		}
+		var realDeps []string
+		for _, d := range deps {
+			if !skip[d] {
+				realDeps = append(realDeps, d)
+			}
+		}
+		if len(realDeps) == 0 {
+			continue
+		}
+		targets = append(targets, svc)
+	}
+	sort.Strings(targets)
+
+	var recipes []Recipe
+	for _, svc := range targets {
+		deps, err := g.Dependents(svc)
+		if err != nil {
+			return nil, err
+		}
+		overload := Recipe{
+			Name:      "auto-overload-" + svc,
+			Scenarios: []Scenario{Overload{Service: svc}},
+		}
+		for _, d := range deps {
+			if skip[d] {
+				continue
+			}
+			overload.Checks = append(overload.Checks,
+				ExpectBoundedRetries(d, svc, o.MaxRetries),
+				ExpectTimeouts(d, o.MaxLatency),
+			)
+		}
+		recipes = append(recipes, overload)
+	}
+	for _, svc := range targets {
+		deps, err := g.Dependents(svc)
+		if err != nil {
+			return nil, err
+		}
+		crash := Recipe{
+			Name:      "auto-crash-" + svc,
+			Scenarios: []Scenario{Crash{Service: svc}},
+		}
+		for _, d := range deps {
+			if skip[d] {
+				continue
+			}
+			crash.Checks = append(crash.Checks,
+				ExpectCircuitBreaker(d, svc, o.BreakerThreshold, o.BreakerQuiet))
+		}
+		recipes = append(recipes, crash)
+	}
+	return recipes, nil
+}
+
+// GraphView is the read-only slice of the application graph that recipe
+// generation needs. *graph.Graph implements it.
+type GraphView interface {
+	Services() []string
+	Dependents(name string) ([]string, error)
+}

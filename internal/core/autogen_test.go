@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateRecipesCoverage(t *testing.T) {
+	g := appGraph() // web -> {auth, db}; auth -> db
+	recipes, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Services with dependents: auth (from web) and db (from web, auth) —
+	// two recipes each.
+	if len(recipes) != 4 {
+		t.Fatalf("generated %d recipes, want 4: %v", len(recipes), names(recipes))
+	}
+	byName := map[string]Recipe{}
+	for _, r := range recipes {
+		byName[r.Name] = r
+	}
+	for _, want := range []string{"auto-overload-auth", "auto-overload-db", "auto-crash-auth", "auto-crash-db"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing recipe %q in %v", want, names(recipes))
+		}
+	}
+	// db has two dependents: 2 checks per dependent for overload.
+	if got := len(byName["auto-overload-db"].Checks); got != 4 {
+		t.Fatalf("auto-overload-db has %d checks, want 4", got)
+	}
+	if got := len(byName["auto-crash-db"].Checks); got != 2 {
+		t.Fatalf("auto-crash-db has %d checks, want 2", got)
+	}
+	// Overloads come before crashes (least intrusive first).
+	for i, r := range recipes {
+		if strings.HasPrefix(r.Name, "auto-crash-") && i < 2 {
+			t.Fatalf("crash recipe at position %d: %v", i, names(recipes))
+		}
+	}
+}
+
+func TestGenerateRecipesTranslatable(t *testing.T) {
+	g := appGraph()
+	recipes, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recipes {
+		if _, err := r.Translate(g); err != nil {
+			t.Fatalf("recipe %s does not translate: %v", r.Name, err)
+		}
+	}
+}
+
+func TestGenerateRecipesSkipServices(t *testing.T) {
+	g := appGraph()
+	g.AddEdge("user", "web") // synthetic edge caller
+
+	recipes, err := GenerateRecipes(g, GenerateOptions{SkipServices: []string{"user", "web"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recipes {
+		if strings.Contains(r.Name, "web") {
+			t.Fatalf("skipped service appears as a target: %v", names(recipes))
+		}
+	}
+	// auth's only dependent is web (skipped): auth should not be targeted
+	// since no unskipped dependent can observe the failure.
+	for _, r := range recipes {
+		if strings.Contains(r.Name, "auth") {
+			t.Fatalf("auth has no unskipped dependents, should be excluded: %v", names(recipes))
+		}
+	}
+	// db is still covered via its unskipped dependent auth.
+	found := false
+	for _, r := range recipes {
+		if r.Name == "auto-overload-db" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("db should still be targeted: %v", names(recipes))
+	}
+}
+
+func TestGenerateRecipesDefaults(t *testing.T) {
+	o := GenerateOptions{}.withDefaults()
+	if o.MaxRetries != 5 || o.MaxLatency != 2*time.Second ||
+		o.BreakerThreshold != 5 || o.BreakerQuiet != 10*time.Second {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestGenerateRecipesEmptyGraph(t *testing.T) {
+	recipes, err := GenerateRecipes(appGraphEmpty(), GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recipes) != 0 {
+		t.Fatalf("empty graph generated %d recipes", len(recipes))
+	}
+}
+
+func appGraphEmpty() GraphView { return emptyView{} }
+
+type emptyView struct{}
+
+func (emptyView) Services() []string                  { return nil }
+func (emptyView) Dependents(string) ([]string, error) { return nil, nil }
+
+func names(rs []Recipe) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Name
+	}
+	return out
+}

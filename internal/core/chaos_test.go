@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+func TestRandomScenarioProducesValidRules(t *testing.T) {
+	g := appGraph()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 100; i++ {
+		s, err := RandomScenario(g, rng, ChaosOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := s.Translate(g, NewIDGen("chaos"), DefaultPattern)
+		if err != nil {
+			t.Fatalf("iteration %d (%s): %v", i, s.Describe(), err)
+		}
+		if err := rules.ValidateAll(rs); err != nil {
+			t.Fatalf("iteration %d produced invalid rules: %v", i, err)
+		}
+		// Default chaos stays confined to test traffic.
+		for _, r := range rs {
+			if r.Pattern != DefaultPattern {
+				t.Fatalf("pattern = %q, want %q", r.Pattern, DefaultPattern)
+			}
+		}
+		if !strings.HasPrefix(s.Describe(), "chaos:") {
+			t.Fatalf("Describe = %q", s.Describe())
+		}
+	}
+}
+
+func TestRandomScenarioAllTraffic(t *testing.T) {
+	g := appGraph()
+	rng := rand.New(rand.NewSource(3))
+	s, err := RandomScenario(g, rng, ChaosOptions{AllTraffic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Translate(g, NewIDGen("chaos"), DefaultPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Pattern != "*" {
+			t.Fatalf("AllTraffic chaos should match everything, pattern = %q", r.Pattern)
+		}
+	}
+	if !strings.Contains(s.Describe(), "all traffic") {
+		t.Fatalf("Describe = %q", s.Describe())
+	}
+}
+
+func TestRandomScenarioDeterministicWithSeed(t *testing.T) {
+	g := appGraph()
+	a, err := RandomScenario(g, rand.New(rand.NewSource(5)), ChaosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomScenario(g, rand.New(rand.NewSource(5)), ChaosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Describe() != b.Describe() {
+		t.Fatalf("same seed produced %q vs %q", a.Describe(), b.Describe())
+	}
+}
+
+func TestRandomScenarioSkipAndErrors(t *testing.T) {
+	g := appGraph()
+	rng := rand.New(rand.NewSource(7))
+	// Skipping every dependent leaves no observable targets.
+	if _, err := RandomScenario(g, rng, ChaosOptions{SkipServices: []string{"web", "auth", "db"}}); err == nil {
+		t.Fatal("want error with everything skipped")
+	}
+	if _, err := RandomScenario(graph.New(), rng, ChaosOptions{}); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+	if _, err := RandomScenario(g, nil, ChaosOptions{}); err == nil {
+		t.Fatal("want error for nil rng")
+	}
+}
+
+func TestRandomScenarioRespectsSkip(t *testing.T) {
+	g := appGraph()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		s, err := RandomScenario(g, rng, ChaosOptions{SkipServices: []string{"db"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(s.Describe(), "(db)") || strings.Contains(s.Describe(), "db,") {
+			t.Fatalf("skipped service targeted: %s", s.Describe())
+		}
+		rs, err := s.Translate(g, NewIDGen("c"), DefaultPattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if r.Dst == "db" {
+				t.Fatalf("skipped service is a fault destination: %+v", r)
+			}
+		}
+	}
+}

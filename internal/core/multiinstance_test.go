@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/proxy"
+	"gremlin/internal/registry"
+	"gremlin/internal/trace"
+)
+
+// TestMultiInstanceFanOut reproduces the paper's Figure 3: ServiceA and
+// ServiceB each run two instances; "when applying the fault-injection
+// rules, the Failure Orchestrator affects communication between every pair
+// of instances of ServiceA and ServiceB, by configuring Gremlin agents
+// located at 10.1.1.1 and 10.1.1.2" — i.e. the agents of both ServiceA
+// instances.
+func TestMultiInstanceFanOut(t *testing.T) {
+	store := eventlog.NewStore()
+
+	// Two instances of ServiceB.
+	var backends []*httptest.Server
+	var backendAddrs []string
+	for i := 0; i < 2; i++ {
+		b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = io.WriteString(w, "B")
+		}))
+		t.Cleanup(b.Close)
+		backends = append(backends, b)
+		backendAddrs = append(backendAddrs, strings.TrimPrefix(b.URL, "http://"))
+	}
+	_ = backends
+
+	// Two instances of ServiceA, each with its own sidecar agent routing
+	// to both ServiceB instances.
+	reg := registry.NewStatic()
+	var agents []*proxy.Agent
+	for i := 0; i < 2; i++ {
+		agent, err := proxy.New(proxy.Config{
+			ServiceName: "serviceA",
+			ControlAddr: "127.0.0.1:0",
+			Routes: []proxy.Route{{
+				Dst:        "serviceB",
+				ListenAddr: "127.0.0.1:0",
+				Targets:    backendAddrs,
+			}},
+			Sink: store,
+			RNG:  rand.New(rand.NewSource(int64(i + 1))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent.Start()
+		t.Cleanup(func() {
+			if err := agent.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+		agents = append(agents, agent)
+		routeAddr, err := agent.RouteAddr("serviceB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg.Add(registry.Instance{
+			Service:         "serviceA",
+			Addr:            routeAddr, // stands in for the instance address
+			AgentControlURL: agent.ControlURL(),
+		})
+	}
+	for _, addr := range backendAddrs {
+		reg.Add(registry.Instance{Service: "serviceB", Addr: addr})
+	}
+
+	g := graph.New()
+	g.AddEdge("serviceA", "serviceB")
+
+	orch := orchestrator.New(reg)
+	recipe := core.Recipe{
+		Name:      "fan-out",
+		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
+	}
+	ruleset, err := recipe.Translate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := orch.Apply(ruleset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.AgentCount() != 2 {
+		t.Fatalf("rules reached %d agents, want both instances' agents", applied.AgentCount())
+	}
+
+	// Traffic through EITHER instance's agent is now aborted.
+	for i, agent := range agents {
+		u, err := agent.RouteURL("serviceB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodGet, u+"/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace.SetRequestID(req, "test-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("instance %d: status = %d, want 503", i, resp.StatusCode)
+		}
+	}
+
+	// Revert removes the rules from both agents; traffic flows again.
+	if err := applied.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	for i, agent := range agents {
+		if n := agent.Matcher().Len(); n != 0 {
+			t.Fatalf("agent %d still has %d rules after revert", i, n)
+		}
+		u, err := agent.RouteURL("serviceB")
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodGet, u+"/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace.SetRequestID(req, "test-2")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || string(body) != "B" {
+			t.Fatalf("instance %d after revert: %d %q", i, resp.StatusCode, body)
+		}
+	}
+
+	// Both instances' observations landed in the shared store, and the
+	// route load-balanced across both ServiceB backends.
+	recs, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // 2 aborted + 2 clean
+		t.Fatalf("observed %d replies, want 4", len(recs))
+	}
+	agentsSeen := map[string]bool{}
+	for _, r := range recs {
+		agentsSeen[r.Agent] = true
+	}
+	if len(agentsSeen) != 1 {
+		// Both agents default to the same "serviceA-agent" ID; give them
+		// distinct IDs if this becomes load-bearing. The check here is that
+		// records arrived from the data plane at all.
+		t.Logf("agents seen: %v", agentsSeen)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"gremlin/internal/checker"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/rules"
+)
+
+// Runner executes recipes against a deployment: it owns the three
+// control-plane components (translator via Recipe.Translate, the Failure
+// Orchestrator, and the Assertion Checker over the event store).
+type Runner struct {
+	graph *graph.Graph
+	orch  *orchestrator.Orchestrator
+	check *checker.Checker
+	store Clearer
+}
+
+// Clearer optionally lets the runner wipe the event store between test
+// steps so each step's assertions see only its own observations.
+// *eventlog.Store implements it directly; eventlog.Client's Clear has a
+// different signature and is adapted via ClearerFunc.
+type Clearer interface {
+	Clear() int
+}
+
+// ClearerFunc adapts a function to Clearer.
+type ClearerFunc func() int
+
+// Clear implements Clearer.
+func (f ClearerFunc) Clear() int { return f() }
+
+var _ Clearer = (*eventlog.Store)(nil)
+
+// NewRunner builds a Runner. store may be nil if recipes never need log
+// clearing between steps.
+func NewRunner(g *graph.Graph, orch *orchestrator.Orchestrator, source eventlog.Source, store Clearer) *Runner {
+	return &Runner{
+		graph: g,
+		orch:  orch,
+		check: checker.New(source),
+		store: store,
+	}
+}
+
+// Graph returns the runner's application graph.
+func (r *Runner) Graph() *graph.Graph { return r.graph }
+
+// Checker returns the runner's assertion checker, for ad-hoc queries
+// between recipe steps.
+func (r *Runner) Checker() *checker.Checker { return r.check }
+
+// Report is the outcome of one recipe run. Timings separate the
+// orchestration, load, and assertion phases — the breakdown the paper
+// reports in Figure 7.
+type Report struct {
+	// Recipe is the recipe name.
+	Recipe string `json:"recipe"`
+
+	// Rules are the fault-injection rules the recipe translated into.
+	Rules []rules.Rule `json:"rules"`
+
+	// AgentCount is how many agents received rules.
+	AgentCount int `json:"agentCount"`
+
+	// Results holds one entry per check, in recipe order.
+	Results []checker.Result `json:"results"`
+
+	// TranslateTime is the time to decompose scenarios into rules.
+	TranslateTime time.Duration `json:"translateTimeNs"`
+
+	// OrchestrationTime is the time to install rules on all agents.
+	OrchestrationTime time.Duration `json:"orchestrationTimeNs"`
+
+	// LoadTime is the time spent injecting test traffic.
+	LoadTime time.Duration `json:"loadTimeNs"`
+
+	// AssertionTime is the time to flush logs and evaluate all checks.
+	AssertionTime time.Duration `json:"assertionTimeNs"`
+
+	// RevertTime is the time to remove the rules again.
+	RevertTime time.Duration `json:"revertTimeNs"`
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, res := range r.Results {
+		if !res.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the failed check results.
+func (r *Report) Failed() []checker.Result {
+	var out []checker.Result
+	for _, res := range r.Results {
+		if !res.Passed {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// TotalTime sums all phases.
+func (r *Report) TotalTime() time.Duration {
+	return r.TranslateTime + r.OrchestrationTime + r.LoadTime + r.AssertionTime + r.RevertTime
+}
+
+// String renders a multi-line human-readable report.
+func (r *Report) String() string {
+	var b strings.Builder
+	state := "PASSED"
+	if !r.Passed() {
+		state = "FAILED"
+	}
+	fmt.Fprintf(&b, "recipe %s: %s (%d rules on %d agents)\n", r.Recipe, state, len(r.Rules), r.AgentCount)
+	fmt.Fprintf(&b, "  timings: translate=%s orchestrate=%s load=%s assert=%s revert=%s\n",
+		r.TranslateTime.Round(time.Microsecond),
+		r.OrchestrationTime.Round(time.Microsecond),
+		r.LoadTime.Round(time.Millisecond),
+		r.AssertionTime.Round(time.Microsecond),
+		r.RevertTime.Round(time.Microsecond))
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "  %s\n", res)
+	}
+	return b.String()
+}
+
+// RunOptions tunes recipe execution.
+type RunOptions struct {
+	// Load injects test traffic while the failure is staged. Nil runs the
+	// recipe against traffic generated elsewhere (e.g. an ambient load
+	// generator).
+	Load func() error
+
+	// KeepRules leaves the fault-injection rules installed after the run
+	// (for interactive exploration). The default reverts them.
+	KeepRules bool
+
+	// ClearLogs wipes the event store before injecting load so assertions
+	// evaluate only this run's observations.
+	ClearLogs bool
+}
+
+// Run executes a recipe: translate → orchestrate → load → assert → revert.
+func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
+	report := &Report{Recipe: recipe.name()}
+
+	t0 := time.Now()
+	ruleset, err := recipe.Translate(r.graph)
+	if err != nil {
+		return nil, err
+	}
+	report.Rules = ruleset
+	report.TranslateTime = time.Since(t0)
+
+	if opts.ClearLogs && r.store != nil {
+		r.store.Clear()
+	}
+
+	t1 := time.Now()
+	applied, err := r.orch.Apply(ruleset)
+	if err != nil {
+		return nil, fmt.Errorf("core: orchestrate %s: %w", recipe.name(), err)
+	}
+	report.OrchestrationTime = time.Since(t1)
+	report.AgentCount = applied.AgentCount()
+
+	revert := func() error {
+		t := time.Now()
+		err := applied.Revert()
+		report.RevertTime = time.Since(t)
+		return err
+	}
+
+	if opts.Load != nil {
+		t2 := time.Now()
+		if err := opts.Load(); err != nil {
+			_ = revert()
+			return nil, fmt.Errorf("core: load injection for %s: %w", recipe.name(), err)
+		}
+		report.LoadTime = time.Since(t2)
+	}
+
+	t3 := time.Now()
+	if err := r.orch.FlushAll(); err != nil {
+		_ = revert()
+		return nil, fmt.Errorf("core: flush observations for %s: %w", recipe.name(), err)
+	}
+	for _, check := range recipe.Checks {
+		res, err := check(r.check)
+		if err != nil {
+			_ = revert()
+			return nil, fmt.Errorf("core: assertion in %s: %w", recipe.name(), err)
+		}
+		report.Results = append(report.Results, res)
+	}
+	report.AssertionTime = time.Since(t3)
+
+	if !opts.KeepRules {
+		if err := revert(); err != nil {
+			return report, fmt.Errorf("core: revert %s: %w", recipe.name(), err)
+		}
+	}
+	return report, nil
+}
+
+// RunChain executes recipes in order, stopping at the first recipe whose
+// checks fail (paper §4.2 "Chained failures": later, more intrusive
+// failures are only staged when earlier expectations held). It returns all
+// reports produced; err is non-nil only for operational failures.
+func (r *Runner) RunChain(opts RunOptions, recipes ...Recipe) ([]*Report, error) {
+	if len(recipes) == 0 {
+		return nil, errors.New("core: RunChain needs at least one recipe")
+	}
+	var reports []*Report
+	for _, recipe := range recipes {
+		rep, err := r.Run(recipe, opts)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+		if !rep.Passed() {
+			break
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/checker"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// appGraph: web -> {auth, db}; auth -> db.
+func appGraph() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("web", "auth")
+	g.AddEdge("web", "db")
+	g.AddEdge("auth", "db")
+	return g
+}
+
+func translate(t *testing.T, s Scenario) []rules.Rule {
+	t.Helper()
+	rs, err := s.Translate(appGraph(), NewIDGen("t"), DefaultPattern)
+	if err != nil {
+		t.Fatalf("translate %s: %v", s.Describe(), err)
+	}
+	if err := rules.ValidateAll(rs); err != nil {
+		t.Fatalf("%s produced invalid rules: %v", s.Describe(), err)
+	}
+	return rs
+}
+
+func TestAbortTranslate(t *testing.T) {
+	rs := translate(t, Abort{Src: "web", Dst: "auth", ErrorCode: 503, Probability: 0.5})
+	if len(rs) != 1 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	r := rs[0]
+	if r.Action != rules.ActionAbort || r.ErrorCode != 503 || r.Probability != 0.5 ||
+		r.Pattern != "test-*" || r.Src != "web" || r.Dst != "auth" {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestAbortTranslateUnknownEdge(t *testing.T) {
+	g := appGraph()
+	if _, err := (Abort{Src: "auth", Dst: "web", ErrorCode: 503}).Translate(g, NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for reversed edge")
+	}
+	if _, err := (Abort{Src: "ghost", Dst: "db", ErrorCode: 503}).Translate(g, NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for unknown source")
+	}
+	if _, err := (Abort{Src: "web", Dst: "ghost", ErrorCode: 503}).Translate(g, NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for unknown destination")
+	}
+}
+
+func TestDelayTranslate(t *testing.T) {
+	rs := translate(t, Delay{Src: "web", Dst: "db", Interval: 250 * time.Millisecond})
+	if rs[0].Action != rules.ActionDelay || rs[0].DelayMillis != 250 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestModifyTranslate(t *testing.T) {
+	rs := translate(t, Modify{Src: "web", Dst: "db", Search: "key", Replace: "badkey", On: rules.OnResponse})
+	if rs[0].Action != rules.ActionModify || rs[0].SearchBytes != "key" || rs[0].On != rules.OnResponse {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestScenarioPatternOverride(t *testing.T) {
+	rs := translate(t, Abort{Src: "web", Dst: "auth", ErrorCode: 503, Pattern: "canary-*"})
+	if rs[0].Pattern != "canary-*" {
+		t.Fatalf("pattern = %q", rs[0].Pattern)
+	}
+}
+
+func TestDisconnectTranslate(t *testing.T) {
+	rs := translate(t, Disconnect{From: "web", To: "auth"})
+	if rs[0].Action != rules.ActionAbort || rs[0].ErrorCode != 503 || rs[0].EffectiveProbability() != 1 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestCrashTranslateCoversAllDependents(t *testing.T) {
+	rs := translate(t, Crash{Service: "db"})
+	if len(rs) != 2 { // auth->db and web->db
+		t.Fatalf("rules = %d, want 2", len(rs))
+	}
+	srcs := map[string]bool{}
+	for _, r := range rs {
+		if r.Dst != "db" || r.ErrorCode != rules.AbortSeverConnection {
+			t.Fatalf("rule = %+v", r)
+		}
+		srcs[r.Src] = true
+	}
+	if !srcs["auth"] || !srcs["web"] {
+		t.Fatalf("sources = %v", srcs)
+	}
+}
+
+func TestCrashNoDependents(t *testing.T) {
+	if _, err := (Crash{Service: "web"}).Translate(appGraph(), NewIDGen(""), ""); err == nil {
+		t.Fatal("crash of a root service (no dependents) should error")
+	}
+}
+
+func TestHangTranslate(t *testing.T) {
+	rs := translate(t, Hang{Service: "db"})
+	if len(rs) != 2 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	if rs[0].Action != rules.ActionDelay || rs[0].Delay() != time.Hour {
+		t.Fatalf("rule = %+v (default interval should be 1h)", rs[0])
+	}
+	short := translate(t, Hang{Service: "db", Interval: time.Second})
+	if short[0].Delay() != time.Second {
+		t.Fatalf("rule = %+v", short[0])
+	}
+}
+
+func TestOverloadTranslate(t *testing.T) {
+	rs := translate(t, Overload{Service: "db"})
+	// 2 dependents x (abort + delay).
+	if len(rs) != 4 {
+		t.Fatalf("rules = %d, want 4", len(rs))
+	}
+	var aborts, delays int
+	for _, r := range rs {
+		switch r.Action {
+		case rules.ActionAbort:
+			aborts++
+			if r.Probability != 0.25 || r.ErrorCode != 503 {
+				t.Fatalf("abort rule = %+v", r)
+			}
+		case rules.ActionDelay:
+			delays++
+			if r.DelayMillis != 100 || r.EffectiveProbability() != 1 {
+				t.Fatalf("delay rule = %+v", r)
+			}
+		}
+	}
+	if aborts != 2 || delays != 2 {
+		t.Fatalf("aborts=%d delays=%d", aborts, delays)
+	}
+	// Abort must precede delay per dependent so the matcher samples the
+	// abort first and falls through to the delay (paper's 25/75 split).
+	for i := 0; i < len(rs); i += 2 {
+		if rs[i].Action != rules.ActionAbort || rs[i+1].Action != rules.ActionDelay {
+			t.Fatalf("rule order broken at %d: %v then %v", i, rs[i].Action, rs[i+1].Action)
+		}
+	}
+}
+
+func TestOverloadCustomFractions(t *testing.T) {
+	rs := translate(t, Overload{Service: "db", AbortFraction: 0.5, Delay: time.Second, ErrorCode: 429})
+	if rs[0].Probability != 0.5 || rs[0].ErrorCode != 429 || rs[1].DelayMillis != 1000 {
+		t.Fatalf("rules = %+v", rs[:2])
+	}
+	if _, err := (Overload{Service: "db", AbortFraction: 1.5}).Translate(appGraph(), NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for fraction > 1")
+	}
+}
+
+func TestFakeSuccessTranslate(t *testing.T) {
+	rs := translate(t, FakeSuccess{Service: "db", Search: "key", Replace: "badkey"})
+	if len(rs) != 2 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.On != rules.OnResponse || r.Action != rules.ActionModify {
+			t.Fatalf("rule = %+v", r)
+		}
+	}
+}
+
+func TestPartitionTranslate(t *testing.T) {
+	rs := translate(t, Partition{SideA: []string{"web"}, SideB: []string{"auth", "db"}})
+	if len(rs) != 2 { // web->auth, web->db
+		t.Fatalf("rules = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.ErrorCode != rules.AbortSeverConnection {
+			t.Fatalf("rule = %+v", r)
+		}
+	}
+}
+
+func TestPartitionEmptyCut(t *testing.T) {
+	g := appGraph()
+	g.AddService("island")
+	if _, err := (Partition{SideA: []string{"island"}, SideB: []string{"db"}}).Translate(g, NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for empty cut")
+	}
+}
+
+func TestRecipeTranslate(t *testing.T) {
+	recipe := Recipe{
+		Name: "combo",
+		Scenarios: []Scenario{
+			Overload{Service: "db"},
+			Disconnect{From: "web", To: "auth"},
+		},
+	}
+	rs, err := recipe.Translate(appGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("rules = %d, want 5", len(rs))
+	}
+	ids := map[string]bool{}
+	for _, r := range rs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate rule id %q", r.ID)
+		}
+		ids[r.ID] = true
+		if !strings.HasPrefix(r.ID, "combo-") {
+			t.Fatalf("rule id %q should carry the recipe name", r.ID)
+		}
+	}
+}
+
+func TestRecipeTranslateEmpty(t *testing.T) {
+	if _, err := (Recipe{}).Translate(appGraph()); err == nil {
+		t.Fatal("want error for empty recipe")
+	}
+}
+
+func TestRecipeTranslateBadScenario(t *testing.T) {
+	recipe := Recipe{Scenarios: []Scenario{Crash{Service: "ghost"}}}
+	if _, err := recipe.Translate(appGraph()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestScenarioDescriptions(t *testing.T) {
+	scenarios := []Scenario{
+		Abort{Src: "a", Dst: "b", ErrorCode: 503},
+		Delay{Src: "a", Dst: "b", Interval: time.Second},
+		Modify{Src: "a", Dst: "b", Search: "x", Replace: "y"},
+		Disconnect{From: "a", To: "b"},
+		Crash{Service: "a"},
+		Hang{Service: "a"},
+		Overload{Service: "a"},
+		FakeSuccess{Service: "a", Search: "x", Replace: "y"},
+		Partition{SideA: []string{"a"}, SideB: []string{"b"}},
+	}
+	for _, s := range scenarios {
+		if s.Describe() == "" {
+			t.Errorf("%T has empty description", s)
+		}
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen("")
+	a, b := g.Next("x"), g.Next("x")
+	if a == b {
+		t.Fatalf("ids not unique: %q", a)
+	}
+	if !strings.HasPrefix(a, "rule-x-") {
+		t.Fatalf("id = %q", a)
+	}
+}
+
+func newEmptyChecker(t *testing.T) *checker.Checker {
+	t.Helper()
+	return checker.New(eventlog.NewStore())
+}
+
+func TestDegradeNetworkTranslate(t *testing.T) {
+	rs := translate(t, DegradeNetwork{Interval: 50 * time.Millisecond})
+	if len(rs) != 3 { // one per edge of the diamond-ish graph
+		t.Fatalf("rules = %d, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.Action != rules.ActionDelay || r.DelayMillis != 50 {
+			t.Fatalf("rule = %+v", r)
+		}
+	}
+	if _, err := (DegradeNetwork{}).Translate(appGraph(), NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for zero interval")
+	}
+	if _, err := (DegradeNetwork{Interval: time.Second}).Translate(graph.New(), NewIDGen(""), ""); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+}

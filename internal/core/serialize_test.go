@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/rules"
+)
+
+func TestParseRecipeAllScenarioTypes(t *testing.T) {
+	data := `{
+	  "name": "everything",
+	  "pattern": "canary-*",
+	  "scenarios": [
+	    {"type": "abort",       "src": "web", "dst": "auth", "errorCode": 503, "probability": 0.5},
+	    {"type": "delay",       "src": "web", "dst": "db",   "delayMillis": 150, "on": "response"},
+	    {"type": "modify",      "src": "web", "dst": "db",   "search": "key", "replace": "bad"},
+	    {"type": "disconnect",  "from": "web", "to": "auth"},
+	    {"type": "crash",       "service": "db"},
+	    {"type": "hang",        "service": "db", "delayMillis": 60000},
+	    {"type": "overload",    "service": "db", "abortFraction": 0.3, "delayMillis": 50, "errorCode": 429},
+	    {"type": "fakeSuccess", "service": "db", "search": "ok", "replace": "ko"},
+	    {"type": "partition",   "sideA": ["web"], "sideB": ["auth", "db"]}
+	  ],
+	  "checks": [
+	    {"type": "timeouts",       "service": "web", "maxLatencyMillis": 1000},
+	    {"type": "boundedRetries", "src": "web", "dst": "db", "maxTries": 5},
+	    {"type": "circuitBreaker", "src": "web", "dst": "db", "threshold": 5, "tdeltaMillis": 30000},
+	    {"type": "bulkhead",       "src": "web", "slowDst": "db", "rate": 2.5},
+	    {"type": "noCalls",        "src": "web", "dst": "auth"},
+	    {"type": "fallback",       "service": "web", "okFraction": 0.9}
+	  ]
+	}`
+	r, err := ParseRecipe([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "everything" || r.Pattern != "canary-*" {
+		t.Fatalf("recipe = %+v", r)
+	}
+	if len(r.Scenarios) != 9 || len(r.Checks) != 6 {
+		t.Fatalf("got %d scenarios, %d checks", len(r.Scenarios), len(r.Checks))
+	}
+
+	// Spot-check decoded parameters.
+	if ab, ok := r.Scenarios[0].(Abort); !ok || ab.ErrorCode != 503 || ab.Probability != 0.5 {
+		t.Fatalf("scenario 0 = %#v", r.Scenarios[0])
+	}
+	if dl, ok := r.Scenarios[1].(Delay); !ok || dl.Interval != 150*time.Millisecond || dl.On != rules.OnResponse {
+		t.Fatalf("scenario 1 = %#v", r.Scenarios[1])
+	}
+	if ov, ok := r.Scenarios[6].(Overload); !ok || ov.AbortFraction != 0.3 || ov.ErrorCode != 429 {
+		t.Fatalf("scenario 6 = %#v", r.Scenarios[6])
+	}
+	if pt, ok := r.Scenarios[8].(Partition); !ok || len(pt.SideB) != 2 {
+		t.Fatalf("scenario 8 = %#v", r.Scenarios[8])
+	}
+
+	// The parsed recipe translates over a matching graph.
+	ruleset, err := r.Translate(appGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ruleset) == 0 {
+		t.Fatal("no rules produced")
+	}
+	// The recipe-level pattern applies to scenarios without their own.
+	for _, rule := range ruleset {
+		if rule.Pattern != "canary-*" {
+			t.Fatalf("rule %s pattern = %q", rule.ID, rule.Pattern)
+		}
+	}
+}
+
+func TestParseRecipeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"bad json", `{`, "parse recipe"},
+		{"unknown scenario", `{"scenarios":[{"type":"meteor"}]}`, "unknown scenario type"},
+		{"unknown check", `{"scenarios":[{"type":"crash","service":"x"}],"checks":[{"type":"vibes"}]}`, "unknown check type"},
+		{"timeouts without latency", `{"scenarios":[{"type":"crash","service":"x"}],"checks":[{"type":"timeouts","service":"x"}]}`, "maxLatencyMillis"},
+		{"breaker without threshold", `{"scenarios":[{"type":"crash","service":"x"}],"checks":[{"type":"circuitBreaker","src":"a","dst":"b"}]}`, "threshold"},
+		{"bulkhead without rate", `{"scenarios":[{"type":"crash","service":"x"}],"checks":[{"type":"bulkhead","src":"a","slowDst":"b"}]}`, "rate"},
+		{"fallback bad fraction", `{"scenarios":[{"type":"crash","service":"x"}],"checks":[{"type":"fallback","service":"x","okFraction":2}]}`, "okFraction"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseRecipe([]byte(tt.data))
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseRecipeChecksRunnable(t *testing.T) {
+	// Parsed checks execute against a checker without panicking.
+	r, err := ParseRecipe([]byte(`{
+	  "name": "x",
+	  "scenarios": [{"type": "crash", "service": "db"}],
+	  "checks": [
+	    {"type": "noCalls", "src": "web", "dst": "db"},
+	    {"type": "boundedRetries", "src": "web", "dst": "db", "maxTries": 3}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newEmptyChecker(t)
+	for _, check := range r.Checks {
+		if _, err := check(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Client talks to a remote event-log Server. It implements both Sink (for
+// agents shipping observations) and Source (for the Assertion Checker).
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+var (
+	_ Sink   = (*Client)(nil)
+	_ Source = (*Client)(nil)
+)
+
+// NewClient creates a client for the store server at baseURL (e.g.
+// "http://127.0.0.1:9200"). If hc is nil a default client with a 10 s
+// timeout is used.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{baseURL: baseURL, http: hc}
+}
+
+// Log ships records to the remote store.
+func (c *Client) Log(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var out map[string]int
+	if err := c.post("/v1/records", recs, &out); err != nil {
+		return fmt.Errorf("eventlog: ship %d records: %w", len(recs), err)
+	}
+	return nil
+}
+
+// Select runs a query against the remote store.
+func (c *Client) Select(q Query) ([]Record, error) {
+	var recs []Record
+	if err := c.post("/v1/query", q, &recs); err != nil {
+		return nil, fmt.Errorf("eventlog: query: %w", err)
+	}
+	return recs, nil
+}
+
+// Clear drops all records in the remote store and returns how many were
+// dropped.
+func (c *Client) Clear() (int, error) {
+	req, err := http.NewRequest(http.MethodDelete, c.baseURL+"/v1/records", nil)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: clear: %w", err)
+	}
+	var out clearBody
+	if err := c.do(req, &out); err != nil {
+		return 0, fmt.Errorf("eventlog: clear: %w", err)
+	}
+	return out.Dropped, nil
+}
+
+// Stats returns the number of records held by the remote store.
+func (c *Client) Stats() (int, error) {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/v1/stats", nil)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: stats: %w", err)
+	}
+	var out statsBody
+	if err := c.do(req, &out); err != nil {
+		return 0, fmt.Errorf("eventlog: stats: %w", err)
+	}
+	return out.Records, nil
+}
+
+// Healthy reports whether the remote store responds to its liveness probe.
+func (c *Client) Healthy() bool {
+	resp, err := c.http.Get(c.baseURL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer drainClose(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	return nil
+}
+
+// drainClose drains and closes a response body so the underlying connection
+// can be reused.
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	_ = rc.Close()
+}
+
+// BufferedSink batches records in memory and ships them to an underlying
+// Sink either when the buffer fills or when Flush is called. Agents use it
+// to avoid a store round trip per proxied message.
+//
+// BufferedSink is safe for concurrent use. Call Flush (or Close) before
+// reading assertions to make all observations visible.
+type BufferedSink struct {
+	mu     sync.Mutex
+	sink   Sink
+	buf    []Record
+	size   int
+	closed bool
+}
+
+// NewBufferedSink wraps sink with a buffer of the given size (records).
+// Size <= 0 defaults to 128.
+func NewBufferedSink(sink Sink, size int) *BufferedSink {
+	if size <= 0 {
+		size = 128
+	}
+	return &BufferedSink{sink: sink, size: size, buf: make([]Record, 0, size)}
+}
+
+// Log buffers records, flushing if the buffer reaches capacity.
+func (b *BufferedSink) Log(recs ...Record) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("eventlog: sink closed")
+	}
+	b.buf = append(b.buf, recs...)
+	if len(b.buf) >= b.size {
+		return b.flushLocked()
+	}
+	return nil
+}
+
+// Flush ships all buffered records.
+func (b *BufferedSink) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushLocked()
+}
+
+// Close flushes and marks the sink closed.
+func (b *BufferedSink) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err := b.flushLocked()
+	b.closed = true
+	return err
+}
+
+func (b *BufferedSink) flushLocked() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	recs := b.buf
+	b.buf = make([]Record, 0, b.size)
+	return b.sink.Log(recs...)
+}

@@ -1,0 +1,129 @@
+package eventlog
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func persistFixture(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	err := s.Log(
+		Record{Timestamp: t0, RequestID: "test-1", Src: "a", Dst: "b",
+			Kind: KindRequest, Method: "GET", URI: "/x"},
+		Record{Timestamp: t0.Add(time.Millisecond), RequestID: "test-1", Src: "a", Dst: "b",
+			Kind: KindReply, Status: 503, LatencyMillis: 1.5,
+			FaultAction: "abort", FaultRuleID: "r1", GremlinGenerated: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	src := persistFixture(t)
+	var buf bytes.Buffer
+	n, err := src.WriteJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d records", n)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("output has %d lines", lines)
+	}
+
+	dst := NewStore()
+	loaded, err := dst.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 {
+		t.Fatalf("loaded %d records", loaded)
+	}
+	want, err := src.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		// Seq is store-local; compare everything else.
+		want[i].Seq, got[i].Seq = 0, 0
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("record %d: %+v != %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	s := NewStore()
+	n, err := s.ReadJSONL(strings.NewReader("{\"src\":\"a\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d records before the error, want 1", n)
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	s := NewStore()
+	n, err := s.ReadJSONL(strings.NewReader(""))
+	if err != nil || n != 0 {
+		t.Fatalf("got (%d, %v)", n, err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	src := persistFixture(t)
+	n, err := src.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("saved %d", n)
+	}
+
+	dst := NewStore()
+	loaded, err := dst.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 || dst.Len() != 2 {
+		t.Fatalf("loaded %d, store has %d", loaded, dst.Len())
+	}
+
+	// Overwriting is atomic and replaces prior content.
+	if _, err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	again := NewStore()
+	if n, err := again.LoadFile(path); err != nil || n != 2 {
+		t.Fatalf("reload got (%d, %v)", n, err)
+	}
+}
+
+func TestLoadFileMissingIsEmpty(t *testing.T) {
+	s := NewStore()
+	n, err := s.LoadFile(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || n != 0 {
+		t.Fatalf("got (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestSaveFileBadDir(t *testing.T) {
+	s := persistFixture(t)
+	if _, err := s.SaveFile("/nonexistent-dir-xyz/events.jsonl"); err == nil {
+		t.Fatal("want error for unwritable directory")
+	}
+}

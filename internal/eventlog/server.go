@@ -1,0 +1,102 @@
+package eventlog
+
+import (
+	"net/http"
+
+	"gremlin/internal/httpx"
+)
+
+// Server exposes a Store over HTTP — the stand-in for the paper's
+// logstash→Elasticsearch pipeline. Endpoints:
+//
+//	POST   /v1/records   ingest a JSON array of records
+//	POST   /v1/query     run a Query, returning matching records
+//	DELETE /v1/records   clear the store
+//	GET    /v1/stats     store statistics
+//	GET    /healthz      liveness probe
+type Server struct {
+	store *Store
+	http  *httpx.Server
+}
+
+// statsBody is the payload of GET /v1/stats.
+type statsBody struct {
+	Records int `json:"records"`
+}
+
+// clearBody is the payload of DELETE /v1/records.
+type clearBody struct {
+	Dropped int `json:"dropped"`
+}
+
+// NewServer creates and starts a store server on addr (use "127.0.0.1:0"
+// for an ephemeral port). Call Close to stop it.
+func NewServer(addr string, store *Store) (*Server, error) {
+	s := &Server{store: store}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/records", s.handleRecords)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	hs, err := httpx.NewServer(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	s.http = hs
+	hs.Start()
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.http.URL() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var recs []Record
+		if err := httpx.ReadJSON(w, r, &recs); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.store.Log(recs...); err != nil {
+			httpx.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		httpx.WriteJSON(w, http.StatusAccepted, map[string]int{"accepted": len(recs)})
+	case http.MethodDelete:
+		httpx.WriteJSON(w, http.StatusOK, clearBody{Dropped: s.store.Clear()})
+	default:
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var q Query
+	if err := httpx.ReadJSON(w, r, &q); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	recs, err := s.store.Select(q)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, statsBody{Records: s.store.Len()})
+}

@@ -1,0 +1,214 @@
+package eventlog
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", NewStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+	})
+	return srv, NewClient(srv.URL(), nil)
+}
+
+func TestServerIngestAndQuery(t *testing.T) {
+	_, c := newTestServer(t)
+
+	recs := []Record{
+		{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "test-1", Timestamp: t0},
+		{Src: "a", Dst: "b", Kind: KindReply, RequestID: "test-1", Status: 200, LatencyMillis: 12.5, Timestamp: t0.Add(time.Millisecond)},
+		{Src: "a", Dst: "c", Kind: KindRequest, RequestID: "test-2", Timestamp: t0.Add(2 * time.Millisecond)},
+	}
+	if err := c.Log(recs...); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := c.Select(Query{Src: "a", Dst: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	if got[1].Status != 200 || got[1].LatencyMillis != 12.5 {
+		t.Fatalf("reply record = %+v", got[1])
+	}
+	if !got[0].Timestamp.Equal(t0) {
+		t.Fatalf("timestamp round trip = %v, want %v", got[0].Timestamp, t0)
+	}
+
+	n, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Stats = %d, want 3", n)
+	}
+}
+
+func TestServerClear(t *testing.T) {
+	_, c := newTestServer(t)
+	if err := c.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := c.Clear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("Clear = %d, want 1", dropped)
+	}
+	n, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Stats after clear = %d", n)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	_, c := newTestServer(t)
+	if !c.Healthy() {
+		t.Fatal("server should be healthy")
+	}
+	down := NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if down.Healthy() {
+		t.Fatal("unreachable server should be unhealthy")
+	}
+}
+
+func TestServerRejectsBadQuery(t *testing.T) {
+	_, c := newTestServer(t)
+	if _, err := c.Select(Query{IDPattern: "re:["}); err == nil {
+		t.Fatal("want error for bad pattern")
+	}
+}
+
+func TestServerMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/query"},
+		{http.MethodPut, "/v1/records"},
+		{http.MethodPost, "/v1/stats"},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL()+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerRejectsMalformedBody(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL()+"/v1/records", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClientErrorsAgainstDownServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if err := c.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err == nil {
+		t.Fatal("Log should fail")
+	}
+	if _, err := c.Select(Query{}); err == nil {
+		t.Fatal("Select should fail")
+	}
+	if _, err := c.Clear(); err == nil {
+		t.Fatal("Clear should fail")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("Stats should fail")
+	}
+}
+
+func TestClientLogEmptyIsNoop(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", &http.Client{Timeout: 200 * time.Millisecond})
+	if err := c.Log(); err != nil {
+		t.Fatalf("empty Log should not touch the network: %v", err)
+	}
+}
+
+func TestBufferedSink(t *testing.T) {
+	store := NewStore()
+	b := NewBufferedSink(store, 3)
+
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("premature flush: %d", store.Len())
+	}
+	if err := b.Log(
+		Record{Src: "a", Dst: "b", Kind: KindRequest},
+		Record{Src: "a", Dst: "b", Kind: KindRequest},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 3 {
+		t.Fatalf("buffer full should flush: %d", store.Len())
+	}
+
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("after flush: %d", store.Len())
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Log(Record{}); err == nil {
+		t.Fatal("Log after Close should fail")
+	}
+}
+
+func TestBufferedSinkDefaultSize(t *testing.T) {
+	store := NewStore()
+	b := NewBufferedSink(store, 0)
+	for i := 0; i < 127; i++ {
+		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() != 0 {
+		t.Fatalf("store should still be empty, has %d", store.Len())
+	}
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 128 {
+		t.Fatalf("default buffer should flush at 128, store has %d", store.Len())
+	}
+}

@@ -1,0 +1,142 @@
+package eventlog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gremlin/internal/pattern"
+)
+
+// Query selects records from the store. Zero-valued fields match
+// everything.
+type Query struct {
+	// Src and Dst filter by caller/callee service name ("" matches any).
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+
+	// Kind filters by record kind ("" matches both).
+	Kind Kind `json:"kind,omitempty"`
+
+	// IDPattern filters by request ID using the shared pattern language
+	// (glob or "re:"). Empty matches any ID, including absent ones.
+	IDPattern string `json:"idPattern,omitempty"`
+
+	// Since and Until bound the record timestamps: Since <= ts < Until.
+	// Zero values leave the corresponding bound open.
+	Since time.Time `json:"since,omitempty"`
+	Until time.Time `json:"until,omitempty"`
+
+	// Limit caps the number of returned records (0 = unlimited).
+	Limit int `json:"limit,omitempty"`
+}
+
+// Sink consumes observation records. Gremlin agents log through a Sink; the
+// Store implements it directly and Client ships records to a remote Server.
+type Sink interface {
+	Log(recs ...Record) error
+}
+
+// Source answers record queries. The Assertion Checker depends only on this
+// interface, so it works identically against an in-process Store or a
+// remote store via Client.
+type Source interface {
+	// Select returns the records matching q, sorted by (timestamp, seq).
+	Select(q Query) ([]Record, error)
+}
+
+// Store is the in-memory event store. It is safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	recs []Record
+	seq  uint64
+}
+
+var (
+	_ Sink   = (*Store)(nil)
+	_ Source = (*Store)(nil)
+)
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Log appends records, assigning sequence numbers. Records with a zero
+// timestamp are stamped with the current time.
+func (s *Store) Log(recs ...Record) error {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.seq++
+		r.Seq = s.seq
+		if r.Timestamp.IsZero() {
+			r.Timestamp = now
+		}
+		s.recs = append(s.recs, r)
+	}
+	return nil
+}
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// Clear removes all records and returns how many were dropped. Recipes
+// clear the store between test steps so assertions evaluate only the
+// current step's observations.
+func (s *Store) Clear() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.recs)
+	s.recs = nil
+	return n
+}
+
+// Select returns the records matching q in (timestamp, seq) order.
+func (s *Store) Select(q Query) ([]Record, error) {
+	pat, err := pattern.Compile(q.IDPattern)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: bad query pattern: %w", err)
+	}
+
+	s.mu.RLock()
+	matched := make([]Record, 0, 64)
+	for _, r := range s.recs {
+		if matches(r, q, pat) {
+			matched = append(matched, r)
+		}
+	}
+	s.mu.RUnlock()
+
+	sort.Slice(matched, func(i, j int) bool { return matched[i].Before(matched[j]) })
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	return matched, nil
+}
+
+func matches(r Record, q Query, pat pattern.Pattern) bool {
+	if q.Src != "" && r.Src != q.Src {
+		return false
+	}
+	if q.Dst != "" && r.Dst != q.Dst {
+		return false
+	}
+	if q.Kind != "" && r.Kind != q.Kind {
+		return false
+	}
+	if !pat.MatchAll() && !pat.Match(r.RequestID) {
+		return false
+	}
+	if !q.Since.IsZero() && r.Timestamp.Before(q.Since) {
+		return false
+	}
+	if !q.Until.IsZero() && !r.Timestamp.Before(q.Until) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package eventlog
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+
+func rec(src, dst string, kind Kind, id string, at time.Duration) Record {
+	return Record{
+		Timestamp: t0.Add(at),
+		RequestID: id,
+		Src:       src,
+		Dst:       dst,
+		Kind:      kind,
+	}
+}
+
+func TestLogAssignsSeqAndTimestamp(t *testing.T) {
+	s := NewStore()
+	if err := s.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := s.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", recs[0].Seq)
+	}
+	if recs[0].Timestamp.IsZero() {
+		t.Fatal("zero timestamp should be stamped")
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	s := NewStore()
+	err := s.Log(
+		rec("a", "b", KindRequest, "test-1", 0),
+		rec("a", "b", KindReply, "test-1", time.Millisecond),
+		rec("a", "c", KindRequest, "test-2", 2*time.Millisecond),
+		rec("x", "b", KindRequest, "prod-9", 3*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		q    Query
+		want int
+	}{
+		{"all", Query{}, 4},
+		{"by src", Query{Src: "a"}, 3},
+		{"by dst", Query{Dst: "b"}, 3},
+		{"by src+dst", Query{Src: "a", Dst: "b"}, 2},
+		{"by kind request", Query{Kind: KindRequest}, 3},
+		{"by kind reply", Query{Kind: KindReply}, 1},
+		{"by id glob", Query{IDPattern: "test-*"}, 3},
+		{"by id exact", Query{IDPattern: "test-1"}, 2},
+		{"by regexp", Query{IDPattern: "re:^prod-"}, 1},
+		{"no match", Query{Src: "nobody"}, 0},
+		{"limit", Query{Limit: 2}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := s.Select(tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tt.want {
+				t.Fatalf("Select(%+v) returned %d records, want %d", tt.q, len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestSelectTimeBounds(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		if err := s.Log(rec("a", "b", KindRequest, "test", time.Duration(i)*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Select(Query{Since: t0.Add(3 * time.Second), Until: t0.Add(7 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // ts 3,4,5,6 (Until is exclusive)
+		t.Fatalf("got %d records, want 4", len(got))
+	}
+	if !got[0].Timestamp.Equal(t0.Add(3 * time.Second)) {
+		t.Fatalf("first ts = %v", got[0].Timestamp)
+	}
+}
+
+func TestSelectSortedByTimeThenSeq(t *testing.T) {
+	s := NewStore()
+	// Log out of order, with duplicate timestamps.
+	if err := s.Log(
+		rec("a", "b", KindRequest, "2", 2*time.Second),
+		rec("a", "b", KindRequest, "0a", 0),
+		rec("a", "b", KindRequest, "0b", 0),
+		rec("a", "b", KindRequest, "1", time.Second),
+	); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]string, len(got))
+	for i, r := range got {
+		order[i] = r.RequestID
+	}
+	want := []string{"0a", "0b", "1", "2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSelectBadPattern(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Select(Query{IDPattern: "re:["}); err == nil {
+		t.Fatal("want error for bad pattern")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewStore()
+	if err := s.Log(rec("a", "b", KindRequest, "x", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Clear(); n != 1 {
+		t.Fatalf("Clear = %d", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after clear", s.Len())
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := s.Log(rec("a", "b", KindRequest, fmt.Sprintf("test-%d-%d", w, i), 0)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Select(Query{Src: "a"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+func TestRecordLatencyHelpers(t *testing.T) {
+	r := Record{LatencyMillis: 150, InjectedDelayMillis: 100}
+	if got := r.Latency(); got != 150*time.Millisecond {
+		t.Fatalf("Latency = %v", got)
+	}
+	if got := r.InjectedDelay(); got != 100*time.Millisecond {
+		t.Fatalf("InjectedDelay = %v", got)
+	}
+	if got := r.UntamperedLatency(); got != 50*time.Millisecond {
+		t.Fatalf("UntamperedLatency = %v", got)
+	}
+	// Injected delay exceeding measured latency clamps at zero.
+	r = Record{LatencyMillis: 50, InjectedDelayMillis: 100}
+	if got := r.UntamperedLatency(); got != 0 {
+		t.Fatalf("UntamperedLatency = %v, want 0", got)
+	}
+}
+
+// Property: Select(Query{}) returns records in nondecreasing (ts, seq)
+// order regardless of insertion order.
+func TestSelectOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint8) bool {
+		s := NewStore()
+		for i := 0; i < int(n%64); i++ {
+			r := rec("a", "b", KindRequest, "x", time.Duration(rng.Intn(5))*time.Second)
+			if err := s.Log(r); err != nil {
+				return false
+			}
+		}
+		got, err := s.Select(Query{})
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Before(got[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

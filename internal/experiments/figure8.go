@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/proxy"
+	"gremlin/internal/rules"
+	"gremlin/internal/stats"
+)
+
+// Figure8Row is one curve of Figure 8: request latency through the agent
+// with a given number of installed, non-matching rules.
+type Figure8Row struct {
+	// Rules is the number of rules installed on the agent.
+	Rules int
+
+	// CDF is the distribution of request completion times (seconds).
+	CDF *stats.CDF
+
+	// Summary holds order statistics over the same samples (milliseconds
+	// are derived by the printer).
+	Summary stats.Summary
+
+	// MatchCost is the isolated cost of comparing one request against all
+	// installed rules without a match (the component Figure 8 measures).
+	// In this Go data plane the scan is so cheap that it vanishes inside
+	// loopback RTT noise in the end-to-end CDF, so it is also measured
+	// directly.
+	MatchCost time.Duration
+}
+
+// Figure8 measures the worst-case rule-matching overhead of the Gremlin
+// agent (§7.2): a series of HTTP requests is proxied to an echo server
+// while {0, 1, 5, 10, 50, 100, 150, 200} rules are installed, none of
+// which match the request IDs — so every request is compared against every
+// rule before being forwarded. The paper uses Apache Benchmark and 10000
+// requests; opts.Requests tunes the count.
+func Figure8(opts Options) ([]Figure8Row, error) {
+	o := opts.withDefaults()
+	n := o.requests(10000)
+
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+
+	agent, err := proxy.New(proxy.Config{
+		ServiceName: "client",
+		Routes: []proxy.Route{{
+			Dst:        "server",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{strings.TrimPrefix(backend.URL, "http://")},
+		}},
+		// No sink: Figure 8 isolates matching overhead, as the paper's
+		// benchmark isolates the proxy data path.
+		Sink: (eventlog.Sink)(nil),
+		RNG:  o.rng(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	agent.Start()
+	defer agent.Close()
+
+	routeURL, err := agent.RouteURL("server")
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Figure8Row
+	for _, count := range []int{0, 1, 5, 10, 50, 100, 150, 200} {
+		agent.Matcher().Clear()
+		if err := agent.InstallRules(nonMatchingRules(count)...); err != nil {
+			return nil, err
+		}
+		// Warm the connection pool so the first-connection cost does not
+		// skew the small-rule-count curves.
+		if _, err := loadgen.Run(routeURL, loadgen.Options{N: 50, Concurrency: 4}); err != nil {
+			return nil, err
+		}
+		res, err := loadgen.Run(routeURL, loadgen.Options{N: n, Concurrency: 4, RNG: o.rng()})
+		if err != nil {
+			return nil, err
+		}
+		summary, err := stats.SummarizeDurations(res.Latencies())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure8Row{
+			Rules:     count,
+			CDF:       res.CDF(),
+			Summary:   summary,
+			MatchCost: matchCost(agent.Matcher(), n),
+		})
+	}
+	return out, nil
+}
+
+// matchCost times a full non-matching scan of the installed rules, averaged
+// over iters decisions.
+func matchCost(m *rules.Matcher, iters int) time.Duration {
+	if iters < 1000 {
+		iters = 1000
+	}
+	msg := rules.Message{Src: "client", Dst: "server", Type: rules.OnRequest, RequestID: "test-123456"}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		m.Decide(msg)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// nonMatchingRules builds n valid rules whose pattern can never match the
+// injected "test-*" request IDs, forcing a full scan per request — the
+// paper's worst case.
+func nonMatchingRules(n int) []rules.Rule {
+	out := make([]rules.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rules.Rule{
+			ID:          fmt.Sprintf("nomatch-%d", i),
+			Src:         "client",
+			Dst:         "server",
+			Action:      rules.ActionDelay,
+			Pattern:     fmt.Sprintf("re:^never-matching-id-%d-[0-9a-f]+$", i),
+			DelayMillis: 1,
+		})
+	}
+	return out
+}
+
+// PrintFigure8 renders Figure 8 rows as text.
+func PrintFigure8(w io.Writer, rows []Figure8Row) {
+	fmt.Fprintln(w, "Figure 8: worst-case rule-matching overhead (no rule matches; full scan per request)")
+	fmt.Fprintln(w, "(paper: latency grows with installed rules; ordering of the CDFs by rule count)")
+	fmt.Fprintf(w, "  %-7s %-10s %-10s %-10s %-10s %-12s\n", "rules", "p50", "p90", "p99", "mean", "match-cost")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-7d %-10s %-10s %-10s %-10s %-12s\n",
+			r.Rules,
+			ms(r.Summary.P50), ms(r.Summary.P90), ms(r.Summary.P99), ms(r.Summary.Mean),
+			r.MatchCost)
+	}
+	fmt.Fprintln(w, "  (match-cost: isolated per-request scan of all installed rules; grows linearly")
+	fmt.Fprintln(w, "   with rule count as in the paper, but is dwarfed here by loopback RTT —")
+	fmt.Fprintln(w, "   the Go agent implements none of the indexing optimizations the paper defers)")
+}
+
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.3fms", seconds*1000)
+}

@@ -1,0 +1,193 @@
+package httpx
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusCreated, payload{Name: "a", Count: 2})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var got payload
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "a" || got.Count != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestWriteError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusBadRequest, "bad value %d", 42)
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error != "bad value 42" {
+		t.Fatalf("error = %q", eb.Error)
+	}
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestReadJSON(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"name":"x","count":3}`))
+	var p payload
+	if err := ReadJSON(httptest.NewRecorder(), r, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "x" || p.Count != 3 {
+		t.Fatalf("decoded = %+v", p)
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(`{"name":"x","bogus":1}`))
+	var p payload
+	if err := ReadJSON(httptest.NewRecorder(), r, &p); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+}
+
+func TestReadJSONRejectsOversizedBody(t *testing.T) {
+	big := bytes.Repeat([]byte("a"), MaxBodyBytes+100)
+	body := `{"name":"` + string(big) + `"}`
+	r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(body))
+	var p payload
+	if err := ReadJSON(httptest.NewRecorder(), r, &p); err == nil {
+		t.Fatal("want error for oversized body")
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, payload{Name: "ok"})
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	resp, err := http.Get(srv.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "ok") {
+		t.Fatalf("body = %s", b)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Idempotent close.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Server refuses connections after close.
+	if _, err := http.Get(srv.URL() + "/"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
+
+func TestNewServerBadAddr(t *testing.T) {
+	if _, err := NewServer("256.256.256.256:0", nil); err == nil {
+		t.Fatal("want error for invalid address")
+	}
+}
+
+// TestCloseWithRequestLessConnection pins the shutdown fix for keep-alive
+// connections that never carry a request: concurrent HTTP clients race
+// their dials and park the losers in the idle pool, leaving the server
+// side in StateNew — which http.Server.Shutdown alone would wait on
+// forever.
+func TestCloseWithRequestLessConnection(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	// A TCP connection that never sends a request.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// And one normal request so the server has seen real traffic too.
+	resp, err := http.Get(srv.URL() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("Close took %v; request-less connections should not stall shutdown", elapsed)
+	}
+}
+
+// TestCloseForceTerminatesStuckHandler: a handler that ignores its context
+// cannot be drained gracefully; Close must still return after the grace
+// period by force-closing.
+func TestCloseForceTerminatesStuckHandler(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := NewServer("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release // ignores r.Context() on purpose
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	go func() {
+		resp, err := http.Get(srv.URL() + "/")
+		if err == nil {
+			_ = resp.Body.Close()
+		}
+	}()
+	<-inHandler
+
+	start := time.Now()
+	err = srv.Close()
+	elapsed := time.Since(start)
+	close(release)
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("Close took %v; force-close should cap the drain at ~1s", elapsed)
+	}
+}

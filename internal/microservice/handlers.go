@@ -1,0 +1,124 @@
+package microservice
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// LeafHandler returns a Handler for a service with no dependencies: it
+// answers 200 with a small payload. An empty payload echoes the request
+// path.
+func LeafHandler(payload string) Handler {
+	return func(w http.ResponseWriter, r *http.Request, _ *Caller) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if payload != "" {
+			_, _ = fmt.Fprint(w, payload)
+			return
+		}
+		_, _ = fmt.Fprintf(w, "ok %s", r.URL.Path)
+	}
+}
+
+// AggregationPolicy decides how a fan-out handler reacts to dependency
+// failures.
+type AggregationPolicy int
+
+// Aggregation policies.
+const (
+	// FailFast returns 502 as soon as any dependency call fails — the
+	// fragile default that lets failures cascade up the call chain.
+	FailFast AggregationPolicy = iota + 1
+
+	// BestEffort answers 200 with whatever succeeded, annotating failures
+	// — a degraded-but-available response.
+	BestEffort
+)
+
+// FanOutHandler returns a Handler that calls every configured dependency
+// with the inbound path and aggregates their answers under the given
+// policy. This is the behaviour of the benchmark tree services (Figure 7):
+// a request to the root traverses the whole application graph.
+func FanOutHandler(policy AggregationPolicy) Handler {
+	return func(w http.ResponseWriter, r *http.Request, call *Caller) {
+		var (
+			parts  []string
+			failed []string
+		)
+		for _, dep := range call.svc.DependencyNames() {
+			res := call.Get(dep, r.URL.Path)
+			if !res.OK() {
+				failed = append(failed, fmt.Sprintf("%s(status=%d,err=%v)", dep, res.Status, res.Err))
+				if policy == FailFast {
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					w.WriteHeader(http.StatusBadGateway)
+					_, _ = fmt.Fprintf(w, "%s: dependency %s failed: status=%d err=%v\n",
+						call.svc.Name(), dep, res.Status, res.Err)
+					return
+				}
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s:[%s]", dep, res.Body))
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprintf(w, "%s(%s)", call.svc.Name(), strings.Join(parts, " "))
+		if len(failed) > 0 {
+			_, _ = fmt.Fprintf(w, " degraded=%s", strings.Join(failed, ","))
+		}
+	}
+}
+
+// FallbackHandler returns a Handler that asks primary first and falls back
+// to secondary when primary returns an error response or a transport error
+// — the ElasticPress behaviour from the paper's case study (§7.1): "the
+// plugin handled failure gracefully and fell back to the default
+// (MySQL-powered) search method when the Elasticsearch instance was
+// unreachable or returned an error."
+//
+// Note what this handler deliberately does NOT do: there is no timeout, so
+// a *slow* (rather than failed) primary stalls the whole request — exactly
+// the missing-timeout bug Figures 5 and 6 expose.
+func FallbackHandler(primary, secondary string) Handler {
+	return func(w http.ResponseWriter, r *http.Request, call *Caller) {
+		res := call.Get(primary, r.URL.Path)
+		source := primary
+		if !res.OK() {
+			res = call.Get(secondary, r.URL.Path)
+			source = secondary
+			if !res.OK() {
+				w.WriteHeader(http.StatusBadGateway)
+				_, _ = fmt.Fprintf(w, "%s: both %s and %s failed", call.svc.Name(), primary, secondary)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Served-By", source)
+		_, _ = fmt.Fprintf(w, "%s via %s: %s", call.svc.Name(), source, res.Body)
+	}
+}
+
+// ProxyHandler returns a Handler that forwards the inbound path to a single
+// dependency and relays its answer — a thin API-gateway service.
+func ProxyHandler(dep string) Handler {
+	return func(w http.ResponseWriter, r *http.Request, call *Caller) {
+		res := call.Get(dep, r.URL.Path)
+		if res.Err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			_, _ = fmt.Fprintf(w, "%s: %s unreachable: %v", call.svc.Name(), dep, res.Err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(res.Status)
+		_, _ = w.Write(res.Body)
+	}
+}
+
+// StatusHandler returns a Handler that always answers with a fixed status
+// and body — for simulating degraded external services.
+func StatusHandler(status int, body string) Handler {
+	return func(w http.ResponseWriter, _ *http.Request, _ *Caller) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(status)
+		_, _ = fmt.Fprint(w, body)
+	}
+}

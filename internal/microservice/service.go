@@ -1,0 +1,234 @@
+// Package microservice is a small framework for building the HTTP
+// microservices that Gremlin tests are staged against: each service owns a
+// listener, reaches its dependencies through its sidecar Gremlin agent's
+// local routes, propagates request IDs downstream, and composes a response
+// from its dependencies' answers.
+//
+// The framework exists because the paper's evaluation needs real
+// applications: binary trees of services for the orchestration benchmark
+// (Figure 7), a WordPress-like stack for the case study (Figures 5 and 6),
+// and an enterprise application (Figure 4). Those topologies are assembled
+// in internal/topology from this package's pieces.
+package microservice
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gremlin/internal/httpx"
+	"gremlin/internal/resilience"
+	"gremlin/internal/trace"
+)
+
+// Dependency wires one downstream service.
+type Dependency struct {
+	// Name is the logical name of the downstream service.
+	Name string
+
+	// BaseURL is where to reach it — normally the co-located Gremlin
+	// agent's local route for this dependency.
+	BaseURL string
+
+	// Client issues the calls; compose resilience wrappers here. Nil uses
+	// a plain transparent client (no timeout, no retries — the fragile
+	// default that resiliency testing exposes).
+	Client resilience.Doer
+}
+
+// Handler computes a service's response. It receives the inbound request
+// and a Caller for reaching dependencies with the flow's request ID
+// propagated.
+type Handler func(w http.ResponseWriter, r *http.Request, call *Caller)
+
+// Config configures a Service.
+type Config struct {
+	// Name is the service's logical name.
+	Name string
+
+	// ListenAddr is the service's own listen address ("127.0.0.1:0" for
+	// ephemeral).
+	ListenAddr string
+
+	// Dependencies lists the downstream services reachable from handlers.
+	Dependencies []Dependency
+
+	// Handler computes responses. Nil uses a default that echoes the
+	// service name (a leaf service).
+	Handler Handler
+
+	// WorkTime simulates local processing time added to every request.
+	WorkTime time.Duration
+}
+
+// Service is a running microservice.
+type Service struct {
+	cfg    Config
+	deps   map[string]Dependency
+	server *httpx.Server
+}
+
+// New creates a service; the listener is bound immediately, handlers run
+// after Start.
+func New(cfg Config) (*Service, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("microservice: config needs a Name")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	s := &Service{
+		cfg:  cfg,
+		deps: make(map[string]Dependency, len(cfg.Dependencies)),
+	}
+	for _, d := range cfg.Dependencies {
+		if d.Name == "" || d.BaseURL == "" {
+			return nil, fmt.Errorf("microservice: %s has a dependency missing name or URL", cfg.Name)
+		}
+		if _, ok := s.deps[d.Name]; ok {
+			return nil, fmt.Errorf("microservice: %s has duplicate dependency %q", cfg.Name, d.Name)
+		}
+		if d.Client == nil {
+			d.Client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+		}
+		s.deps[d.Name] = d
+	}
+	srv, err := httpx.NewServer(cfg.ListenAddr, http.HandlerFunc(s.serve))
+	if err != nil {
+		return nil, fmt.Errorf("microservice: bind %s: %w", cfg.Name, err)
+	}
+	s.server = srv
+	return s, nil
+}
+
+// Start begins serving requests.
+func (s *Service) Start() { s.server.Start() }
+
+// Close shuts the service down.
+func (s *Service) Close() error { return s.server.Close() }
+
+// Name returns the service's logical name.
+func (s *Service) Name() string { return s.cfg.Name }
+
+// Addr returns the bound listen address.
+func (s *Service) Addr() string { return s.server.Addr() }
+
+// URL returns the service's base URL.
+func (s *Service) URL() string { return s.server.URL() }
+
+func (s *Service) serve(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.WorkTime > 0 {
+		select {
+		case <-time.After(s.cfg.WorkTime):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	call := &Caller{svc: s, inbound: r}
+	h := s.cfg.Handler
+	if h == nil {
+		h = LeafHandler("")
+	}
+	h(w, r, call)
+}
+
+// Caller reaches a service's dependencies on behalf of one inbound request,
+// propagating its request ID (observation O1: flows are traceable end to
+// end by ID).
+type Caller struct {
+	svc     *Service
+	inbound *http.Request
+}
+
+// RequestID returns the inbound flow's request ID ("" if absent).
+func (c *Caller) RequestID() string { return trace.FromRequest(c.inbound) }
+
+// DepResult is the outcome of one dependency call.
+type DepResult struct {
+	// Dep is the dependency's logical name.
+	Dep string
+
+	// Status is the HTTP status received (0 on transport error).
+	Status int
+
+	// Body is the response body (nil on transport error).
+	Body []byte
+
+	// Err is the transport-level error, if any.
+	Err error
+
+	// Latency is how long the call took as observed by this service.
+	Latency time.Duration
+}
+
+// OK reports whether the call returned a non-error HTTP response.
+func (r DepResult) OK() bool { return r.Err == nil && r.Status < 400 }
+
+// Get issues a GET to a dependency, propagating the request ID.
+func (c *Caller) Get(dep, path string) DepResult {
+	return c.do(http.MethodGet, dep, path, "")
+}
+
+// Post issues a POST with a body to a dependency.
+func (c *Caller) Post(dep, path, body string) DepResult {
+	return c.do(http.MethodPost, dep, path, body)
+}
+
+func (c *Caller) do(method, dep, path, body string) DepResult {
+	d, ok := c.svc.deps[dep]
+	if !ok {
+		return DepResult{Dep: dep, Err: fmt.Errorf("microservice: %s has no dependency %q", c.svc.cfg.Name, dep)}
+	}
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(c.inbound.Context(), method, d.BaseURL+path, rdr)
+	if err != nil {
+		return DepResult{Dep: dep, Err: err}
+	}
+	trace.Propagate(c.inbound, req)
+
+	start := time.Now()
+	resp, err := d.Client.Do(req)
+	if err != nil {
+		return DepResult{Dep: dep, Err: err, Latency: time.Since(start)}
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	closeErr := resp.Body.Close()
+	if err == nil {
+		err = closeErr
+	}
+	return DepResult{
+		Dep:     dep,
+		Status:  resp.StatusCode,
+		Body:    respBody,
+		Err:     err,
+		Latency: time.Since(start),
+	}
+}
+
+// Do issues an arbitrary request built by the caller through the named
+// dependency's client, with the request ID propagated. The URL should be
+// built from the dependency's base URL.
+func (c *Caller) Do(dep string, req *http.Request) (*http.Response, error) {
+	d, ok := c.svc.deps[dep]
+	if !ok {
+		return nil, fmt.Errorf("microservice: %s has no dependency %q", c.svc.cfg.Name, dep)
+	}
+	trace.Propagate(c.inbound, req)
+	return d.Client.Do(req)
+}
+
+// DependencyNames returns the service's dependency names in configuration
+// order.
+func (s *Service) DependencyNames() []string {
+	names := make([]string, 0, len(s.cfg.Dependencies))
+	for _, d := range s.cfg.Dependencies {
+		names = append(names, d.Name)
+	}
+	return names
+}

@@ -1,0 +1,289 @@
+package microservice
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/trace"
+)
+
+func startService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close %s: %v", cfg.Name, err)
+		}
+	})
+	return s
+}
+
+func httpGet(t *testing.T, url, reqID string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestLeafService(t *testing.T) {
+	s := startService(t, Config{Name: "leaf"})
+	status, body := httpGet(t, s.URL()+"/hello", "")
+	if status != 200 || body != "ok /hello" {
+		t.Fatalf("got %d %q", status, body)
+	}
+}
+
+func TestLeafServiceFixedPayload(t *testing.T) {
+	s := startService(t, Config{Name: "leaf", Handler: LeafHandler("data")})
+	if _, body := httpGet(t, s.URL()+"/x", ""); body != "data" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("want error for missing name")
+	}
+	if _, err := New(Config{Name: "a", Dependencies: []Dependency{{Name: "", BaseURL: "x"}}}); err == nil {
+		t.Fatal("want error for unnamed dependency")
+	}
+	if _, err := New(Config{Name: "a", Dependencies: []Dependency{{Name: "b"}}}); err == nil {
+		t.Fatal("want error for dependency without URL")
+	}
+	if _, err := New(Config{Name: "a", Dependencies: []Dependency{
+		{Name: "b", BaseURL: "u1"}, {Name: "b", BaseURL: "u2"},
+	}}); err == nil {
+		t.Fatal("want error for duplicate dependency")
+	}
+}
+
+func TestCallerPropagatesRequestID(t *testing.T) {
+	var seenID string
+	leaf := startService(t, Config{Name: "leaf", Handler: func(w http.ResponseWriter, r *http.Request, _ *Caller) {
+		seenID = trace.FromRequest(r)
+		_, _ = io.WriteString(w, "leafdata")
+	}})
+	mid := startService(t, Config{
+		Name:         "mid",
+		Dependencies: []Dependency{{Name: "leaf", BaseURL: leaf.URL()}},
+		Handler:      ProxyHandler("leaf"),
+	})
+	status, body := httpGet(t, mid.URL()+"/q", "test-77")
+	if status != 200 || body != "leafdata" {
+		t.Fatalf("got %d %q", status, body)
+	}
+	if seenID != "test-77" {
+		t.Fatalf("leaf saw request id %q, want test-77", seenID)
+	}
+}
+
+func TestCallerUnknownDependency(t *testing.T) {
+	s := startService(t, Config{Name: "svc", Handler: func(w http.ResponseWriter, r *http.Request, call *Caller) {
+		res := call.Get("ghost", "/")
+		if res.Err == nil {
+			t.Error("want error for unknown dependency")
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}})
+	if status, _ := httpGet(t, s.URL()+"/", ""); status != 500 {
+		t.Fatalf("status = %d", status)
+	}
+}
+
+func TestCallerPost(t *testing.T) {
+	leaf := startService(t, Config{Name: "leaf", Handler: func(w http.ResponseWriter, r *http.Request, _ *Caller) {
+		b, _ := io.ReadAll(r.Body)
+		_, _ = io.WriteString(w, "got:"+string(b))
+	}})
+	mid := startService(t, Config{
+		Name:         "mid",
+		Dependencies: []Dependency{{Name: "leaf", BaseURL: leaf.URL()}},
+		Handler: func(w http.ResponseWriter, r *http.Request, call *Caller) {
+			res := call.Post("leaf", "/submit", "payload")
+			w.WriteHeader(res.Status)
+			_, _ = w.Write(res.Body)
+		},
+	})
+	if _, body := httpGet(t, mid.URL()+"/", ""); body != "got:payload" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestWorkTime(t *testing.T) {
+	s := startService(t, Config{Name: "slow", WorkTime: 80 * time.Millisecond})
+	start := time.Now()
+	httpGet(t, s.URL()+"/", "")
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 80ms", elapsed)
+	}
+}
+
+func TestFanOutHandlerFailFast(t *testing.T) {
+	ok := startService(t, Config{Name: "ok", Handler: LeafHandler("A")})
+	bad := startService(t, Config{Name: "bad", Handler: StatusHandler(503, "down")})
+
+	root := startService(t, Config{
+		Name: "root",
+		Dependencies: []Dependency{
+			{Name: "ok", BaseURL: ok.URL()},
+			{Name: "bad", BaseURL: bad.URL()},
+		},
+		Handler: FanOutHandler(FailFast),
+	})
+	status, body := httpGet(t, root.URL()+"/", "")
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", status)
+	}
+	if !strings.Contains(body, "bad") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFanOutHandlerBestEffort(t *testing.T) {
+	ok := startService(t, Config{Name: "ok", Handler: LeafHandler("A")})
+	bad := startService(t, Config{Name: "bad", Handler: StatusHandler(503, "down")})
+
+	root := startService(t, Config{
+		Name: "root",
+		Dependencies: []Dependency{
+			{Name: "ok", BaseURL: ok.URL()},
+			{Name: "bad", BaseURL: bad.URL()},
+		},
+		Handler: FanOutHandler(BestEffort),
+	})
+	status, body := httpGet(t, root.URL()+"/", "")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(body, "ok:[A]") || !strings.Contains(body, "degraded=") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFanOutHandlerAllHealthy(t *testing.T) {
+	a := startService(t, Config{Name: "a", Handler: LeafHandler("A")})
+	b := startService(t, Config{Name: "b", Handler: LeafHandler("B")})
+	root := startService(t, Config{
+		Name: "root",
+		Dependencies: []Dependency{
+			{Name: "a", BaseURL: a.URL()},
+			{Name: "b", BaseURL: b.URL()},
+		},
+		Handler: FanOutHandler(FailFast),
+	})
+	_, body := httpGet(t, root.URL()+"/", "")
+	if body != "root(a:[A] b:[B])" {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFallbackHandlerPrimaryHealthy(t *testing.T) {
+	es := startService(t, Config{Name: "es", Handler: LeafHandler("es-results")})
+	db := startService(t, Config{Name: "db", Handler: LeafHandler("db-results")})
+	wp := startService(t, Config{
+		Name: "wp",
+		Dependencies: []Dependency{
+			{Name: "es", BaseURL: es.URL()},
+			{Name: "db", BaseURL: db.URL()},
+		},
+		Handler: FallbackHandler("es", "db"),
+	})
+	_, body := httpGet(t, wp.URL()+"/search", "")
+	if !strings.Contains(body, "via es: es-results") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestFallbackHandlerFallsBackOnError(t *testing.T) {
+	es := startService(t, Config{Name: "es", Handler: StatusHandler(503, "down")})
+	db := startService(t, Config{Name: "db", Handler: LeafHandler("db-results")})
+	wp := startService(t, Config{
+		Name: "wp",
+		Dependencies: []Dependency{
+			{Name: "es", BaseURL: es.URL()},
+			{Name: "db", BaseURL: db.URL()},
+		},
+		Handler: FallbackHandler("es", "db"),
+	})
+	status, body := httpGet(t, wp.URL()+"/search", "")
+	if status != 200 || !strings.Contains(body, "via db: db-results") {
+		t.Fatalf("got %d %q", status, body)
+	}
+}
+
+func TestFallbackHandlerBothFail(t *testing.T) {
+	es := startService(t, Config{Name: "es", Handler: StatusHandler(503, "down")})
+	db := startService(t, Config{Name: "db", Handler: StatusHandler(500, "down")})
+	wp := startService(t, Config{
+		Name: "wp",
+		Dependencies: []Dependency{
+			{Name: "es", BaseURL: es.URL()},
+			{Name: "db", BaseURL: db.URL()},
+		},
+		Handler: FallbackHandler("es", "db"),
+	})
+	status, _ := httpGet(t, wp.URL()+"/search", "")
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d", status)
+	}
+}
+
+func TestProxyHandlerTransportError(t *testing.T) {
+	mid := startService(t, Config{
+		Name:         "mid",
+		Dependencies: []Dependency{{Name: "gone", BaseURL: "http://127.0.0.1:1"}},
+		Handler:      ProxyHandler("gone"),
+	})
+	status, body := httpGet(t, mid.URL()+"/", "")
+	if status != http.StatusBadGateway || !strings.Contains(body, "unreachable") {
+		t.Fatalf("got %d %q", status, body)
+	}
+}
+
+func TestProxyHandlerRelaysStatus(t *testing.T) {
+	leaf := startService(t, Config{Name: "leaf", Handler: StatusHandler(418, "teapot")})
+	mid := startService(t, Config{
+		Name:         "mid",
+		Dependencies: []Dependency{{Name: "leaf", BaseURL: leaf.URL()}},
+		Handler:      ProxyHandler("leaf"),
+	})
+	status, body := httpGet(t, mid.URL()+"/", "")
+	if status != 418 || body != "teapot" {
+		t.Fatalf("got %d %q", status, body)
+	}
+}
+
+func TestDependencyNamesOrder(t *testing.T) {
+	s := startService(t, Config{
+		Name: "svc",
+		Dependencies: []Dependency{
+			{Name: "z", BaseURL: "http://x"},
+			{Name: "a", BaseURL: "http://y"},
+		},
+	})
+	names := s.DependencyNames()
+	if len(names) != 2 || names[0] != "z" || names[1] != "a" {
+		t.Fatalf("names = %v, want configuration order", names)
+	}
+}

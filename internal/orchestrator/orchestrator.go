@@ -1,0 +1,307 @@
+// Package orchestrator implements Gremlin's Failure Orchestrator: the
+// control-plane component that ships translated fault-injection rules to
+// every physical Gremlin agent they concern, over an out-of-band control
+// channel (paper §4.2).
+//
+// Rules name logical services; the orchestrator resolves each rule's source
+// service to its physical instances through the registry and installs the
+// rule on every co-located agent, in parallel. Applying a rule set returns
+// an Applied handle whose Revert removes exactly those rules again, so
+// chained recipes can stage and unstage failures step by step.
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/registry"
+	"gremlin/internal/rules"
+)
+
+// AgentControl is the slice of the agent control API the orchestrator
+// needs. *agentapi.Client implements it; tests may substitute fakes.
+type AgentControl interface {
+	InstallRules(batch ...rules.Rule) error
+	RemoveRule(id string) error
+	ClearRules() (int, error)
+	Flush() error
+}
+
+var _ AgentControl = (*agentapi.Client)(nil)
+
+// Option configures an Orchestrator.
+type Option interface {
+	apply(*Orchestrator)
+}
+
+type dialerOption func(url string) AgentControl
+
+func (d dialerOption) apply(o *Orchestrator) { o.dial = d }
+
+// WithDialer overrides how the orchestrator connects to an agent control
+// URL. Used by tests and embedded (in-process) deployments.
+func WithDialer(dial func(url string) AgentControl) Option {
+	return dialerOption(dial)
+}
+
+// Orchestrator ships rules to agents.
+type Orchestrator struct {
+	reg  registry.Registry
+	dial func(url string) AgentControl
+
+	mu     sync.Mutex
+	ncalls int // control-channel calls made, for benchmark accounting
+}
+
+// New creates an orchestrator over the given registry.
+func New(reg registry.Registry, opts ...Option) *Orchestrator {
+	o := &Orchestrator{
+		reg: reg,
+		dial: func(url string) AgentControl {
+			return agentapi.New(url, nil)
+		},
+	}
+	for _, opt := range opts {
+		opt.apply(o)
+	}
+	return o
+}
+
+// Applied is a handle to a successfully applied rule set.
+type Applied struct {
+	orch *Orchestrator
+	// perAgent maps agent control URL to the IDs of rules installed there.
+	perAgent map[string][]string
+}
+
+// AgentCount reports how many distinct agents received rules.
+func (a *Applied) AgentCount() int { return len(a.perAgent) }
+
+// RuleCount reports the total number of (rule, agent) installations.
+func (a *Applied) RuleCount() int {
+	n := 0
+	for _, ids := range a.perAgent {
+		n += len(ids)
+	}
+	return n
+}
+
+// Apply validates the rule set, resolves each rule's source service to its
+// agents, and installs the rules on all agents in parallel. On any failure
+// it rolls back the installations that succeeded and returns the error.
+func (o *Orchestrator) Apply(ruleset []rules.Rule) (*Applied, error) {
+	if len(ruleset) == 0 {
+		return &Applied{orch: o, perAgent: map[string][]string{}}, nil
+	}
+	if err := rules.ValidateAll(ruleset); err != nil {
+		return nil, fmt.Errorf("orchestrator: %w", err)
+	}
+
+	// Group rules by the agents that must receive them.
+	perAgent := make(map[string][]rules.Rule)
+	for _, r := range ruleset {
+		urls, err := registry.AgentURLs(o.reg, r.Src)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: resolve agents for %q: %w", r.Src, err)
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("orchestrator: service %q has no gremlin agents", r.Src)
+		}
+		for _, u := range urls {
+			perAgent[u] = append(perAgent[u], r)
+		}
+	}
+
+	type result struct {
+		url string
+		ids []string
+		err error
+	}
+	results := make(chan result, len(perAgent))
+	for url, batch := range perAgent {
+		go func(url string, batch []rules.Rule) {
+			err := o.agent(url).InstallRules(batch...)
+			ids := make([]string, len(batch))
+			for i, r := range batch {
+				ids[i] = r.ID
+			}
+			results <- result{url: url, ids: ids, err: err}
+		}(url, batch)
+	}
+
+	applied := &Applied{orch: o, perAgent: make(map[string][]string, len(perAgent))}
+	var errs []error
+	for range perAgent {
+		res := <-results
+		if res.err != nil {
+			errs = append(errs, fmt.Errorf("agent %s: %w", res.url, res.err))
+			continue
+		}
+		applied.perAgent[res.url] = res.ids
+	}
+	if len(errs) > 0 {
+		// Roll back the agents that did take the rules.
+		_ = applied.Revert()
+		return nil, fmt.Errorf("orchestrator: apply failed: %w", errors.Join(errs...))
+	}
+	return applied, nil
+}
+
+// Revert removes the applied rules from every agent that received them.
+// It keeps going on errors and returns them joined.
+func (a *Applied) Revert() error {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for url, ids := range a.perAgent {
+		wg.Add(1)
+		go func(url string, ids []string) {
+			defer wg.Done()
+			c := a.orch.agent(url)
+			for _, id := range ids {
+				if err := c.RemoveRule(id); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("agent %s rule %s: %w", url, id, err))
+					mu.Unlock()
+				}
+			}
+		}(url, ids)
+	}
+	wg.Wait()
+	a.perAgent = map[string][]string{}
+	if len(errs) > 0 {
+		return fmt.Errorf("orchestrator: revert failed: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// ClearAll removes every rule from every agent of the named services (all
+// registered services when none are named). It returns the number of rules
+// removed.
+func (o *Orchestrator) ClearAll(services ...string) (int, error) {
+	urls, err := o.resolveAgents(services)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		errs  []error
+	)
+	for _, url := range urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			n, err := o.agent(url).ClearRules()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("agent %s: %w", url, err))
+				return
+			}
+			total += n
+		}(url)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return total, fmt.Errorf("orchestrator: clear failed: %w", errors.Join(errs...))
+	}
+	return total, nil
+}
+
+// FlushAll asks every agent of the named services (all services when none
+// are named) to flush buffered observations to the event store, so the
+// Assertion Checker sees a complete log.
+func (o *Orchestrator) FlushAll(services ...string) error {
+	urls, err := o.resolveAgents(services)
+	if err != nil {
+		return err
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for _, url := range urls {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			if err := o.agent(url).Flush(); err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("agent %s: %w", url, err))
+				mu.Unlock()
+			}
+		}(url)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return fmt.Errorf("orchestrator: flush failed: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// ControlCalls reports how many agent control connections the orchestrator
+// has opened; the Figure 7 benchmark uses it to sanity-check fan-out.
+func (o *Orchestrator) ControlCalls() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.ncalls
+}
+
+func (o *Orchestrator) agent(url string) AgentControl {
+	o.mu.Lock()
+	o.ncalls++
+	o.mu.Unlock()
+	return o.dial(url)
+}
+
+func (o *Orchestrator) resolveAgents(services []string) ([]string, error) {
+	if len(services) == 0 {
+		urls, err := registry.AllAgentURLs(o.reg)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: resolve all agents: %w", err)
+		}
+		return urls, nil
+	}
+	seen := make(map[string]bool)
+	for _, svc := range services {
+		urls, err := registry.AgentURLs(o.reg, svc)
+		if err != nil {
+			return nil, fmt.Errorf("orchestrator: resolve agents for %q: %w", svc, err)
+		}
+		for _, u := range urls {
+			seen[u] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Describe renders a human-readable summary of an applied rule set, for
+// tool output.
+func (a *Applied) Describe() string {
+	if len(a.perAgent) == 0 {
+		return "no rules applied"
+	}
+	urls := make([]string, 0, len(a.perAgent))
+	for u := range a.perAgent {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	var b strings.Builder
+	for _, u := range urls {
+		fmt.Fprintf(&b, "%s: %s\n", u, strings.Join(a.perAgent[u], ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,324 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"gremlin/internal/registry"
+	"gremlin/internal/rules"
+)
+
+// fakeAgent records control calls in memory.
+type fakeAgent struct {
+	mu        sync.Mutex
+	installed map[string]rules.Rule
+	failNext  error
+	flushes   int
+}
+
+func newFakeAgent() *fakeAgent {
+	return &fakeAgent{installed: make(map[string]rules.Rule)}
+}
+
+func (f *fakeAgent) InstallRules(batch ...rules.Rule) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failNext != nil {
+		err := f.failNext
+		return err
+	}
+	for _, r := range batch {
+		f.installed[r.ID] = r
+	}
+	return nil
+}
+
+func (f *fakeAgent) RemoveRule(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.installed[id]; !ok {
+		return errors.New("not installed")
+	}
+	delete(f.installed, id)
+	return nil
+}
+
+func (f *fakeAgent) ClearRules() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.installed)
+	f.installed = make(map[string]rules.Rule)
+	return n, nil
+}
+
+func (f *fakeAgent) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushes++
+	return nil
+}
+
+func (f *fakeAgent) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.installed)
+}
+
+// fixture builds a registry with services a (2 instances, 2 agents) and b
+// (1 instance), plus a dialer resolving the fake agents.
+type fixture struct {
+	reg    *registry.Static
+	agents map[string]*fakeAgent
+	orch   *Orchestrator
+}
+
+func newFixture() *fixture {
+	f := &fixture{
+		reg: registry.NewStatic(
+			registry.Instance{Service: "a", Addr: "a1:80", AgentControlURL: "http://agent-a1"},
+			registry.Instance{Service: "a", Addr: "a2:80", AgentControlURL: "http://agent-a2"},
+			registry.Instance{Service: "b", Addr: "b1:80", AgentControlURL: "http://agent-b1"},
+		),
+		agents: map[string]*fakeAgent{
+			"http://agent-a1": newFakeAgent(),
+			"http://agent-a2": newFakeAgent(),
+			"http://agent-b1": newFakeAgent(),
+		},
+	}
+	f.orch = New(f.reg, WithDialer(func(url string) AgentControl {
+		return f.agents[url]
+	}))
+	return f
+}
+
+func delayRule(id, src string) rules.Rule {
+	return rules.Rule{
+		ID: id, Src: src, Dst: "x",
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 100,
+	}
+}
+
+func TestApplyFansOutToAllInstances(t *testing.T) {
+	f := newFixture()
+	applied, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service a has two agents: the rule lands on both (paper Figure 3).
+	if f.agents["http://agent-a1"].count() != 1 || f.agents["http://agent-a2"].count() != 1 {
+		t.Fatal("rule should be installed on every agent of the source service")
+	}
+	if f.agents["http://agent-b1"].count() != 0 {
+		t.Fatal("unrelated agent received a rule")
+	}
+	if applied.AgentCount() != 2 || applied.RuleCount() != 2 {
+		t.Fatalf("applied = %d agents, %d rules", applied.AgentCount(), applied.RuleCount())
+	}
+}
+
+func TestApplyGroupsBySource(t *testing.T) {
+	f := newFixture()
+	_, err := f.orch.Apply([]rules.Rule{
+		delayRule("r1", "a"),
+		delayRule("r2", "b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.agents["http://agent-b1"].count() != 1 {
+		t.Fatal("rule for b missing")
+	}
+}
+
+func TestApplyEmptyRuleset(t *testing.T) {
+	f := newFixture()
+	applied, err := f.orch.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.AgentCount() != 0 {
+		t.Fatal("no agents should be touched")
+	}
+	if err := applied.Revert(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyValidatesRules(t *testing.T) {
+	f := newFixture()
+	bad := delayRule("r1", "a")
+	bad.DelayMillis = 0
+	if _, err := f.orch.Apply([]rules.Rule{bad}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestApplyUnknownService(t *testing.T) {
+	f := newFixture()
+	if _, err := f.orch.Apply([]rules.Rule{delayRule("r1", "ghost")}); err == nil {
+		t.Fatal("want unknown-service error")
+	}
+}
+
+func TestApplyAgentlessService(t *testing.T) {
+	f := newFixture()
+	f.reg.Add(registry.Instance{Service: "ext", Addr: "ext:443"}) // no agent
+	if _, err := f.orch.Apply([]rules.Rule{delayRule("r1", "ext")}); err == nil {
+		t.Fatal("want no-agents error")
+	}
+}
+
+func TestApplyRollsBackOnPartialFailure(t *testing.T) {
+	f := newFixture()
+	f.agents["http://agent-a2"].failNext = errors.New("agent down")
+	_, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a")})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "agent down") {
+		t.Fatalf("err = %v", err)
+	}
+	if f.agents["http://agent-a1"].count() != 0 {
+		t.Fatal("successful agent should have been rolled back")
+	}
+}
+
+func TestRevert(t *testing.T) {
+	f := newFixture()
+	applied, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a"), delayRule("r2", "a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := applied.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	for url, agent := range f.agents {
+		if agent.count() != 0 {
+			t.Fatalf("agent %s still has %d rules", url, agent.count())
+		}
+	}
+	// Second revert is a no-op.
+	if err := applied.Revert(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearAll(t *testing.T) {
+	f := newFixture()
+	if _, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a"), delayRule("r2", "b")}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.orch.ClearAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // r1 on two agents + r2 on one
+		t.Fatalf("ClearAll = %d, want 3", n)
+	}
+}
+
+func TestClearAllScoped(t *testing.T) {
+	f := newFixture()
+	if _, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a"), delayRule("r2", "b")}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.orch.ClearAll("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ClearAll(b) = %d, want 1", n)
+	}
+	if f.agents["http://agent-a1"].count() != 1 {
+		t.Fatal("agents for a should be untouched")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	f := newFixture()
+	if err := f.orch.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for url, agent := range f.agents {
+		if agent.flushes != 1 {
+			t.Fatalf("agent %s flushes = %d", url, agent.flushes)
+		}
+	}
+	if err := f.orch.FlushAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	if f.agents["http://agent-b1"].flushes != 1 {
+		t.Fatal("scoped flush touched unrelated agent")
+	}
+}
+
+func TestFlushAllUnknownService(t *testing.T) {
+	f := newFixture()
+	if err := f.orch.FlushAll("ghost"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	f := newFixture()
+	applied, err := f.orch.Apply([]rules.Rule{delayRule("r1", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := applied.Describe(); !strings.Contains(got, "agent-b1") || !strings.Contains(got, "r1") {
+		t.Fatalf("Describe = %q", got)
+	}
+	empty := &Applied{perAgent: map[string][]string{}}
+	if got := empty.Describe(); got != "no rules applied" {
+		t.Fatalf("Describe = %q", got)
+	}
+}
+
+func TestControlCallsCounted(t *testing.T) {
+	f := newFixture()
+	if _, err := f.orch.Apply([]rules.Rule{delayRule("r1", "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if f.orch.ControlCalls() == 0 {
+		t.Fatal("control calls should be counted")
+	}
+}
+
+// TestConcurrentApplyRevert stresses parallel apply/revert cycles against
+// the same agents; rules must never leak.
+func TestConcurrentApplyRevert(t *testing.T) {
+	f := newFixture()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				r := delayRule(fmt.Sprintf("r-%d-%d", w, i), "a")
+				applied, err := f.orch.Apply([]rules.Rule{r})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := applied.Revert(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for url, agent := range f.agents {
+		if n := agent.count(); n != 0 {
+			t.Fatalf("agent %s leaked %d rules", url, n)
+		}
+	}
+}

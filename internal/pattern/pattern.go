@@ -1,0 +1,102 @@
+// Package pattern implements the request-ID pattern language shared by
+// fault-injection rules and event-log queries: glob syntax ('*' matches any
+// run of characters, '?' exactly one) or, with the "re:" prefix, a Go
+// regular expression. The empty pattern and "*" match everything.
+package pattern
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"unicode/utf8"
+)
+
+// Pattern is a compiled request-ID pattern. The zero value matches
+// everything.
+type Pattern struct {
+	src string
+	re  *regexp.Regexp // nil means match-all
+}
+
+// Compile parses a pattern string.
+func Compile(s string) (Pattern, error) {
+	if s == "" || s == "*" {
+		return Pattern{src: s}, nil
+	}
+	if raw, ok := strings.CutPrefix(s, "re:"); ok {
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return Pattern{}, fmt.Errorf("pattern: compile regexp %q: %w", raw, err)
+		}
+		return Pattern{src: s, re: re}, nil
+	}
+	var b strings.Builder
+	b.WriteString("^")
+	for _, r := range s {
+		switch r {
+		case '*':
+			b.WriteString(".*")
+		case '?':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return Pattern{}, fmt.Errorf("pattern: compile glob %q: %w", s, err)
+	}
+	return Pattern{src: s, re: re}, nil
+}
+
+// MustCompile is Compile that panics on error, for statically known
+// patterns.
+func MustCompile(s string) Pattern {
+	p, err := Compile(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Match reports whether the ID satisfies the pattern.
+func (p Pattern) Match(id string) bool {
+	if p.re == nil {
+		return true
+	}
+	return p.re.MatchString(id)
+}
+
+// LiteralPrefix returns a literal string that every matching ID must start
+// with ("" when no useful prefix exists). Rule matchers use it as a cheap
+// pre-filter — the "structured (e.g., prefix-based) request IDs"
+// optimization the paper suggests for reducing rule-matching overhead
+// (§7.2).
+func (p Pattern) LiteralPrefix() string {
+	if p.re == nil {
+		return ""
+	}
+	if strings.HasPrefix(p.src, "re:") {
+		prefix, _ := p.re.LiteralPrefix()
+		return prefix
+	}
+	// Glob: the literal run before the first wildcard.
+	prefix := p.src
+	if i := strings.IndexAny(p.src, "*?"); i >= 0 {
+		prefix = p.src[:i]
+	}
+	// Globs compile rune-by-rune, so invalid UTF-8 becomes U+FFFD in the
+	// regex and matches *any* invalid byte — the raw byte prefix would be
+	// unsound as a pre-filter. Disable the fast path for such patterns.
+	if !utf8.ValidString(prefix) {
+		return ""
+	}
+	return prefix
+}
+
+// MatchAll reports whether the pattern matches every ID.
+func (p Pattern) MatchAll() bool { return p.re == nil }
+
+// String returns the original pattern source.
+func (p Pattern) String() string { return p.src }

@@ -1,0 +1,539 @@
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/httpx"
+	"gremlin/internal/pattern"
+	"gremlin/internal/rules"
+	"gremlin/internal/trace"
+)
+
+// maxLoggedBody bounds how much of a message body the agent will buffer for
+// Modify rules and forwarding.
+const maxBodyBytes = 32 << 20 // 32 MiB
+
+// Agent is a running Gremlin agent: one data-path listener per route plus
+// an optional control API server.
+type Agent struct {
+	cfg     Config
+	matcher *rules.Matcher
+	sink    eventlog.Sink
+
+	routes  map[string]*routeProxy // by Dst
+	control *httpx.Server
+	started bool
+
+	// Data-path counters, exposed via GET /v1/info.
+	nProxied  atomic.Int64
+	nAborted  atomic.Int64
+	nDelayed  atomic.Int64
+	nModified atomic.Int64
+	nSevered  atomic.Int64
+}
+
+// Stats is a snapshot of the agent's data-path counters.
+type Stats struct {
+	// Proxied counts messages handled on the data path.
+	Proxied int64 `json:"proxied"`
+	// Aborted counts messages terminated by an Abort rule with an HTTP
+	// error code.
+	Aborted int64 `json:"aborted"`
+	// Severed counts connections cut by Abort rules with
+	// AbortSeverConnection.
+	Severed int64 `json:"severed"`
+	// Delayed counts messages held back by Delay rules.
+	Delayed int64 `json:"delayed"`
+	// Modified counts messages rewritten by Modify rules.
+	Modified int64 `json:"modified"`
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		Proxied:  a.nProxied.Load(),
+		Aborted:  a.nAborted.Load(),
+		Severed:  a.nSevered.Load(),
+		Delayed:  a.nDelayed.Load(),
+		Modified: a.nModified.Load(),
+	}
+}
+
+// countFault bumps the counter matching a fired decision.
+func (a *Agent) countFault(d rules.Decision) {
+	if !d.Fired {
+		return
+	}
+	switch d.Rule.Action {
+	case rules.ActionAbort:
+		if d.Rule.ErrorCode == rules.AbortSeverConnection {
+			a.nSevered.Add(1)
+		} else {
+			a.nAborted.Add(1)
+		}
+	case rules.ActionDelay:
+		a.nDelayed.Add(1)
+	case rules.ActionModify:
+		a.nModified.Add(1)
+	}
+}
+
+type routeProxy struct {
+	agent      *Agent
+	route      Route
+	server     *httpx.Server
+	client     *http.Client
+	canaryPat  pattern.Pattern
+	mirrorPat  pattern.Pattern
+	next       atomic.Uint64 // round-robin target index
+	canaryNext atomic.Uint64 // round-robin canary index
+	mirrorNext atomic.Uint64 // round-robin mirror index
+	mirrors    sync.WaitGroup
+}
+
+// New creates an agent. Listeners for all routes and the control API are
+// bound immediately (so ephemeral addresses are known), but no traffic is
+// served until Start.
+func New(cfg Config) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:     cfg,
+		matcher: rules.NewMatcher(cfg.RNG),
+		sink:    cfg.Sink,
+		routes:  make(map[string]*routeProxy, len(cfg.Routes)),
+	}
+	for _, r := range cfg.Routes {
+		canaryPat, err := pattern.Compile(r.CanaryPattern)
+		if err != nil {
+			// Unreachable after Validate, kept as a guard.
+			a.closeBound()
+			return nil, err
+		}
+		mirrorPat, err := pattern.Compile(r.MirrorPattern)
+		if err != nil {
+			a.closeBound()
+			return nil, err
+		}
+		rp := &routeProxy{
+			agent:     a,
+			route:     r,
+			canaryPat: canaryPat,
+			mirrorPat: mirrorPat,
+			// The data-path client must be transparent: no timeout, since
+			// detecting slow dependencies is the application's job, not
+			// the proxy's.
+			client: &http.Client{
+				Transport: &http.Transport{
+					MaxIdleConnsPerHost: 64,
+					IdleConnTimeout:     90 * time.Second,
+				},
+				CheckRedirect: func(req *http.Request, via []*http.Request) error {
+					// Pass redirects through to the caller untouched.
+					return http.ErrUseLastResponse
+				},
+			},
+		}
+		srv, err := httpx.NewServer(r.ListenAddr, rp)
+		if err != nil {
+			a.closeBound()
+			return nil, fmt.Errorf("proxy: bind route %s->%s: %w", cfg.ServiceName, r.Dst, err)
+		}
+		rp.server = srv
+		a.routes[r.Dst] = rp
+	}
+	if cfg.ControlAddr != "" {
+		srv, err := httpx.NewServer(cfg.ControlAddr, a.controlHandler())
+		if err != nil {
+			a.closeBound()
+			return nil, fmt.Errorf("proxy: bind control API: %w", err)
+		}
+		a.control = srv
+	}
+	return a, nil
+}
+
+func (a *Agent) closeBound() {
+	for _, rp := range a.routes {
+		_ = rp.server.Close()
+	}
+	if a.control != nil {
+		_ = a.control.Close()
+	}
+}
+
+// Start begins serving all routes and the control API.
+func (a *Agent) Start() {
+	if a.started {
+		return
+	}
+	a.started = true
+	for _, rp := range a.routes {
+		rp.server.Start()
+	}
+	if a.control != nil {
+		a.control.Start()
+	}
+}
+
+// Close shuts down all listeners and waits for their goroutines,
+// including any in-flight mirror copies.
+func (a *Agent) Close() error {
+	var firstErr error
+	for _, rp := range a.routes {
+		if err := rp.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		rp.mirrors.Wait()
+		rp.client.CloseIdleConnections()
+	}
+	if a.control != nil {
+		if err := a.control.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ServiceName returns the logical name of the co-located microservice.
+func (a *Agent) ServiceName() string { return a.cfg.ServiceName }
+
+// RouteAddr returns the bound local address for the route to dst, or an
+// error if the agent has no such route. Microservices use this address as
+// the base URL for the dependency.
+func (a *Agent) RouteAddr(dst string) (string, error) {
+	rp, ok := a.routes[dst]
+	if !ok {
+		return "", fmt.Errorf("proxy: agent for %q has no route to %q", a.cfg.ServiceName, dst)
+	}
+	return rp.server.Addr(), nil
+}
+
+// RouteURL returns the base http URL for the route to dst.
+func (a *Agent) RouteURL(dst string) (string, error) {
+	addr, err := a.RouteAddr(dst)
+	if err != nil {
+		return "", err
+	}
+	return "http://" + addr, nil
+}
+
+// ControlURL returns the base URL of the control API ("" if disabled).
+func (a *Agent) ControlURL() string {
+	if a.control == nil {
+		return ""
+	}
+	return a.control.URL()
+}
+
+// Matcher exposes the agent's rule matcher for in-process rule management
+// (tests and embedded deployments). Remote control uses the REST API.
+func (a *Agent) Matcher() *rules.Matcher { return a.matcher }
+
+// log sends a record to the sink, tagging the agent identity.
+func (a *Agent) log(rec eventlog.Record) {
+	if a.sink == nil {
+		return
+	}
+	rec.Agent = a.cfg.agentID()
+	// A full or unreachable store must not break the data path; the paper's
+	// agents ship logs asynchronously via logstash with the same property.
+	_ = a.sink.Log(rec)
+}
+
+// ServeHTTP is the data path for one route: log, match rules, inject
+// faults, forward, and log the reply.
+func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var (
+		a     = rp.agent
+		reqID = trace.FromRequest(r)
+		start = time.Now()
+	)
+
+	a.nProxied.Add(1)
+	reqMsg := rules.Message{
+		Src:       a.cfg.ServiceName,
+		Dst:       rp.route.Dst,
+		Type:      rules.OnRequest,
+		RequestID: reqID,
+	}
+	reqDecision := a.matcher.Decide(reqMsg)
+	a.countFault(reqDecision)
+
+	a.log(eventlog.Record{
+		Timestamp:   start,
+		RequestID:   reqID,
+		Src:         a.cfg.ServiceName,
+		Dst:         rp.route.Dst,
+		Kind:        eventlog.KindRequest,
+		Method:      r.Method,
+		URI:         r.URL.RequestURI(),
+		FaultAction: firedAction(reqDecision),
+		FaultRuleID: firedRuleID(reqDecision),
+	})
+
+	var (
+		injected     time.Duration
+		faultActions []string
+		faultRules   []string
+	)
+	if reqDecision.Fired {
+		faultActions = append(faultActions, string(reqDecision.Rule.Action))
+		faultRules = append(faultRules, reqDecision.Rule.ID)
+	}
+
+	// Request-side faults.
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, "proxy: read request body: %v", err)
+		return
+	}
+	if reqDecision.Fired {
+		switch reqDecision.Rule.Action {
+		case rules.ActionAbort:
+			rp.abort(w, r, reqDecision, reqID, start, injected, faultActions, faultRules)
+			return
+		case rules.ActionDelay:
+			d := reqDecision.Rule.Delay()
+			injected += d
+			sleepOrDisconnect(r, d)
+		case rules.ActionModify:
+			body = bytes.ReplaceAll(body,
+				[]byte(reqDecision.Rule.SearchBytes),
+				[]byte(reqDecision.Rule.ReplaceBytes))
+		}
+	}
+
+	// Forward upstream.
+	resp, err := rp.forward(r, body)
+	if err != nil {
+		latency := time.Since(start)
+		a.log(eventlog.Record{
+			Timestamp:           time.Now(),
+			RequestID:           reqID,
+			Src:                 a.cfg.ServiceName,
+			Dst:                 rp.route.Dst,
+			Kind:                eventlog.KindReply,
+			Method:              r.Method,
+			URI:                 r.URL.RequestURI(),
+			Status:              http.StatusBadGateway,
+			LatencyMillis:       float64(latency) / float64(time.Millisecond),
+			FaultAction:         strings.Join(faultActions, ","),
+			FaultRuleID:         strings.Join(faultRules, ","),
+			InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
+		})
+		httpx.WriteError(w, http.StatusBadGateway, "proxy: forward to %s: %v", rp.route.Dst, err)
+		return
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	closeErr := resp.Body.Close()
+	if err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, "proxy: read response from %s: %v", rp.route.Dst, err)
+		return
+	}
+
+	// Response-side faults.
+	respMsg := reqMsg
+	respMsg.Type = rules.OnResponse
+	respDecision := a.matcher.Decide(respMsg)
+	a.countFault(respDecision)
+	status := resp.StatusCode
+	gremlinGenerated := false
+	if respDecision.Fired {
+		faultActions = append(faultActions, string(respDecision.Rule.Action))
+		faultRules = append(faultRules, respDecision.Rule.ID)
+		switch respDecision.Rule.Action {
+		case rules.ActionAbort:
+			if respDecision.Rule.ErrorCode == rules.AbortSeverConnection {
+				rp.sever(w)
+				return
+			}
+			status = respDecision.Rule.ErrorCode
+			respBody = []byte(http.StatusText(status) + "\n")
+			resp.Header = http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}}
+			gremlinGenerated = true
+		case rules.ActionDelay:
+			d := respDecision.Rule.Delay()
+			injected += d
+			sleepOrDisconnect(r, d)
+		case rules.ActionModify:
+			respBody = bytes.ReplaceAll(respBody,
+				[]byte(respDecision.Rule.SearchBytes),
+				[]byte(respDecision.Rule.ReplaceBytes))
+		}
+	}
+
+	latency := time.Since(start)
+	a.log(eventlog.Record{
+		Timestamp:           time.Now(),
+		RequestID:           reqID,
+		Src:                 a.cfg.ServiceName,
+		Dst:                 rp.route.Dst,
+		Kind:                eventlog.KindReply,
+		Method:              r.Method,
+		URI:                 r.URL.RequestURI(),
+		Status:              status,
+		LatencyMillis:       float64(latency) / float64(time.Millisecond),
+		FaultAction:         strings.Join(faultActions, ","),
+		FaultRuleID:         strings.Join(faultRules, ","),
+		InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
+		GremlinGenerated:    gremlinGenerated,
+	})
+
+	copyHeaders(w.Header(), resp.Header)
+	// The body may have been rewritten by a Modify rule; the upstream
+	// framing headers no longer apply.
+	w.Header().Del("Transfer-Encoding")
+	w.Header().Set("Content-Length", strconv.Itoa(len(respBody)))
+	w.WriteHeader(status)
+	_, _ = w.Write(respBody)
+}
+
+// abort terminates a request without forwarding it: either by returning the
+// rule's HTTP error code or, for AbortSeverConnection, by severing the TCP
+// connection to emulate a crashed process.
+func (rp *routeProxy) abort(w http.ResponseWriter, r *http.Request, d rules.Decision,
+	reqID string, start time.Time, injected time.Duration, actions, ruleIDs []string) {
+
+	a := rp.agent
+	latency := time.Since(start)
+	severed := d.Rule.ErrorCode == rules.AbortSeverConnection
+	status := d.Rule.ErrorCode
+	if severed {
+		status = 0
+	}
+	a.log(eventlog.Record{
+		Timestamp:           time.Now(),
+		RequestID:           reqID,
+		Src:                 a.cfg.ServiceName,
+		Dst:                 rp.route.Dst,
+		Kind:                eventlog.KindReply,
+		Method:              r.Method,
+		URI:                 r.URL.RequestURI(),
+		Status:              status,
+		LatencyMillis:       float64(latency) / float64(time.Millisecond),
+		FaultAction:         strings.Join(actions, ","),
+		FaultRuleID:         strings.Join(ruleIDs, ","),
+		InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
+		GremlinGenerated:    true,
+	})
+	if severed {
+		rp.sever(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = io.WriteString(w, http.StatusText(status)+"\n")
+}
+
+// sever closes the client connection without writing an HTTP response,
+// emulating an abrupt TCP-level failure (Error=-1 in the paper's recipes).
+func (rp *routeProxy) sever(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+	}
+	// Fallback: abort the handler, which closes the connection mid-stream.
+	panic(http.ErrAbortHandler)
+}
+
+// forward sends the (possibly modified) request to the next upstream
+// target — or, when the route has a canary and the request ID matches the
+// canary pattern, to the next canary instance, keeping test traffic's side
+// effects away from production state (§9).
+func (rp *routeProxy) forward(r *http.Request, body []byte) (*http.Response, error) {
+	var target string
+	if len(rp.route.CanaryTargets) > 0 && rp.canaryPat.Match(trace.FromRequest(r)) {
+		target = rp.route.CanaryTargets[int(rp.canaryNext.Add(1)-1)%len(rp.route.CanaryTargets)]
+	} else {
+		target = rp.route.Targets[int(rp.next.Add(1)-1)%len(rp.route.Targets)]
+	}
+	rp.mirror(r, body)
+	url := "http://" + target + r.URL.RequestURI()
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(out.Header, r.Header)
+	out.Header.Del("Connection")
+	out.ContentLength = int64(len(body))
+	return rp.client.Do(out)
+}
+
+// mirror asynchronously copies the request to the next mirror target
+// (shadow deployment); the copy's outcome never affects the live call.
+func (rp *routeProxy) mirror(r *http.Request, body []byte) {
+	if len(rp.route.MirrorTargets) == 0 || !rp.mirrorPat.Match(trace.FromRequest(r)) {
+		return
+	}
+	target := rp.route.MirrorTargets[int(rp.mirrorNext.Add(1)-1)%len(rp.route.MirrorTargets)]
+	url := "http://" + target + r.URL.RequestURI()
+	// Detach from the live request's context: the shadow call must not be
+	// cancelled when the live one completes first.
+	out, err := http.NewRequest(r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	copyHeaders(out.Header, r.Header)
+	out.Header.Del("Connection")
+	out.ContentLength = int64(len(body))
+	rp.mirrors.Add(1)
+	go func() {
+		defer rp.mirrors.Done()
+		resp, err := rp.client.Do(out)
+		if err != nil {
+			return
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		_ = resp.Body.Close()
+	}()
+}
+
+// sleepOrDisconnect sleeps for d but returns early if the caller goes away,
+// so huge Hang delays do not pin goroutines after the client disconnects.
+func sleepOrDisconnect(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+func firedAction(d rules.Decision) string {
+	if !d.Fired {
+		return ""
+	}
+	return string(d.Rule.Action)
+}
+
+func firedRuleID(d rules.Decision) string {
+	if !d.Fired {
+		return ""
+	}
+	return d.Rule.ID
+}

@@ -1,0 +1,710 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/rules"
+	"gremlin/internal/trace"
+)
+
+// newEcho starts a backend that echoes method, path and body, and counts
+// requests.
+func newEcho(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Backend", "echo")
+		fmt.Fprintf(w, "%s %s body=%s", r.Method, r.URL.Path, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func hostport(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// newAgent builds an agent for service "client" with a route to "server"
+// backed by the given targets, logging to a fresh store.
+func newAgent(t *testing.T, store *eventlog.Store, targets ...string) *Agent {
+	t.Helper()
+	a, err := New(Config{
+		ServiceName: "client",
+		ControlAddr: "127.0.0.1:0",
+		Routes: []Route{{
+			Dst:        "server",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    targets,
+		}},
+		Sink: store,
+		RNG:  rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close agent: %v", err)
+		}
+	})
+	return a
+}
+
+func routeGet(t *testing.T, a *Agent, path, reqID string) *http.Response {
+	t.Helper()
+	u, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, u+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestForwardBasic(t *testing.T) {
+	backend, hits := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+
+	resp := routeGet(t, a, "/api/items", "test-1")
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body != "GET /api/items body=" {
+		t.Fatalf("body = %q", body)
+	}
+	if resp.Header.Get("X-Backend") != "echo" {
+		t.Fatal("response headers not forwarded")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("backend hits = %d", hits.Load())
+	}
+
+	// Both halves logged.
+	reqs, err := store.Select(eventlog.Query{Kind: eventlog.KindRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1 || reqs[0].Src != "client" || reqs[0].Dst != "server" ||
+		reqs[0].RequestID != "test-1" || reqs[0].URI != "/api/items" {
+		t.Fatalf("request record = %+v", reqs)
+	}
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].Status != 200 || reps[0].LatencyMillis <= 0 || reps[0].GremlinGenerated {
+		t.Fatalf("reply record = %+v", reps)
+	}
+}
+
+func TestForwardPostBody(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	u, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(u+"/submit", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readBody(t, resp); got != "POST /submit body=hello" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+func TestForwardQueryString(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "q=%s", r.URL.Query().Get("q"))
+	}))
+	t.Cleanup(backend.Close)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	resp := routeGet(t, a, "/search?q=chaos", "test-1")
+	if got := readBody(t, resp); got != "q=chaos" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+func TestAbortRequest(t *testing.T) {
+	backend, hits := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "ab1", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("aborted request must not reach the backend")
+	}
+
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("reply records = %d", len(reps))
+	}
+	r := reps[0]
+	if !r.GremlinGenerated || r.Status != 503 || r.FaultAction != "abort" || r.FaultRuleID != "ab1" {
+		t.Fatalf("reply record = %+v", r)
+	}
+}
+
+func TestAbortPatternSparesOtherTraffic(t *testing.T) {
+	backend, hits := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "ab1", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp := routeGet(t, a, "/x", "prod-55")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("production traffic got %d", resp.StatusCode)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("production traffic should reach the backend")
+	}
+}
+
+func TestAbortSeverConnection(t *testing.T) {
+	backend, hits := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "crash", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*",
+		ErrorCode: rules.AbortSeverConnection,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, u+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, "test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("want transport error for severed connection")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("severed request must not reach the backend")
+	}
+}
+
+func TestDelayRequest(t *testing.T) {
+	backend, _ := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "d1", Src: "client", Dst: "server",
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 120,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if elapsed := time.Since(start); elapsed < 120*time.Millisecond {
+		t.Fatalf("elapsed = %v, want >= 120ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reps[0]
+	if r.InjectedDelayMillis != 120 || r.FaultAction != "delay" || r.GremlinGenerated {
+		t.Fatalf("reply record = %+v", r)
+	}
+	if r.LatencyMillis < 120 {
+		t.Fatalf("latency %v should include injected delay", r.LatencyMillis)
+	}
+	// Untampered latency strips the injection.
+	if ut := r.UntamperedLatency(); ut > 100*time.Millisecond {
+		t.Fatalf("untampered latency = %v, want small", ut)
+	}
+}
+
+func TestDelayResponse(t *testing.T) {
+	backend, hits := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "d2", Src: "client", Dst: "server", On: rules.OnResponse,
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("response delay must still hit the backend")
+	}
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0].InjectedDelayMillis != 100 {
+		t.Fatalf("record = %+v", reps[0])
+	}
+}
+
+func TestModifyRequestBody(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "m1", Src: "client", Dst: "server",
+		Action: rules.ActionModify, Pattern: "test-*",
+		SearchBytes: "key", ReplaceBytes: "badkey",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	u, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, u+"/x", strings.NewReader("key=value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, "test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readBody(t, resp); !strings.Contains(got, "body=badkey=value") {
+		t.Fatalf("backend saw %q, want modified body", got)
+	}
+}
+
+func TestModifyResponseBody(t *testing.T) {
+	// FakeSuccess recipe: service returns key=value with 200; Gremlin
+	// corrupts the key to trigger input-validation paths in the caller.
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "key=value")
+	}))
+	t.Cleanup(backend.Close)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "m2", Src: "client", Dst: "server", On: rules.OnResponse,
+		Action: rules.ActionModify, Pattern: "test-*",
+		SearchBytes: "key", ReplaceBytes: "badkey",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp := routeGet(t, a, "/x", "test-1")
+	if got := readBody(t, resp); got != "badkey=value" {
+		t.Fatalf("body = %q", got)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (FakeSuccess keeps the status)", resp.StatusCode)
+	}
+}
+
+func TestAbortResponse(t *testing.T) {
+	backend, hits := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "ab2", Src: "client", Dst: "server", On: rules.OnResponse,
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 500,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("response abort happens after the backend call")
+	}
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reps[0].GremlinGenerated || reps[0].Status != 500 {
+		t.Fatalf("record = %+v", reps[0])
+	}
+}
+
+func TestProbabilisticAbort(t *testing.T) {
+	backend, _ := newEcho(t)
+	store := eventlog.NewStore()
+	a := newAgent(t, store, hostport(backend.URL))
+	if err := a.InstallRules(rules.Rule{
+		ID: "p1", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+		Probability: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	aborted := 0
+	for i := 0; i < n; i++ {
+		resp := routeGet(t, a, "/x", fmt.Sprintf("test-%d", i))
+		readBody(t, resp)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			aborted++
+		}
+	}
+	frac := float64(aborted) / n
+	if frac < 0.15 || frac > 0.35 {
+		t.Fatalf("abort fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestRoundRobinTargets(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	b1 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits1.Add(1)
+		fmt.Fprint(w, "b1")
+	}))
+	t.Cleanup(b1.Close)
+	b2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits2.Add(1)
+		fmt.Fprint(w, "b2")
+	}))
+	t.Cleanup(b2.Close)
+
+	a := newAgent(t, eventlog.NewStore(), hostport(b1.URL), hostport(b2.URL))
+	for i := 0; i < 10; i++ {
+		resp := routeGet(t, a, "/", "test-1")
+		readBody(t, resp)
+	}
+	if hits1.Load() != 5 || hits2.Load() != 5 {
+		t.Fatalf("round robin split = %d/%d, want 5/5", hits1.Load(), hits2.Load())
+	}
+}
+
+func TestForwardFailureLogsAndReturns502(t *testing.T) {
+	store := eventlog.NewStore()
+	a := newAgent(t, store, "127.0.0.1:1") // nothing listens there
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	reps, err := store.Select(eventlog.Query{Kind: eventlog.KindReply})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].Status != http.StatusBadGateway {
+		t.Fatalf("records = %+v", reps)
+	}
+}
+
+func TestRouteAddrUnknown(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if _, err := a.RouteAddr("nothere"); err == nil {
+		t.Fatal("want error for unknown route")
+	}
+	if _, err := a.RouteURL("nothere"); err == nil {
+		t.Fatal("want error for unknown route")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no service", Config{Routes: []Route{{Dst: "b", ListenAddr: "x", Targets: []string{"t"}}}}},
+		{"no routes", Config{ServiceName: "a"}},
+		{"empty dst", Config{ServiceName: "a", Routes: []Route{{ListenAddr: "x", Targets: []string{"t"}}}}},
+		{"no targets", Config{ServiceName: "a", Routes: []Route{{Dst: "b", ListenAddr: "x"}}}},
+		{"no listen", Config{ServiceName: "a", Routes: []Route{{Dst: "b", Targets: []string{"t"}}}}},
+		{"dup route", Config{ServiceName: "a", Routes: []Route{
+			{Dst: "b", ListenAddr: "x", Targets: []string{"t"}},
+			{Dst: "b", ListenAddr: "y", Targets: []string{"t"}},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Fatal("want config error")
+			}
+		})
+	}
+}
+
+func TestInstallRulesValidation(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+
+	wrongSrc := rules.Rule{ID: "x", Src: "other", Dst: "server", Action: rules.ActionAbort, ErrorCode: 503}
+	if err := a.InstallRules(wrongSrc); err == nil {
+		t.Fatal("want error for mismatched source")
+	}
+	wrongDst := rules.Rule{ID: "x", Src: "client", Dst: "ghost", Action: rules.ActionAbort, ErrorCode: 503}
+	if err := a.InstallRules(wrongDst); err == nil {
+		t.Fatal("want error for unknown destination")
+	}
+	invalid := rules.Rule{ID: "", Src: "client", Dst: "server", Action: rules.ActionAbort, ErrorCode: 503}
+	if err := a.InstallRules(invalid); err == nil {
+		t.Fatal("want error for invalid rule")
+	}
+}
+
+func TestAgentWithoutSink(t *testing.T) {
+	backend, _ := newEcho(t)
+	a, err := New(Config{
+		ServiceName: "client",
+		Routes:      []Route{{Dst: "server", ListenAddr: "127.0.0.1:0", Targets: []string{hostport(backend.URL)}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if a.ControlURL() != "" {
+		t.Fatal("control URL should be empty when disabled")
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	a.Start() // second call is a no-op
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestCanaryRouting(t *testing.T) {
+	// Production and canary backends, distinguishable by body.
+	prod := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "prod")
+	}))
+	t.Cleanup(prod.Close)
+	canary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "canary")
+	}))
+	t.Cleanup(canary.Close)
+
+	a, err := New(Config{
+		ServiceName: "client",
+		Routes: []Route{{
+			Dst:           "server",
+			ListenAddr:    "127.0.0.1:0",
+			Targets:       []string{hostport(prod.URL)},
+			CanaryPattern: "test-*",
+			CanaryTargets: []string{hostport(canary.URL)},
+		}},
+		Sink: eventlog.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+
+	// Test traffic goes to the canary...
+	resp := routeGet(t, a, "/x", "test-1")
+	if got := readBody(t, resp); got != "canary" {
+		t.Fatalf("test traffic reached %q, want canary", got)
+	}
+	// ...production traffic to the production instances...
+	resp = routeGet(t, a, "/x", "prod-1")
+	if got := readBody(t, resp); got != "prod" {
+		t.Fatalf("prod traffic reached %q, want prod", got)
+	}
+	// ...and unstamped traffic stays on production too.
+	resp = routeGet(t, a, "/x", "")
+	if got := readBody(t, resp); got != "prod" {
+		t.Fatalf("unstamped traffic reached %q, want prod", got)
+	}
+}
+
+func TestCanaryRoutingWithFaults(t *testing.T) {
+	// Faults confined to test traffic land on the canary path only: the
+	// §9 state-cleanup model — crash the canary copy, never production.
+	prod := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "prod")
+	}))
+	t.Cleanup(prod.Close)
+	canary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "canary")
+	}))
+	t.Cleanup(canary.Close)
+
+	a, err := New(Config{
+		ServiceName: "client",
+		Routes: []Route{{
+			Dst:           "server",
+			ListenAddr:    "127.0.0.1:0",
+			Targets:       []string{hostport(prod.URL)},
+			CanaryPattern: "test-*",
+			CanaryTargets: []string{hostport(canary.URL)},
+		}},
+		Sink: eventlog.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := a.InstallRules(rules.Rule{
+		ID: "ab", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != 503 {
+		t.Fatalf("test traffic status = %d", resp.StatusCode)
+	}
+	resp = routeGet(t, a, "/x", "prod-1")
+	if got := readBody(t, resp); resp.StatusCode != 200 || got != "prod" {
+		t.Fatalf("prod traffic got %d %q", resp.StatusCode, got)
+	}
+}
+
+func TestCanaryConfigValidation(t *testing.T) {
+	base := Route{Dst: "b", ListenAddr: "127.0.0.1:0", Targets: []string{"t:1"}}
+
+	onlyPattern := base
+	onlyPattern.CanaryPattern = "test-*"
+	if _, err := New(Config{ServiceName: "a", Routes: []Route{onlyPattern}}); err == nil {
+		t.Fatal("pattern without targets should fail")
+	}
+
+	onlyTargets := base
+	onlyTargets.CanaryTargets = []string{"c:1"}
+	if _, err := New(Config{ServiceName: "a", Routes: []Route{onlyTargets}}); err == nil {
+		t.Fatal("targets without pattern should fail")
+	}
+
+	badPattern := base
+	badPattern.CanaryPattern = "re:["
+	badPattern.CanaryTargets = []string{"c:1"}
+	if _, err := New(Config{ServiceName: "a", Routes: []Route{badPattern}}); err == nil {
+		t.Fatal("invalid canary pattern should fail")
+	}
+}
+
+func TestAgentStatsCounters(t *testing.T) {
+	backend, _ := newEcho(t)
+	a := newAgent(t, eventlog.NewStore(), hostport(backend.URL))
+	if err := a.InstallRules(
+		rules.Rule{ID: "ab", Src: "client", Dst: "server",
+			Action: rules.ActionAbort, Pattern: "abort-*", ErrorCode: 503},
+		rules.Rule{ID: "dl", Src: "client", Dst: "server",
+			Action: rules.ActionDelay, Pattern: "delay-*", DelayMillis: 1},
+		rules.Rule{ID: "md", Src: "client", Dst: "server", On: rules.OnResponse,
+			Action: rules.ActionModify, Pattern: "mod-*", SearchBytes: "body", ReplaceBytes: "ydob"},
+		rules.Rule{ID: "sv", Src: "client", Dst: "server",
+			Action: rules.ActionAbort, Pattern: "sever-*", ErrorCode: rules.AbortSeverConnection},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"plain-1", "abort-1", "delay-1", "mod-1"} {
+		resp := routeGet(t, a, "/x", id)
+		readBody(t, resp)
+	}
+	// Severed connection produces a transport error at the caller.
+	u, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodGet, u+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, "sever-1")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+
+	st := a.Stats()
+	// Go's transport retries an idempotent GET when a pooled connection is
+	// severed mid-use, so the sever rule may fire more than once.
+	if st.Aborted != 1 || st.Delayed != 1 || st.Modified != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Severed < 1 {
+		t.Fatalf("Severed = %d, want >= 1", st.Severed)
+	}
+	if st.Proxied != 4+st.Severed {
+		t.Fatalf("Proxied = %d, want %d", st.Proxied, 4+st.Severed)
+	}
+}

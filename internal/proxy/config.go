@@ -1,0 +1,140 @@
+// Package proxy implements the Gremlin agent: a sidecar Layer-7 service
+// proxy that handles a microservice's outbound API calls, injects faults on
+// messages matching installed rules, and logs every observed request and
+// reply to the event store (paper §4.1, §6).
+//
+// A microservice is configured to reach each of its dependencies through a
+// local route of its agent ("localhost:<port> -> dependency" mappings in
+// the paper). The agent exposes a REST control API through which the
+// Failure Orchestrator installs and removes fault-injection rules.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/pattern"
+)
+
+// Route maps one outbound dependency: the co-located microservice dials
+// ListenAddr, and the agent forwards to one of the Targets.
+type Route struct {
+	// Dst is the logical name of the destination microservice.
+	Dst string `json:"dst"`
+
+	// ListenAddr is the local address the agent listens on for this
+	// dependency (e.g. "127.0.0.1:0" for an ephemeral port).
+	ListenAddr string `json:"listenAddr"`
+
+	// Targets are the physical addresses ("host:port") of the destination
+	// service's instances. Requests are spread round-robin. In a real
+	// deployment these come from a service registry.
+	Targets []string `json:"targets"`
+
+	// CanaryPattern, when non-empty, diverts requests whose request ID
+	// matches it to CanaryTargets instead of Targets — the canary
+	// deployment model the paper proposes for state cleanup (§9): "copies
+	// of a microservice dedicated to handling test requests", so that
+	// staged failures cannot corrupt production state even when a fault
+	// crashes the callee mid-write.
+	CanaryPattern string `json:"canaryPattern,omitempty"`
+
+	// CanaryTargets are the canary instances' addresses. Required exactly
+	// when CanaryPattern is set.
+	CanaryTargets []string `json:"canaryTargets,omitempty"`
+
+	// MirrorTargets, when non-empty, receive an asynchronous copy of every
+	// forwarded request; mirror responses are discarded and mirror
+	// failures never affect the caller. This supports the shadow
+	// deployments the paper names as a natural place to run Gremlin tests
+	// ("production or production-like environments (e.g., shadow
+	// deployments)"): live traffic is mirrored into the shadow stack and
+	// failures are staged there.
+	MirrorTargets []string `json:"mirrorTargets,omitempty"`
+
+	// MirrorPattern confines mirroring to request IDs matching it; empty
+	// mirrors everything (when MirrorTargets is set).
+	MirrorPattern string `json:"mirrorPattern,omitempty"`
+}
+
+// Config configures a Gremlin agent.
+type Config struct {
+	// ServiceName is the logical name of the co-located microservice. All
+	// messages proxied by this agent have this name as their source; rules
+	// installed on this agent must name it as Src.
+	ServiceName string
+
+	// AgentID identifies this agent instance in observation records.
+	// Defaults to ServiceName if empty.
+	AgentID string
+
+	// ControlAddr is the listen address of the REST control API
+	// ("127.0.0.1:0" for an ephemeral port). Empty disables the control
+	// server (rules can still be installed in-process via Matcher).
+	ControlAddr string
+
+	// Routes lists the microservice's outbound dependencies.
+	Routes []Route
+
+	// Sink receives observation records. If nil, observations are dropped
+	// (pure fault-injection mode).
+	Sink eventlog.Sink
+
+	// RNG drives probability sampling for rules. Pass a seeded rand.Rand
+	// for deterministic tests; nil uses a non-deterministic default.
+	RNG *rand.Rand
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ServiceName == "" {
+		return errors.New("proxy: config needs a ServiceName")
+	}
+	if len(c.Routes) == 0 {
+		return fmt.Errorf("proxy: agent for %q has no routes", c.ServiceName)
+	}
+	seen := make(map[string]bool, len(c.Routes))
+	for _, r := range c.Routes {
+		if r.Dst == "" {
+			return fmt.Errorf("proxy: route with empty Dst in agent for %q", c.ServiceName)
+		}
+		if seen[r.Dst] {
+			return fmt.Errorf("proxy: duplicate route for %q in agent for %q", r.Dst, c.ServiceName)
+		}
+		seen[r.Dst] = true
+		if len(r.Targets) == 0 {
+			return fmt.Errorf("proxy: route %s->%s has no targets", c.ServiceName, r.Dst)
+		}
+		if r.ListenAddr == "" {
+			return fmt.Errorf("proxy: route %s->%s has no listen address", c.ServiceName, r.Dst)
+		}
+		if (r.CanaryPattern == "") != (len(r.CanaryTargets) == 0) {
+			return fmt.Errorf("proxy: route %s->%s must set CanaryPattern and CanaryTargets together",
+				c.ServiceName, r.Dst)
+		}
+		if r.CanaryPattern != "" {
+			if _, err := pattern.Compile(r.CanaryPattern); err != nil {
+				return fmt.Errorf("proxy: route %s->%s canary pattern: %w", c.ServiceName, r.Dst, err)
+			}
+		}
+		if r.MirrorPattern != "" && len(r.MirrorTargets) == 0 {
+			return fmt.Errorf("proxy: route %s->%s sets MirrorPattern without MirrorTargets",
+				c.ServiceName, r.Dst)
+		}
+		if r.MirrorPattern != "" {
+			if _, err := pattern.Compile(r.MirrorPattern); err != nil {
+				return fmt.Errorf("proxy: route %s->%s mirror pattern: %w", c.ServiceName, r.Dst, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (c Config) agentID() string {
+	if c.AgentID != "" {
+		return c.AgentID
+	}
+	return c.ServiceName + "-agent"
+}

@@ -1,0 +1,120 @@
+package proxy
+
+import (
+	"fmt"
+	"net/http"
+
+	"gremlin/internal/httpx"
+	"gremlin/internal/rules"
+)
+
+// InfoBody describes an agent to the control plane (GET /v1/info).
+type InfoBody struct {
+	Service string            `json:"service"`
+	AgentID string            `json:"agentId"`
+	Routes  []RouteInfo       `json:"routes"`
+	Rules   int               `json:"rules"`
+	Stats   Stats             `json:"stats"`
+	Extra   map[string]string `json:"extra,omitempty"`
+}
+
+// RouteInfo is one route as reported by the control API.
+type RouteInfo struct {
+	Dst        string `json:"dst"`
+	ListenAddr string `json:"listenAddr"`
+}
+
+// controlHandler builds the agent's REST control API. This is the
+// "well-defined interface to the control plane" of the paper's Table 2: the
+// Failure Orchestrator installs rules here.
+func (a *Agent) controlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/info", a.handleInfo)
+	mux.HandleFunc("GET /v1/rules", a.handleListRules)
+	mux.HandleFunc("POST /v1/rules", a.handleInstallRules)
+	mux.HandleFunc("DELETE /v1/rules", a.handleClearRules)
+	mux.HandleFunc("DELETE /v1/rules/{id}", a.handleRemoveRule)
+	mux.HandleFunc("POST /v1/flush", a.handleFlush)
+	return mux
+}
+
+func (a *Agent) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	info := InfoBody{
+		Service: a.cfg.ServiceName,
+		AgentID: a.cfg.agentID(),
+		Rules:   a.matcher.Len(),
+		Stats:   a.Stats(),
+	}
+	for _, rp := range a.routes {
+		info.Routes = append(info.Routes, RouteInfo{Dst: rp.route.Dst, ListenAddr: rp.server.Addr()})
+	}
+	httpx.WriteJSON(w, http.StatusOK, info)
+}
+
+func (a *Agent) handleListRules(w http.ResponseWriter, _ *http.Request) {
+	list := a.matcher.List()
+	if list == nil {
+		list = []rules.Rule{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, list)
+}
+
+func (a *Agent) handleInstallRules(w http.ResponseWriter, r *http.Request) {
+	var batch []rules.Rule
+	if err := httpx.ReadJSON(w, r, &batch); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := a.InstallRules(batch...); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, map[string]int{"installed": len(batch)})
+}
+
+func (a *Agent) handleClearRules(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]int{"removed": a.matcher.Clear()})
+}
+
+func (a *Agent) handleRemoveRule(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !a.matcher.Remove(id) {
+		httpx.WriteError(w, http.StatusNotFound, "rule %q not installed", id)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]int{"removed": 1})
+}
+
+func (a *Agent) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if f, ok := a.sink.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil {
+			httpx.WriteError(w, http.StatusInternalServerError, "flush: %v", err)
+			return
+		}
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
+// InstallRules validates and installs rules on this agent. Every rule must
+// name this agent's service as its source and one of the agent's routes as
+// its destination — the orchestrator ships rules only to the agents they
+// concern, and a mismatch indicates a mis-targeted rule.
+func (a *Agent) InstallRules(batch ...rules.Rule) error {
+	for _, rule := range batch {
+		if err := rule.Validate(); err != nil {
+			return err
+		}
+		if rule.Src != a.cfg.ServiceName {
+			return fmt.Errorf("proxy: rule %q targets source %q but this agent serves %q",
+				rule.ID, rule.Src, a.cfg.ServiceName)
+		}
+		if _, ok := a.routes[rule.Dst]; !ok {
+			return fmt.Errorf("proxy: rule %q targets destination %q but agent for %q has no such route",
+				rule.ID, rule.Dst, a.cfg.ServiceName)
+		}
+	}
+	return a.matcher.Install(batch...)
+}

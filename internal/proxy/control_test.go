@@ -1,0 +1,186 @@
+package proxy_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/proxy"
+	"gremlin/internal/rules"
+)
+
+// startAgent builds a control-enabled agent for service "client" routed at
+// a throwaway backend.
+func startAgent(t *testing.T, sink eventlog.Sink) (*proxy.Agent, *agentapi.Client) {
+	t.Helper()
+	a, err := proxy.New(proxy.Config{
+		ServiceName: "client",
+		AgentID:     "client-agent-1",
+		ControlAddr: "127.0.0.1:0",
+		Routes: []proxy.Route{{
+			Dst:        "server",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{"127.0.0.1:1"},
+		}},
+		Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close agent: %v", err)
+		}
+	})
+	return a, agentapi.New(a.ControlURL(), nil)
+}
+
+func abortRule(id string) rules.Rule {
+	return rules.Rule{
+		ID: id, Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}
+}
+
+func TestControlInfo(t *testing.T) {
+	a, c := startAgent(t, nil)
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Service != "client" || info.AgentID != "client-agent-1" {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Routes) != 1 || info.Routes[0].Dst != "server" {
+		t.Fatalf("routes = %+v", info.Routes)
+	}
+	addr, err := a.RouteAddr("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Routes[0].ListenAddr != addr {
+		t.Fatalf("route addr %q != %q", info.Routes[0].ListenAddr, addr)
+	}
+}
+
+func TestControlInstallListRemoveClear(t *testing.T) {
+	_, c := startAgent(t, nil)
+
+	if err := c.InstallRules(abortRule("r1"), abortRule("r2")); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.ListRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("ListRules = %d rules", len(list))
+	}
+
+	if err := c.RemoveRule("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveRule("r1"); err == nil {
+		t.Fatal("removing a missing rule should error")
+	}
+
+	n, err := c.ClearRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ClearRules = %d, want 1", n)
+	}
+	list, err = c.ListRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("rules remain after clear: %+v", list)
+	}
+}
+
+func TestControlInstallEmptyBatchIsLocalNoop(t *testing.T) {
+	c := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
+	if err := c.InstallRules(); err != nil {
+		t.Fatalf("empty install should not touch the network: %v", err)
+	}
+}
+
+func TestControlInstallRejectsBadRules(t *testing.T) {
+	_, c := startAgent(t, nil)
+	bad := abortRule("r1")
+	bad.Src = "someoneelse"
+	if err := c.InstallRules(bad); err == nil {
+		t.Fatal("want error for mis-targeted rule")
+	}
+	list, err := c.ListRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatal("failed install must not leave rules behind")
+	}
+}
+
+func TestControlHealthz(t *testing.T) {
+	_, c := startAgent(t, nil)
+	if !c.Healthy() {
+		t.Fatal("agent should be healthy")
+	}
+	down := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
+	if down.Healthy() {
+		t.Fatal("unreachable agent should be unhealthy")
+	}
+}
+
+func TestControlFlushBufferedSink(t *testing.T) {
+	store := eventlog.NewStore()
+	buffered := eventlog.NewBufferedSink(store, 1000)
+	_, c := startAgent(t, buffered)
+
+	if err := buffered.Log(eventlog.Record{Src: "client", Dst: "server", Kind: eventlog.KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatal("record should still be buffered")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records after flush, want 1", store.Len())
+	}
+}
+
+func TestControlFlushUnbufferedSinkOK(t *testing.T) {
+	_, c := startAgent(t, eventlog.NewStore())
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush on plain sink should succeed: %v", err)
+	}
+}
+
+func TestClientErrorsAgainstDownAgent(t *testing.T) {
+	c := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
+	if _, err := c.Info(); err == nil {
+		t.Fatal("Info should fail")
+	}
+	if err := c.InstallRules(abortRule("r")); err == nil {
+		t.Fatal("InstallRules should fail")
+	}
+	if _, err := c.ListRules(); err == nil {
+		t.Fatal("ListRules should fail")
+	}
+	if err := c.RemoveRule("r"); err == nil {
+		t.Fatal("RemoveRule should fail")
+	}
+	if _, err := c.ClearRules(); err == nil {
+		t.Fatal("ClearRules should fail")
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("Flush should fail")
+	}
+}

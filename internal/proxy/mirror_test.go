@@ -1,0 +1,159 @@
+package proxy
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/rules"
+)
+
+// mirrorFixture builds an agent with a live backend and a shadow backend
+// receiving mirrored copies.
+func mirrorFixture(t *testing.T, mirrorPattern string) (*Agent, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var liveHits, shadowHits atomic.Int64
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		liveHits.Add(1)
+		fmt.Fprint(w, "live")
+	}))
+	t.Cleanup(live.Close)
+	shadow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		shadowHits.Add(1)
+		fmt.Fprint(w, "shadow")
+	}))
+	t.Cleanup(shadow.Close)
+
+	a, err := New(Config{
+		ServiceName: "client",
+		Routes: []Route{{
+			Dst:           "server",
+			ListenAddr:    "127.0.0.1:0",
+			Targets:       []string{hostport(live.URL)},
+			MirrorTargets: []string{hostport(shadow.URL)},
+			MirrorPattern: mirrorPattern,
+		}},
+		Sink: eventlog.NewStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return a, &liveHits, &shadowHits
+}
+
+func waitHits(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Load() >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("hits = %d, want %d", c.Load(), want)
+}
+
+func TestMirrorCopiesTraffic(t *testing.T) {
+	a, live, shadow := mirrorFixture(t, "")
+	resp := routeGet(t, a, "/x", "prod-1")
+	if got := readBody(t, resp); got != "live" {
+		t.Fatalf("caller got %q, want the live response", got)
+	}
+	waitHits(t, live, 1)
+	waitHits(t, shadow, 1)
+}
+
+func TestMirrorPatternConfinement(t *testing.T) {
+	a, live, shadow := mirrorFixture(t, "test-*")
+	resp := routeGet(t, a, "/x", "prod-1")
+	readBody(t, resp)
+	resp = routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	waitHits(t, live, 2)
+	waitHits(t, shadow, 1) // only the test flow mirrored
+	time.Sleep(20 * time.Millisecond)
+	if shadow.Load() != 1 {
+		t.Fatalf("shadow hits = %d, want 1", shadow.Load())
+	}
+}
+
+func TestMirrorFailureDoesNotAffectLiveCall(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "live")
+	}))
+	t.Cleanup(live.Close)
+	a, err := New(Config{
+		ServiceName: "client",
+		Routes: []Route{{
+			Dst:           "server",
+			ListenAddr:    "127.0.0.1:0",
+			Targets:       []string{hostport(live.URL)},
+			MirrorTargets: []string{"127.0.0.1:1"}, // shadow is down
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	resp := routeGet(t, a, "/x", "test-1")
+	if got := readBody(t, resp); resp.StatusCode != 200 || got != "live" {
+		t.Fatalf("live call affected by dead mirror: %d %q", resp.StatusCode, got)
+	}
+}
+
+func TestMirrorConfigValidation(t *testing.T) {
+	bad := Route{
+		Dst: "b", ListenAddr: "127.0.0.1:0", Targets: []string{"t:1"},
+		MirrorPattern: "test-*", // pattern without targets
+	}
+	if _, err := New(Config{ServiceName: "a", Routes: []Route{bad}}); err == nil {
+		t.Fatal("mirror pattern without targets should fail")
+	}
+	bad = Route{
+		Dst: "b", ListenAddr: "127.0.0.1:0", Targets: []string{"t:1"},
+		MirrorTargets: []string{"m:1"}, MirrorPattern: "re:[",
+	}
+	if _, err := New(Config{ServiceName: "a", Routes: []Route{bad}}); err == nil {
+		t.Fatal("invalid mirror pattern should fail")
+	}
+}
+
+func TestMirrorFaultsApplyToLivePathOnly(t *testing.T) {
+	// Fault rules act on the live forward; the mirror copy is sent before
+	// forwarding and is not subject to abort (the shadow keeps receiving
+	// traffic while the live path is failed — useful when the shadow IS
+	// the system under test).
+	a, _, shadow := mirrorFixture(t, "")
+	if err := a.InstallRules(rules.Rule{
+		ID: "ab", Src: "client", Dst: "server",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp := routeGet(t, a, "/x", "test-1")
+	readBody(t, resp)
+	if resp.StatusCode != 503 {
+		t.Fatalf("live path status = %d, want aborted", resp.StatusCode)
+	}
+	// The abort happens before forward(), so no mirror copy either: the
+	// fault semantics are "the request never left the caller".
+	time.Sleep(20 * time.Millisecond)
+	if shadow.Load() != 0 {
+		t.Fatalf("aborted request was mirrored %d times", shadow.Load())
+	}
+}

@@ -1,0 +1,169 @@
+// Package registry maps logical service names to physical instances and
+// their Gremlin agents. The Failure Orchestrator consults the registry to
+// locate every agent that must receive a rule: "since an application might
+// have multiple instances of any given service, the Failure Orchestrator
+// locates and configures all physical instances of the Gremlin agents"
+// (paper §4.2).
+//
+// Two implementations are provided: Static (fixed table, the paper's
+// configuration-file model) and a dynamic HTTP registry (Server/Client)
+// that services register with at startup.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrUnknownService is returned when a service has no registered instances.
+var ErrUnknownService = errors.New("registry: unknown service")
+
+// Instance is one physical instance of a logical service together with its
+// co-located Gremlin agent.
+type Instance struct {
+	// Service is the logical service name.
+	Service string `json:"service"`
+
+	// Addr is the instance's own listen address (host:port), used when
+	// wiring routes to this service.
+	Addr string `json:"addr"`
+
+	// AgentControlURL is the base URL of the sidecar agent's control API.
+	// Empty for services that run without an agent (e.g. external APIs).
+	AgentControlURL string `json:"agentControlUrl,omitempty"`
+}
+
+// Registry resolves logical service names.
+type Registry interface {
+	// Instances returns the physical instances of a service, or
+	// ErrUnknownService.
+	Instances(service string) ([]Instance, error)
+
+	// Services returns all known logical service names, sorted.
+	Services() ([]string, error)
+}
+
+// Static is a fixed, thread-safe registry.
+type Static struct {
+	mu        sync.RWMutex
+	instances map[string][]Instance
+}
+
+var _ Registry = (*Static)(nil)
+
+// NewStatic builds a registry from a fixed instance list.
+func NewStatic(instances ...Instance) *Static {
+	s := &Static{instances: make(map[string][]Instance)}
+	for _, in := range instances {
+		s.Add(in)
+	}
+	return s
+}
+
+// Add registers an instance. Duplicate (service, addr) pairs replace the
+// previous entry so re-registration after restart is idempotent.
+func (s *Static) Add(in Instance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.instances == nil {
+		s.instances = make(map[string][]Instance)
+	}
+	list := s.instances[in.Service]
+	for i, existing := range list {
+		if existing.Addr == in.Addr {
+			list[i] = in
+			return
+		}
+	}
+	s.instances[in.Service] = append(list, in)
+}
+
+// Remove deregisters the instance with the given service and address,
+// reporting whether it existed.
+func (s *Static) Remove(service, addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.instances[service]
+	for i, in := range list {
+		if in.Addr == addr {
+			s.instances[service] = append(list[:i], list[i+1:]...)
+			if len(s.instances[service]) == 0 {
+				delete(s.instances, service)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Instances implements Registry.
+func (s *Static) Instances(service string) ([]Instance, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	list, ok := s.instances[service]
+	if !ok || len(list) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	out := make([]Instance, len(list))
+	copy(out, list)
+	return out, nil
+}
+
+// Services implements Registry.
+func (s *Static) Services() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.instances))
+	for n := range s.instances {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// AgentURLs returns the distinct agent control URLs for a service's
+// instances, preserving first-seen order. Instances without agents are
+// skipped.
+func AgentURLs(r Registry, service string) ([]string, error) {
+	instances, err := r.Instances(service)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(instances))
+	var urls []string
+	for _, in := range instances {
+		if in.AgentControlURL == "" || seen[in.AgentControlURL] {
+			continue
+		}
+		seen[in.AgentControlURL] = true
+		urls = append(urls, in.AgentControlURL)
+	}
+	return urls, nil
+}
+
+// AllAgentURLs returns the distinct agent control URLs across every
+// registered service, sorted.
+func AllAgentURLs(r Registry) ([]string, error) {
+	services, err := r.Services()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	for _, svc := range services {
+		urls, err := AgentURLs(r, svc)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range urls {
+			seen[u] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out, nil
+}

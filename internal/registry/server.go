@@ -1,0 +1,201 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gremlin/internal/httpx"
+)
+
+// Server exposes a Static registry over HTTP for dynamic service
+// registration:
+//
+//	POST   /v1/instances                register an instance
+//	DELETE /v1/instances?service=&addr= deregister
+//	GET    /v1/instances?service=       list a service's instances
+//	GET    /v1/services                 list service names
+//	GET    /healthz                     liveness probe
+type Server struct {
+	reg  *Static
+	http *httpx.Server
+}
+
+// NewServer creates and starts a registry server on addr.
+func NewServer(addr string, reg *Static) (*Server, error) {
+	s := &Server{reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instances", s.handleRegister)
+	mux.HandleFunc("DELETE /v1/instances", s.handleDeregister)
+	mux.HandleFunc("GET /v1/instances", s.handleList)
+	mux.HandleFunc("GET /v1/services", s.handleServices)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	hs, err := httpx.NewServer(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	s.http = hs
+	hs.Start()
+	return s, nil
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.http.URL() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var in Instance
+	if err := httpx.ReadJSON(w, r, &in); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if in.Service == "" || in.Addr == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "instance needs service and addr")
+		return
+	}
+	s.reg.Add(in)
+	httpx.WriteJSON(w, http.StatusCreated, in)
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	service, addr := r.URL.Query().Get("service"), r.URL.Query().Get("addr")
+	if service == "" || addr == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "need service and addr query parameters")
+		return
+	}
+	if !s.reg.Remove(service, addr) {
+		httpx.WriteError(w, http.StatusNotFound, "instance %s@%s not registered", service, addr)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]int{"removed": 1})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	if service == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "need service query parameter")
+		return
+	}
+	instances, err := s.reg.Instances(service)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, instances)
+}
+
+func (s *Server) handleServices(w http.ResponseWriter, _ *http.Request) {
+	services, err := s.reg.Services()
+	if err != nil {
+		httpx.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if services == nil {
+		services = []string{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, services)
+}
+
+// Client is a Registry backed by a remote registry Server.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+var _ Registry = (*Client)(nil)
+
+// NewClient creates a registry client. If hc is nil a default client with a
+// 10 s timeout is used.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{baseURL: baseURL, http: hc}
+}
+
+// Register adds an instance to the remote registry.
+func (c *Client) Register(in Instance) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("registry: marshal instance: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/v1/instances", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return fmt.Errorf("registry: register: %w", err)
+	}
+	return checkAndClose(resp)
+}
+
+// Deregister removes an instance from the remote registry.
+func (c *Client) Deregister(service, addr string) error {
+	u := fmt.Sprintf("%s/v1/instances?service=%s&addr=%s",
+		c.baseURL, url.QueryEscape(service), url.QueryEscape(addr))
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("registry: deregister: %w", err)
+	}
+	return checkAndClose(resp)
+}
+
+// Instances implements Registry.
+func (c *Client) Instances(service string) ([]Instance, error) {
+	resp, err := c.http.Get(c.baseURL + "/v1/instances?service=" + url.QueryEscape(service))
+	if err != nil {
+		return nil, fmt.Errorf("registry: instances: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownService, service)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("registry: instances: server returned %d", resp.StatusCode)
+	}
+	var out []Instance
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("registry: decode instances: %w", err)
+	}
+	return out, nil
+}
+
+// Services implements Registry.
+func (c *Client) Services() ([]string, error) {
+	resp, err := c.http.Get(c.baseURL + "/v1/services")
+	if err != nil {
+		return nil, fmt.Errorf("registry: services: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("registry: services: server returned %d", resp.StatusCode)
+	}
+	var out []string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("registry: decode services: %w", err)
+	}
+	return out, nil
+}
+
+func checkAndClose(resp *http.Response) error {
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("registry: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return nil
+}
+
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	_ = rc.Close()
+}

@@ -1,0 +1,318 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is an injectable test clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 7, 4, 9, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func newTestBreaker(next Doer, clock *fakeClock) *Breaker {
+	return NewBreaker(next, BreakerConfig{
+		FailureThreshold: 3,
+		OpenTimeout:      30 * time.Second,
+		SuccessThreshold: 2,
+		Now:              clock.Now,
+	})
+}
+
+func TestBreakerStaysClosedOnSuccess(t *testing.T) {
+	s := &scriptedDoer{statuses: []int{200}}
+	b := newTestBreaker(s, newFakeClock())
+	for i := 0; i < 10; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	s := &scriptedDoer{statuses: []int{503}}
+	b := newTestBreaker(s, newFakeClock())
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after 3 failures", b.State())
+	}
+	// Calls now fail fast without touching the dependency.
+	before := s.calls.Load()
+	_, err := get(t, b, "http://svc/")
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if s.calls.Load() != before {
+		t.Fatal("open breaker must not call the dependency")
+	}
+	if b.Rejected() != 1 {
+		t.Fatalf("Rejected = %d", b.Rejected())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	s := &scriptedDoer{statuses: []int{503, 503, 200, 503, 503, 200}}
+	b := newTestBreaker(s, newFakeClock())
+	for i := 0; i < 6; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v; interleaved successes should keep breaker closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeAndClose(t *testing.T) {
+	clock := newFakeClock()
+	s := &scriptedDoer{statuses: []int{503, 503, 503, 200, 200}}
+	b := newTestBreaker(s, clock)
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	if b.State() != Open {
+		t.Fatal("breaker should be open")
+	}
+
+	clock.Advance(31 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open after the open timeout", b.State())
+	}
+
+	// Two successful probes (SuccessThreshold=2) close the breaker.
+	for i := 0; i < 2; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probes", b.State())
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	s := &scriptedDoer{statuses: []int{503}}
+	b := newTestBreaker(s, clock)
+	for i := 0; i < 3; i++ {
+		resp, err := get(t, b, "http://svc/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRead(t, resp)
+	}
+	clock.Advance(31 * time.Second)
+	resp, err := get(t, b, "http://svc/") // failing probe
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, resp)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want re-opened", b.State())
+	}
+}
+
+func TestBreakerFallback(t *testing.T) {
+	clock := newFakeClock()
+	s := &scriptedDoer{statuses: []int{503}}
+	b := NewBreaker(s, BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Minute,
+		Now:              clock.Now,
+		Fallback:         StaticFallback(200, "cached"),
+	})
+	resp, err := get(t, b, "http://svc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, resp)
+
+	// Breaker now open: fallback answers.
+	resp, err = get(t, b, "http://svc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, resp); got != "cached" || resp.StatusCode != 200 {
+		t.Fatalf("fallback = %d %q", resp.StatusCode, got)
+	}
+}
+
+func TestBreakerTransportErrorCountsAsFailure(t *testing.T) {
+	s := &scriptedDoer{statuses: []int{0}}
+	b := newTestBreaker(s, newFakeClock())
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, b, "http://svc/"); err == nil {
+			t.Fatal("want transport error")
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestBreakerDefaultsApplied(t *testing.T) {
+	b := NewBreaker(&scriptedDoer{statuses: []int{200}}, BreakerConfig{})
+	if b.cfg.FailureThreshold != 5 || b.cfg.OpenTimeout != 30*time.Second || b.cfg.SuccessThreshold != 1 {
+		t.Fatalf("defaults = %+v", b.cfg)
+	}
+}
+
+func TestBreakerHalfOpenLimitsConcurrentProbes(t *testing.T) {
+	clock := newFakeClock()
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	slow := DoerFunc(func(req *http.Request) (*http.Response, error) {
+		close(blocked)
+		<-release
+		return StaticFallback(200, "ok")(req)
+	})
+	fail := &scriptedDoer{statuses: []int{503}}
+
+	var current Doer = fail
+	mux := DoerFunc(func(req *http.Request) (*http.Response, error) { return current.Do(req) })
+	b := NewBreaker(mux, BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		Now:              clock.Now,
+	})
+	resp, err := get(t, b, "http://svc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRead(t, resp)
+	if b.State() != Open {
+		t.Fatal("should be open")
+	}
+
+	clock.Advance(2 * time.Second)
+	current = slow
+	done := make(chan error, 1)
+	go func() {
+		resp, err := get(t, b, "http://svc/")
+		if err == nil {
+			mustRead(t, resp)
+		}
+		done <- err
+	}()
+	<-blocked
+	// A second call while the probe is in flight is rejected.
+	if _, err := get(t, b, "http://svc/"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("concurrent probe err = %v, want ErrCircuitOpen", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	tests := []struct {
+		s    State
+		want string
+	}{
+		{Closed, "closed"},
+		{Open, "open"},
+		{HalfOpen, "half-open"},
+		{State(99), "State(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+// TestBreakerStateMachineProperty drives the breaker with random outcome
+// sequences and random clock advances, checking invariants after every
+// step:
+//   - the state is always one of Closed/Open/HalfOpen;
+//   - the dependency is never called while the breaker reports Open;
+//   - a successful probe run of SuccessThreshold closes the breaker.
+func TestBreakerStateMachineProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seq []byte) bool {
+		clock := newFakeClock()
+		next := &scriptedDoer{statuses: []int{200}}
+		b := NewBreaker(next, BreakerConfig{
+			FailureThreshold: 3,
+			OpenTimeout:      10 * time.Second,
+			SuccessThreshold: 2,
+			Now:              clock.Now,
+		})
+		for _, op := range seq {
+			switch op % 4 {
+			case 0: // successful call
+				next.statuses = []int{200}
+			case 1: // failing call
+				next.statuses = []int{503}
+			case 2: // transport error
+				next.statuses = []int{0}
+			case 3: // time passes
+				clock.Advance(time.Duration(rng.Intn(15)) * time.Second)
+				continue
+			}
+			stateBefore := b.State()
+			callsBefore := next.calls.Load()
+			resp, err := get(t, b, "http://svc/")
+			if err == nil {
+				mustRead(t, resp)
+			}
+			switch b.State() {
+			case Closed, Open, HalfOpen:
+			default:
+				return false
+			}
+			if stateBefore == Open && next.calls.Load() != callsBefore {
+				return false // called the dependency while open
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ErrBulkheadFull is returned (wrapped) when a call is rejected because the
+// bulkhead's concurrency budget is exhausted.
+var ErrBulkheadFull = errors.New("resilience: bulkhead full")
+
+// Bulkhead caps the number of concurrent in-flight calls through a Doer
+// (paper §2.1): giving each dependency its own bulkhead prevents one slow
+// dependency from exhausting the shared resources a service needs to reach
+// its healthy dependencies.
+type Bulkhead struct {
+	next    Doer
+	sem     chan struct{}
+	maxWait time.Duration
+}
+
+var _ Doer = (*Bulkhead)(nil)
+
+// NewBulkhead wraps next, allowing at most maxConcurrent in-flight calls.
+// A call arriving while the bulkhead is full waits up to maxWait for a slot
+// (0 rejects immediately).
+func NewBulkhead(next Doer, maxConcurrent int, maxWait time.Duration) *Bulkhead {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 1
+	}
+	return &Bulkhead{
+		next:    next,
+		sem:     make(chan struct{}, maxConcurrent),
+		maxWait: maxWait,
+	}
+}
+
+// Capacity reports the bulkhead's concurrency budget.
+func (b *Bulkhead) Capacity() int { return cap(b.sem) }
+
+// InFlight reports the number of calls currently holding a slot.
+func (b *Bulkhead) InFlight() int { return len(b.sem) }
+
+// Do implements Doer.
+func (b *Bulkhead) Do(req *http.Request) (*http.Response, error) {
+	select {
+	case b.sem <- struct{}{}:
+	default:
+		if b.maxWait <= 0 {
+			return nil, fmt.Errorf("%w (capacity %d)", ErrBulkheadFull, cap(b.sem))
+		}
+		timer := time.NewTimer(b.maxWait)
+		defer timer.Stop()
+		select {
+		case b.sem <- struct{}{}:
+		case <-timer.C:
+			return nil, fmt.Errorf("%w after waiting %s (capacity %d)", ErrBulkheadFull, b.maxWait, cap(b.sem))
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("resilience: bulkhead wait aborted: %w", req.Context().Err())
+		}
+	}
+
+	resp, err := b.next.Do(req)
+	if err != nil {
+		<-b.sem
+		return nil, err
+	}
+	// Hold the slot until the caller finishes reading the response: the
+	// resource being isolated is the whole in-flight exchange.
+	resp.Body = &releaseOnCloseBody{body: resp.Body, release: func() { <-b.sem }}
+	return resp, nil
+}
+
+type releaseOnCloseBody struct {
+	body interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	release  func()
+	released bool
+}
+
+func (b *releaseOnCloseBody) Read(p []byte) (int, error) { return b.body.Read(p) }
+
+func (b *releaseOnCloseBody) Close() error {
+	err := b.body.Close()
+	if !b.released {
+		b.released = true
+		b.release()
+	}
+	return err
+}

@@ -1,0 +1,121 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptrace"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTimeout is returned (wrapped) when a call exceeds its deadline.
+var ErrTimeout = errors.New("resilience: call timed out")
+
+// Timeout enforces a per-call deadline on an underlying Doer (paper §2.1:
+// "timeouts ensure that an API call to a microservice completes in bounded
+// time").
+type Timeout struct {
+	next Doer
+	d    time.Duration
+}
+
+var _ Doer = (*Timeout)(nil)
+
+// NewTimeout wraps next with a deadline of d per call.
+func NewTimeout(next Doer, d time.Duration) *Timeout {
+	return &Timeout{next: next, d: d}
+}
+
+// Do implements Doer.
+func (t *Timeout) Do(req *http.Request) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(req.Context(), t.d)
+	resp, err := t.next.Do(req.WithContext(ctx))
+	if err != nil {
+		cancel()
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w after %s: %v", ErrTimeout, t.d, err)
+		}
+		return nil, err
+	}
+	// Cancel when the body is closed, not before: the caller still needs to
+	// read the response.
+	resp.Body = &cancelOnCloseBody{body: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelOnCloseBody struct {
+	body interface {
+		Read([]byte) (int, error)
+		Close() error
+	}
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnCloseBody) Read(p []byte) (int, error) { return b.body.Read(p) }
+
+func (b *cancelOnCloseBody) Close() error {
+	err := b.body.Close()
+	b.cancel()
+	return err
+}
+
+// LeakyTimeout reproduces the timeout-handling bug the paper's case study
+// discovered in the Unirest HTTP library (§7.1): the library's timeout
+// pattern covered the response wait but "did not gracefully handle corner
+// cases involving TCP connection timeout; instead the errors percolated to
+// other parts of the microservice."
+//
+// LeakyTimeout starts its deadline timer only once a connection has been
+// established (via httptrace.GotConn). If the dependency never accepts the
+// connection — precisely what a Crash fault with a severed TCP connection
+// or a blackholed host produces — no deadline applies and the raw transport
+// error (or a long OS-level hang) leaks through.
+//
+// It exists so resilience tests can be demonstrated against a realistically
+// buggy abstraction; do not use it in real services.
+type LeakyTimeout struct {
+	next Doer
+	d    time.Duration
+}
+
+var _ Doer = (*LeakyTimeout)(nil)
+
+// NewLeakyTimeout wraps next with the buggy timeout behaviour described
+// above.
+func NewLeakyTimeout(next Doer, d time.Duration) *LeakyTimeout {
+	return &LeakyTimeout{next: next, d: d}
+}
+
+// Do implements Doer.
+func (t *LeakyTimeout) Do(req *http.Request) (*http.Response, error) {
+	ctx, cancel := context.WithCancel(req.Context())
+	var fired atomic.Bool
+	timer := time.AfterFunc(1<<62, func() { // effectively never, until armed
+		fired.Store(true)
+		cancel()
+	})
+	trace := &httptrace.ClientTrace{
+		GotConn: func(httptrace.GotConnInfo) {
+			// BUG (faithful to the case study): the deadline only starts
+			// once the connection exists.
+			timer.Reset(t.d)
+		},
+	}
+	req = req.WithContext(httptrace.WithClientTrace(ctx, trace))
+	resp, err := t.next.Do(req)
+	if err != nil {
+		timer.Stop()
+		cancel()
+		if fired.Load() {
+			return nil, fmt.Errorf("%w after %s: %v", ErrTimeout, t.d, err)
+		}
+		return nil, err
+	}
+	resp.Body = &cancelOnCloseBody{body: resp.Body, cancel: func() {
+		timer.Stop()
+		cancel()
+	}}
+	return resp, nil
+}

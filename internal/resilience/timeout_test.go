@@ -1,0 +1,119 @@
+package resilience
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func slowServer(t *testing.T, delay time.Duration, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return
+		}
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, d Doer, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Do(req)
+}
+
+func mustRead(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestTimeoutFastCallPasses(t *testing.T) {
+	srv := slowServer(t, 0, "ok")
+	d := NewTimeout(http.DefaultClient, time.Second)
+	resp, err := get(t, d, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, resp); got != "ok" {
+		t.Fatalf("body = %q", got)
+	}
+}
+
+func TestTimeoutSlowCallFails(t *testing.T) {
+	srv := slowServer(t, 2*time.Second, "late")
+	d := NewTimeout(http.DefaultClient, 50*time.Millisecond)
+	start := time.Now()
+	_, err := get(t, d, srv.URL)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("timeout took %v, should fire at ~50ms", elapsed)
+	}
+}
+
+func TestTimeoutNonTimeoutErrorPassesThrough(t *testing.T) {
+	d := NewTimeout(http.DefaultClient, time.Second)
+	_, err := get(t, d, "http://127.0.0.1:1/")
+	if err == nil {
+		t.Fatal("want connection error")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("connection refused misreported as timeout: %v", err)
+	}
+}
+
+func TestLeakyTimeoutCoversSlowResponses(t *testing.T) {
+	srv := slowServer(t, 2*time.Second, "late")
+	d := NewLeakyTimeout(http.DefaultClient, 50*time.Millisecond)
+	start := time.Now()
+	_, err := get(t, d, srv.URL)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestLeakyTimeoutDoesNotCoverConnectFailures(t *testing.T) {
+	// The reproduced Unirest bug: when the TCP connection itself fails, the
+	// library's timeout never arms and the raw transport error percolates.
+	d := NewLeakyTimeout(http.DefaultClient, 50*time.Millisecond)
+	_, err := get(t, d, "http://127.0.0.1:1/")
+	if err == nil {
+		t.Fatal("want connection error")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("leaky timeout should NOT convert connect failures into graceful timeouts: %v", err)
+	}
+}
+
+func TestLeakyTimeoutFastCallPasses(t *testing.T) {
+	srv := slowServer(t, 0, "ok")
+	d := NewLeakyTimeout(http.DefaultClient, time.Second)
+	resp, err := get(t, d, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustRead(t, resp); got != "ok" {
+		t.Fatalf("body = %q", got)
+	}
+}

@@ -1,0 +1,37 @@
+package rules
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRuleJSON drives rule decoding and validation with arbitrary JSON:
+// neither may panic, and any rule that validates must compile and match
+// without panicking.
+func FuzzRuleJSON(f *testing.F) {
+	seeds := []string{
+		`{"id":"r","src":"a","dst":"b","action":"abort","errorCode":503}`,
+		`{"id":"r","src":"a","dst":"b","action":"delay","delayMillis":10,"pattern":"test-*"}`,
+		`{"id":"r","src":"a","dst":"b","action":"modify","searchBytes":"x","replaceBytes":"y","on":"response"}`,
+		`{"id":"r","src":"a","dst":"b","action":"abort","errorCode":-1,"probability":0.5}`,
+		`{}`,
+		`{"action":"zap"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), "test-1")
+	}
+	f.Fuzz(func(t *testing.T, data []byte, id string) {
+		var r Rule
+		if err := json.Unmarshal(data, &r); err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			return
+		}
+		c, err := Compile(r)
+		if err != nil {
+			t.Fatalf("validated rule failed to compile: %v (%+v)", err, r)
+		}
+		c.Matches(Message{Src: r.Src, Dst: r.Dst, Type: r.on(), RequestID: id})
+	})
+}

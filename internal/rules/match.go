@@ -1,0 +1,209 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"gremlin/internal/pattern"
+)
+
+// Message describes one intercepted message, as seen by a Gremlin agent,
+// for the purpose of rule matching.
+type Message struct {
+	// Src and Dst are the logical service names of the caller and callee.
+	Src, Dst string
+	// Type is the message direction: request or response.
+	Type MessageType
+	// RequestID is the flow ID propagated in the message headers. Empty
+	// when the caller did not stamp one.
+	RequestID string
+}
+
+// CompiledRule is a Rule with its request-ID pattern compiled for matching.
+type CompiledRule struct {
+	Rule
+
+	pat    pattern.Pattern
+	prefix string // literal prefix every matching ID must carry ("" = none)
+}
+
+// Compile validates the rule and compiles its pattern.
+func Compile(r Rule) (CompiledRule, error) {
+	if err := r.Validate(); err != nil {
+		return CompiledRule{}, err
+	}
+	p, err := pattern.Compile(r.Pattern)
+	if err != nil {
+		return CompiledRule{}, err
+	}
+	return CompiledRule{Rule: r, pat: p, prefix: p.LiteralPrefix()}, nil
+}
+
+// Matches reports whether the message satisfies the rule's criteria
+// (source, destination, direction, and request-ID pattern). It does not
+// sample the probability; see Matcher.Decide.
+func (c CompiledRule) Matches(m Message) bool {
+	if c.Src != m.Src || c.Dst != m.Dst {
+		return false
+	}
+	if c.on() != m.Type {
+		return false
+	}
+	return c.pat.Match(m.RequestID)
+}
+
+// Decision is the outcome of matching a message against a rule set.
+type Decision struct {
+	// Rule is the matched rule whose fault fired. Zero-valued when Fired is
+	// false.
+	Rule CompiledRule
+	// Matched reports whether any rule's criteria matched the message,
+	// regardless of probability sampling.
+	Matched bool
+	// Fired reports whether a fault action should be applied.
+	Fired bool
+}
+
+// Matcher holds an agent's installed rules and answers, per message, which
+// fault (if any) to apply. The paper's Figure 8 measures this component's
+// overhead: a linear scan of all installed rules per message, which we keep
+// deliberately (the paper notes prefix/numeric ID indexes as possible
+// optimizations and excludes them from measurement).
+//
+// Matcher is safe for concurrent use.
+type Matcher struct {
+	mu       sync.RWMutex
+	rules    []CompiledRule
+	fastPath bool
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+}
+
+// NewMatcher creates an empty matcher. The rng drives probability sampling;
+// pass a seeded rand.Rand for deterministic tests, or nil for a
+// non-deterministic default.
+func NewMatcher(rng *rand.Rand) *Matcher {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	return &Matcher{rng: rng}
+}
+
+// Install adds rules to the matcher. It rejects the whole batch if any rule
+// is invalid or if an ID collides with an installed rule.
+func (m *Matcher) Install(rs ...Rule) error {
+	compiled := make([]CompiledRule, 0, len(rs))
+	batch := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		c, err := Compile(r)
+		if err != nil {
+			return err
+		}
+		if batch[r.ID] {
+			return fmt.Errorf("rules: duplicate rule ID %q in batch", r.ID)
+		}
+		batch[r.ID] = true
+		compiled = append(compiled, c)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range compiled {
+		for _, existing := range m.rules {
+			if existing.ID == c.ID {
+				return fmt.Errorf("rules: rule ID %q already installed", c.ID)
+			}
+		}
+	}
+	m.rules = append(m.rules, compiled...)
+	return nil
+}
+
+// Remove deletes the rule with the given ID, reporting whether it existed.
+func (m *Matcher) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, r := range m.rules {
+		if r.ID == id {
+			m.rules = append(m.rules[:i], m.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clear removes all rules and returns how many were installed.
+func (m *Matcher) Clear() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.rules)
+	m.rules = nil
+	return n
+}
+
+// Len reports the number of installed rules.
+func (m *Matcher) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.rules)
+}
+
+// List returns a snapshot of the installed rules.
+func (m *Matcher) List() []Rule {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Rule, len(m.rules))
+	for i, r := range m.rules {
+		out[i] = r.Rule
+	}
+	return out
+}
+
+// UseLiteralPrefixFastPath toggles the "structured request IDs"
+// optimization the paper suggests for reducing rule-matching overhead
+// (§7.2): before running a rule's pattern, the matcher rejects it with a
+// cheap literal-prefix comparison when the pattern demands a prefix the
+// message ID does not carry. Semantics are unchanged — only non-matching
+// scans get cheaper. Off by default for fidelity with the paper's
+// measurements, which exclude such optimizations.
+func (m *Matcher) UseLiteralPrefixFastPath(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fastPath = on
+}
+
+// Decide scans the installed rules in insertion order and returns the first
+// rule whose criteria match the message and whose probability sample fires.
+// If rules match but none fires, Decision.Matched is true and Fired false.
+func (m *Matcher) Decide(msg Message) Decision {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	var d Decision
+	for _, r := range m.rules {
+		if m.fastPath && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
+			continue
+		}
+		if !r.Matches(msg) {
+			continue
+		}
+		d.Matched = true
+		if m.sample(r.EffectiveProbability()) {
+			d.Rule = r
+			d.Fired = true
+			return d
+		}
+	}
+	return d
+}
+
+func (m *Matcher) sample(p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	return m.rng.Float64() < p
+}

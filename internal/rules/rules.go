@@ -1,0 +1,207 @@
+// Package rules defines Gremlin's fault-injection rules: the interface the
+// control plane uses to program the data plane (Table 2 of the paper).
+//
+// A rule instructs a Gremlin agent to inspect messages flowing from a source
+// microservice to a destination microservice and, when a message matches the
+// rule's criteria (message type, request-ID pattern, probability), apply one
+// of three primitive fault actions:
+//
+//   - Abort: do not forward the message; return an application-level error
+//     code to the source (or sever the connection when ErrorCode == -1,
+//     emulating a crashed process).
+//   - Delay: forward the message only after a fixed interval, emulating an
+//     overloaded or slow service/network.
+//   - Modify: rewrite matched bytes in the message body, emulating
+//     corrupted or unexpected responses.
+//
+// Complex failure scenarios (Overload, Crash, Partition, ...) are composed
+// from these primitives by the recipe layer (internal/core).
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gremlin/internal/pattern"
+)
+
+// Action identifies a primitive fault-injection action.
+type Action string
+
+// The three fault primitives exposed by the data plane (paper Table 2).
+const (
+	ActionAbort  Action = "abort"
+	ActionDelay  Action = "delay"
+	ActionModify Action = "modify"
+)
+
+// MessageType selects which half of a request/response exchange a rule
+// applies to (the paper's "On" parameter).
+type MessageType string
+
+// Message types understood by the agents.
+const (
+	OnRequest  MessageType = "request"
+	OnResponse MessageType = "response"
+)
+
+// AbortSeverConnection is the sentinel ErrorCode instructing the agent to
+// terminate the connection at the TCP level without returning an
+// application-level error, emulating an abrupt process crash (paper §5).
+const AbortSeverConnection = -1
+
+// Rule is one fault-injection rule as installed on a Gremlin agent.
+//
+// Src and Dst name logical microservices. Pattern matches against the
+// request ID propagated in message headers; it supports glob syntax
+// ("test-*", "?" for one character) or, with the "re:" prefix, a Go regular
+// expression. Probability in (0, 1] gates application per matching message;
+// 0 is normalized to 1 (always apply) for parity with the paper's recipes,
+// which omit it for deterministic faults.
+type Rule struct {
+	// ID uniquely identifies the rule on an agent. Assigned by the control
+	// plane; agents reject duplicate IDs.
+	ID string `json:"id"`
+
+	// Src is the logical name of the calling microservice whose outbound
+	// messages this rule inspects.
+	Src string `json:"src"`
+
+	// Dst is the logical name of the destination microservice.
+	Dst string `json:"dst"`
+
+	// On selects request or response messages. Defaults to OnRequest.
+	On MessageType `json:"on,omitempty"`
+
+	// Action is the fault primitive to apply.
+	Action Action `json:"action"`
+
+	// Pattern matches request IDs (glob, or "re:<regexp>"). Empty matches
+	// every message.
+	Pattern string `json:"pattern,omitempty"`
+
+	// Probability in (0,1] of applying the fault to a matching message.
+	// Zero is treated as 1.
+	Probability float64 `json:"probability,omitempty"`
+
+	// ErrorCode is the HTTP status returned to Src for Abort rules, or
+	// AbortSeverConnection to sever the connection.
+	ErrorCode int `json:"errorCode,omitempty"`
+
+	// DelayMillis is the injected delay for Delay rules, in milliseconds.
+	DelayMillis int64 `json:"delayMillis,omitempty"`
+
+	// SearchBytes is the byte pattern Modify rules search for in the body.
+	SearchBytes string `json:"searchBytes,omitempty"`
+
+	// ReplaceBytes is the replacement for SearchBytes in Modify rules.
+	ReplaceBytes string `json:"replaceBytes,omitempty"`
+}
+
+// Delay returns the rule's delay as a time.Duration.
+func (r Rule) Delay() time.Duration { return time.Duration(r.DelayMillis) * time.Millisecond }
+
+// EffectiveProbability returns the probability with the zero-value
+// normalization applied.
+func (r Rule) EffectiveProbability() float64 {
+	if r.Probability == 0 {
+		return 1
+	}
+	return r.Probability
+}
+
+// String renders a compact human-readable description of the rule.
+func (r Rule) String() string {
+	switch r.Action {
+	case ActionAbort:
+		return fmt.Sprintf("abort[%s] %s->%s on=%s pattern=%q p=%.2f code=%d",
+			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.ErrorCode)
+	case ActionDelay:
+		return fmt.Sprintf("delay[%s] %s->%s on=%s pattern=%q p=%.2f interval=%s",
+			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.Delay())
+	case ActionModify:
+		return fmt.Sprintf("modify[%s] %s->%s on=%s pattern=%q p=%.2f %q->%q",
+			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes)
+	default:
+		return fmt.Sprintf("invalid rule[%s] action=%q", r.ID, r.Action)
+	}
+}
+
+func (r Rule) on() MessageType {
+	if r.On == "" {
+		return OnRequest
+	}
+	return r.On
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrMissingID     = errors.New("rules: rule has no ID")
+	ErrMissingSrc    = errors.New("rules: rule has no source service")
+	ErrMissingDst    = errors.New("rules: rule has no destination service")
+	ErrBadAction     = errors.New("rules: unknown action")
+	ErrBadOn         = errors.New("rules: unknown message type")
+	ErrBadProbabilty = errors.New("rules: probability outside [0,1]")
+	ErrBadErrorCode  = errors.New("rules: abort error code must be -1 or a 4xx/5xx HTTP status")
+	ErrBadDelay      = errors.New("rules: delay rule needs a positive interval")
+	ErrBadModify     = errors.New("rules: modify rule needs non-empty search bytes")
+)
+
+// Validate checks the rule for structural problems. Agents reject invalid
+// rules; the control plane validates before shipping.
+func (r Rule) Validate() error {
+	if r.ID == "" {
+		return ErrMissingID
+	}
+	if r.Src == "" {
+		return fmt.Errorf("%w (rule %s)", ErrMissingSrc, r.ID)
+	}
+	if r.Dst == "" {
+		return fmt.Errorf("%w (rule %s)", ErrMissingDst, r.ID)
+	}
+	switch r.on() {
+	case OnRequest, OnResponse:
+	default:
+		return fmt.Errorf("%w %q (rule %s)", ErrBadOn, r.On, r.ID)
+	}
+	if r.Probability < 0 || r.Probability > 1 {
+		return fmt.Errorf("%w: %v (rule %s)", ErrBadProbabilty, r.Probability, r.ID)
+	}
+	if _, err := pattern.Compile(r.Pattern); err != nil {
+		return fmt.Errorf("rules: bad pattern %q (rule %s): %w", r.Pattern, r.ID, err)
+	}
+	switch r.Action {
+	case ActionAbort:
+		if r.ErrorCode != AbortSeverConnection && (r.ErrorCode < 400 || r.ErrorCode > 599) {
+			return fmt.Errorf("%w: %d (rule %s)", ErrBadErrorCode, r.ErrorCode, r.ID)
+		}
+	case ActionDelay:
+		if r.DelayMillis <= 0 {
+			return fmt.Errorf("%w (rule %s)", ErrBadDelay, r.ID)
+		}
+	case ActionModify:
+		if r.SearchBytes == "" {
+			return fmt.Errorf("%w (rule %s)", ErrBadModify, r.ID)
+		}
+	default:
+		return fmt.Errorf("%w %q (rule %s)", ErrBadAction, r.Action, r.ID)
+	}
+	return nil
+}
+
+// ValidateAll validates a batch of rules and additionally rejects duplicate
+// rule IDs within the batch.
+func ValidateAll(rs []Rule) error {
+	seen := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("rules: duplicate rule ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package rules
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validAbort() Rule {
+	return Rule{
+		ID:        "r1",
+		Src:       "serviceA",
+		Dst:       "serviceB",
+		Action:    ActionAbort,
+		Pattern:   "test-*",
+		ErrorCode: 503,
+	}
+}
+
+func validDelay() Rule {
+	return Rule{
+		ID:          "r2",
+		Src:         "serviceA",
+		Dst:         "serviceB",
+		Action:      ActionDelay,
+		Pattern:     "test-*",
+		DelayMillis: 100,
+	}
+}
+
+func validModify() Rule {
+	return Rule{
+		ID:           "r3",
+		Src:          "serviceA",
+		Dst:          "serviceB",
+		On:           OnResponse,
+		Action:       ActionModify,
+		SearchBytes:  "key",
+		ReplaceBytes: "badkey",
+	}
+}
+
+func TestValidateAcceptsValidRules(t *testing.T) {
+	for _, r := range []Rule{validAbort(), validDelay(), validModify()} {
+		if err := r.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", r.ID, err)
+		}
+	}
+}
+
+func TestValidateSeverConnection(t *testing.T) {
+	r := validAbort()
+	r.ErrorCode = AbortSeverConnection
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Rule)
+		wantErr error
+	}{
+		{"missing id", func(r *Rule) { r.ID = "" }, ErrMissingID},
+		{"missing src", func(r *Rule) { r.Src = "" }, ErrMissingSrc},
+		{"missing dst", func(r *Rule) { r.Dst = "" }, ErrMissingDst},
+		{"bad action", func(r *Rule) { r.Action = "explode" }, ErrBadAction},
+		{"bad on", func(r *Rule) { r.On = "sideways" }, ErrBadOn},
+		{"negative probability", func(r *Rule) { r.Probability = -0.5 }, ErrBadProbabilty},
+		{"probability > 1", func(r *Rule) { r.Probability = 1.5 }, ErrBadProbabilty},
+		{"abort code too low", func(r *Rule) { r.ErrorCode = 200 }, ErrBadErrorCode},
+		{"abort code too high", func(r *Rule) { r.ErrorCode = 600 }, ErrBadErrorCode},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validAbort()
+			tt.mutate(&r)
+			err := r.Validate()
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Validate = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateDelayNeedsInterval(t *testing.T) {
+	r := validDelay()
+	r.DelayMillis = 0
+	if !errors.Is(r.Validate(), ErrBadDelay) {
+		t.Fatal("want ErrBadDelay")
+	}
+	r.DelayMillis = -5
+	if !errors.Is(r.Validate(), ErrBadDelay) {
+		t.Fatal("want ErrBadDelay for negative interval")
+	}
+}
+
+func TestValidateModifyNeedsSearch(t *testing.T) {
+	r := validModify()
+	r.SearchBytes = ""
+	if !errors.Is(r.Validate(), ErrBadModify) {
+		t.Fatal("want ErrBadModify")
+	}
+}
+
+func TestValidateBadRegexpPattern(t *testing.T) {
+	r := validAbort()
+	r.Pattern = "re:["
+	if err := r.Validate(); err == nil {
+		t.Fatal("want error for invalid regexp")
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	if err := ValidateAll([]Rule{validAbort(), validDelay()}); err != nil {
+		t.Fatalf("ValidateAll: %v", err)
+	}
+	dup := validDelay()
+	dup.ID = "r1"
+	if err := ValidateAll([]Rule{validAbort(), dup}); err == nil {
+		t.Fatal("want duplicate-ID error")
+	}
+	bad := validAbort()
+	bad.Action = "nope"
+	if err := ValidateAll([]Rule{bad}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestDelayAccessor(t *testing.T) {
+	r := validDelay()
+	if got := r.Delay(); got != 100*time.Millisecond {
+		t.Fatalf("Delay = %v", got)
+	}
+}
+
+func TestEffectiveProbability(t *testing.T) {
+	r := validAbort()
+	if got := r.EffectiveProbability(); got != 1 {
+		t.Fatalf("zero probability should normalize to 1, got %v", got)
+	}
+	r.Probability = 0.25
+	if got := r.EffectiveProbability(); got != 0.25 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tests := []struct {
+		rule Rule
+		want string
+	}{
+		{validAbort(), "abort["},
+		{validDelay(), "delay["},
+		{validModify(), "modify["},
+		{Rule{ID: "x", Action: "zap"}, "invalid rule"},
+	}
+	for _, tt := range tests {
+		if got := tt.rule.String(); !strings.Contains(got, tt.want) {
+			t.Errorf("String() = %q, want containing %q", got, tt.want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	f := func(id, src, dst, pattern string, delay int64, code int, prob float64) bool {
+		in := Rule{
+			ID: id, Src: src, Dst: dst,
+			Action:      ActionDelay,
+			Pattern:     pattern,
+			Probability: prob,
+			DelayMillis: delay,
+			ErrorCode:   code,
+		}
+		b, err := json.Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out Rule
+		if err := json.Unmarshal(b, &out); err != nil {
+			return false
+		}
+		return in == out
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONOmitsEmptyFields(t *testing.T) {
+	b, err := json.Marshal(Rule{ID: "a", Src: "s", Dst: "d", Action: ActionAbort, ErrorCode: 503})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, forbidden := range []string{`"delayMillis"`, `"searchBytes"`, `"replaceBytes"`, `"pattern"`, `"probability"`, `"on"`} {
+		if strings.Contains(s, forbidden) {
+			t.Errorf("marshaled rule contains %q: %s", forbidden, s)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+// Package topology assembles complete demo applications for resilience
+// testing: microservices wired through sidecar Gremlin agents, a logical
+// application graph, a service registry, a shared event store, and an edge
+// agent through which test load is injected (so edge-service behaviour is
+// observable, per the paper's §6 "we assume that test load can be injected
+// via a Gremlin agent").
+//
+// Prefab topologies mirror the paper's evaluation: binary trees for the
+// orchestration benchmark (Figure 7), the WordPress/ElasticPress stack of
+// the case study (Figures 5 and 6), the enterprise application (Figure 4),
+// and a message-bus pipeline modelling the Table 1 outages.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/microservice"
+	"gremlin/internal/proxy"
+	"gremlin/internal/registry"
+	"gremlin/internal/resilience"
+)
+
+// EdgeService is the logical name of the synthetic caller that injects test
+// load at the application edge.
+const EdgeService = "user"
+
+// ServiceSpec declares one microservice of an application.
+type ServiceSpec struct {
+	// Name is the service's logical name.
+	Name string
+
+	// DependsOn lists the logical names of downstream services.
+	DependsOn []string
+
+	// Handler computes responses; nil defaults to FanOutHandler(FailFast)
+	// for services with dependencies and LeafHandler for leaves.
+	Handler microservice.Handler
+
+	// ClientFor, when non-nil, builds the HTTP client used for calls to
+	// each dependency — the hook for adding resilience patterns. The base
+	// Doer passed in is a plain transport-level client.
+	ClientFor func(dep string, base resilience.Doer) resilience.Doer
+
+	// WorkTime simulates local processing time per request.
+	WorkTime time.Duration
+}
+
+// Spec declares a whole application.
+type Spec struct {
+	// Services lists the microservices. Dependency edges must form a DAG.
+	Services []ServiceSpec
+
+	// Entry names the service that receives injected test load. Defaults
+	// to the unique root of the graph.
+	Entry string
+
+	// Sink receives agent observations. Nil creates a fresh in-process
+	// store (exposed as App.Store).
+	Sink eventlog.Sink
+
+	// RNG seeds the agents' probability sampling. Nil is
+	// non-deterministic.
+	RNG *rand.Rand
+}
+
+// App is a running application: services, agents, registry, graph, store.
+type App struct {
+	// Graph is the logical application graph (including the edge service).
+	Graph *graph.Graph
+
+	// Registry maps logical services to instances and agents.
+	Registry *registry.Static
+
+	// Store is the in-process event store backing the agents' sink. Nil
+	// when the Spec supplied its own Sink.
+	Store *eventlog.Store
+
+	services map[string]*microservice.Service
+	agents   map[string]*proxy.Agent
+	edge     *proxy.Agent
+	entry    string
+}
+
+// Build constructs and starts the application described by spec.
+func Build(spec Spec) (*App, error) {
+	if len(spec.Services) == 0 {
+		return nil, errors.New("topology: spec has no services")
+	}
+
+	g := graph.New()
+	specs := make(map[string]ServiceSpec, len(spec.Services))
+	for _, s := range spec.Services {
+		if s.Name == "" {
+			return nil, errors.New("topology: service with empty name")
+		}
+		if s.Name == EdgeService {
+			return nil, fmt.Errorf("topology: service name %q is reserved for the edge agent", EdgeService)
+		}
+		if _, dup := specs[s.Name]; dup {
+			return nil, fmt.Errorf("topology: duplicate service %q", s.Name)
+		}
+		specs[s.Name] = s
+		g.AddService(s.Name)
+		for _, d := range s.DependsOn {
+			g.AddEdge(s.Name, d)
+		}
+	}
+	for _, s := range spec.Services {
+		for _, d := range s.DependsOn {
+			if _, ok := specs[d]; !ok {
+				return nil, fmt.Errorf("topology: %s depends on undeclared service %q", s.Name, d)
+			}
+		}
+	}
+	if g.HasCycle() {
+		return nil, errors.New("topology: dependency graph has a cycle")
+	}
+
+	entry := spec.Entry
+	if entry == "" {
+		roots := g.Roots()
+		if len(roots) != 1 {
+			return nil, fmt.Errorf("topology: spec needs Entry (graph has %d roots)", len(roots))
+		}
+		entry = roots[0]
+	}
+	if _, ok := specs[entry]; !ok {
+		return nil, fmt.Errorf("topology: entry service %q not declared", entry)
+	}
+
+	app := &App{
+		Graph:    g,
+		Registry: registry.NewStatic(),
+		services: make(map[string]*microservice.Service, len(specs)),
+		agents:   make(map[string]*proxy.Agent, len(specs)),
+		entry:    entry,
+	}
+	sink := spec.Sink
+	if sink == nil {
+		app.Store = eventlog.NewStore()
+		sink = app.Store
+	}
+
+	// Create services bottom-up (dependencies before dependents) so each
+	// agent can route to already-bound dependency addresses.
+	order, err := buildOrder(specs)
+	if err != nil {
+		app.closePartial()
+		return nil, err
+	}
+	for _, name := range order {
+		if err := app.buildService(specs[name], sink, spec.RNG); err != nil {
+			app.closePartial()
+			return nil, err
+		}
+	}
+
+	// Edge agent: test load enters through it so the entry service's
+	// replies are logged like any other hop.
+	if err := app.buildEdge(sink, spec.RNG); err != nil {
+		app.closePartial()
+		return nil, err
+	}
+	return app, nil
+}
+
+// buildOrder returns service names so that every service appears after all
+// of its dependencies.
+func buildOrder(specs map[string]ServiceSpec) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(specs))
+	order := make([]string, 0, len(specs))
+	var visit func(string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("topology: cycle through %q", name)
+		}
+		state[name] = visiting
+		for _, d := range specs[name].DependsOn {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[name] = done
+		order = append(order, name)
+		return nil
+	}
+	// Iterate deterministically for reproducible builds.
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) error {
+	var (
+		agent *proxy.Agent
+		deps  []microservice.Dependency
+	)
+	if len(s.DependsOn) > 0 {
+		routes := make([]proxy.Route, 0, len(s.DependsOn))
+		for _, d := range s.DependsOn {
+			routes = append(routes, proxy.Route{
+				Dst:        d,
+				ListenAddr: "127.0.0.1:0",
+				Targets:    []string{app.services[d].Addr()},
+			})
+		}
+		var err error
+		agent, err = proxy.New(proxy.Config{
+			ServiceName: s.Name,
+			ControlAddr: "127.0.0.1:0",
+			Routes:      routes,
+			Sink:        sink,
+			RNG:         childRNG(rng),
+		})
+		if err != nil {
+			return fmt.Errorf("topology: agent for %s: %w", s.Name, err)
+		}
+		agent.Start()
+		app.agents[s.Name] = agent
+
+		for _, d := range s.DependsOn {
+			u, err := agent.RouteURL(d)
+			if err != nil {
+				return err
+			}
+			dep := microservice.Dependency{Name: d, BaseURL: u}
+			if s.ClientFor != nil {
+				base := dep.Client
+				if base == nil {
+					base = defaultClient()
+				}
+				dep.Client = s.ClientFor(d, base)
+			}
+			deps = append(deps, dep)
+		}
+	}
+
+	svc, err := microservice.New(microservice.Config{
+		Name:         s.Name,
+		ListenAddr:   "127.0.0.1:0",
+		Dependencies: deps,
+		Handler:      s.Handler,
+		WorkTime:     s.WorkTime,
+	})
+	if err != nil {
+		return fmt.Errorf("topology: service %s: %w", s.Name, err)
+	}
+	svc.Start()
+	app.services[s.Name] = svc
+
+	inst := registry.Instance{Service: s.Name, Addr: svc.Addr()}
+	if agent != nil {
+		inst.AgentControlURL = agent.ControlURL()
+	}
+	app.Registry.Add(inst)
+	return nil
+}
+
+func (app *App) buildEdge(sink eventlog.Sink, rng *rand.Rand) error {
+	edge, err := proxy.New(proxy.Config{
+		ServiceName: EdgeService,
+		ControlAddr: "127.0.0.1:0",
+		Routes: []proxy.Route{{
+			Dst:        app.entry,
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{app.services[app.entry].Addr()},
+		}},
+		Sink: sink,
+		RNG:  childRNG(rng),
+	})
+	if err != nil {
+		return fmt.Errorf("topology: edge agent: %w", err)
+	}
+	edge.Start()
+	app.edge = edge
+	app.Graph.AddEdge(EdgeService, app.entry)
+	addr, err := edge.RouteAddr(app.entry)
+	if err != nil {
+		return err
+	}
+	app.Registry.Add(registry.Instance{
+		Service:         EdgeService,
+		Addr:            addr,
+		AgentControlURL: edge.ControlURL(),
+	})
+	return nil
+}
+
+// EntryURL returns the URL test load should be sent to: the edge agent's
+// route to the entry service.
+func (app *App) EntryURL() string {
+	u, err := app.edge.RouteURL(app.entry)
+	if err != nil {
+		// The edge route is built in Build; its absence is a programming
+		// error.
+		panic(err)
+	}
+	return u
+}
+
+// Entry returns the entry service's logical name.
+func (app *App) Entry() string { return app.entry }
+
+// ServiceURL returns the direct URL of a service (bypassing agents), or an
+// error for unknown names.
+func (app *App) ServiceURL(name string) (string, error) {
+	svc, ok := app.services[name]
+	if !ok {
+		return "", fmt.Errorf("topology: unknown service %q", name)
+	}
+	return svc.URL(), nil
+}
+
+// Agent returns the sidecar agent of a service (nil for leaf services,
+// which make no outbound calls).
+func (app *App) Agent(name string) *proxy.Agent {
+	if name == EdgeService {
+		return app.edge
+	}
+	return app.agents[name]
+}
+
+// Services returns the logical service names (excluding the edge), sorted.
+func (app *App) Services() []string {
+	names := make([]string, 0, len(app.services))
+	for n := range app.services {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+// Close shuts down every service and agent.
+func (app *App) Close() error {
+	var firstErr error
+	if app.edge != nil {
+		if err := app.edge.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, a := range app.agents {
+		if err := a.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, s := range app.services {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (app *App) closePartial() { _ = app.Close() }
+
+// childRNG derives an independent deterministic RNG per agent so builds
+// with a seeded Spec.RNG are reproducible regardless of construction
+// concurrency.
+func childRNG(rng *rand.Rand) *rand.Rand {
+	if rng == nil {
+		return nil
+	}
+	return rand.New(rand.NewSource(rng.Int63()))
+}
+
+func defaultClient() resilience.Doer {
+	return &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+}
+
+func sortStrings(ss []string) { sort.Strings(ss) }

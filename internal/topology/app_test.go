@@ -1,0 +1,345 @@
+package topology
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/rules"
+	"gremlin/internal/trace"
+)
+
+func buildApp(t *testing.T, spec Spec) *App {
+	t.Helper()
+	if spec.RNG == nil {
+		spec.RNG = rand.New(rand.NewSource(1))
+	}
+	app, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			t.Errorf("close app: %v", err)
+		}
+	})
+	return app
+}
+
+func getVia(t *testing.T, url, path, reqID string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace.SetRequestID(req, reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestBuildValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+	}{
+		{"empty", Spec{}},
+		{"empty name", Spec{Services: []ServiceSpec{{Name: ""}}}},
+		{"reserved name", Spec{Services: []ServiceSpec{{Name: EdgeService}}}},
+		{"duplicate", Spec{Services: []ServiceSpec{{Name: "a"}, {Name: "a"}}}},
+		{"undeclared dep", Spec{Services: []ServiceSpec{{Name: "a", DependsOn: []string{"ghost"}}}}},
+		{"cycle", Spec{Services: []ServiceSpec{
+			{Name: "a", DependsOn: []string{"b"}},
+			{Name: "b", DependsOn: []string{"a"}},
+		}}},
+		{"two roots no entry", Spec{Services: []ServiceSpec{{Name: "a"}, {Name: "b"}}}},
+		{"unknown entry", Spec{Services: []ServiceSpec{{Name: "a"}}, Entry: "ghost"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Build(tt.spec); err == nil {
+				t.Fatal("want build error")
+			}
+		})
+	}
+}
+
+func TestTwoServicesEndToEnd(t *testing.T) {
+	app := buildApp(t, TwoServices(3, time.Millisecond))
+
+	status, body := getVia(t, app.EntryURL(), "/api", "test-1")
+	if status != 200 || body != "B-data" {
+		t.Fatalf("got %d %q", status, body)
+	}
+
+	// Observations recorded at both hops: user->serviceA and serviceA->serviceB.
+	reqs, err := app.Store.Select(eventlog.Query{Kind: eventlog.KindRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hops []string
+	for _, r := range reqs {
+		hops = append(hops, r.Src+"->"+r.Dst)
+	}
+	joined := strings.Join(hops, ",")
+	if !strings.Contains(joined, "user->serviceA") || !strings.Contains(joined, "serviceA->serviceB") {
+		t.Fatalf("hops = %v", hops)
+	}
+	// Request ID propagated across hops.
+	for _, r := range reqs {
+		if r.RequestID != "test-1" {
+			t.Fatalf("record %+v lost the request id", r)
+		}
+	}
+}
+
+func TestGraphIncludesEdge(t *testing.T) {
+	app := buildApp(t, TwoServices(0, 0))
+	if !app.Graph.HasEdge(EdgeService, "serviceA") {
+		t.Fatal("edge service missing from graph")
+	}
+	deps, err := app.Graph.Dependents("serviceB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 1 || deps[0] != "serviceA" {
+		t.Fatalf("dependents = %v", deps)
+	}
+}
+
+func TestRegistryHasAllServices(t *testing.T) {
+	app := buildApp(t, TwoServices(0, 0))
+	for _, svc := range []string{"serviceA", EdgeService} {
+		insts, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if insts[0].AgentControlURL == "" {
+			t.Fatalf("%s has no agent URL", svc)
+		}
+	}
+	// Leaf service registered without an agent.
+	insts, err := app.Registry.Instances("serviceB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[0].AgentControlURL != "" {
+		t.Fatal("leaf service should have no agent")
+	}
+}
+
+func TestFaultInjectionThroughApp(t *testing.T) {
+	// Inject an abort between serviceA and serviceB directly on the agent;
+	// serviceA has 2 retries, so the edge sees 502 after retries exhaust.
+	app := buildApp(t, TwoServices(2, time.Millisecond))
+	agent := app.Agent("serviceA")
+	if agent == nil {
+		t.Fatal("serviceA should have an agent")
+	}
+	if err := agent.InstallRules(rules.Rule{
+		ID: "ab", Src: "serviceA", Dst: "serviceB",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, _ := getVia(t, app.EntryURL(), "/api", "test-9")
+	if status != 503 {
+		t.Fatalf("status = %d, want 503 surfaced through serviceA", status)
+	}
+
+	// Retries are visible in the log: 3 calls (initial + 2 retries).
+	reps, err := app.Store.Select(eventlog.Query{
+		Src: "serviceA", Dst: "serviceB", Kind: eventlog.KindReply,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("observed %d calls, want 3 (initial + 2 retries)", len(reps))
+	}
+	// Production traffic unaffected.
+	status, body := getVia(t, app.EntryURL(), "/api", "prod-1")
+	if status != 200 || body != "B-data" {
+		t.Fatalf("production traffic got %d %q", status, body)
+	}
+}
+
+func TestBinaryTreeSpec(t *testing.T) {
+	spec := BinaryTree(2, 0)
+	if len(spec.Services) != 7 {
+		t.Fatalf("depth 2 should have 7 services, got %d", len(spec.Services))
+	}
+	if TreeServiceCount(4) != 31 {
+		t.Fatalf("TreeServiceCount(4) = %d", TreeServiceCount(4))
+	}
+	app := buildApp(t, spec)
+	status, body := getVia(t, app.EntryURL(), "/ping", "test-1")
+	if status != 200 {
+		t.Fatalf("status = %d body=%q", status, body)
+	}
+	// The root aggregates both subtrees.
+	if !strings.Contains(body, "tree-1") || !strings.Contains(body, "tree-2") {
+		t.Fatalf("body = %q", body)
+	}
+	// A request traverses all 6 edges plus the edge hop.
+	reqs, err := app.Store.Select(eventlog.Query{Kind: eventlog.KindRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 7 {
+		t.Fatalf("observed %d hops, want 7", len(reqs))
+	}
+}
+
+func TestWordPressTopology(t *testing.T) {
+	app := buildApp(t, WordPress(WordPressOptions{BackendWorkTime: time.Millisecond}))
+	status, body := getVia(t, app.EntryURL(), "/search?q=x", "test-1")
+	if status != 200 || !strings.Contains(body, "via elasticsearch") {
+		t.Fatalf("got %d %q", status, body)
+	}
+
+	// Kill elasticsearch (crash = abort with severed connection): the
+	// plugin falls back to MySQL.
+	agent := app.Agent(WordPressService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "crash-es", Src: WordPressService, Dst: ElasticsearchService,
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: rules.AbortSeverConnection,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	status, body = getVia(t, app.EntryURL(), "/search?q=x", "test-2")
+	if status != 200 || !strings.Contains(body, "via mysql") {
+		t.Fatalf("fallback failed: %d %q", status, body)
+	}
+}
+
+func TestWordPressWithTimeoutOption(t *testing.T) {
+	app := buildApp(t, WordPress(WordPressOptions{
+		BackendWorkTime: time.Millisecond,
+		SearchTimeout:   100 * time.Millisecond,
+	}))
+	// Delay elasticsearch by 2s; with the timeout fix, wordpress falls
+	// back quickly instead of stalling.
+	agent := app.Agent(WordPressService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "slow-es", Src: WordPressService, Dst: ElasticsearchService,
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 2000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	status, body := getVia(t, app.EntryURL(), "/search?q=x", "test-3")
+	elapsed := time.Since(start)
+	if status != 200 || !strings.Contains(body, "via mysql") {
+		t.Fatalf("got %d %q", status, body)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("with timeout, response took %v", elapsed)
+	}
+}
+
+func TestEnterpriseTopology(t *testing.T) {
+	app := buildApp(t, Enterprise(EnterpriseOptions{ExternalLatency: time.Millisecond}))
+	status, body := getVia(t, app.EntryURL(), "/dashboard", "test-1")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	for _, frag := range []string{"catalog", "activity"} {
+		if !strings.Contains(body, frag) {
+			t.Fatalf("body missing %q: %q", frag, body)
+		}
+	}
+	// The activity service reached both external APIs.
+	reqs, err := app.Store.Select(eventlog.Query{Src: ActivityService, Kind: eventlog.KindRequest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("activity made %d calls, want 2", len(reqs))
+	}
+}
+
+func TestMessageBusTopology(t *testing.T) {
+	app := buildApp(t, MessageBus(MessageBusOptions{}))
+	status, body := getVia(t, app.EntryURL(), "/publish", "test-1")
+	if status != 200 || body != "stored" {
+		t.Fatalf("got %d %q", status, body)
+	}
+	// Crash cassandra: without timeouts the failure percolates all the way
+	// to the frontend (the Table 1 cascade).
+	agent := app.Agent(MessageBusService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "crash-cass", Src: MessageBusService, Dst: CassandraService,
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: rules.AbortSeverConnection,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	status, _ = getVia(t, app.EntryURL(), "/publish", "test-2")
+	if status != http.StatusBadGateway {
+		t.Fatalf("cascade status = %d, want 502", status)
+	}
+}
+
+func TestServiceURLAndAgentLookups(t *testing.T) {
+	app := buildApp(t, TwoServices(0, 0))
+	if _, err := app.ServiceURL("serviceA"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.ServiceURL("ghost"); err == nil {
+		t.Fatal("want error")
+	}
+	if app.Agent("serviceB") != nil {
+		t.Fatal("leaf has no agent")
+	}
+	if app.Agent(EdgeService) == nil {
+		t.Fatal("edge agent should exist")
+	}
+	if app.Entry() != "serviceA" {
+		t.Fatalf("Entry = %q", app.Entry())
+	}
+	svcs := app.Services()
+	if len(svcs) != 2 || svcs[0] != "serviceA" || svcs[1] != "serviceB" {
+		t.Fatalf("Services = %v", svcs)
+	}
+}
+
+func TestCustomSink(t *testing.T) {
+	store := eventlog.NewStore()
+	spec := TwoServices(0, 0)
+	spec.Sink = store
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if app.Store != nil {
+		t.Fatal("App.Store should be nil when a Sink is supplied")
+	}
+	getVia(t, app.EntryURL(), "/x", "test-1")
+	if store.Len() == 0 {
+		t.Fatal("custom sink received no records")
+	}
+}
+
+func selectReplies(src, dst string) eventlog.Query {
+	return eventlog.Query{Src: src, Dst: dst, Kind: eventlog.KindReply}
+}

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/resilience"
+	"gremlin/internal/rules"
+)
+
+// The prefab topologies expose "hardened" variants whose resilience
+// patterns must actually engage under staged faults — these tests pin the
+// behaviour the outage examples rely on.
+
+func TestMessageBusHardenedTimeout(t *testing.T) {
+	spec := MessageBus(MessageBusOptions{PublisherTimeout: 100 * time.Millisecond})
+	spec.RNG = rand.New(rand.NewSource(1))
+	app := buildApp(t, spec)
+
+	// Hang the bus: without a timeout the publisher would stall for the
+	// full injected delay; with one it answers fast with an error.
+	agent := app.Agent(PublisherService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "hang-bus", Src: PublisherService, Dst: MessageBusService,
+		Action: rules.ActionDelay, Pattern: "test-*", DelayMillis: 5000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	status, _ := getVia(t, app.EntryURL(), "/publish", "test-1")
+	elapsed := time.Since(start)
+	if status != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 (publisher gave up)", status)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("publisher took %v; its 100ms timeout did not fire", elapsed)
+	}
+}
+
+func TestMessageBusHardenedBreaker(t *testing.T) {
+	spec := MessageBus(MessageBusOptions{
+		PublisherBreaker: &resilience.BreakerConfig{
+			FailureThreshold: 3,
+			OpenTimeout:      time.Minute,
+		},
+	})
+	spec.RNG = rand.New(rand.NewSource(1))
+	app := buildApp(t, spec)
+
+	agent := app.Agent(PublisherService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "kill-bus", Src: PublisherService, Dst: MessageBusService,
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		getVia(t, app.EntryURL(), "/publish", "test-1")
+	}
+	// After 3 failures the breaker opens: only 3 calls reached the bus edge.
+	reps, err := app.Store.Select(selectReplies(PublisherService, MessageBusService))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("publisher made %d calls to the bus, want 3 before the breaker opened", len(reps))
+	}
+}
+
+func TestWordPressHardenedBreakerFallsBack(t *testing.T) {
+	spec := WordPress(WordPressOptions{
+		BackendWorkTime: time.Millisecond,
+		SearchBreaker: &resilience.BreakerConfig{
+			FailureThreshold: 2,
+			OpenTimeout:      time.Minute,
+			Fallback:         resilience.StaticFallback(503, "breaker open"),
+		},
+	})
+	spec.RNG = rand.New(rand.NewSource(1))
+	app := buildApp(t, spec)
+
+	agent := app.Agent(WordPressService)
+	if err := agent.InstallRules(rules.Rule{
+		ID: "kill-es", Src: WordPressService, Dst: ElasticsearchService,
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every request still succeeds via the MySQL fallback; after 2
+	// failures the breaker answers for Elasticsearch without a network
+	// call.
+	for i := 0; i < 5; i++ {
+		status, body := getVia(t, app.EntryURL(), "/search", "test-1")
+		if status != 200 || !strings.Contains(body, "via mysql") {
+			t.Fatalf("request %d: %d %q", i, status, body)
+		}
+	}
+	reps, err := app.Store.Select(selectReplies(WordPressService, ElasticsearchService))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("wordpress hit elasticsearch %d times, want 2 before the breaker opened", len(reps))
+	}
+}

@@ -1,0 +1,274 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"gremlin/internal/microservice"
+	"gremlin/internal/resilience"
+)
+
+// BinaryTree returns a Spec for a complete binary tree of services of the
+// given depth (depth 0 = 1 service, depth 4 = 31 services) — the
+// application shape used by the paper's orchestration/assertion benchmark
+// (Figure 7): "we deployed the containers in different configurations by
+// constructing binary trees of various depths and using them as the
+// application graph."
+//
+// Service names follow heap indexing: tree-0 is the root and the children
+// of tree-i are tree-(2i+1) and tree-(2i+2). Interior services fan out to
+// both children and fail fast; leaves answer directly.
+func BinaryTree(depth int, workTime time.Duration) Spec {
+	n := (1 << (depth + 1)) - 1
+	services := make([]ServiceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		s := ServiceSpec{
+			Name:     treeName(i),
+			WorkTime: workTime,
+		}
+		left, right := 2*i+1, 2*i+2
+		if left < n {
+			s.DependsOn = append(s.DependsOn, treeName(left))
+		}
+		if right < n {
+			s.DependsOn = append(s.DependsOn, treeName(right))
+		}
+		if len(s.DependsOn) > 0 {
+			s.Handler = microservice.FanOutHandler(microservice.FailFast)
+		}
+		services = append(services, s)
+	}
+	return Spec{Services: services, Entry: treeName(0)}
+}
+
+func treeName(i int) string { return fmt.Sprintf("tree-%d", i) }
+
+// TreeServiceCount returns the number of services in a binary tree of the
+// given depth — the x axis of Figure 7 (1, 3, 7, 15, 31 for depths 0–4).
+func TreeServiceCount(depth int) int { return (1 << (depth + 1)) - 1 }
+
+// WordPress service names (case study, §7.1).
+const (
+	WordPressService     = "wordpress"
+	ElasticsearchService = "elasticsearch"
+	MySQLService         = "mysql"
+)
+
+// WordPressOptions tunes the WordPress stack.
+type WordPressOptions struct {
+	// BackendWorkTime simulates Elasticsearch/MySQL query time (default
+	// 5 ms).
+	BackendWorkTime time.Duration
+
+	// SearchTimeout, when positive, gives the ElasticPress-like plugin a
+	// timeout on its Elasticsearch calls — the fix whose absence Figure 5
+	// demonstrates. Zero reproduces the plugin as shipped: no timeout, no
+	// circuit breaker.
+	SearchTimeout time.Duration
+
+	// SearchBreaker, when non-nil, adds a circuit breaker on the
+	// wordpress→elasticsearch path — the fix whose absence Figure 6
+	// demonstrates.
+	SearchBreaker *resilience.BreakerConfig
+}
+
+// WordPress returns a Spec for the case-study deployment (§7.1): WordPress
+// with an ElasticPress-style search plugin that queries Elasticsearch and
+// falls back to MySQL when Elasticsearch is unreachable or returns an
+// error — but, as shipped, implements no timeout and no circuit breaker.
+func WordPress(opts WordPressOptions) Spec {
+	if opts.BackendWorkTime <= 0 {
+		opts.BackendWorkTime = 5 * time.Millisecond
+	}
+	wp := ServiceSpec{
+		Name:      WordPressService,
+		DependsOn: []string{ElasticsearchService, MySQLService},
+		Handler:   microservice.FallbackHandler(ElasticsearchService, MySQLService),
+	}
+	if opts.SearchTimeout > 0 || opts.SearchBreaker != nil {
+		timeout := opts.SearchTimeout
+		breaker := opts.SearchBreaker
+		wp.ClientFor = func(dep string, base resilience.Doer) resilience.Doer {
+			if dep != ElasticsearchService {
+				return base
+			}
+			d := base
+			if breaker != nil {
+				d = resilience.NewBreaker(d, *breaker)
+			}
+			if timeout > 0 {
+				d = resilience.NewTimeout(d, timeout)
+			}
+			return d
+		}
+	}
+	return Spec{
+		Services: []ServiceSpec{
+			wp,
+			{Name: ElasticsearchService, Handler: microservice.LeafHandler("es-hits"), WorkTime: opts.BackendWorkTime},
+			{Name: MySQLService, Handler: microservice.LeafHandler("mysql-rows"), WorkTime: opts.BackendWorkTime},
+		},
+		Entry: WordPressService,
+	}
+}
+
+// Enterprise service names (Figure 4). The external APIs are simulated by
+// local services with their own latency profiles.
+const (
+	WebAppService        = "webapp"
+	CatalogService       = "catalog"
+	ActivityService      = "activity"
+	GithubService        = "github.com"
+	StackOverflowService = "stackoverflow.com"
+)
+
+// EnterpriseOptions tunes the enterprise application.
+type EnterpriseOptions struct {
+	// ExternalLatency simulates the round-trip to the external Internet
+	// services (default 20 ms).
+	ExternalLatency time.Duration
+
+	// WebAppClient builds the web app's dependency clients. The case
+	// study's web app "relied heavily on the Unirest library for
+	// abstracting boilerplate failure-handling logic"; pass a factory
+	// returning resilience.NewLeakyTimeout(...) to reproduce its timeout
+	// bug, or a correct Timeout/Retry stack to model the fixed version.
+	WebAppClient func(dep string, base resilience.Doer) resilience.Doer
+}
+
+// Enterprise returns a Spec for the paper's enterprise case study
+// application (Figure 4): a user-facing web app that aggregates a service
+// catalog, a developer-activity service, and the github.com and
+// stackoverflow.com APIs.
+func Enterprise(opts EnterpriseOptions) Spec {
+	if opts.ExternalLatency <= 0 {
+		opts.ExternalLatency = 20 * time.Millisecond
+	}
+	return Spec{
+		Services: []ServiceSpec{
+			{
+				Name:      WebAppService,
+				DependsOn: []string{CatalogService, ActivityService},
+				Handler:   microservice.FanOutHandler(microservice.BestEffort),
+				ClientFor: opts.WebAppClient,
+			},
+			{
+				Name:     CatalogService,
+				Handler:  microservice.LeafHandler(`{"services":["paypal-api","google-maps-api"]}`),
+				WorkTime: 2 * time.Millisecond,
+			},
+			{
+				Name:      ActivityService,
+				DependsOn: []string{GithubService, StackOverflowService},
+				Handler:   microservice.FanOutHandler(microservice.BestEffort),
+			},
+			{
+				Name:     GithubService,
+				Handler:  microservice.LeafHandler(`{"repos":42}`),
+				WorkTime: opts.ExternalLatency,
+			},
+			{
+				Name:     StackOverflowService,
+				Handler:  microservice.LeafHandler(`{"questions":17}`),
+				WorkTime: opts.ExternalLatency,
+			},
+		},
+		Entry: WebAppService,
+	}
+}
+
+// MessageBus pipeline service names (Table 1 / §5 outage recipes).
+const (
+	FrontendService   = "frontend"
+	PublisherService  = "publisher"
+	MessageBusService = "messagebus"
+	CassandraService  = "cassandra"
+)
+
+// MessageBusOptions tunes the pipeline.
+type MessageBusOptions struct {
+	// PublisherTimeout, when positive, bounds how long the publisher waits
+	// on the bus — the missing protection in the Stackdriver/Parse.ly
+	// outages. Zero reproduces the fragile deployment.
+	PublisherTimeout time.Duration
+
+	// PublisherBreaker, when non-nil, adds a circuit breaker between the
+	// publisher and the bus.
+	PublisherBreaker *resilience.BreakerConfig
+}
+
+// MessageBus returns a Spec modelling the middleware-cascade outages of
+// Table 1 (Stackdriver 2013, Parse.ly 2015): services publish into a
+// message bus whose consumers forward to a Cassandra cluster. The bus
+// forwards synchronously, so when Cassandra fails the bus blocks and the
+// failure percolates to every publisher.
+func MessageBus(opts MessageBusOptions) Spec {
+	pub := ServiceSpec{
+		Name:      PublisherService,
+		DependsOn: []string{MessageBusService},
+		Handler:   microservice.ProxyHandler(MessageBusService),
+	}
+	if opts.PublisherTimeout > 0 || opts.PublisherBreaker != nil {
+		timeout := opts.PublisherTimeout
+		breaker := opts.PublisherBreaker
+		pub.ClientFor = func(dep string, base resilience.Doer) resilience.Doer {
+			d := base
+			if breaker != nil {
+				d = resilience.NewBreaker(d, *breaker)
+			}
+			if timeout > 0 {
+				d = resilience.NewTimeout(d, timeout)
+			}
+			return d
+		}
+	}
+	return Spec{
+		Services: []ServiceSpec{
+			{
+				Name:      FrontendService,
+				DependsOn: []string{PublisherService},
+				Handler:   microservice.ProxyHandler(PublisherService),
+			},
+			pub,
+			{
+				Name:      MessageBusService,
+				DependsOn: []string{CassandraService},
+				Handler:   microservice.ProxyHandler(CassandraService),
+			},
+			{
+				Name:     CassandraService,
+				Handler:  microservice.LeafHandler("stored"),
+				WorkTime: 2 * time.Millisecond,
+			},
+		},
+		Entry: FrontendService,
+	}
+}
+
+// TwoServices returns the minimal quickstart topology from the paper's
+// §3.2: ServiceA calling ServiceB, with ServiceA's retry behaviour
+// configurable. maxRetries < 0 disables retries.
+func TwoServices(maxRetries int, backoff time.Duration) Spec {
+	a := ServiceSpec{
+		Name:      "serviceA",
+		DependsOn: []string{"serviceB"},
+		Handler:   microservice.ProxyHandler("serviceB"),
+	}
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	a.ClientFor = func(_ string, base resilience.Doer) resilience.Doer {
+		return resilience.NewRetry(base, resilience.RetryPolicy{
+			MaxRetries:  maxRetries,
+			BaseBackoff: backoff,
+			MaxBackoff:  4 * backoff,
+		})
+	}
+	return Spec{
+		Services: []ServiceSpec{
+			a,
+			{Name: "serviceB", Handler: microservice.LeafHandler("B-data")},
+		},
+		Entry: "serviceA",
+	}
+}

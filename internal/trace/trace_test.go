@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator(TestIDPrefix, rand.New(rand.NewSource(1)))
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if !strings.HasPrefix(id, TestIDPrefix) {
+			t.Fatalf("id %q missing prefix %q", id, TestIDPrefix)
+		}
+	}
+}
+
+func TestGeneratorNilRNG(t *testing.T) {
+	g := NewGenerator("p-", nil)
+	if got := g.Next(); got != "p-1" {
+		t.Fatalf("Next() = %q, want p-1", got)
+	}
+	if got := g.Next(); got != "p-2" {
+		t.Fatalf("Next() = %q, want p-2", got)
+	}
+}
+
+func TestGeneratorDeterministicWithSeed(t *testing.T) {
+	g1 := NewGenerator("test-", rand.New(rand.NewSource(42)))
+	g2 := NewGenerator("test-", rand.New(rand.NewSource(42)))
+	for i := 0; i < 10; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("same seed produced different ids: %q vs %q", a, b)
+		}
+	}
+}
+
+func TestGeneratorConcurrent(t *testing.T) {
+	g := NewGenerator(TestIDPrefix, rand.New(rand.NewSource(7)))
+	const (
+		workers = 8
+		perW    = 200
+	)
+	var (
+		mu   sync.Mutex
+		seen = make(map[string]bool, workers*perW)
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				id := g.Next()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %q", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*perW {
+		t.Fatalf("got %d unique ids, want %d", len(seen), workers*perW)
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	in, err := http.NewRequest(http.MethodGet, "http://a/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := http.NewRequest(http.MethodGet, "http://b/y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if id := Propagate(in, out); id != "" {
+		t.Fatalf("Propagate with no id = %q, want empty", id)
+	}
+	if got := FromRequest(out); got != "" {
+		t.Fatalf("outbound id = %q, want empty", got)
+	}
+
+	SetRequestID(in, "test-123")
+	if id := Propagate(in, out); id != "test-123" {
+		t.Fatalf("Propagate = %q, want test-123", id)
+	}
+	if got := FromRequest(out); got != "test-123" {
+		t.Fatalf("outbound id = %q, want test-123", got)
+	}
+}
+
+func TestSetRequestIDEmptyIsNoop(t *testing.T) {
+	r, err := http.NewRequest(http.MethodGet, "http://a/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetRequestID(r, "")
+	if _, ok := r.Header[http.CanonicalHeaderKey(HeaderRequestID)]; ok {
+		t.Fatal("empty id should not set header")
+	}
+}
