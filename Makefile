@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-figures check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Before/after micro-benchmarks for the hot paths (matcher, store, proxy).
+bench:
+	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput' -benchtime 0.5s .
+
+# The paper's full evaluation series (Tables 1-3, Figures 5-8).
+bench-figures:
+	$(GO) run ./cmd/gremlin-bench
+
+check: build vet test race

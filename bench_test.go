@@ -442,6 +442,141 @@ func BenchmarkEventStoreSelect(b *testing.B) {
 	}
 }
 
+// ---- Hot-path overhaul: before/after micro-benchmarks ----
+//
+// Each pair measures one optimized component against its pre-overhaul
+// behavior, kept callable through the UseLinearScan ablation switches.
+
+// benchmarkMatcherDecide measures lock-free indexed decisions against the
+// pre-overhaul linear scan, under parallel load (the agent decides on every
+// concurrently proxied message). Rules are spread across distinct routes —
+// the shape a real recipe produces — so the index visits only the probed
+// route's bucket while the scan visits every rule.
+func benchmarkMatcherDecide(b *testing.B, count int, linear bool) {
+	m := rules.NewMatcher(rand.New(rand.NewSource(1)))
+	m.UseLinearScan(linear)
+	batch := make([]rules.Rule, 0, count)
+	for i := 0; i < count; i++ {
+		batch = append(batch, rules.Rule{
+			ID: fmt.Sprintf("r%d", i), Src: fmt.Sprintf("svc-%d", i), Dst: "server",
+			Action: rules.ActionDelay, Pattern: fmt.Sprintf("re:^never-%d-[0-9]+$", i),
+			DelayMillis: 1,
+		})
+	}
+	if err := m.Install(batch...); err != nil {
+		b.Fatal(err)
+	}
+	msg := rules.Message{Src: "client", Dst: "server", Type: rules.OnRequest, RequestID: "test-12345"}
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if d := m.Decide(msg); d.Fired {
+				b.Fatal("no rule should match")
+			}
+		}
+	})
+}
+
+func BenchmarkMatcherDecideIndexed200Rules(b *testing.B) { benchmarkMatcherDecide(b, 200, false) }
+func BenchmarkMatcherDecideLinear200Rules(b *testing.B)  { benchmarkMatcherDecide(b, 200, true) }
+func BenchmarkMatcherDecideIndexed10Rules(b *testing.B)  { benchmarkMatcherDecide(b, 10, false) }
+func BenchmarkMatcherDecideLinear10Rules(b *testing.B)   { benchmarkMatcherDecide(b, 10, true) }
+
+// benchmarkStoreSelect measures an edge-filtered query against a large
+// store, with and without the posting-list index — the Assertion Checker's
+// access pattern (every base assertion queries one (src, dst) edge).
+func benchmarkStoreSelect(b *testing.B, total, routes int, linear bool) {
+	store := eventlog.NewStore()
+	store.UseLinearScan(linear)
+	base := time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < total; i++ {
+		err := store.Log(eventlog.Record{
+			Timestamp: base.Add(time.Duration(i) * time.Millisecond),
+			RequestID: fmt.Sprintf("test-%d", i),
+			Src:       fmt.Sprintf("svc-%d", i%routes),
+			Dst:       fmt.Sprintf("dst-%d", i%routes),
+			Kind:      eventlog.KindReply, Status: 200, LatencyMillis: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := eventlog.Query{Src: "svc-42", Dst: "dst-42", Kind: eventlog.KindReply, IDPattern: "test-*"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, err := store.Select(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != total/routes {
+			b.Fatalf("got %d records, want %d", len(recs), total/routes)
+		}
+	}
+}
+
+func BenchmarkStoreSelectIndexed100k(b *testing.B) { benchmarkStoreSelect(b, 100_000, 100, false) }
+func BenchmarkStoreSelectLinear100k(b *testing.B)  { benchmarkStoreSelect(b, 100_000, 100, true) }
+func BenchmarkStoreSelectIndexed10k(b *testing.B)  { benchmarkStoreSelect(b, 10_000, 100, false) }
+func BenchmarkStoreSelectLinear10k(b *testing.B)   { benchmarkStoreSelect(b, 10_000, 100, true) }
+
+// benchmarkProxyThroughput pushes a body of the given size through the
+// agent. With no Modify rule the body streams through pooled buffers (B/op
+// stays flat as size grows); a response Modify rule forces the pre-overhaul
+// read-everything path for comparison.
+func benchmarkProxyThroughput(b *testing.B, size int, modify bool) {
+	body := strings.Repeat("x", size)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	b.Cleanup(backend.Close)
+	var installed []rules.Rule
+	if modify {
+		installed = append(installed, rules.Rule{
+			ID: "md", Src: "client", Dst: "server", On: rules.OnResponse,
+			Action: rules.ActionModify, Pattern: "test-*",
+			SearchBytes: "never-present", ReplaceBytes: "still-never",
+		})
+	}
+	agent, err := proxy.New(proxy.Config{
+		ServiceName: "client",
+		Routes: []proxy.Route{{
+			Dst:        "server",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{strings.TrimPrefix(backend.URL, "http://")},
+		}},
+		RNG: rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agent.Start()
+	b.Cleanup(func() {
+		if err := agent.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	if err := agent.InstallRules(installed...); err != nil {
+		b.Fatal(err)
+	}
+	u, err := agent.RouteURL("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{}
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doProxied(b, client, u, "test-1", false)
+	}
+}
+
+func BenchmarkProxyThroughputStreamed64KiB(b *testing.B) { benchmarkProxyThroughput(b, 64<<10, false) }
+func BenchmarkProxyThroughputBuffered64KiB(b *testing.B) { benchmarkProxyThroughput(b, 64<<10, true) }
+func BenchmarkProxyThroughputStreamed1MiB(b *testing.B)  { benchmarkProxyThroughput(b, 1<<20, false) }
+func BenchmarkProxyThroughputBuffered1MiB(b *testing.B)  { benchmarkProxyThroughput(b, 1<<20, true) }
+
 // Ablation: the prefix-structured-request-ID optimization the paper
 // suggests (§7.2) applied to the 200-rule worst case.
 func BenchmarkFigure8Match200RulesFastPath(b *testing.B) {

@@ -79,7 +79,13 @@ func run(args []string) error {
 		if !client.Healthy() {
 			log.Printf("warning: log store %s not reachable yet; observations will be buffered", cfg.LogStore)
 		}
-		buffered = eventlog.NewBufferedSink(client, 256)
+		// The sink's own background flusher ships on size or interval, so no
+		// extra plumbing is needed to get observations to the store promptly
+		// under light traffic.
+		buffered = eventlog.NewBufferedSinkOpts(client, eventlog.BufferOptions{
+			Size:     256,
+			Interval: *flushEvery,
+		})
 		sink = buffered
 	}
 
@@ -104,33 +110,8 @@ func run(args []string) error {
 		fmt.Printf("  route %s -> %v via %s\n", r.Dst, r.Targets, addr)
 	}
 
-	// Periodic flush so observations reach the store promptly even under
-	// light traffic.
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		if buffered == nil {
-			return
-		}
-		ticker := time.NewTicker(*flushEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				if err := buffered.Flush(); err != nil {
-					log.Printf("flush observations: %v", err)
-				}
-			case <-stop:
-				return
-			}
-		}
-	}()
-
 	waitForSignal()
 	fmt.Println("shutting down")
-	close(stop)
-	<-done
 	err = agent.Close()
 	if buffered != nil {
 		if ferr := buffered.Close(); ferr != nil && err == nil {

@@ -1,0 +1,215 @@
+package eventlog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestBufferedSinkFlushesOnSize(t *testing.T) {
+	store := NewStore()
+	// A huge interval isolates the size trigger.
+	b := NewBufferedSinkOpts(store, BufferOptions{Size: 3, Interval: time.Hour})
+	defer b.Close()
+
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	// Below the threshold nothing ships (the interval is an hour away).
+	time.Sleep(10 * time.Millisecond)
+	if store.Len() != 0 {
+		t.Fatalf("premature flush: %d", store.Len())
+	}
+	if err := b.Log(
+		Record{Src: "a", Dst: "b", Kind: KindRequest},
+		Record{Src: "a", Dst: "b", Kind: KindRequest},
+	); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "size-triggered flush", func() bool { return store.Len() == 3 })
+
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("after flush: %d", store.Len())
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Log(Record{}); err == nil {
+		t.Fatal("Log after Close should fail")
+	}
+}
+
+func TestBufferedSinkFlushesOnInterval(t *testing.T) {
+	store := NewStore()
+	// A huge size threshold isolates the interval trigger.
+	b := NewBufferedSinkOpts(store, BufferOptions{Size: 1 << 20, Interval: 5 * time.Millisecond})
+	defer b.Close()
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "interval-triggered flush", func() bool { return store.Len() == 1 })
+}
+
+func TestBufferedSinkDefaultSize(t *testing.T) {
+	store := NewStore()
+	b := NewBufferedSinkOpts(store, BufferOptions{Interval: time.Hour})
+	defer b.Close()
+	for i := 0; i < 127; i++ {
+		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond)
+	if store.Len() != 0 {
+		t.Fatalf("store should still be empty, has %d", store.Len())
+	}
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "default-size flush at 128", func() bool { return store.Len() == 128 })
+}
+
+// slowSink delays every shipment, emulating a distant or overloaded store.
+type slowSink struct {
+	delay time.Duration
+	inner *Store
+}
+
+func (s *slowSink) Log(recs ...Record) error {
+	time.Sleep(s.delay)
+	return s.inner.Log(recs...)
+}
+
+// TestBufferedSinkLogNeverBlocksOnSlowStore is the overhaul's contract: a
+// logger (a live proxied request) must never wait out a store round trip,
+// even when every record crosses the flush threshold.
+func TestBufferedSinkLogNeverBlocksOnSlowStore(t *testing.T) {
+	slow := &slowSink{delay: 200 * time.Millisecond, inner: NewStore()}
+	b := NewBufferedSinkOpts(slow, BufferOptions{Size: 1, Max: 1000, Interval: 10 * time.Millisecond})
+	defer b.Close()
+
+	const n = 100
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// The old synchronous sink would take n × delay = 20 s here (every Log
+	// crosses the size-1 threshold). One round trip's worth of slack is
+	// already generous for 100 buffered appends.
+	if elapsed >= slow.delay {
+		t.Fatalf("%d Log calls took %v; data path blocked on the store", n, elapsed)
+	}
+	// All records still arrive (batches coalesce while the store is slow).
+	waitFor(t, "all records shipped", func() bool { return slow.inner.Len() == n })
+	if b.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", b.Dropped())
+	}
+}
+
+// flakySink fails until healed, then records everything.
+type flakySink struct {
+	mu     sync.Mutex
+	broken bool
+	inner  *Store
+	fails  int
+}
+
+func (f *flakySink) Log(recs ...Record) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		f.fails++
+		return errors.New("store down")
+	}
+	return f.inner.Log(recs...)
+}
+
+func (f *flakySink) heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.broken = false
+}
+
+func TestBufferedSinkRetriesFailedFlush(t *testing.T) {
+	flaky := &flakySink{broken: true, inner: NewStore()}
+	b := NewBufferedSinkOpts(flaky, BufferOptions{Size: 2, Interval: time.Hour})
+	defer b.Close()
+
+	if err := b.Log(
+		Record{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "test-1"},
+		Record{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "test-2"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	// The store is down: a synchronous flush reports the failure but must
+	// keep the records for retry instead of silently dropping them.
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush against a broken store should fail")
+	}
+	if flaky.inner.Len() != 0 {
+		t.Fatal("no records should have landed")
+	}
+
+	flaky.heal()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := flaky.inner.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].RequestID != "test-1" || recs[1].RequestID != "test-2" {
+		t.Fatalf("retried records = %+v, want both originals in order", recs)
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 (bound never hit)", b.Dropped())
+	}
+}
+
+func TestBufferedSinkBoundsBufferAndCountsDrops(t *testing.T) {
+	flaky := &flakySink{broken: true, inner: NewStore()}
+	b := NewBufferedSinkOpts(flaky, BufferOptions{Size: 4, Max: 8, Interval: time.Hour})
+	defer b.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+		_ = b.Flush() // fails; records bounce back into the buffer
+	}
+	if d := b.Dropped(); d != 12 {
+		t.Fatalf("Dropped = %d, want 12 (20 logged, bound 8)", d)
+	}
+
+	flaky.heal()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if flaky.inner.Len() != 8 {
+		t.Fatalf("store has %d records, want the 8 retained", flaky.inner.Len())
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 	"time"
 )
 
@@ -127,66 +126,4 @@ func (c *Client) do(req *http.Request, out any) error {
 func drainClose(rc io.ReadCloser) {
 	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
 	_ = rc.Close()
-}
-
-// BufferedSink batches records in memory and ships them to an underlying
-// Sink either when the buffer fills or when Flush is called. Agents use it
-// to avoid a store round trip per proxied message.
-//
-// BufferedSink is safe for concurrent use. Call Flush (or Close) before
-// reading assertions to make all observations visible.
-type BufferedSink struct {
-	mu     sync.Mutex
-	sink   Sink
-	buf    []Record
-	size   int
-	closed bool
-}
-
-// NewBufferedSink wraps sink with a buffer of the given size (records).
-// Size <= 0 defaults to 128.
-func NewBufferedSink(sink Sink, size int) *BufferedSink {
-	if size <= 0 {
-		size = 128
-	}
-	return &BufferedSink{sink: sink, size: size, buf: make([]Record, 0, size)}
-}
-
-// Log buffers records, flushing if the buffer reaches capacity.
-func (b *BufferedSink) Log(recs ...Record) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return fmt.Errorf("eventlog: sink closed")
-	}
-	b.buf = append(b.buf, recs...)
-	if len(b.buf) >= b.size {
-		return b.flushLocked()
-	}
-	return nil
-}
-
-// Flush ships all buffered records.
-func (b *BufferedSink) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.flushLocked()
-}
-
-// Close flushes and marks the sink closed.
-func (b *BufferedSink) Close() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	err := b.flushLocked()
-	b.closed = true
-	return err
-}
-
-func (b *BufferedSink) flushLocked() error {
-	if len(b.buf) == 0 {
-		return nil
-	}
-	recs := b.buf
-	b.buf = make([]Record, 0, b.size)
-	return b.sink.Log(recs...)
 }

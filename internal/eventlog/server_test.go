@@ -156,59 +156,4 @@ func TestClientLogEmptyIsNoop(t *testing.T) {
 	}
 }
 
-func TestBufferedSink(t *testing.T) {
-	store := NewStore()
-	b := NewBufferedSink(store, 3)
-
-	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
-		t.Fatal(err)
-	}
-	if store.Len() != 0 {
-		t.Fatalf("premature flush: %d", store.Len())
-	}
-	if err := b.Log(
-		Record{Src: "a", Dst: "b", Kind: KindRequest},
-		Record{Src: "a", Dst: "b", Kind: KindRequest},
-	); err != nil {
-		t.Fatal(err)
-	}
-	if store.Len() != 3 {
-		t.Fatalf("buffer full should flush: %d", store.Len())
-	}
-
-	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if store.Len() != 4 {
-		t.Fatalf("after flush: %d", store.Len())
-	}
-
-	if err := b.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := b.Log(Record{}); err == nil {
-		t.Fatal("Log after Close should fail")
-	}
-}
-
-func TestBufferedSinkDefaultSize(t *testing.T) {
-	store := NewStore()
-	b := NewBufferedSink(store, 0)
-	for i := 0; i < 127; i++ {
-		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if store.Len() != 0 {
-		t.Fatalf("store should still be empty, has %d", store.Len())
-	}
-	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
-		t.Fatal(err)
-	}
-	if store.Len() != 128 {
-		t.Fatalf("default buffer should flush at 128, store has %d", store.Len())
-	}
-}
+// BufferedSink tests live in buffer_test.go.

@@ -46,11 +46,38 @@ type Source interface {
 	Select(q Query) ([]Record, error)
 }
 
+// storeKey identifies one (src, dst) edge's posting list.
+type storeKey struct {
+	src, dst string
+}
+
 // Store is the in-memory event store. It is safe for concurrent use.
+//
+// Appended records are indexed by source, destination, and (src, dst) edge
+// — posting lists of record positions in append order — so the checker's
+// narrow queries (GetRequests/GetReplies on one edge) visit only that
+// edge's records instead of scanning the whole store. The store also
+// tracks whether appended timestamps are nondecreasing; while they are
+// (the common single-writer case), posting lists are already in
+// (timestamp, seq) order and Select skips the output sort entirely.
 type Store struct {
 	mu   sync.RWMutex
 	recs []Record
 	seq  uint64
+
+	// ordered reports whether recs is in (timestamp, seq) order as
+	// appended; lastTS is the most recently appended timestamp.
+	ordered bool
+	lastTS  time.Time
+
+	// Posting lists: record positions in append order.
+	byEdge map[storeKey][]int32
+	bySrc  map[string][]int32
+	byDst  map[string][]int32
+
+	// linearScan disables the posting-list index (ablation/benchmark
+	// baseline; see UseLinearScan).
+	linearScan bool
 }
 
 var (
@@ -59,7 +86,24 @@ var (
 )
 
 // NewStore creates an empty store.
-func NewStore() *Store { return &Store{} }
+func NewStore() *Store {
+	return &Store{
+		ordered: true,
+		byEdge:  make(map[storeKey][]int32),
+		bySrc:   make(map[string][]int32),
+		byDst:   make(map[string][]int32),
+	}
+}
+
+// UseLinearScan toggles the pre-index ablation: Select scans and sorts
+// every stored record, as the store did before posting lists existed.
+// Results are identical; only the work per query differs. Used as the
+// before/after baseline in benchmarks.
+func (s *Store) UseLinearScan(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.linearScan = on
+}
 
 // Log appends records, assigning sequence numbers. Records with a zero
 // timestamp are stamped with the current time.
@@ -73,7 +117,16 @@ func (s *Store) Log(recs ...Record) error {
 		if r.Timestamp.IsZero() {
 			r.Timestamp = now
 		}
+		pos := int32(len(s.recs))
 		s.recs = append(s.recs, r)
+		s.byEdge[storeKey{r.Src, r.Dst}] = append(s.byEdge[storeKey{r.Src, r.Dst}], pos)
+		s.bySrc[r.Src] = append(s.bySrc[r.Src], pos)
+		s.byDst[r.Dst] = append(s.byDst[r.Dst], pos)
+		if r.Timestamp.Before(s.lastTS) {
+			s.ordered = false
+		} else {
+			s.lastTS = r.Timestamp
+		}
 	}
 	return nil
 }
@@ -93,6 +146,11 @@ func (s *Store) Clear() int {
 	defer s.mu.Unlock()
 	n := len(s.recs)
 	s.recs = nil
+	s.ordered = true
+	s.lastTS = time.Time{}
+	s.byEdge = make(map[storeKey][]int32)
+	s.bySrc = make(map[string][]int32)
+	s.byDst = make(map[string][]int32)
 	return n
 }
 
@@ -104,22 +162,71 @@ func (s *Store) Select(q Query) ([]Record, error) {
 	}
 
 	s.mu.RLock()
-	matched := make([]Record, 0, 64)
-	for _, r := range s.recs {
-		if matches(r, q, pat) {
-			matched = append(matched, r)
+	ordered := s.ordered
+	var matched []Record
+	if list, ok := s.postings(q); ok {
+		// Filter positions through pointers first, then copy the matching
+		// records once at exactly the right size — records are wide enough
+		// that copying candidates (or regrowing the result) dominates an
+		// edge query's cost.
+		hits := make([]int32, 0, len(list))
+		for _, pos := range list {
+			r := &s.recs[pos]
+			if ordered && !q.Until.IsZero() && !r.Timestamp.Before(q.Until) {
+				// Posting lists are in timestamp order while the store is
+				// ordered: nothing past the Until bound can match.
+				break
+			}
+			if matches(r, q, pat) {
+				hits = append(hits, pos)
+				if ordered && q.Limit > 0 && len(hits) == q.Limit {
+					// Already in output order: the limit is final.
+					break
+				}
+			}
+		}
+		matched = make([]Record, len(hits))
+		for i, pos := range hits {
+			matched[i] = s.recs[pos]
+		}
+	} else {
+		matched = make([]Record, 0, 64)
+		for _, r := range s.recs {
+			if matches(&r, q, pat) {
+				matched = append(matched, r)
+			}
 		}
 	}
 	s.mu.RUnlock()
 
-	sort.Slice(matched, func(i, j int) bool { return matched[i].Before(matched[j]) })
+	if !ordered {
+		sort.Slice(matched, func(i, j int) bool { return matched[i].Before(matched[j]) })
+	}
 	if q.Limit > 0 && len(matched) > q.Limit {
 		matched = matched[:q.Limit]
 	}
 	return matched, nil
 }
 
-func matches(r Record, q Query, pat pattern.Pattern) bool {
+// postings returns the narrowest posting list serving q, or ok=false when
+// the query filters on neither endpoint (or the index is disabled) and a
+// full scan is required. Caller holds at least a read lock.
+func (s *Store) postings(q Query) ([]int32, bool) {
+	if s.linearScan {
+		return nil, false
+	}
+	switch {
+	case q.Src != "" && q.Dst != "":
+		return s.byEdge[storeKey{q.Src, q.Dst}], true
+	case q.Src != "":
+		return s.bySrc[q.Src], true
+	case q.Dst != "":
+		return s.byDst[q.Dst], true
+	}
+	return nil, false
+}
+
+func matches(r *Record, q Query, pat pattern.Pattern) bool {
 	if q.Src != "" && r.Src != q.Src {
 		return false
 	}

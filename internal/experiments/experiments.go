@@ -220,6 +220,13 @@ type Figure7Row struct {
 	// service.
 	Assertion time.Duration
 
+	// AssertionScan and AssertionIndexed re-time one assertion pass per
+	// service over the run's observations with the event store's
+	// posting-list index off ("before", the paper-era full scan) and on
+	// ("after"). The run itself — and Assertion above — uses the index.
+	AssertionScan    time.Duration
+	AssertionIndexed time.Duration
+
 	// Load is the time to inject the test requests (reported for context;
 	// the paper keeps it separate from the orchestration/assertion bars).
 	Load time.Duration
@@ -278,14 +285,43 @@ func figure7Point(o Options, depth, n int) (*Figure7Row, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Before/after series: the same assertion pass with the store's
+	// posting-list index off (the pre-index full scan) and on.
+	app.Store.UseLinearScan(true)
+	scanT, err := timeAssertionPass(runner, app)
+	if err != nil {
+		return nil, err
+	}
+	app.Store.UseLinearScan(false)
+	indexedT, err := timeAssertionPass(runner, app)
+	if err != nil {
+		return nil, err
+	}
+
 	return &Figure7Row{
-		Depth:         depth,
-		Services:      topology.TreeServiceCount(depth),
-		Orchestration: report.OrchestrationTime,
-		Assertion:     report.AssertionTime,
-		Load:          report.LoadTime,
-		Total:         report.TotalTime(),
+		Depth:            depth,
+		Services:         topology.TreeServiceCount(depth),
+		Orchestration:    report.OrchestrationTime,
+		Assertion:        report.AssertionTime,
+		AssertionScan:    scanT,
+		AssertionIndexed: indexedT,
+		Load:             report.LoadTime,
+		Total:            report.TotalTime(),
 	}, nil
+}
+
+// timeAssertionPass runs one HasTimeouts assertion per service over the
+// app's current observations and returns the wall time.
+func timeAssertionPass(runner *core.Runner, app *topology.App) (time.Duration, error) {
+	c := runner.Checker()
+	start := time.Now()
+	for _, svc := range app.Services() {
+		if _, err := c.HasTimeouts(svc, time.Minute, "test-*"); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
 }
 
 // PrintFigure5 renders Figure 5 series as text.
@@ -322,16 +358,20 @@ func PrintFigure6(w io.Writer, r *Figure6Result) {
 func PrintFigure7(w io.Writer, rows []Figure7Row) {
 	fmt.Fprintln(w, "Figure 7: time to orchestrate an outage and run assertions vs. application size")
 	fmt.Fprintln(w, "(paper: both components well under a second at 31 services)")
-	fmt.Fprintf(w, "  %-9s %-9s %-14s %-14s %-12s %-12s\n",
-		"services", "depth", "orchestration", "assertion", "load(100rq)", "total")
+	fmt.Fprintf(w, "  %-9s %-9s %-14s %-14s %-14s %-14s %-12s %-12s\n",
+		"services", "depth", "orchestration", "assertion", "assert-scan", "assert-index", "load(100rq)", "total")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-9d %-9d %-14s %-14s %-12s %-12s\n",
+		fmt.Fprintf(w, "  %-9d %-9d %-14s %-14s %-14s %-14s %-12s %-12s\n",
 			r.Services, r.Depth,
 			r.Orchestration.Round(time.Microsecond),
 			r.Assertion.Round(time.Microsecond),
+			r.AssertionScan.Round(time.Microsecond),
+			r.AssertionIndexed.Round(time.Microsecond),
 			r.Load.Round(time.Millisecond),
 			r.Total.Round(time.Millisecond))
 	}
+	fmt.Fprintln(w, "  (assert-scan / assert-index: the same per-service assertion pass with the")
+	fmt.Fprintln(w, "   event store's posting-list index off and on)")
 }
 
 func passFail(ok bool) string {

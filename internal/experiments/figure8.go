@@ -29,11 +29,18 @@ type Figure8Row struct {
 	Summary stats.Summary
 
 	// MatchCost is the isolated cost of comparing one request against all
-	// installed rules without a match (the component Figure 8 measures).
-	// In this Go data plane the scan is so cheap that it vanishes inside
-	// loopback RTT noise in the end-to-end CDF, so it is also measured
-	// directly.
+	// installed rules without a match (the component Figure 8 measures),
+	// using the paper-era linear scan the figure assumes. In this Go data
+	// plane the scan is so cheap that it vanishes inside loopback RTT noise
+	// in the end-to-end CDF, so it is also measured directly.
 	MatchCost time.Duration
+
+	// MatchCostIndexed is the same decision made through the matcher's
+	// (src, dst, type) index — the "after" series. For the figure's
+	// worst case every rule shares the probed route, so the gap over
+	// MatchCost shows only the index lookup overhead; rules spread across
+	// routes (the common recipe shape) skip the scan entirely.
+	MatchCostIndexed time.Duration
 }
 
 // Figure8 measures the worst-case rule-matching overhead of the Gremlin
@@ -80,6 +87,10 @@ func Figure8(opts Options) ([]Figure8Row, error) {
 		if err := agent.InstallRules(nonMatchingRules(count)...); err != nil {
 			return nil, err
 		}
+		// The end-to-end series reproduces the paper's figure, so it runs
+		// with the linear scan the paper's agent used (the indexed matcher
+		// makes the curve flat; its cost is reported separately below).
+		agent.Matcher().UseLinearScan(true)
 		// Warm the connection pool so the first-connection cost does not
 		// skew the small-rule-count curves.
 		if _, err := loadgen.Run(routeURL, loadgen.Options{N: 50, Concurrency: 4}); err != nil {
@@ -93,11 +104,14 @@ func Figure8(opts Options) ([]Figure8Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		scanCost := matchCost(agent.Matcher(), n)
+		agent.Matcher().UseLinearScan(false)
 		out = append(out, Figure8Row{
-			Rules:     count,
-			CDF:       res.CDF(),
-			Summary:   summary,
-			MatchCost: matchCost(agent.Matcher(), n),
+			Rules:            count,
+			CDF:              res.CDF(),
+			Summary:          summary,
+			MatchCost:        scanCost,
+			MatchCostIndexed: matchCost(agent.Matcher(), n),
 		})
 	}
 	return out, nil
@@ -139,16 +153,20 @@ func nonMatchingRules(n int) []rules.Rule {
 func PrintFigure8(w io.Writer, rows []Figure8Row) {
 	fmt.Fprintln(w, "Figure 8: worst-case rule-matching overhead (no rule matches; full scan per request)")
 	fmt.Fprintln(w, "(paper: latency grows with installed rules; ordering of the CDFs by rule count)")
-	fmt.Fprintf(w, "  %-7s %-10s %-10s %-10s %-10s %-12s\n", "rules", "p50", "p90", "p99", "mean", "match-cost")
+	fmt.Fprintf(w, "  %-7s %-10s %-10s %-10s %-10s %-12s %-12s\n",
+		"rules", "p50", "p90", "p99", "mean", "scan-cost", "indexed-cost")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-7d %-10s %-10s %-10s %-10s %-12s\n",
+		fmt.Fprintf(w, "  %-7d %-10s %-10s %-10s %-10s %-12s %-12s\n",
 			r.Rules,
 			ms(r.Summary.P50), ms(r.Summary.P90), ms(r.Summary.P99), ms(r.Summary.Mean),
-			r.MatchCost)
+			r.MatchCost, r.MatchCostIndexed)
 	}
-	fmt.Fprintln(w, "  (match-cost: isolated per-request scan of all installed rules; grows linearly")
-	fmt.Fprintln(w, "   with rule count as in the paper, but is dwarfed here by loopback RTT —")
-	fmt.Fprintln(w, "   the Go agent implements none of the indexing optimizations the paper defers)")
+	fmt.Fprintln(w, "  (scan-cost: isolated per-request linear scan of all installed rules, the")
+	fmt.Fprintln(w, "   paper-era matcher; grows linearly with rule count as in the paper but is")
+	fmt.Fprintln(w, "   dwarfed here by loopback RTT. indexed-cost: the same decision through the")
+	fmt.Fprintln(w, "   (src, dst, type)-indexed matcher — in this worst case every rule shares the")
+	fmt.Fprintln(w, "   probed route so the full bucket is still scanned; spreading rules across")
+	fmt.Fprintln(w, "   routes makes the indexed decision O(bucket) instead of O(rules))")
 }
 
 func ms(seconds float64) string {

@@ -16,6 +16,12 @@ import (
 type Pattern struct {
 	src string
 	re  *regexp.Regexp // nil means match-all
+
+	// prefixOnly marks globs of the form "literal*", whose match is a bare
+	// prefix comparison — the dominant shape in recipes ("test-*") and far
+	// cheaper than the regexp engine on the data path.
+	prefixOnly bool
+	prefix     string
 }
 
 // Compile parses a pattern string.
@@ -47,7 +53,15 @@ func Compile(s string) (Pattern, error) {
 	if err != nil {
 		return Pattern{}, fmt.Errorf("pattern: compile glob %q: %w", s, err)
 	}
-	return Pattern{src: s, re: re}, nil
+	p := Pattern{src: s, re: re}
+	// "literal*" (sole wildcard: one trailing '*') is a pure prefix match.
+	// Invalid UTF-8 compiles to U+FFFD above, so the byte-prefix shortcut
+	// would diverge from the regex; keep such patterns on the engine.
+	if i := strings.IndexAny(s, "*?"); i == len(s)-1 && s[i] == '*' && utf8.ValidString(s[:i]) {
+		p.prefixOnly = true
+		p.prefix = s[:i]
+	}
+	return p, nil
 }
 
 // MustCompile is Compile that panics on error, for statically known
@@ -64,6 +78,9 @@ func MustCompile(s string) Pattern {
 func (p Pattern) Match(id string) bool {
 	if p.re == nil {
 		return true
+	}
+	if p.prefixOnly {
+		return strings.HasPrefix(id, p.prefix)
 	}
 	return p.re.MatchString(id)
 }

@@ -39,6 +39,16 @@ type Agent struct {
 	nDelayed  atomic.Int64
 	nModified atomic.Int64
 	nSevered  atomic.Int64
+	nStreamed atomic.Int64
+}
+
+// copyBufs holds 32 KiB buffers reused by the streaming fast path, so a
+// proxied body costs no per-request allocation.
+var copyBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 32<<10)
+		return &b
+	},
 }
 
 // Stats is a snapshot of the agent's data-path counters.
@@ -55,6 +65,9 @@ type Stats struct {
 	Delayed int64 `json:"delayed"`
 	// Modified counts messages rewritten by Modify rules.
 	Modified int64 `json:"modified"`
+	// Streamed counts replies whose bodies passed through the proxy
+	// without being buffered (the fast path: no Modify rule applied).
+	Streamed int64 `json:"streamed"`
 }
 
 // Stats returns a snapshot of the agent's counters.
@@ -65,6 +78,7 @@ func (a *Agent) Stats() Stats {
 		Severed:  a.nSevered.Load(),
 		Delayed:  a.nDelayed.Load(),
 		Modified: a.nModified.Load(),
+		Streamed: a.nStreamed.Load(),
 	}
 }
 
@@ -88,10 +102,13 @@ func (a *Agent) countFault(d rules.Decision) {
 }
 
 type routeProxy struct {
-	agent      *Agent
-	route      Route
-	server     *httpx.Server
-	client     *http.Client
+	agent  *Agent
+	route  Route
+	server *httpx.Server
+	client *http.Client
+	// recProto carries the parts of an eventlog.Record that are constant
+	// for this route, so the data path only fills in per-message fields.
+	recProto   eventlog.Record
 	canaryPat  pattern.Pattern
 	mirrorPat  pattern.Pattern
 	next       atomic.Uint64 // round-robin target index
@@ -128,6 +145,7 @@ func New(cfg Config) (*Agent, error) {
 		rp := &routeProxy{
 			agent:     a,
 			route:     r,
+			recProto:  eventlog.Record{Src: cfg.ServiceName, Dst: r.Dst},
 			canaryPat: canaryPat,
 			mirrorPat: mirrorPat,
 			// The data-path client must be transparent: no timeout, since
@@ -253,6 +271,11 @@ func (a *Agent) log(rec eventlog.Record) {
 
 // ServeHTTP is the data path for one route: log, match rules, inject
 // faults, forward, and log the reply.
+//
+// Bodies are buffered only when something needs the bytes — a Modify
+// rewrite or a mirror copy. Every other exchange streams request and reply
+// bodies straight between the two connections through pooled buffers, so
+// the proxy's memory cost is independent of body size.
 func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var (
 		a     = rp.agent
@@ -270,17 +293,15 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqDecision := a.matcher.Decide(reqMsg)
 	a.countFault(reqDecision)
 
-	a.log(eventlog.Record{
-		Timestamp:   start,
-		RequestID:   reqID,
-		Src:         a.cfg.ServiceName,
-		Dst:         rp.route.Dst,
-		Kind:        eventlog.KindRequest,
-		Method:      r.Method,
-		URI:         r.URL.RequestURI(),
-		FaultAction: firedAction(reqDecision),
-		FaultRuleID: firedRuleID(reqDecision),
-	})
+	reqRec := rp.recProto
+	reqRec.Timestamp = start
+	reqRec.RequestID = reqID
+	reqRec.Kind = eventlog.KindRequest
+	reqRec.Method = r.Method
+	reqRec.URI = r.URL.RequestURI()
+	reqRec.FaultAction = firedAction(reqDecision)
+	reqRec.FaultRuleID = firedRuleID(reqDecision)
+	a.log(reqRec)
 
 	var (
 		injected     time.Duration
@@ -293,11 +314,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Request-side faults.
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
-		httpx.WriteError(w, http.StatusBadGateway, "proxy: read request body: %v", err)
-		return
-	}
+	bufferReq := rp.wantsMirror(reqID)
 	if reqDecision.Fired {
 		switch reqDecision.Rule.Action {
 		case rules.ActionAbort:
@@ -308,128 +325,138 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			injected += d
 			sleepOrDisconnect(r, d)
 		case rules.ActionModify:
-			body = bytes.ReplaceAll(body,
+			bufferReq = true
+		}
+	}
+	var reqBody []byte
+	if bufferReq {
+		var err error
+		reqBody, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadGateway, "proxy: read request body: %v", err)
+			return
+		}
+		if reqDecision.Fired && reqDecision.Rule.Action == rules.ActionModify {
+			reqBody = bytes.ReplaceAll(reqBody,
 				[]byte(reqDecision.Rule.SearchBytes),
 				[]byte(reqDecision.Rule.ReplaceBytes))
 		}
 	}
 
 	// Forward upstream.
-	resp, err := rp.forward(r, body)
+	resp, err := rp.forward(r, reqBody, bufferReq)
 	if err != nil {
-		latency := time.Since(start)
-		a.log(eventlog.Record{
-			Timestamp:           time.Now(),
-			RequestID:           reqID,
-			Src:                 a.cfg.ServiceName,
-			Dst:                 rp.route.Dst,
-			Kind:                eventlog.KindReply,
-			Method:              r.Method,
-			URI:                 r.URL.RequestURI(),
-			Status:              http.StatusBadGateway,
-			LatencyMillis:       float64(latency) / float64(time.Millisecond),
-			FaultAction:         strings.Join(faultActions, ","),
-			FaultRuleID:         strings.Join(faultRules, ","),
-			InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
-		})
+		a.log(rp.replyRecord(r, reqID, http.StatusBadGateway, start, injected,
+			faultActions, faultRules, false))
 		httpx.WriteError(w, http.StatusBadGateway, "proxy: forward to %s: %v", rp.route.Dst, err)
 		return
 	}
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	closeErr := resp.Body.Close()
-	if err == nil {
-		err = closeErr
-	}
-	if err != nil {
-		httpx.WriteError(w, http.StatusBadGateway, "proxy: read response from %s: %v", rp.route.Dst, err)
-		return
-	}
 
-	// Response-side faults.
+	// Response-side faults. The decision depends only on message metadata,
+	// so it is made before deciding how to handle the reply body.
 	respMsg := reqMsg
 	respMsg.Type = rules.OnResponse
 	respDecision := a.matcher.Decide(respMsg)
 	a.countFault(respDecision)
-	status := resp.StatusCode
-	gremlinGenerated := false
 	if respDecision.Fired {
 		faultActions = append(faultActions, string(respDecision.Rule.Action))
 		faultRules = append(faultRules, respDecision.Rule.ID)
-		switch respDecision.Rule.Action {
-		case rules.ActionAbort:
-			if respDecision.Rule.ErrorCode == rules.AbortSeverConnection {
-				rp.sever(w)
-				return
-			}
-			status = respDecision.Rule.ErrorCode
-			respBody = []byte(http.StatusText(status) + "\n")
-			resp.Header = http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}}
-			gremlinGenerated = true
-		case rules.ActionDelay:
-			d := respDecision.Rule.Delay()
-			injected += d
-			sleepOrDisconnect(r, d)
-		case rules.ActionModify:
-			respBody = bytes.ReplaceAll(respBody,
-				[]byte(respDecision.Rule.SearchBytes),
-				[]byte(respDecision.Rule.ReplaceBytes))
+	}
+	status := resp.StatusCode
+
+	if respDecision.Fired && respDecision.Rule.Action == rules.ActionAbort {
+		discardBody(resp.Body)
+		if respDecision.Rule.ErrorCode == rules.AbortSeverConnection {
+			// The severed reply must still reach the event log: the checker
+			// cannot reason about a connection cut it never saw.
+			a.log(rp.replyRecord(r, reqID, 0, start, injected, faultActions, faultRules, true))
+			rp.sever(w)
+			return
 		}
+		status = respDecision.Rule.ErrorCode
+		a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, true))
+		body := http.StatusText(status) + "\n"
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(status)
+		_, _ = io.WriteString(w, body)
+		return
+	}
+	if respDecision.Fired && respDecision.Rule.Action == rules.ActionDelay {
+		d := respDecision.Rule.Delay()
+		injected += d
+		sleepOrDisconnect(r, d)
 	}
 
-	latency := time.Since(start)
-	a.log(eventlog.Record{
-		Timestamp:           time.Now(),
-		RequestID:           reqID,
-		Src:                 a.cfg.ServiceName,
-		Dst:                 rp.route.Dst,
-		Kind:                eventlog.KindReply,
-		Method:              r.Method,
-		URI:                 r.URL.RequestURI(),
-		Status:              status,
-		LatencyMillis:       float64(latency) / float64(time.Millisecond),
-		FaultAction:         strings.Join(faultActions, ","),
-		FaultRuleID:         strings.Join(faultRules, ","),
-		InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
-		GremlinGenerated:    gremlinGenerated,
-	})
+	if respDecision.Fired && respDecision.Rule.Action == rules.ActionModify {
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		closeErr := resp.Body.Close()
+		if err == nil {
+			err = closeErr
+		}
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadGateway, "proxy: read response from %s: %v", rp.route.Dst, err)
+			return
+		}
+		respBody = bytes.ReplaceAll(respBody,
+			[]byte(respDecision.Rule.SearchBytes),
+			[]byte(respDecision.Rule.ReplaceBytes))
+		a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, false))
+		copyHeaders(w.Header(), resp.Header)
+		// The body was rewritten; the upstream framing headers no longer
+		// apply.
+		w.Header().Del("Transfer-Encoding")
+		w.Header().Set("Content-Length", strconv.Itoa(len(respBody)))
+		w.WriteHeader(status)
+		_, _ = w.Write(respBody)
+		return
+	}
 
+	// Streaming fast path: the reply body flows upstream→client through a
+	// pooled buffer without ever being held whole in memory.
+	a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, false))
+	a.nStreamed.Add(1)
 	copyHeaders(w.Header(), resp.Header)
-	// The body may have been rewritten by a Modify rule; the upstream
-	// framing headers no longer apply.
-	w.Header().Del("Transfer-Encoding")
-	w.Header().Set("Content-Length", strconv.Itoa(len(respBody)))
 	w.WriteHeader(status)
-	_, _ = w.Write(respBody)
+	buf := copyBufs.Get().(*[]byte)
+	_, _ = io.CopyBuffer(w, resp.Body, *buf)
+	copyBufs.Put(buf)
+	_ = resp.Body.Close()
+}
+
+// replyRecord builds the reply-side record for this exchange from the
+// route's prototype.
+func (rp *routeProxy) replyRecord(r *http.Request, reqID string, status int, start time.Time,
+	injected time.Duration, actions, ruleIDs []string, gremlin bool) eventlog.Record {
+
+	rec := rp.recProto
+	rec.Timestamp = time.Now()
+	rec.RequestID = reqID
+	rec.Kind = eventlog.KindReply
+	rec.Method = r.Method
+	rec.URI = r.URL.RequestURI()
+	rec.Status = status
+	rec.LatencyMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	rec.FaultAction = strings.Join(actions, ",")
+	rec.FaultRuleID = strings.Join(ruleIDs, ",")
+	rec.InjectedDelayMillis = float64(injected) / float64(time.Millisecond)
+	rec.GremlinGenerated = gremlin
+	return rec
 }
 
 // abort terminates a request without forwarding it: either by returning the
 // rule's HTTP error code or, for AbortSeverConnection, by severing the TCP
-// connection to emulate a crashed process.
+// connection to emulate a crashed process. Either way the reply is logged,
+// severed connections as status 0.
 func (rp *routeProxy) abort(w http.ResponseWriter, r *http.Request, d rules.Decision,
 	reqID string, start time.Time, injected time.Duration, actions, ruleIDs []string) {
 
-	a := rp.agent
-	latency := time.Since(start)
 	severed := d.Rule.ErrorCode == rules.AbortSeverConnection
 	status := d.Rule.ErrorCode
 	if severed {
 		status = 0
 	}
-	a.log(eventlog.Record{
-		Timestamp:           time.Now(),
-		RequestID:           reqID,
-		Src:                 a.cfg.ServiceName,
-		Dst:                 rp.route.Dst,
-		Kind:                eventlog.KindReply,
-		Method:              r.Method,
-		URI:                 r.URL.RequestURI(),
-		Status:              status,
-		LatencyMillis:       float64(latency) / float64(time.Millisecond),
-		FaultAction:         strings.Join(actions, ","),
-		FaultRuleID:         strings.Join(ruleIDs, ","),
-		InjectedDelayMillis: float64(injected) / float64(time.Millisecond),
-		GremlinGenerated:    true,
-	})
+	rp.agent.log(rp.replyRecord(r, reqID, status, start, injected, actions, ruleIDs, true))
 	if severed {
 		rp.sever(w)
 		return
@@ -457,23 +484,58 @@ func (rp *routeProxy) sever(w http.ResponseWriter) {
 // target — or, when the route has a canary and the request ID matches the
 // canary pattern, to the next canary instance, keeping test traffic's side
 // effects away from production state (§9).
-func (rp *routeProxy) forward(r *http.Request, body []byte) (*http.Response, error) {
+//
+// When buffered is false (no Modify rewrite, no mirror), the inbound body
+// is handed straight to the outbound connection instead of being read into
+// memory; body must then be nil.
+func (rp *routeProxy) forward(r *http.Request, body []byte, buffered bool) (*http.Response, error) {
 	var target string
 	if len(rp.route.CanaryTargets) > 0 && rp.canaryPat.Match(trace.FromRequest(r)) {
 		target = rp.route.CanaryTargets[int(rp.canaryNext.Add(1)-1)%len(rp.route.CanaryTargets)]
 	} else {
 		target = rp.route.Targets[int(rp.next.Add(1)-1)%len(rp.route.Targets)]
 	}
-	rp.mirror(r, body)
 	url := "http://" + target + r.URL.RequestURI()
-	out, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	var (
+		out *http.Request
+		err error
+	)
+	if buffered {
+		rp.mirror(r, body)
+		out, err = http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		out.ContentLength = int64(len(body))
+	} else {
+		src := io.Reader(r.Body)
+		if r.ContentLength == 0 {
+			// Bodyless request: NoBody keeps the outbound call from being
+			// framed as chunked.
+			src = http.NoBody
+		}
+		out, err = http.NewRequestWithContext(r.Context(), r.Method, url, src)
+		if err != nil {
+			return nil, err
+		}
+		out.ContentLength = r.ContentLength
 	}
 	copyHeaders(out.Header, r.Header)
 	out.Header.Del("Connection")
-	out.ContentLength = int64(len(body))
 	return rp.client.Do(out)
+}
+
+// wantsMirror reports whether this request would be mirrored to a shadow
+// deployment — in which case the body must be buffered for the copy.
+func (rp *routeProxy) wantsMirror(reqID string) bool {
+	return len(rp.route.MirrorTargets) > 0 && rp.mirrorPat.Match(reqID)
+}
+
+// discardBody drains (bounded) and closes an upstream reply body that the
+// data path will not relay, so the connection can be reused.
+func discardBody(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, maxBodyBytes))
+	_ = rc.Close()
 }
 
 // mirror asynchronously copies the request to the next mirror target

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gremlin/internal/pattern"
 )
@@ -66,29 +67,87 @@ type Decision struct {
 	Fired bool
 }
 
+// routeKey identifies the (src, dst, direction) bucket a rule can match.
+// Every message has exactly one routeKey, so rules installed for other
+// routes or the other direction are never visited by an indexed Decide.
+type routeKey struct {
+	src, dst string
+	on       MessageType
+}
+
+// snapshot is one immutable generation of the installed rule set. Writers
+// build a fresh snapshot and publish it atomically (RCU); readers load the
+// pointer and never synchronize with writers.
+type snapshot struct {
+	// rules holds every installed rule in insertion order.
+	rules []CompiledRule
+	// ids is the set of installed rule IDs, for O(1) duplicate checks.
+	ids map[string]struct{}
+	// index maps each (src, dst, on) bucket to the positions (into rules,
+	// in insertion order) of the rules that can match messages in it.
+	index map[routeKey][]int
+}
+
+func newSnapshot(rules []CompiledRule) *snapshot {
+	s := &snapshot{
+		rules: rules,
+		ids:   make(map[string]struct{}, len(rules)),
+		index: make(map[routeKey][]int, len(rules)),
+	}
+	for i, r := range rules {
+		s.ids[r.ID] = struct{}{}
+		k := routeKey{src: r.Src, dst: r.Dst, on: r.on()}
+		s.index[k] = append(s.index[k], i)
+	}
+	return s
+}
+
 // Matcher holds an agent's installed rules and answers, per message, which
-// fault (if any) to apply. The paper's Figure 8 measures this component's
-// overhead: a linear scan of all installed rules per message, which we keep
-// deliberately (the paper notes prefix/numeric ID indexes as possible
-// optimizations and excludes them from measurement).
+// fault (if any) to apply.
+//
+// The data path (Decide) is lock-free: the rule set lives in an immutable
+// snapshot behind an atomic pointer, rules are indexed by (src, dst,
+// message type) so rules for other routes are never visited, and
+// probability sampling draws from per-goroutine RNG state, so concurrent
+// routes never serialize on a shared lock. Install/Remove/Clear are the
+// (mutex-serialized) writers: each builds and atomically publishes a new
+// snapshot.
+//
+// The paper's Figure 8 measures a deliberately linear scan of all
+// installed rules per message; UseLinearScan restores that behaviour as an
+// ablation so the paper-fidelity measurement is preserved.
 //
 // Matcher is safe for concurrent use.
 type Matcher struct {
-	mu       sync.RWMutex
-	rules    []CompiledRule
-	fastPath bool
-	rng      *rand.Rand
-	rngMu    sync.Mutex
+	snap atomic.Pointer[snapshot]
+	mu   sync.Mutex // serializes snapshot writers
+
+	fastPath   atomic.Bool
+	linearScan atomic.Bool
+
+	// seedRNG seeds the per-goroutine sampling RNGs in rngs; it is only
+	// touched on pool misses, never per message.
+	seedMu  sync.Mutex
+	seedRNG *rand.Rand
+	rngs    sync.Pool
 }
 
-// NewMatcher creates an empty matcher. The rng drives probability sampling;
+// NewMatcher creates an empty matcher. The rng seeds probability sampling;
 // pass a seeded rand.Rand for deterministic tests, or nil for a
 // non-deterministic default.
 func NewMatcher(rng *rand.Rand) *Matcher {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(rand.Int63()))
 	}
-	return &Matcher{rng: rng}
+	m := &Matcher{seedRNG: rng}
+	m.rngs.New = func() any {
+		m.seedMu.Lock()
+		seed := m.seedRNG.Int63()
+		m.seedMu.Unlock()
+		return rand.New(rand.NewSource(seed))
+	}
+	m.snap.Store(newSnapshot(nil))
+	return m
 }
 
 // Install adds rules to the matcher. It rejects the whole batch if any rule
@@ -110,14 +169,16 @@ func (m *Matcher) Install(rs ...Rule) error {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	cur := m.snap.Load()
 	for _, c := range compiled {
-		for _, existing := range m.rules {
-			if existing.ID == c.ID {
-				return fmt.Errorf("rules: rule ID %q already installed", c.ID)
-			}
+		if _, dup := cur.ids[c.ID]; dup {
+			return fmt.Errorf("rules: rule ID %q already installed", c.ID)
 		}
 	}
-	m.rules = append(m.rules, compiled...)
+	next := make([]CompiledRule, 0, len(cur.rules)+len(compiled))
+	next = append(next, cur.rules...)
+	next = append(next, compiled...)
+	m.snap.Store(newSnapshot(next))
 	return nil
 }
 
@@ -125,37 +186,37 @@ func (m *Matcher) Install(rs ...Rule) error {
 func (m *Matcher) Remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, r := range m.rules {
-		if r.ID == id {
-			m.rules = append(m.rules[:i], m.rules[i+1:]...)
-			return true
+	cur := m.snap.Load()
+	if _, ok := cur.ids[id]; !ok {
+		return false
+	}
+	next := make([]CompiledRule, 0, len(cur.rules)-1)
+	for _, r := range cur.rules {
+		if r.ID != id {
+			next = append(next, r)
 		}
 	}
-	return false
+	m.snap.Store(newSnapshot(next))
+	return true
 }
 
 // Clear removes all rules and returns how many were installed.
 func (m *Matcher) Clear() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := len(m.rules)
-	m.rules = nil
+	n := len(m.snap.Load().rules)
+	m.snap.Store(newSnapshot(nil))
 	return n
 }
 
 // Len reports the number of installed rules.
-func (m *Matcher) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.rules)
-}
+func (m *Matcher) Len() int { return len(m.snap.Load().rules) }
 
 // List returns a snapshot of the installed rules.
 func (m *Matcher) List() []Rule {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]Rule, len(m.rules))
-	for i, r := range m.rules {
+	cur := m.snap.Load()
+	out := make([]Rule, len(cur.rules))
+	for i, r := range cur.rules {
 		out[i] = r.Rule
 	}
 	return out
@@ -168,30 +229,38 @@ func (m *Matcher) List() []Rule {
 // message ID does not carry. Semantics are unchanged — only non-matching
 // scans get cheaper. Off by default for fidelity with the paper's
 // measurements, which exclude such optimizations.
-func (m *Matcher) UseLiteralPrefixFastPath(on bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.fastPath = on
-}
+func (m *Matcher) UseLiteralPrefixFastPath(on bool) { m.fastPath.Store(on) }
 
-// Decide scans the installed rules in insertion order and returns the first
-// rule whose criteria match the message and whose probability sample fires.
-// If rules match but none fires, Decision.Matched is true and Fired false.
+// UseLinearScan toggles the paper-fidelity ablation: Decide scans every
+// installed rule in insertion order instead of consulting the (src, dst,
+// type) index, reproducing the linear-scan behaviour Figure 8 measures
+// (the paper notes prefix/numeric ID indexes as possible optimizations and
+// excludes them from measurement). Off by default; decisions are identical
+// either way, only the visit order of non-matching rules differs.
+func (m *Matcher) UseLinearScan(on bool) { m.linearScan.Store(on) }
+
+// Decide returns the first rule, in insertion order, whose criteria match
+// the message and whose probability sample fires. If rules match but none
+// fires, Decision.Matched is true and Fired false. Decide takes no locks.
 func (m *Matcher) Decide(msg Message) Decision {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	snap := m.snap.Load()
+	if m.linearScan.Load() {
+		return m.decideScan(snap, msg)
+	}
 
 	var d Decision
-	for _, r := range m.rules {
-		if m.fastPath && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
+	fast := m.fastPath.Load()
+	for _, i := range snap.index[routeKey{src: msg.Src, dst: msg.Dst, on: msg.Type}] {
+		r := &snap.rules[i]
+		if fast && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
 			continue
 		}
-		if !r.Matches(msg) {
+		if !r.pat.Match(msg.RequestID) {
 			continue
 		}
 		d.Matched = true
 		if m.sample(r.EffectiveProbability()) {
-			d.Rule = r
+			d.Rule = *r
 			d.Fired = true
 			return d
 		}
@@ -199,11 +268,38 @@ func (m *Matcher) Decide(msg Message) Decision {
 	return d
 }
 
+// decideScan is the linear-scan ablation: every installed rule is visited
+// in insertion order, as the paper's Figure 8 measures.
+func (m *Matcher) decideScan(snap *snapshot, msg Message) Decision {
+	var d Decision
+	fast := m.fastPath.Load()
+	for i := range snap.rules {
+		r := &snap.rules[i]
+		if fast && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
+			continue
+		}
+		if !r.Matches(msg) {
+			continue
+		}
+		d.Matched = true
+		if m.sample(r.EffectiveProbability()) {
+			d.Rule = *r
+			d.Fired = true
+			return d
+		}
+	}
+	return d
+}
+
+// sample draws from per-goroutine RNG state (a sync.Pool keeps one
+// rand.Rand per P in steady state), so concurrent Decide calls do not
+// serialize on a shared RNG mutex.
 func (m *Matcher) sample(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	m.rngMu.Lock()
-	defer m.rngMu.Unlock()
-	return m.rng.Float64() < p
+	rng := m.rngs.Get().(*rand.Rand)
+	ok := rng.Float64() < p
+	m.rngs.Put(rng)
+	return ok
 }
