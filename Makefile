@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-figures check
+.PHONY: all build test race vet bench bench-figures campaign-smoke check
 
 all: check
 
@@ -23,5 +23,10 @@ bench:
 # The paper's full evaluation series (Tables 1-3, Figures 5-8).
 bench-figures:
 	$(GO) run ./cmd/gremlin-bench
+
+# A complete fault-space campaign on an in-process 7-service tree:
+# enumeration, parallel isolated runs, signature pruning, scorecard.
+campaign-smoke:
+	$(GO) run ./examples/campaign
 
 check: build vet test race

@@ -1,0 +1,222 @@
+// Command gremlin-campaign explores a deployment's fault space
+// systematically: it enumerates scenario templates × targets × parameter
+// grids from the application graph, executes the resulting recipes through
+// a bounded worker pool (each run confined to its own request-ID
+// namespace), prunes redundant scenarios by coverage signature, and folds
+// the outcomes into an aggregate resilience scorecard.
+//
+// Progress appends to a JSONL journal, so an interrupted campaign (Ctrl-C,
+// crash) resumes where it left off:
+//
+//	gremlin-campaign \
+//	    -graph graph.json -registry registry.json \
+//	    -store http://127.0.0.1:9200 -load-url http://127.0.0.1:8080 \
+//	    -parallelism 4 -journal campaign.jsonl -out scorecard.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/campaign"
+	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/registry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gremlin-campaign", flag.ContinueOnError)
+	var (
+		graphPath    = fs.String("graph", "", "application graph JSON file: [{\"src\":..,\"dst\":..}] (required)")
+		registryPath = fs.String("registry", "", "registry JSON file: [{\"service\":..,\"addr\":..,\"agentControlUrl\":..}] (required)")
+		storeURL     = fs.String("store", "", "event store URL (required)")
+		loadURL      = fs.String("load-url", "", "URL to inject test load at (required)")
+		requests     = fs.Int("requests", 20, "test requests per run")
+		concurrency  = fs.Int("concurrency", 2, "load concurrency within one run")
+		parallelism  = fs.Int("parallelism", 4, "concurrent campaign runs")
+		id           = fs.String("id", "camp", "campaign ID (namespaces request IDs)")
+		journalPath  = fs.String("journal", "", "JSONL journal for resume (optional)")
+		outPath      = fs.String("out", "", "write the scorecard JSON here (optional)")
+		mdPath       = fs.String("markdown", "", "write the Markdown scorecard here (default stdout)")
+		skip         = fs.String("skip", "user", "comma-separated services to exclude as fault targets")
+		templates    = fs.String("templates", "", "comma-separated scenario templates (default all: overload,crash,hang,partition,sever,delay)")
+		chaos        = fs.Int("chaos", 0, "append this many randomized chaos draws to the plan")
+		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the chaos draws")
+		maxLatency   = fs.Duration("max-latency", 0, "per-request latency bound asserted on callers (default 10s)")
+		keepLogs     = fs.Bool("keep-logs", false, "leave each run's records in the store instead of reclaiming them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for name, v := range map[string]string{
+		"-graph": *graphPath, "-registry": *registryPath, "-store": *storeURL, "-load-url": *loadURL,
+	} {
+		if v == "" {
+			return fmt.Errorf("gremlin-campaign: %s is required", name)
+		}
+	}
+
+	graphRaw, err := os.ReadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	var edges []graph.Edge
+	if err := json.Unmarshal(graphRaw, &edges); err != nil {
+		return fmt.Errorf("parse %s: %w", *graphPath, err)
+	}
+	g := graph.FromEdges(edges)
+
+	registryRaw, err := os.ReadFile(*registryPath)
+	if err != nil {
+		return err
+	}
+	var instances []registry.Instance
+	if err := json.Unmarshal(registryRaw, &instances); err != nil {
+		return fmt.Errorf("parse %s: %w", *registryPath, err)
+	}
+	reg := registry.NewStatic(instances...)
+
+	storeClient := eventlog.NewClient(*storeURL, nil)
+	if !storeClient.Healthy() {
+		return fmt.Errorf("gremlin-campaign: event store %s not reachable", *storeURL)
+	}
+	runner := core.NewRunner(g, orchestrator.New(reg), storeClient, core.ClearerFunc(func() int {
+		n, err := storeClient.Clear()
+		if err != nil {
+			log.Printf("clear store: %v", err)
+		}
+		return n
+	}))
+
+	units, err := campaign.Enumerate(g, campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{
+			SkipServices: splitComma(*skip),
+			MaxLatency:   *maxLatency,
+		},
+		Templates: splitComma(*templates),
+		Chaos:     *chaos,
+		ChaosSeed: *chaosSeed,
+	})
+	if err != nil {
+		return err
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("gremlin-campaign: the graph yields no testable units")
+	}
+	fmt.Printf("campaign %s: %d units over %d edges, parallelism %d\n",
+		*id, len(units), len(g.Edges()), *parallelism)
+
+	// Shipping health across the data plane: campaigns flag runs during
+	// which any agent dropped observation records.
+	agentURLs, err := registry.AllAgentURLs(reg)
+	if err != nil {
+		return err
+	}
+	var agents []*agentapi.Client
+	for _, u := range agentURLs {
+		agents = append(agents, agentapi.New(u, nil))
+	}
+
+	// Ctrl-C stops dispatching; in-flight runs drain and are journalled, so
+	// a re-run with the same -journal resumes instead of starting over.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	opts := campaign.Options{
+		ID:          *id,
+		Parallelism: *parallelism,
+		JournalPath: *journalPath,
+		Load: func(idPrefix string) error {
+			_, err := loadgen.Run(*loadURL, loadgen.Options{
+				N: *requests, Concurrency: *concurrency, IDPrefix: idPrefix,
+				RNG: rand.New(rand.NewSource(time.Now().UnixNano())),
+			})
+			return err
+		},
+		DroppedCount: func() int64 {
+			var sum int64
+			for _, a := range agents {
+				info, err := a.Info()
+				if err != nil {
+					continue // unreachable agent: counted as zero, not fatal
+				}
+				sum += info.Stats.LogDropped
+			}
+			return sum
+		},
+		OnEntry: func(e campaign.Entry) {
+			fmt.Printf("  %-7s %-9s %s\n", e.Status, e.Kind, e.Unit)
+		},
+	}
+	if !*keepLogs {
+		opts.Cleanup = func(pat string) {
+			if _, err := storeClient.ClearMatching(pat); err != nil {
+				log.Printf("reclaim %s: %v", pat, err)
+			}
+		}
+	}
+
+	sc, runErr := campaign.Run(ctx, runner, units, opts)
+	if runErr != nil && runErr != context.Canceled {
+		return runErr
+	}
+
+	md := sc.Markdown()
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print("\n" + md)
+	}
+	if *outPath != "" {
+		b, err := sc.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if runErr == context.Canceled {
+		return fmt.Errorf("gremlin-campaign: interrupted with %d of %d units settled — rerun with the same -journal to resume",
+			sc.Units, len(units))
+	}
+	if sc.Errors > 0 {
+		return fmt.Errorf("gremlin-campaign: %d units hit operational errors", sc.Errors)
+	}
+	if sc.Failed > 0 {
+		return fmt.Errorf("gremlin-campaign: %d of %d executed units failed assertions", sc.Failed, sc.Executed)
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -16,6 +16,7 @@ func TestExamplesRun(t *testing.T) {
 	}
 	examples := []string{
 		"./examples/quickstart",
+		"./examples/campaign",
 		"./examples/enterprise",
 		"./examples/outages",
 		"./examples/pubsub",

@@ -30,7 +30,10 @@
 package gremlin
 
 import (
+	"context"
+
 	"gremlin/internal/agentapi"
+	"gremlin/internal/campaign"
 	"gremlin/internal/checker"
 	"gremlin/internal/core"
 	"gremlin/internal/eventlog"
@@ -295,3 +298,37 @@ func GenerateRecipes(g *Graph, opts GenerateOptions) ([]Recipe, error) {
 // ParseRecipe decodes a recipe from its JSON wire form (see
 // internal/core.ParseRecipe for the schema).
 func ParseRecipe(data []byte) (Recipe, error) { return core.ParseRecipe(data) }
+
+// Campaign types: systematic, parallel, resumable exploration of the fault
+// space (see internal/campaign).
+type (
+	// CampaignUnit is one point of the enumerated fault space.
+	CampaignUnit = campaign.Unit
+
+	// CampaignOptions tunes campaign execution (parallelism, journal,
+	// load and cleanup hooks).
+	CampaignOptions = campaign.Options
+
+	// CampaignEntry is one settled unit as journalled.
+	CampaignEntry = campaign.Entry
+
+	// EnumerateOptions tunes fault-space enumeration.
+	EnumerateOptions = campaign.EnumerateOptions
+
+	// Scorecard is a campaign's aggregate resilience report: the
+	// per-edge and per-service pass-fail matrix.
+	Scorecard = campaign.Scorecard
+)
+
+// EnumerateCampaign expands the application graph into a deterministic
+// list of campaign units: scenario templates × targets × parameter grids.
+func EnumerateCampaign(g *Graph, opts EnumerateOptions) ([]CampaignUnit, error) {
+	return campaign.Enumerate(g, opts)
+}
+
+// RunCampaign executes units through a bounded worker pool, isolating
+// concurrent runs by request-ID namespace, pruning redundant scenarios by
+// coverage signature, and journalling outcomes for resume.
+func RunCampaign(ctx context.Context, r *Runner, units []CampaignUnit, opts CampaignOptions) (*Scorecard, error) {
+	return campaign.Run(ctx, r, units, opts)
+}

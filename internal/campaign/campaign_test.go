@@ -1,0 +1,321 @@
+package campaign_test
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gremlin/internal/campaign"
+	"gremlin/internal/core"
+	"gremlin/internal/graph"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/topology"
+)
+
+// newHarness boots an in-process topology with real HTTP data and control
+// planes, plus a runner wired to its shared event store.
+func newHarness(t *testing.T, spec topology.Spec) (*topology.App, *core.Runner) {
+	t.Helper()
+	spec.RNG = rand.New(rand.NewSource(7))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			t.Errorf("close app: %v", err)
+		}
+	})
+	orch := orchestrator.New(app.Registry)
+	return app, core.NewRunner(app.Graph, orch, app.Store, app.Store)
+}
+
+// campaignLoad builds a Load hook that drives the app's entry with the
+// run's ID prefix, tracking how many loads ran and the peak overlap.
+func campaignLoad(app *topology.App, loads, maxPar *atomic.Int64) func(string) error {
+	var inFlight atomic.Int64
+	var seed atomic.Int64
+	return func(idPrefix string) error {
+		loads.Add(1)
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			m := maxPar.Load()
+			if cur <= m || maxPar.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
+			N: 6, Concurrency: 2, IDPrefix: idPrefix,
+			RNG: rand.New(rand.NewSource(seed.Add(1))),
+		})
+		return err
+	}
+}
+
+func enumOpts() campaign.EnumerateOptions {
+	return campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{
+			SkipServices: []string{topology.EdgeService},
+			MaxLatency:   5 * time.Second,
+		},
+		HangInterval:  100 * time.Millisecond,
+		EdgeDelays:    []time.Duration{20 * time.Millisecond},
+		Chaos:         2,
+		ChaosSeed:     1,
+		ChaosMaxDelay: 30 * time.Millisecond,
+	}
+}
+
+// TestCampaignSystematicSweep is the subsystem's acceptance test: a
+// campaign over a 7-service binary tree runs 20+ generated recipes through
+// a parallel worker pool, covers every graph edge, and prunes redundant
+// scenarios via coverage signatures.
+func TestCampaignSystematicSweep(t *testing.T) {
+	app, runner := newHarness(t, topology.BinaryTree(2, 0))
+
+	units, err := campaign.Enumerate(app.Graph, enumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 20 {
+		t.Fatalf("enumerated %d units, want >= 20", len(units))
+	}
+
+	// Enumeration is deterministic: same graph, same options, same plan.
+	again, err := campaign.Enumerate(app.Graph, enumOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(units) {
+		t.Fatalf("re-enumeration changed unit count: %d vs %d", len(again), len(units))
+	}
+	for i := range units {
+		if units[i].Key != again[i].Key || units[i].Signature != again[i].Signature {
+			t.Fatalf("unit %d differs across enumerations: %+v vs %+v", i, units[i], again[i])
+		}
+	}
+
+	var loads, maxPar atomic.Int64
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	sc, err := campaign.Run(context.Background(), runner, units, campaign.Options{
+		ID:          "sweep",
+		Parallelism: 4,
+		JournalPath: journal,
+		Load:        campaignLoad(app, &loads, &maxPar),
+		DroppedCount: func() int64 {
+			var sum int64
+			for _, svc := range app.Services() {
+				if a := app.Agent(svc); a != nil {
+					sum += a.Stats().LogDropped
+				}
+			}
+			return sum
+		},
+		Cleanup: func(pat string) { _, _ = app.Store.ClearMatching(pat) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sc.Units != len(units) {
+		t.Fatalf("scorecard settled %d units, want %d", sc.Units, len(units))
+	}
+	if sc.Errors != 0 {
+		t.Fatalf("operational errors: %v", sc.ErrorUnits)
+	}
+	if sc.Executed < 20 {
+		t.Fatalf("executed %d runs, want >= 20", sc.Executed)
+	}
+	if sc.Skipped < 1 {
+		t.Fatal("no redundant scenario was pruned by signature")
+	}
+	if got := loads.Load(); got != int64(sc.Executed) {
+		t.Fatalf("load ran %d times for %d executed units", got, sc.Executed)
+	}
+	if maxPar.Load() < 2 {
+		t.Fatalf("peak load overlap = %d, want > 1 (worker pool not parallel)", maxPar.Load())
+	}
+	if !sc.Covered() {
+		t.Fatalf("scorecard leaves edges untested:\n%s", sc.Markdown())
+	}
+
+	// The journal settled every unit, and each skip names an executed
+	// unit with the same signature.
+	entries, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(units) {
+		t.Fatalf("journal has %d entries, want %d", len(entries), len(units))
+	}
+	executedSig := map[string]string{}
+	for _, e := range entries {
+		if e.Status == campaign.StatusPassed || e.Status == campaign.StatusFailed {
+			executedSig[e.Signature] = e.Unit
+		}
+	}
+	for _, e := range entries {
+		if e.Status != campaign.StatusSkipped {
+			continue
+		}
+		owner, ok := executedSig[e.Signature]
+		if !ok {
+			t.Fatalf("skipped unit %s has no executed twin for signature %s", e.Unit, e.Signature)
+		}
+		if !strings.Contains(e.Reason, owner) {
+			t.Errorf("skip reason %q does not name owner %s", e.Reason, owner)
+		}
+	}
+
+	md := sc.Markdown()
+	if !strings.Contains(md, "Edge coverage: 100%") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+	if b, err := sc.JSON(); err != nil || len(b) == 0 {
+		t.Fatalf("JSON render: %v", err)
+	}
+}
+
+// TestCampaignResume kills a campaign midway and resumes it from the
+// journal, asserting completed units are not re-executed.
+func TestCampaignResume(t *testing.T) {
+	app, runner := newHarness(t, topology.BinaryTree(1, 0))
+
+	opts := enumOpts()
+	opts.Chaos = 0
+	units, err := campaign.Enumerate(app.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 8 {
+		t.Fatalf("enumerated only %d units", len(units))
+	}
+
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var loads1, loads2, maxPar atomic.Int64
+	var settled atomic.Int64
+	_, err = campaign.Run(ctx, runner, units, campaign.Options{
+		ID:          "resume",
+		Parallelism: 2,
+		JournalPath: journal,
+		Load:        campaignLoad(app, &loads1, &maxPar),
+		OnEntry: func(campaign.Entry) {
+			// Kill the campaign after a few units settle; in-flight runs
+			// drain, the rest stay pending.
+			if settled.Add(1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if loads1.Load() == 0 {
+		t.Fatal("nothing executed before the kill; test is vacuous")
+	}
+	before, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 || len(before) >= len(units) {
+		t.Fatalf("journal settled %d of %d units before kill", len(before), len(units))
+	}
+
+	sc, err := campaign.Run(context.Background(), runner, units, campaign.Options{
+		ID:          "resume",
+		Parallelism: 2,
+		JournalPath: journal,
+		Load:        campaignLoad(app, &loads2, &maxPar),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Units != len(units) {
+		t.Fatalf("resumed scorecard settled %d units, want %d", sc.Units, len(units))
+	}
+	if sc.Errors != 0 {
+		t.Fatalf("errors after resume: %v", sc.ErrorUnits)
+	}
+	if !sc.Covered() {
+		t.Fatalf("resumed campaign leaves edges untested:\n%s", sc.Markdown())
+	}
+
+	// Each executed unit ran in exactly one of the two sessions.
+	if got, want := loads1.Load()+loads2.Load(), int64(sc.Executed); got != want {
+		t.Fatalf("total loads %d != executed units %d (completed work re-ran)", got, want)
+	}
+	entries, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, e := range entries {
+		seen[e.Unit]++
+	}
+	for unit, n := range seen {
+		if n > 1 {
+			t.Fatalf("unit %s settled %d times across sessions", unit, n)
+		}
+	}
+	if len(entries) != len(units) {
+		t.Fatalf("combined journal has %d entries for %d units", len(entries), len(units))
+	}
+}
+
+// TestEnumerateHonorsSkipAndTemplates locks the enumeration contract on a
+// plain graph: skipped services are never fault targets, template
+// filtering works, and the crash/sever overlap is detectable by signature.
+func TestEnumerateHonorsSkipAndTemplates(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{
+		{Src: "user", Dst: "web"},
+		{Src: "web", Dst: "db"},
+	})
+	units, err := campaign.Enumerate(g, campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{SkipServices: []string{"user"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySig := map[string][]string{}
+	for _, u := range units {
+		if u.Service == "user" {
+			t.Fatalf("unit %s targets a skipped service", u.Key)
+		}
+		bySig[u.Signature] = append(bySig[u.Signature], u.Key)
+	}
+	// Crash(db) and sever(web->db) install identical rule sets.
+	dupFound := false
+	for _, keys := range bySig {
+		if len(keys) > 1 {
+			dupFound = true
+		}
+	}
+	if !dupFound {
+		t.Fatalf("no signature overlap in %v", bySig)
+	}
+
+	only, err := campaign.Enumerate(g, campaign.EnumerateOptions{
+		Generate:  core.GenerateOptions{SkipServices: []string{"user"}},
+		Templates: []string{"sever"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 {
+		t.Fatalf("sever-only enumeration = %d units, want 2", len(only))
+	}
+	for _, u := range only {
+		if u.Kind != "sever" {
+			t.Fatalf("template filter leaked %s", u.Key)
+		}
+	}
+}

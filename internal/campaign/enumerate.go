@@ -1,0 +1,424 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gremlin/internal/checker"
+	"gremlin/internal/core"
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// Unit is one point of the enumerated fault space: a scenario template
+// instantiated for a concrete target with concrete parameters. Build
+// produces the runnable recipe for a given request-ID pattern, so the
+// same unit can be re-instantiated under any run's namespace.
+type Unit struct {
+	// Key identifies the unit stably across campaign sessions (it is the
+	// journal's primary key for resume).
+	Key string
+
+	// Kind names the scenario template ("overload", "crash", "hang",
+	// "partition", "sever", "delay", "chaos").
+	Kind string
+
+	// Service is the conceptual fault target (the callee, for edge units).
+	Service string
+
+	// Target describes the fault location ("svc" or "src->dst").
+	Target string
+
+	// Edges are the graph edges the unit faults, from a canonical
+	// translation at enumeration time.
+	Edges []graph.Edge
+
+	// Signature is the unit's coverage signature; units sharing one inject
+	// indistinguishable faults.
+	Signature string
+
+	// Build instantiates the unit's recipe confined to pattern.
+	Build func(pattern string) (core.Recipe, error)
+}
+
+// EnumerateOptions tunes fault-space enumeration.
+type EnumerateOptions struct {
+	// Generate seeds the overload and crash templates (scenarios and
+	// assertions) via core.GenerateRecipes. Its SkipServices list is
+	// honored by every template, and its thresholds parameterize the
+	// timeout assertions attached to edge units.
+	Generate core.GenerateOptions
+
+	// Templates selects which deterministic templates to enumerate; nil
+	// selects all of overload, crash, hang, partition, sever, delay.
+	Templates []string
+
+	// HangInterval is how long the hang template stalls each request
+	// (default 2 s — long enough to trip real timeouts, short enough that
+	// a campaign over services without them still terminates).
+	HangInterval time.Duration
+
+	// EdgeDelays is the parameter grid for the delay template, one unit
+	// per edge per value (default 100 ms, the paper's overload delay).
+	EdgeDelays []time.Duration
+
+	// Chaos appends this many randomized scenarios drawn from
+	// core.RandomScenario — the Chaos Monkey baseline explored alongside
+	// the systematic grid.
+	Chaos int
+
+	// ChaosSeed seeds the chaos draws, making them reproducible.
+	ChaosSeed int64
+
+	// ChaosMaxDelay bounds randomly drawn delays (default 250 ms).
+	ChaosMaxDelay time.Duration
+}
+
+func (o EnumerateOptions) withDefaults() EnumerateOptions {
+	if o.HangInterval <= 0 {
+		o.HangInterval = 2 * time.Second
+	}
+	if len(o.EdgeDelays) == 0 {
+		o.EdgeDelays = []time.Duration{100 * time.Millisecond}
+	}
+	if o.ChaosMaxDelay <= 0 {
+		o.ChaosMaxDelay = 250 * time.Millisecond
+	}
+	return o
+}
+
+// Enumerate expands the application graph into a deterministic, ordered
+// list of campaign units: scenario templates × targets × parameter grids.
+// Assertion-rich templates come first (overload and crash carry the full
+// resilience-pattern checks from core.GenerateRecipes), so when two units
+// share a coverage signature the scheduler keeps the richer one and prunes
+// the other.
+func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
+	o := opts.withDefaults()
+	gen := o.Generate.WithDefaults()
+	skip := make(map[string]bool, len(gen.SkipServices))
+	for _, s := range gen.SkipServices {
+		skip[s] = true
+	}
+	want := make(map[string]bool, len(o.Templates))
+	for _, t := range o.Templates {
+		want[t] = true
+	}
+	enabled := func(t string) bool { return len(o.Templates) == 0 || want[t] }
+
+	// Targets: services with at least one unskipped dependent (someone
+	// must be there to observe the failure), sorted for determinism.
+	var targets []string
+	for _, svc := range g.Services() {
+		if skip[svc] {
+			continue
+		}
+		deps, err := g.Dependents(svc)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: enumerate: %w", err)
+		}
+		for _, d := range deps {
+			if !skip[d] {
+				targets = append(targets, svc)
+				break
+			}
+		}
+	}
+	sort.Strings(targets)
+
+	var units []Unit
+
+	// Overload and crash ride on core.GenerateRecipes, inheriting its
+	// assertions (bounded retries + timeouts, then circuit breakers).
+	if enabled("overload") || enabled("crash") {
+		recipes, err := core.GenerateRecipes(g, gen)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: enumerate: %w", err)
+		}
+		for _, r := range recipes {
+			name := r.Name
+			kind, svc := splitAutoName(name)
+			if !enabled(kind) {
+				continue
+			}
+			units = append(units, Unit{
+				Key:     name,
+				Kind:    kind,
+				Service: svc,
+				Target:  svc,
+				Build: func(pattern string) (core.Recipe, error) {
+					go2 := gen
+					go2.Pattern = pattern
+					rs, err := core.GenerateRecipes(g, go2)
+					if err != nil {
+						return core.Recipe{}, err
+					}
+					for _, rr := range rs {
+						if rr.Name == name {
+							return rr, nil
+						}
+					}
+					return core.Recipe{}, fmt.Errorf("campaign: recipe %s not regenerated", name)
+				},
+			})
+		}
+	}
+
+	if enabled("hang") {
+		for _, svc := range targets {
+			svc := svc
+			deps, err := unskippedDependents(g, svc, skip)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, Unit{
+				Key:     "hang-" + svc,
+				Kind:    "hang",
+				Service: svc,
+				Target:  svc,
+				Build: func(pattern string) (core.Recipe, error) {
+					rec := core.Recipe{
+						Name:      "hang-" + svc,
+						Scenarios: []core.Scenario{core.Hang{Service: svc, Interval: o.HangInterval}},
+						Pattern:   pattern,
+					}
+					for _, d := range deps {
+						rec.Checks = append(rec.Checks,
+							core.ExpectTimeoutsOn(d, gen.MaxLatency, pattern))
+					}
+					return rec, nil
+				},
+			})
+		}
+	}
+
+	// Partition each root-adjacent service away from the entry side — the
+	// paper's cut-based partition, on the cuts this graph actually has.
+	if enabled("partition") {
+		roots := g.Roots()
+		rootSet := make(map[string]bool, len(roots))
+		for _, r := range roots {
+			rootSet[r] = true
+		}
+		for _, svc := range g.Services() {
+			svc := svc
+			if rootSet[svc] || skip[svc] {
+				continue
+			}
+			if !crossesRoots(g, roots, svc) {
+				continue
+			}
+			units = append(units, Unit{
+				Key:     "partition-" + svc,
+				Kind:    "partition",
+				Service: svc,
+				Target:  svc,
+				Build: func(pattern string) (core.Recipe, error) {
+					rec := core.Recipe{
+						Name:      "partition-" + svc,
+						Scenarios: []core.Scenario{core.Partition{SideA: roots, SideB: []string{svc}}},
+						Pattern:   pattern,
+					}
+					cut, err := g.Cut(roots, []string{svc})
+					if err != nil {
+						return core.Recipe{}, err
+					}
+					for _, e := range cut {
+						rec.Checks = append(rec.Checks, expectFaultObserved(e.Src, e.Dst, pattern))
+					}
+					return rec, nil
+				},
+			})
+		}
+	}
+
+	// Per-edge grid: sever the connection, then delay it at each grid
+	// value. These carry a generic fault-delivery assertion (plus a
+	// timeout bound on the caller when it is a real service), so every
+	// graph edge — including ones GenerateRecipes cannot target, like the
+	// synthetic entry edge — contributes to the scorecard.
+	if enabled("sever") {
+		for _, e := range g.Edges() {
+			e := e
+			if skip[e.Dst] {
+				continue
+			}
+			units = append(units, Unit{
+				Key:     fmt.Sprintf("sever-%s-%s", e.Src, e.Dst),
+				Kind:    "sever",
+				Service: e.Dst,
+				Target:  e.Src + "->" + e.Dst,
+				Build: func(pattern string) (core.Recipe, error) {
+					rec := core.Recipe{
+						Name:      fmt.Sprintf("sever-%s-%s", e.Src, e.Dst),
+						Scenarios: []core.Scenario{core.Disconnect{From: e.Src, To: e.Dst, ErrorCode: rules.AbortSeverConnection}},
+						Pattern:   pattern,
+						Checks:    []core.Check{expectFaultObserved(e.Src, e.Dst, pattern)},
+					}
+					if !skip[e.Src] {
+						rec.Checks = append(rec.Checks, core.ExpectTimeoutsOn(e.Src, gen.MaxLatency, pattern))
+					}
+					return rec, nil
+				},
+			})
+		}
+	}
+	if enabled("delay") {
+		for _, e := range g.Edges() {
+			e := e
+			if skip[e.Dst] {
+				continue
+			}
+			for _, d := range o.EdgeDelays {
+				d := d
+				key := fmt.Sprintf("delay-%s-%s-%s", e.Src, e.Dst, d)
+				units = append(units, Unit{
+					Key:     key,
+					Kind:    "delay",
+					Service: e.Dst,
+					Target:  e.Src + "->" + e.Dst,
+					Build: func(pattern string) (core.Recipe, error) {
+						rec := core.Recipe{
+							Name:      key,
+							Scenarios: []core.Scenario{core.Delay{Src: e.Src, Dst: e.Dst, Interval: d, Probability: 1}},
+							Pattern:   pattern,
+							Checks:    []core.Check{expectFaultObserved(e.Src, e.Dst, pattern)},
+						}
+						if !skip[e.Src] {
+							rec.Checks = append(rec.Checks, core.ExpectTimeoutsOn(e.Src, gen.MaxLatency, pattern))
+						}
+						return rec, nil
+					},
+				})
+			}
+		}
+	}
+
+	// Randomized draws, reproducible from the seed. Duplicates of grid
+	// units (or of each other) are pruned at schedule time by signature.
+	if o.Chaos > 0 {
+		rng := rand.New(rand.NewSource(o.ChaosSeed))
+		copts := core.ChaosOptions{SkipServices: gen.SkipServices, MaxDelay: o.ChaosMaxDelay}
+		for i := 0; i < o.Chaos; i++ {
+			sc, err := core.RandomScenario(g, rng, copts)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: enumerate chaos: %w", err)
+			}
+			key := fmt.Sprintf("chaos-%d", i)
+			units = append(units, Unit{
+				Key:     key,
+				Kind:    "chaos",
+				Target:  sc.Describe(),
+				Service: "",
+				Build: func(pattern string) (core.Recipe, error) {
+					return core.Recipe{
+						Name:      key,
+						Scenarios: []core.Scenario{sc},
+						Pattern:   pattern,
+						Checks:    []core.Check{expectAnyFaultObserved(pattern)},
+					}, nil
+				},
+			})
+		}
+	}
+
+	// Canonical translation fills in what each unit actually faults: its
+	// coverage signature and edge set.
+	for i := range units {
+		rec, err := units[i].Build(signaturePattern)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: enumerate %s: %w", units[i].Key, err)
+		}
+		rs, err := rec.Translate(g)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: enumerate %s: %w", units[i].Key, err)
+		}
+		units[i].Signature = signatureOf(rs)
+		units[i].Edges = edgesOf(rs)
+		if units[i].Service == "" && len(units[i].Edges) > 0 {
+			units[i].Service = units[i].Edges[0].Dst
+		}
+	}
+	return units, nil
+}
+
+// splitAutoName maps a core.GenerateRecipes name ("auto-overload-db") to
+// its template kind and target service.
+func splitAutoName(name string) (kind, svc string) {
+	const p = "auto-"
+	rest := name
+	if len(rest) > len(p) && rest[:len(p)] == p {
+		rest = rest[len(p):]
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '-' {
+			return rest[:i], rest[i+1:]
+		}
+	}
+	return rest, ""
+}
+
+func unskippedDependents(g *graph.Graph, svc string, skip map[string]bool) ([]string, error) {
+	deps, err := g.Dependents(svc)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: enumerate: %w", err)
+	}
+	var out []string
+	for _, d := range deps {
+		if !skip[d] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// crossesRoots reports whether svc shares an edge with any root (the
+// Partition scenario rejects empty cuts).
+func crossesRoots(g *graph.Graph, roots []string, svc string) bool {
+	for _, r := range roots {
+		if g.HasEdge(r, svc) || g.HasEdge(svc, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// expectFaultObserved asserts that at least one reply on src->dst carried
+// an injected fault — the minimal evidence that the unit's outage actually
+// reached the data plane under its run's pattern.
+func expectFaultObserved(src, dst, pattern string) core.Check {
+	name := fmt.Sprintf("FaultObserved(%s->%s)", src, dst)
+	return core.ExpectCustom(name, func(c *checker.Checker) (bool, string, error) {
+		rl, err := c.GetReplies(src, dst, pattern)
+		if err != nil {
+			return false, "", err
+		}
+		n := countFaulted(rl)
+		return n > 0, fmt.Sprintf("%d of %d replies faulted", n, len(rl)), nil
+	})
+}
+
+// expectAnyFaultObserved is expectFaultObserved over every edge at once,
+// for units whose fault location is drawn at random.
+func expectAnyFaultObserved(pattern string) core.Check {
+	return core.ExpectCustom("FaultObserved(any)", func(c *checker.Checker) (bool, string, error) {
+		rl, err := c.GetReplies("", "", pattern)
+		if err != nil {
+			return false, "", err
+		}
+		n := countFaulted(rl)
+		return n > 0, fmt.Sprintf("%d of %d replies faulted", n, len(rl)), nil
+	})
+}
+
+func countFaulted(rl checker.RList) int {
+	n := 0
+	for _, r := range rl {
+		if r.FaultAction != "" || r.GremlinGenerated || r.InjectedDelayMillis > 0 {
+			n++
+		}
+	}
+	return n
+}

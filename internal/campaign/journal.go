@@ -1,0 +1,134 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+
+	"gremlin/internal/checker"
+	"gremlin/internal/graph"
+)
+
+// Entry statuses. Error entries are re-run on resume; the others are not.
+const (
+	StatusPassed  = "passed"
+	StatusFailed  = "failed"
+	StatusSkipped = "skipped"
+	StatusError   = "error"
+)
+
+// Entry is one journal line: the outcome of scheduling one unit. The
+// journal is append-only JSONL, written after each unit settles, so a
+// campaign killed at any point resumes by replaying it — completed and
+// skipped units are not re-run, and a unit killed mid-run (no entry yet)
+// runs again.
+type Entry struct {
+	Campaign  string `json:"campaign,omitempty"`
+	Unit      string `json:"unit"`
+	Kind      string `json:"kind,omitempty"`
+	Service   string `json:"service,omitempty"`
+	Target    string `json:"target,omitempty"`
+	RunID     string `json:"runId,omitempty"`
+	Status    string `json:"status"`
+	Reason    string `json:"reason,omitempty"`
+	Signature string `json:"signature,omitempty"`
+
+	// Edges are the graph edges the run faulted (from the installed rule
+	// set, not the enumeration-time estimate).
+	Edges []graph.Edge `json:"edges,omitempty"`
+
+	// Results are the run's assertion verdicts, in recipe order.
+	Results []checker.Result `json:"results,omitempty"`
+
+	// LogsDropped is how many observation records the data plane dropped
+	// during the run; non-zero marks the run lossy — its verdicts were
+	// computed on partial evidence.
+	LogsDropped int64 `json:"logsDropped,omitempty"`
+
+	ElapsedMillis int64 `json:"elapsedMillis,omitempty"`
+}
+
+// LoadJournal reads a campaign journal. A missing file (or empty path) is
+// an empty journal. Unparseable lines — e.g. a line torn by the kill that
+// interrupted the previous session — are skipped.
+func LoadJournal(path string) ([]Entry, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: load journal: %w", err)
+	}
+	defer f.Close()
+
+	var out []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Unit == "" {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: load journal: %w", err)
+	}
+	return out, nil
+}
+
+// journal appends entries to the campaign's JSONL file. A nil file (empty
+// path) makes every method a no-op, so in-memory campaigns need no
+// branching at call sites.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	if path == "" {
+		return &journal{}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(e Entry) error {
+	if j.f == nil {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("campaign: journal entry: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: journal write: %w", err)
+	}
+	// One entry per completed run: syncing here bounds what a crash can
+	// lose to the runs actually in flight.
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gremlin/internal/graph"
+)
+
+// EdgeScore is one row of the per-edge pass-fail matrix: the outcomes of
+// every executed run that faulted this edge.
+type EdgeScore struct {
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Runs    int    `json:"runs"`
+	Passed  int    `json:"passed"`
+	Failed  int    `json:"failed"`
+	Verdict string `json:"verdict"` // "pass", "fail", or "untested"
+}
+
+// ServiceScore aggregates the runs targeting one service.
+type ServiceScore struct {
+	Service string `json:"service"`
+	Runs    int    `json:"runs"`
+	Passed  int    `json:"passed"`
+	Failed  int    `json:"failed"`
+}
+
+// Scorecard is the campaign's aggregate resilience report.
+type Scorecard struct {
+	Campaign string `json:"campaign"`
+
+	// Units is how many journal entries the campaign settled; Executed
+	// counts the ones that actually ran (Passed + Failed), the rest were
+	// Skipped as redundant or hit operational Errors.
+	Units    int `json:"units"`
+	Executed int `json:"executed"`
+	Passed   int `json:"passed"`
+	Failed   int `json:"failed"`
+	Skipped  int `json:"skipped"`
+	Errors   int `json:"errors"`
+
+	// Lossy counts executed runs whose event logs dropped records — their
+	// verdicts were computed on partial evidence.
+	Lossy int `json:"lossy"`
+
+	// EdgeCoverage is the fraction of graph edges faulted by at least one
+	// executed run.
+	EdgeCoverage float64 `json:"edgeCoverage"`
+
+	Edges    []EdgeScore    `json:"edges"`
+	Services []ServiceScore `json:"services"`
+
+	// FailedUnits lists the units whose assertions failed, with the first
+	// failing check's detail.
+	FailedUnits []string `json:"failedUnits,omitempty"`
+
+	// ErrorUnits lists the units that hit operational errors.
+	ErrorUnits []string `json:"errorUnits,omitempty"`
+}
+
+// BuildScorecard folds journal entries into the aggregate matrix over g's
+// edges and services. Every graph edge gets a row, so coverage gaps are
+// visible as "untested" rather than silently absent.
+func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scorecard {
+	sc := &Scorecard{Campaign: campaignID}
+	edgeIdx := make(map[graph.Edge]*EdgeScore)
+	edgeOrder := g.Edges()
+	for _, e := range edgeOrder {
+		edgeIdx[e] = &EdgeScore{Src: e.Src, Dst: e.Dst}
+	}
+	svcIdx := make(map[string]*ServiceScore)
+	svcOrder := g.Services()
+	for _, s := range svcOrder {
+		svcIdx[s] = &ServiceScore{Service: s}
+	}
+
+	for _, e := range entries {
+		sc.Units++
+		switch e.Status {
+		case StatusSkipped:
+			sc.Skipped++
+			continue
+		case StatusError:
+			sc.Errors++
+			sc.ErrorUnits = append(sc.ErrorUnits, fmt.Sprintf("%s: %s", e.Unit, e.Reason))
+			continue
+		}
+		sc.Executed++
+		passed := e.Status == StatusPassed
+		if passed {
+			sc.Passed++
+		} else {
+			sc.Failed++
+			detail := ""
+			for _, r := range e.Results {
+				if !r.Passed {
+					detail = r.Check
+					break
+				}
+			}
+			sc.FailedUnits = append(sc.FailedUnits, fmt.Sprintf("%s (%s)", e.Unit, detail))
+		}
+		if e.LogsDropped > 0 {
+			sc.Lossy++
+		}
+		for _, edge := range e.Edges {
+			es, ok := edgeIdx[edge]
+			if !ok {
+				// A rule may target an edge outside the reporting graph
+				// (a journal from a stale topology); count it anyway.
+				es = &EdgeScore{Src: edge.Src, Dst: edge.Dst}
+				edgeIdx[edge] = es
+				edgeOrder = append(edgeOrder, edge)
+			}
+			es.Runs++
+			if passed {
+				es.Passed++
+			} else {
+				es.Failed++
+			}
+		}
+		if ss, ok := svcIdx[e.Service]; ok {
+			ss.Runs++
+			if passed {
+				ss.Passed++
+			} else {
+				ss.Failed++
+			}
+		}
+	}
+
+	covered := 0
+	for _, e := range edgeOrder {
+		es := edgeIdx[e]
+		switch {
+		case es.Runs == 0:
+			es.Verdict = "untested"
+		case es.Failed > 0:
+			es.Verdict = "fail"
+		default:
+			es.Verdict = "pass"
+		}
+		if es.Runs > 0 {
+			covered++
+		}
+		sc.Edges = append(sc.Edges, *es)
+	}
+	for _, s := range svcOrder {
+		sc.Services = append(sc.Services, *svcIdx[s])
+	}
+	if len(sc.Edges) > 0 {
+		sc.EdgeCoverage = float64(covered) / float64(len(sc.Edges))
+	}
+	sort.Strings(sc.FailedUnits)
+	sort.Strings(sc.ErrorUnits)
+	return sc
+}
+
+// Covered reports whether every edge was faulted by at least one run.
+func (s *Scorecard) Covered() bool {
+	for _, e := range s.Edges {
+		if e.Runs == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// JSON renders the scorecard as indented JSON.
+func (s *Scorecard) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Markdown renders the scorecard as a Markdown report: the summary line,
+// the per-edge matrix, and the per-service rollup.
+func (s *Scorecard) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Campaign %s\n\n", s.Campaign)
+	fmt.Fprintf(&b, "%d units: %d executed (%d passed, %d failed), %d skipped as redundant, %d errored.\n",
+		s.Units, s.Executed, s.Passed, s.Failed, s.Skipped, s.Errors)
+	fmt.Fprintf(&b, "Edge coverage: %.0f%%.", 100*s.EdgeCoverage)
+	if s.Lossy > 0 {
+		fmt.Fprintf(&b, " **%d lossy runs** (event logs dropped records — verdicts untrustworthy).", s.Lossy)
+	}
+	b.WriteString("\n\n## Edges\n\n| edge | runs | passed | failed | verdict |\n|---|---:|---:|---:|---|\n")
+	for _, e := range s.Edges {
+		fmt.Fprintf(&b, "| %s → %s | %d | %d | %d | %s |\n", e.Src, e.Dst, e.Runs, e.Passed, e.Failed, e.Verdict)
+	}
+	b.WriteString("\n## Services\n\n| service | runs | passed | failed |\n|---|---:|---:|---:|\n")
+	for _, sv := range s.Services {
+		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", sv.Service, sv.Runs, sv.Passed, sv.Failed)
+	}
+	if len(s.FailedUnits) > 0 {
+		b.WriteString("\n## Failed units\n\n")
+		for _, u := range s.FailedUnits {
+			fmt.Fprintf(&b, "- %s\n", u)
+		}
+	}
+	if len(s.ErrorUnits) > 0 {
+		b.WriteString("\n## Errored units\n\n")
+		for _, u := range s.ErrorUnits {
+			fmt.Fprintf(&b, "- %s\n", u)
+		}
+	}
+	return b.String()
+}

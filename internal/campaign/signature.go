@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// signaturePattern is the placeholder request-ID pattern used when a unit
+// is translated for signature computation. The pattern is excluded from
+// the signature (it varies per run), so any value works; a fixed one keeps
+// canonical translations reproducible.
+const signaturePattern = "camp-*"
+
+// signatureOf canonicalizes a translated rule set into a coverage
+// signature. Two units with equal signatures inject indistinguishable
+// faults, so running both teaches nothing new — the scheduler skips the
+// later one (feedback-based pruning of the failure search space, after
+// Cui et al.). Rule IDs and request-ID patterns are excluded (both vary
+// per run) and zero probabilities are normalized to their effective value,
+// so e.g. Crash of a single-dependent service and a severed connection on
+// its one inbound edge hash identically.
+func signatureOf(rs []rules.Rule) string {
+	keys := make([]string, 0, len(rs))
+	for _, r := range rs {
+		on := r.On
+		if on == "" {
+			on = rules.OnRequest
+		}
+		keys = append(keys, fmt.Sprintf("%s>%s/%s/%s/c%d/d%d/p%.3f/%s/%s",
+			r.Src, r.Dst, on, r.Action, r.ErrorCode, r.DelayMillis,
+			r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes))
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{';'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// edgesOf returns the distinct graph edges a rule set faults, sorted.
+func edgesOf(rs []rules.Rule) []graph.Edge {
+	seen := make(map[graph.Edge]bool, len(rs))
+	out := make([]graph.Edge, 0, len(rs))
+	for _, r := range rs {
+		e := graph.Edge{Src: r.Src, Dst: r.Dst}
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+func TestSignatureIgnoresRunSpecificFields(t *testing.T) {
+	a := []rules.Rule{{
+		ID: "crash-1", Src: "a", Dst: "b", Action: rules.ActionAbort,
+		Pattern: "camp-x-1-*", ErrorCode: rules.AbortSeverConnection,
+	}}
+	b := []rules.Rule{{
+		ID: "sever-9", Src: "a", Dst: "b", Action: rules.ActionAbort,
+		Pattern: "camp-y-7-*", ErrorCode: rules.AbortSeverConnection,
+		Probability: 1, On: rules.OnRequest,
+	}}
+	if signatureOf(a) != signatureOf(b) {
+		t.Fatalf("signatures differ for equivalent faults:\n%s\n%s", signatureOf(a), signatureOf(b))
+	}
+}
+
+func TestSignatureDistinguishesFaults(t *testing.T) {
+	abort := []rules.Rule{{Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: 503}}
+	sever := []rules.Rule{{Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: rules.AbortSeverConnection}}
+	delay := []rules.Rule{{Src: "a", Dst: "b", Action: rules.ActionDelay, DelayMillis: 100}}
+	slower := []rules.Rule{{Src: "a", Dst: "b", Action: rules.ActionDelay, DelayMillis: 200}}
+	sigs := map[string]bool{
+		signatureOf(abort): true, signatureOf(sever): true,
+		signatureOf(delay): true, signatureOf(slower): true,
+	}
+	if len(sigs) != 4 {
+		t.Fatalf("expected 4 distinct signatures, got %d", len(sigs))
+	}
+}
+
+func TestSignatureOrderIndependent(t *testing.T) {
+	r1 := rules.Rule{Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: 503}
+	r2 := rules.Rule{Src: "c", Dst: "d", Action: rules.ActionDelay, DelayMillis: 50}
+	if signatureOf([]rules.Rule{r1, r2}) != signatureOf([]rules.Rule{r2, r1}) {
+		t.Fatal("signature depends on rule order")
+	}
+}
+
+func TestEdgesOf(t *testing.T) {
+	rs := []rules.Rule{
+		{Src: "b", Dst: "c"}, {Src: "a", Dst: "b"}, {Src: "b", Dst: "c"},
+	}
+	got := edgesOf(rs)
+	want := []graph.Edge{{Src: "a", Dst: "b"}, {Src: "b", Dst: "c"}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("edgesOf = %v, want %v", got, want)
+	}
+}
+
+func TestSchedPrioritizesUnexercisedEdges(t *testing.T) {
+	e1 := graph.Edge{Src: "a", Dst: "b"}
+	e2 := graph.Edge{Src: "b", Dst: "c"}
+	units := []Unit{
+		{Key: "u0", Signature: "s0", Edges: []graph.Edge{e1}},
+		{Key: "u1", Signature: "s1", Edges: []graph.Edge{e1}},
+		{Key: "u2", Signature: "s2", Edges: []graph.Edge{e2}},
+	}
+	s := newSched(units, nil)
+
+	idx, dup, ok := s.next()
+	if !ok || dup != "" || idx != 0 {
+		t.Fatalf("first pick = (%d, %q, %v), want unit 0", idx, dup, ok)
+	}
+	// e1 is now exercised: u2 (fresh edge) outranks u1 despite order.
+	idx, dup, ok = s.next()
+	if !ok || dup != "" || idx != 2 {
+		t.Fatalf("second pick = (%d, %q, %v), want unit 2", idx, dup, ok)
+	}
+	idx, dup, ok = s.next()
+	if !ok || idx != 1 {
+		t.Fatalf("third pick = (%d, %q, %v), want unit 1", idx, dup, ok)
+	}
+	if _, _, ok = s.next(); ok {
+		t.Fatal("scheduler returned a fourth unit")
+	}
+}
+
+func TestSchedSkipsClaimedSignatures(t *testing.T) {
+	units := []Unit{
+		{Key: "rich", Signature: "same"},
+		{Key: "dup", Signature: "same"},
+	}
+	s := newSched(units, nil)
+	if idx, dup, _ := s.next(); idx != 0 || dup != "" {
+		t.Fatalf("first = (%d, %q)", idx, dup)
+	}
+	if idx, dup, _ := s.next(); idx != 1 || dup != "rich" {
+		t.Fatalf("second = (%d, %q), want dup of rich", idx, dup)
+	}
+}
+
+func TestSchedResumeFromJournal(t *testing.T) {
+	units := []Unit{
+		{Key: "done", Signature: "s0"},
+		{Key: "errored", Signature: "s1"},
+		{Key: "same-as-done", Signature: "s0"},
+		{Key: "fresh", Signature: "s3"},
+	}
+	prior := []Entry{
+		{Unit: "done", Status: StatusPassed, Signature: "s0"},
+		{Unit: "errored", Status: StatusError, Signature: "s1"},
+		{Unit: "gone-from-plan", Status: StatusPassed, Signature: "sX"},
+	}
+	s := newSched(units, prior)
+	if got := s.remaining(); got != 3 {
+		t.Fatalf("remaining = %d, want 3 (errored re-runs, done does not)", got)
+	}
+	popped := map[string]string{}
+	for {
+		idx, dup, ok := s.next()
+		if !ok {
+			break
+		}
+		popped[units[idx].Key] = dup
+	}
+	if _, rerun := popped["done"]; rerun {
+		t.Fatal("completed unit was re-scheduled")
+	}
+	if dup := popped["same-as-done"]; dup != "done" {
+		t.Fatalf("same-as-done dup = %q, want claimed by prior session's run", dup)
+	}
+	if dup, ok := popped["errored"]; !ok || dup != "" {
+		t.Fatalf("errored unit should re-run, got (%q, %v)", dup, ok)
+	}
+	if dup := popped["fresh"]; dup != "" {
+		t.Fatalf("fresh unit skipped: %q", dup)
+	}
+}
+
+func TestLoadJournalToleratesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"unit":"a","status":"passed"}
+{"unit":"b","status":"failed"}
+{"unit":"c","sta` // torn mid-write by a kill
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Unit != "a" || entries[1].Unit != "b" {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestLoadJournalMissingFile(t *testing.T) {
+	entries, err := LoadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing journal = (%v, %v), want (nil, nil)", entries, err)
+	}
+}
+
+func TestScorecardAggregation(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{
+		{Src: "user", Dst: "web"}, {Src: "web", Dst: "db"},
+	})
+	entries := []Entry{
+		{Unit: "u1", Service: "web", Status: StatusPassed, Edges: []graph.Edge{{Src: "user", Dst: "web"}}},
+		{Unit: "u2", Service: "db", Status: StatusFailed, LogsDropped: 3,
+			Edges: []graph.Edge{{Src: "web", Dst: "db"}}},
+		{Unit: "u3", Status: StatusSkipped, Signature: "s", Reason: "redundant with u1"},
+		{Unit: "u4", Status: StatusError, Reason: "boom"},
+	}
+	sc := BuildScorecard("t", g, entries)
+	if sc.Units != 4 || sc.Executed != 2 || sc.Passed != 1 || sc.Failed != 1 ||
+		sc.Skipped != 1 || sc.Errors != 1 || sc.Lossy != 1 {
+		t.Fatalf("scorecard = %+v", sc)
+	}
+	if !sc.Covered() || sc.EdgeCoverage != 1 {
+		t.Fatalf("coverage = %v covered=%v", sc.EdgeCoverage, sc.Covered())
+	}
+	var webEdge, dbEdge EdgeScore
+	for _, e := range sc.Edges {
+		switch e.Dst {
+		case "web":
+			webEdge = e
+		case "db":
+			dbEdge = e
+		}
+	}
+	if webEdge.Verdict != "pass" || dbEdge.Verdict != "fail" {
+		t.Fatalf("edges = %+v", sc.Edges)
+	}
+	md := sc.Markdown()
+	for _, want := range []string{"user → web", "lossy", "boom", "| web | 1 | 1 | 0 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if _, err := sc.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScorecardUntestedEdge(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{{Src: "a", Dst: "b"}, {Src: "b", Dst: "c"}})
+	sc := BuildScorecard("t", g, []Entry{
+		{Unit: "u", Status: StatusPassed, Edges: []graph.Edge{{Src: "a", Dst: "b"}}},
+	})
+	if sc.Covered() {
+		t.Fatal("b->c untested but Covered() = true")
+	}
+	if sc.EdgeCoverage != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", sc.EdgeCoverage)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"gremlin/internal/checker"
 )
 
 // GenerateOptions tunes automatic recipe generation.
@@ -26,7 +28,20 @@ type GenerateOptions struct {
 	// SkipServices names services to exclude as fault targets — typically
 	// the synthetic edge caller and pure entry points.
 	SkipServices []string
+
+	// Pattern confines generated recipes and their checks to request IDs
+	// matching it (default DefaultPattern). Campaigns generate each run's
+	// plan with a distinct pattern ("camp-<runID>-*") so concurrent runs
+	// sharing one event store neither fault nor assert on each other's
+	// traffic.
+	Pattern string
 }
+
+// WithDefaults returns o with zero-valued fields replaced by their
+// defaults — the exact options GenerateRecipes will run with. Campaign
+// enumeration resolves them once so every template shares one set of
+// thresholds.
+func (o GenerateOptions) WithDefaults() GenerateOptions { return o.withDefaults() }
 
 func (o GenerateOptions) withDefaults() GenerateOptions {
 	if o.MaxRetries <= 0 {
@@ -40,6 +55,9 @@ func (o GenerateOptions) withDefaults() GenerateOptions {
 	}
 	if o.BreakerQuiet <= 0 {
 		o.BreakerQuiet = 10 * time.Second
+	}
+	if o.Pattern == "" {
+		o.Pattern = DefaultPattern
 	}
 	return o
 }
@@ -98,14 +116,15 @@ func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
 		overload := Recipe{
 			Name:      "auto-overload-" + svc,
 			Scenarios: []Scenario{Overload{Service: svc}},
+			Pattern:   o.Pattern,
 		}
 		for _, d := range deps {
 			if skip[d] {
 				continue
 			}
 			overload.Checks = append(overload.Checks,
-				ExpectBoundedRetries(d, svc, o.MaxRetries),
-				ExpectTimeouts(d, o.MaxLatency),
+				ExpectBoundedRetriesOpts(d, svc, o.MaxRetries, o.Pattern, checker.BoundedRetriesOptions{}),
+				ExpectTimeoutsOn(d, o.MaxLatency, o.Pattern),
 			)
 		}
 		recipes = append(recipes, overload)
@@ -118,13 +137,14 @@ func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
 		crash := Recipe{
 			Name:      "auto-crash-" + svc,
 			Scenarios: []Scenario{Crash{Service: svc}},
+			Pattern:   o.Pattern,
 		}
 		for _, d := range deps {
 			if skip[d] {
 				continue
 			}
 			crash.Checks = append(crash.Checks,
-				ExpectCircuitBreaker(d, svc, o.BreakerThreshold, o.BreakerQuiet))
+				ExpectCircuitBreakerOn(d, svc, o.BreakerThreshold, o.BreakerQuiet, o.Pattern))
 		}
 		recipes = append(recipes, crash)
 	}

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gremlin/internal/graph"
 )
 
 func TestGenerateRecipesCoverage(t *testing.T) {
@@ -117,4 +119,157 @@ func names(rs []Recipe) []string {
 		out[i] = r.Name
 	}
 	return out
+}
+
+// TestGenerateRecipesCyclicGraph: cycles are legal call graphs (mutually
+// recursive services); every member has a dependent, so every member is
+// targeted, and translation terminates.
+func TestGenerateRecipesCyclicGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a") // closes the cycle
+
+	recipes, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"auto-overload-a", "auto-overload-b", "auto-overload-c",
+		"auto-crash-a", "auto-crash-b", "auto-crash-c",
+	}
+	got := names(recipes)
+	if len(got) != len(want) {
+		t.Fatalf("generated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	for _, r := range recipes {
+		if _, err := r.Translate(g); err != nil {
+			t.Fatalf("recipe %s does not translate: %v", r.Name, err)
+		}
+	}
+}
+
+// TestGenerateRecipesFanInFanOut: a fan-in/fan-out hub gets one check pair
+// per dependent edge, and leaf services observe through the hub.
+func TestGenerateRecipesFanInFanOut(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("src1", "mid") // fan-in to mid
+	g.AddEdge("src2", "mid")
+	g.AddEdge("mid", "d1") // fan-out from mid
+	g.AddEdge("mid", "d2")
+
+	recipes, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Recipe{}
+	for _, r := range recipes {
+		byName[r.Name] = r
+	}
+	// Targets are exactly the services with dependents: mid, d1, d2.
+	if len(recipes) != 6 {
+		t.Fatalf("generated %v", names(recipes))
+	}
+	// mid has two dependents (fan-in): boundedRetries + timeouts per
+	// dependent on overload, one breaker check per dependent on crash.
+	if got := len(byName["auto-overload-mid"].Checks); got != 4 {
+		t.Fatalf("auto-overload-mid has %d checks, want 4", got)
+	}
+	if got := len(byName["auto-crash-mid"].Checks); got != 2 {
+		t.Fatalf("auto-crash-mid has %d checks, want 2", got)
+	}
+	// The fan-out leaves have a single dependent each.
+	if got := len(byName["auto-overload-d1"].Checks); got != 2 {
+		t.Fatalf("auto-overload-d1 has %d checks, want 2", got)
+	}
+
+	// Crashing the fan-in hub severs both inbound edges.
+	rs, err := byName["auto-crash-mid"].Translate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := map[string]bool{}
+	for _, r := range rs {
+		if r.Dst == "mid" {
+			srcs[r.Src] = true
+		}
+	}
+	if !srcs["src1"] || !srcs["src2"] {
+		t.Fatalf("crash rules cover %v, want both fan-in callers", srcs)
+	}
+}
+
+// TestGenerateRecipesDeterministic: two generations over the same graph
+// produce identical plans, element for element — campaigns rely on this
+// for stable unit keys across sessions.
+func TestGenerateRecipesDeterministic(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("w", "a")
+	g.AddEdge("w", "b")
+	g.AddEdge("a", "c")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a") // cycle, to stress ordering
+
+	first, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Name != second[i].Name {
+			t.Fatalf("order differs at %d: %v vs %v", i, names(first), names(second))
+		}
+		if len(first[i].Checks) != len(second[i].Checks) {
+			t.Fatalf("recipe %s check count differs", first[i].Name)
+		}
+	}
+}
+
+// TestGenerateRecipesPatternPropagation: a custom request-ID pattern (a
+// campaign run's namespace) reaches every recipe and every translated
+// rule, so concurrent runs stay confined to their own traffic.
+func TestGenerateRecipesPatternPropagation(t *testing.T) {
+	g := appGraph()
+	const pat = "camp-run-7-*"
+	recipes, err := GenerateRecipes(g, GenerateOptions{Pattern: pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recipes) == 0 {
+		t.Fatal("no recipes generated")
+	}
+	for _, r := range recipes {
+		if r.Pattern != pat {
+			t.Fatalf("recipe %s pattern = %q, want %q", r.Name, r.Pattern, pat)
+		}
+		rs, err := r.Translate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rule := range rs {
+			if rule.Pattern != pat {
+				t.Fatalf("recipe %s rule %s pattern = %q, want %q", r.Name, rule.ID, rule.Pattern, pat)
+			}
+		}
+	}
+
+	// Default stays the test-traffic pattern.
+	plain, err := GenerateRecipes(g, GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0].Pattern != DefaultPattern {
+		t.Fatalf("default pattern = %q", plain[0].Pattern)
+	}
 }

@@ -93,8 +93,14 @@ func ExpectBoundedRetriesOpts(src, dst string, maxTries int, pattern string, opt
 // ExpectCircuitBreaker asserts that src stops calling dst for tdelta after
 // threshold failures (HasCircuitBreaker, Table 3).
 func ExpectCircuitBreaker(src, dst string, threshold int, tdelta time.Duration) Check {
+	return ExpectCircuitBreakerOn(src, dst, threshold, tdelta, DefaultPattern)
+}
+
+// ExpectCircuitBreakerOn is ExpectCircuitBreaker with an explicit
+// request-ID pattern.
+func ExpectCircuitBreakerOn(src, dst string, threshold int, tdelta time.Duration, pattern string) Check {
 	return func(c *checker.Checker) (checker.Result, error) {
-		return c.HasCircuitBreaker(src, dst, threshold, tdelta, DefaultPattern, checker.CircuitBreakerOptions{})
+		return c.HasCircuitBreaker(src, dst, threshold, tdelta, pattern, checker.CircuitBreakerOptions{})
 	}
 }
 
@@ -108,16 +114,26 @@ func ExpectBulkhead(src, slowDst string, rate float64) Check {
 
 // ExpectNoCalls asserts that src never called dst on test flows.
 func ExpectNoCalls(src, dst string) Check {
+	return ExpectNoCallsOn(src, dst, DefaultPattern)
+}
+
+// ExpectNoCallsOn is ExpectNoCalls with an explicit request-ID pattern.
+func ExpectNoCallsOn(src, dst, pattern string) Check {
 	return func(c *checker.Checker) (checker.Result, error) {
-		return c.NoCallsTo(src, dst, DefaultPattern)
+		return c.NoCallsTo(src, dst, pattern)
 	}
 }
 
 // ExpectFallback asserts that the service kept succeeding for at least
 // okFraction of its replies during the outage.
 func ExpectFallback(service string, okFraction float64) Check {
+	return ExpectFallbackOn(service, okFraction, DefaultPattern)
+}
+
+// ExpectFallbackOn is ExpectFallback with an explicit request-ID pattern.
+func ExpectFallbackOn(service string, okFraction float64, pattern string) Check {
 	return func(c *checker.Checker) (checker.Result, error) {
-		return c.HasFallback(service, okFraction, DefaultPattern)
+		return c.HasFallback(service, okFraction, pattern)
 	}
 }
 

@@ -147,8 +147,15 @@ type RunOptions struct {
 	KeepRules bool
 
 	// ClearLogs wipes the event store before injecting load so assertions
-	// evaluate only this run's observations.
+	// evaluate only this run's observations. Campaigns leave this false and
+	// instead namespace each run's request-ID pattern, so concurrent runs
+	// sharing one store don't erase each other's evidence.
 	ClearLogs bool
+
+	// AfterTranslate, when non-nil, observes the translated rule set before
+	// it is installed. Campaigns record the edges each run actually faults
+	// here, feeding coverage-driven scheduling.
+	AfterTranslate func(ruleset []rules.Rule)
 }
 
 // Run executes a recipe: translate → orchestrate → load → assert → revert.
@@ -162,6 +169,9 @@ func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
 	}
 	report.Rules = ruleset
 	report.TranslateTime = time.Since(t0)
+	if opts.AfterTranslate != nil {
+		opts.AfterTranslate(ruleset)
+	}
 
 	if opts.ClearLogs && r.store != nil {
 		r.store.Clear()

@@ -37,6 +37,8 @@ type BufferedSink struct {
 	flushMu sync.Mutex
 
 	dropped atomic.Int64
+	flushes atomic.Int64
+	retries atomic.Int64
 
 	kick chan struct{}
 	stop chan struct{}
@@ -151,6 +153,14 @@ func (b *BufferedSink) Close() error {
 // at its bound (store overload) since the sink was created.
 func (b *BufferedSink) Dropped() int64 { return b.dropped.Load() }
 
+// Flushes reports how many non-empty batches were shipped successfully.
+func (b *BufferedSink) Flushes() int64 { return b.flushes.Load() }
+
+// Retries reports how many shipments failed and were kept for retry.
+// Together with Dropped these let a campaign flag runs whose assertions
+// may have evaluated partial data.
+func (b *BufferedSink) Retries() int64 { return b.retries.Load() }
+
 // run is the background flusher: it ships on size signals and on the
 // periodic interval until Close.
 func (b *BufferedSink) run() {
@@ -186,6 +196,7 @@ func (b *BufferedSink) flush() error {
 	}
 
 	if err := b.sink.Log(recs...); err != nil {
+		b.retries.Add(1)
 		b.mu.Lock()
 		if over := len(recs) + len(b.buf) - b.max; over > 0 {
 			if over >= len(recs) {
@@ -200,5 +211,6 @@ func (b *BufferedSink) flush() error {
 		b.mu.Unlock()
 		return err
 	}
+	b.flushes.Add(1)
 	return nil
 }

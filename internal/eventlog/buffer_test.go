@@ -213,3 +213,38 @@ func TestBufferedSinkBoundsBufferAndCountsDrops(t *testing.T) {
 		t.Fatalf("store has %d records, want the 8 retained", flaky.inner.Len())
 	}
 }
+
+// TestBufferedSinkCountsFlushesAndRetries pins the shipping-health counters
+// that proxy.Agent.Stats surfaces: successful shipments bump Flushes,
+// failed ones bump Retries (the batch bounces back into the buffer).
+func TestBufferedSinkCountsFlushesAndRetries(t *testing.T) {
+	flaky := &flakySink{broken: true, inner: NewStore()}
+	b := NewBufferedSinkOpts(flaky, BufferOptions{Size: 1 << 20, Interval: time.Hour})
+	defer b.Close()
+
+	if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err == nil {
+		t.Fatal("Flush against a broken store should fail")
+	}
+	if f, r := b.Flushes(), b.Retries(); f != 0 || r != 1 {
+		t.Fatalf("after failed flush: Flushes = %d, Retries = %d, want 0, 1", f, r)
+	}
+
+	flaky.heal()
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f, r := b.Flushes(), b.Retries(); f != 1 || r != 1 {
+		t.Fatalf("after recovery: Flushes = %d, Retries = %d, want 1, 1", f, r)
+	}
+
+	// Flushing an empty buffer ships nothing and counts nothing.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f := b.Flushes(); f != 1 {
+		t.Fatalf("empty flush bumped Flushes to %d", f)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 )
 
@@ -62,6 +63,21 @@ func (c *Client) Clear() (int, error) {
 	var out clearBody
 	if err := c.do(req, &out); err != nil {
 		return 0, fmt.Errorf("eventlog: clear: %w", err)
+	}
+	return out.Dropped, nil
+}
+
+// ClearMatching drops the remote records whose request ID matches
+// idPattern and returns how many were dropped.
+func (c *Client) ClearMatching(idPattern string) (int, error) {
+	req, err := http.NewRequest(http.MethodDelete,
+		c.baseURL+"/v1/records?pattern="+url.QueryEscape(idPattern), nil)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: clear matching: %w", err)
+	}
+	var out clearBody
+	if err := c.do(req, &out); err != nil {
+		return 0, fmt.Errorf("eventlog: clear matching: %w", err)
 	}
 	return out.Dropped, nil
 }

@@ -11,7 +11,8 @@ import (
 //
 //	POST   /v1/records   ingest a JSON array of records
 //	POST   /v1/query     run a Query, returning matching records
-//	DELETE /v1/records   clear the store
+//	DELETE /v1/records   clear the store (?pattern= clears only matching
+//	                     request IDs, for per-campaign-run cleanup)
 //	GET    /v1/stats     store statistics
 //	GET    /healthz      liveness probe
 type Server struct {
@@ -69,6 +70,15 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		}
 		httpx.WriteJSON(w, http.StatusAccepted, map[string]int{"accepted": len(recs)})
 	case http.MethodDelete:
+		if pat := r.URL.Query().Get("pattern"); pat != "" {
+			dropped, err := s.store.ClearMatching(pat)
+			if err != nil {
+				httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			httpx.WriteJSON(w, http.StatusOK, clearBody{Dropped: dropped})
+			return
+		}
 		httpx.WriteJSON(w, http.StatusOK, clearBody{Dropped: s.store.Clear()})
 	default:
 		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)

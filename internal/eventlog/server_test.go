@@ -157,3 +157,30 @@ func TestClientLogEmptyIsNoop(t *testing.T) {
 }
 
 // BufferedSink tests live in buffer_test.go.
+
+func TestServerClearMatchingPattern(t *testing.T) {
+	_, c := newTestServer(t)
+	if err := c.Log(
+		Record{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "camp-x-1-1"},
+		Record{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "camp-y-1-1"},
+	); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := c.ClearMatching("camp-x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("ClearMatching = %d, want 1", dropped)
+	}
+	left, err := c.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 || left[0].RequestID != "camp-y-1-1" {
+		t.Fatalf("survivors = %+v", left)
+	}
+	if _, err := c.ClearMatching("re:["); err == nil {
+		t.Fatal("want error for bad pattern")
+	}
+}

@@ -154,6 +154,53 @@ func (s *Store) Clear() int {
 	return n
 }
 
+// ClearMatching removes the records whose request ID matches idPattern
+// and returns how many were dropped. Campaigns reclaim a finished run's
+// namespaced records ("camp-<runID>-*") without disturbing concurrent
+// runs sharing the store; an empty pattern clears everything.
+func (s *Store) ClearMatching(idPattern string) (int, error) {
+	pat, err := pattern.Compile(idPattern)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: bad clear pattern: %w", err)
+	}
+	if pat.MatchAll() {
+		return s.Clear(), nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.recs[:0]
+	for _, r := range s.recs {
+		if !pat.Match(r.RequestID) {
+			kept = append(kept, r)
+		}
+	}
+	dropped := len(s.recs) - len(kept)
+	if dropped == 0 {
+		return 0, nil
+	}
+	s.recs = kept
+
+	// Positions shifted: rebuild the posting lists and the order flag.
+	s.byEdge = make(map[storeKey][]int32, len(s.byEdge))
+	s.bySrc = make(map[string][]int32, len(s.bySrc))
+	s.byDst = make(map[string][]int32, len(s.byDst))
+	s.ordered = true
+	s.lastTS = time.Time{}
+	for pos, r := range s.recs {
+		p := int32(pos)
+		s.byEdge[storeKey{r.Src, r.Dst}] = append(s.byEdge[storeKey{r.Src, r.Dst}], p)
+		s.bySrc[r.Src] = append(s.bySrc[r.Src], p)
+		s.byDst[r.Dst] = append(s.byDst[r.Dst], p)
+		if r.Timestamp.Before(s.lastTS) {
+			s.ordered = false
+		} else {
+			s.lastTS = r.Timestamp
+		}
+	}
+	return dropped, nil
+}
+
 // Select returns the records matching q in (timestamp, seq) order.
 func (s *Store) Select(q Query) ([]Record, error) {
 	pat, err := pattern.Compile(q.IDPattern)

@@ -326,3 +326,46 @@ func TestIndexedSelectMatchesLinearScan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestClearMatching(t *testing.T) {
+	s := NewStore()
+	ids := []string{"camp-a-0-1", "camp-a-0-2", "camp-a-1-1", "test-1"}
+	for i, id := range ids {
+		if err := s.Log(rec("a", "b", KindRequest, id, time.Duration(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	n, err := s.ClearMatching("camp-a-0-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ClearMatching = %d, want 2", n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after pattern clear", s.Len())
+	}
+
+	// The survivors stay queryable through the rebuilt indexes.
+	got, err := s.Select(Query{Src: "a", Dst: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].RequestID != "camp-a-1-1" || got[1].RequestID != "test-1" {
+		t.Fatalf("survivors = %+v", got)
+	}
+
+	if _, err := s.ClearMatching("re:["); err == nil {
+		t.Fatal("want error for bad pattern")
+	}
+
+	// A match-all pattern behaves like Clear.
+	n, err = s.ClearMatching("*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Len() != 0 {
+		t.Fatalf("match-all clear dropped %d, left %d", n, s.Len())
+	}
+}

@@ -68,11 +68,26 @@ type Stats struct {
 	// Streamed counts replies whose bodies passed through the proxy
 	// without being buffered (the fast path: no Modify rule applied).
 	Streamed int64 `json:"streamed"`
+
+	// LogDropped, LogFlushes, and LogRetries report event-log shipping
+	// health when the agent's sink exposes it (eventlog.BufferedSink does).
+	// A run with LogDropped > 0 evaluated its assertions on partial data —
+	// campaigns flag such runs as lossy rather than trusting a pass.
+	LogDropped int64 `json:"logDropped"`
+	LogFlushes int64 `json:"logFlushes"`
+	LogRetries int64 `json:"logRetries"`
+}
+
+// sinkHealth is the optional shipping-health surface of a sink.
+type sinkHealth interface {
+	Dropped() int64
+	Flushes() int64
+	Retries() int64
 }
 
 // Stats returns a snapshot of the agent's counters.
 func (a *Agent) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Proxied:  a.nProxied.Load(),
 		Aborted:  a.nAborted.Load(),
 		Severed:  a.nSevered.Load(),
@@ -80,6 +95,12 @@ func (a *Agent) Stats() Stats {
 		Modified: a.nModified.Load(),
 		Streamed: a.nStreamed.Load(),
 	}
+	if h, ok := a.sink.(sinkHealth); ok {
+		s.LogDropped = h.Dropped()
+		s.LogFlushes = h.Flushes()
+		s.LogRetries = h.Retries()
+	}
+	return s
 }
 
 // countFault bumps the counter matching a fired decision.

@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"fmt"
 	"net/http"
 	"testing"
 	"time"
@@ -182,5 +183,72 @@ func TestClientErrorsAgainstDownAgent(t *testing.T) {
 	}
 	if err := c.Flush(); err == nil {
 		t.Fatal("Flush should fail")
+	}
+}
+
+// brokenSink always fails, driving the BufferedSink's retry/drop counters.
+type brokenSink struct{}
+
+func (brokenSink) Log(...eventlog.Record) error {
+	return fmt.Errorf("store down")
+}
+
+// TestControlInfoReportsSinkHealth pins the shipping-health surface: when
+// the agent logs through a BufferedSink, Stats and GET /v1/info expose its
+// dropped/flush/retry counters so operators (and campaigns) can tell lossy
+// runs from trustworthy ones.
+func TestControlInfoReportsSinkHealth(t *testing.T) {
+	store := eventlog.NewStore()
+	b := eventlog.NewBufferedSinkOpts(store, eventlog.BufferOptions{Size: 1 << 20, Interval: time.Hour})
+	defer b.Close()
+	a, c := startAgent(t, b)
+
+	if err := b.Log(eventlog.Record{Src: "client", Dst: "server", Kind: eventlog.KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := a.Stats()
+	if st.LogFlushes != 1 || st.LogDropped != 0 || st.LogRetries != 0 {
+		t.Fatalf("stats = %+v, want one clean flush", st)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.LogFlushes != 1 {
+		t.Fatalf("info stats = %+v, want LogFlushes = 1", info.Stats)
+	}
+
+	// A broken store shows up as retries, and overflow as drops.
+	bad := eventlog.NewBufferedSinkOpts(brokenSink{}, eventlog.BufferOptions{Size: 1, Max: 1, Interval: time.Hour})
+	defer bad.Close()
+	a2, c2 := startAgent(t, bad)
+	for i := 0; i < 3; i++ {
+		if err := bad.Log(eventlog.Record{Src: "client", Dst: "server", Kind: eventlog.KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+		_ = bad.Flush() // fails; the batch bounces back into the buffer
+	}
+	st2 := a2.Stats()
+	if st2.LogRetries == 0 || st2.LogDropped == 0 || st2.LogFlushes != 0 {
+		t.Fatalf("stats = %+v, want retries and drops, no flushes", st2)
+	}
+	info2, err := c2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The background flusher may retry between snapshots, so compare
+	// loosely: the counters must be visible over the wire, not equal.
+	if info2.Stats.LogRetries == 0 || info2.Stats.LogDropped == 0 {
+		t.Fatalf("info stats = %+v, want retries and drops visible", info2.Stats)
+	}
+
+	// A plain (unbuffered) sink reports zeroes rather than lying.
+	a3, _ := startAgent(t, store)
+	if st3 := a3.Stats(); st3.LogFlushes != 0 || st3.LogDropped != 0 || st3.LogRetries != 0 {
+		t.Fatalf("plain-sink stats = %+v, want zero shipping counters", st3)
 	}
 }

@@ -1,0 +1,104 @@
+package gremlin_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gremlin"
+)
+
+// recipeGraphs maps each shipped recipe to the application it targets, so
+// every file under examples/recipes/ is translated against a graph with
+// the shape of the matching prefab topology.
+var recipeGraphs = map[string][]gremlin.GraphEdge{
+	"crash-circuit-breaker.json": {
+		{Src: "user", Dst: "serviceA"}, {Src: "serviceA", Dst: "serviceB"},
+	},
+	"overload-bounded-retries.json": {
+		{Src: "user", Dst: "serviceA"}, {Src: "serviceA", Dst: "serviceB"},
+	},
+	"database-overload.json": {
+		{Src: "user", Dst: "wordpress"},
+		{Src: "wordpress", Dst: "elasticsearch"},
+		{Src: "wordpress", Dst: "mysql"},
+	},
+	"partition.json": {
+		{Src: "user", Dst: "wordpress"},
+		{Src: "wordpress", Dst: "elasticsearch"},
+		{Src: "wordpress", Dst: "mysql"},
+	},
+}
+
+// TestExampleRecipesRoundTrip loads every shipped recipe file through the
+// public serialization path and translates it against its topology: the
+// files are living documentation for the wire format and must keep
+// parsing, translating to valid rules, and surviving a JSON round trip.
+func TestExampleRecipesRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "recipes", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found only %d recipe files: %v", len(files), files)
+	}
+
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			edges, ok := recipeGraphs[filepath.Base(path)]
+			if !ok {
+				t.Fatalf("no graph registered for %s — add it to recipeGraphs", path)
+			}
+			g := gremlin.GraphFromEdges(edges)
+
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recipe, err := gremlin.ParseRecipe(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recipe.Name == "" || len(recipe.Scenarios) == 0 || len(recipe.Checks) == 0 {
+				t.Fatalf("recipe = %+v, want name, scenarios, and checks", recipe)
+			}
+
+			ruleset, err := recipe.Translate(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ruleset) == 0 {
+				t.Fatal("translation produced no rules")
+			}
+			seen := map[string]bool{}
+			for _, r := range ruleset {
+				if r.ID == "" || seen[r.ID] {
+					t.Fatalf("rule ID %q empty or duplicated in %+v", r.ID, ruleset)
+				}
+				seen[r.ID] = true
+				if !g.HasEdge(r.Src, r.Dst) {
+					t.Fatalf("rule targets %s->%s, not an edge of the graph", r.Src, r.Dst)
+				}
+				if r.Pattern != gremlin.DefaultPattern {
+					t.Fatalf("rule pattern = %q, want the test-traffic default", r.Pattern)
+				}
+			}
+
+			// The translated rules survive the agent wire format.
+			wire, err := json.Marshal(ruleset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back []gremlin.Rule
+			if err := json.Unmarshal(wire, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ruleset, back) {
+				t.Fatalf("rules changed across JSON round trip:\n%+v\n%+v", ruleset, back)
+			}
+		})
+	}
+}
