@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-figures campaign-smoke check
+.PHONY: all build test race vet bench bench-json bench-figures campaign-smoke check
 
 all: check
 
@@ -19,6 +19,12 @@ vet:
 # Before/after micro-benchmarks for the hot paths (matcher, store, proxy).
 bench:
 	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput' -benchtime 0.5s .
+
+# The same hot-path benchmarks, parsed into a committed JSON snapshot so
+# runs can be diffed across PRs.
+bench-json:
+	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput' -benchtime 0.5s . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_2.json
 
 # The paper's full evaluation series (Tables 1-3, Figures 5-8).
 bench-figures:

@@ -18,10 +18,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gremlin/internal/experiments"
@@ -44,7 +47,16 @@ func run(args []string) error {
 	}
 	opts := experiments.Options{Scale: *scale, Requests: *requests, Seed: *seed}
 
+	// Ctrl-C stops cleanly at the next figure boundary — each figure tears
+	// down its own in-process deployment, so interrupting between figures
+	// leaks nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	runFig := func(name string, f func() error) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("gremlin-bench: interrupted before %s", name)
+		}
 		start := time.Now()
 		if err := f(); err != nil {
 			return fmt.Errorf("%s: %w", name, err)

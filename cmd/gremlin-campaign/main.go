@@ -33,6 +33,7 @@ import (
 	"gremlin/internal/eventlog"
 	"gremlin/internal/graph"
 	"gremlin/internal/loadgen"
+	"gremlin/internal/observe"
 	"gremlin/internal/orchestrator"
 	"gremlin/internal/registry"
 )
@@ -63,6 +64,7 @@ func run(args []string) error {
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the chaos draws")
 		maxLatency   = fs.Duration("max-latency", 0, "per-request latency bound asserted on callers (default 10s)")
 		keepLogs     = fs.Bool("keep-logs", false, "leave each run's records in the store instead of reclaiming them")
+		liveAsserts  = fs.String("live-asserts", "", "JSON file of online assertions (observe specs); a live violation aborts that run's load early")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -145,10 +147,11 @@ func run(args []string) error {
 		ID:          *id,
 		Parallelism: *parallelism,
 		JournalPath: *journalPath,
-		Load: func(idPrefix string) error {
+		Load: func(ctx context.Context, idPrefix string) error {
 			_, err := loadgen.Run(*loadURL, loadgen.Options{
 				N: *requests, Concurrency: *concurrency, IDPrefix: idPrefix,
-				RNG: rand.New(rand.NewSource(time.Now().UnixNano())),
+				Context: ctx,
+				RNG:     rand.New(rand.NewSource(time.Now().UnixNano())),
 			})
 			return err
 		},
@@ -172,6 +175,37 @@ func run(args []string) error {
 			if _, err := storeClient.ClearMatching(pat); err != nil {
 				log.Printf("reclaim %s: %v", pat, err)
 			}
+		}
+	}
+	if *liveAsserts != "" {
+		raw, err := os.ReadFile(*liveAsserts)
+		if err != nil {
+			return err
+		}
+		var liveSpecs []observe.Spec
+		if err := json.Unmarshal(raw, &liveSpecs); err != nil {
+			return fmt.Errorf("parse %s: %w", *liveAsserts, err)
+		}
+		// Validate up front; evaluators are stateful, so each run builds its
+		// own set from the specs.
+		for i, s := range liveSpecs {
+			if _, err := observe.Build(s); err != nil {
+				return fmt.Errorf("%s: spec %d: %w", *liveAsserts, i, err)
+			}
+		}
+		opts.Observe = &campaign.ObserveOptions{
+			Feed: observe.ClientFeed(storeClient),
+			Checks: func(_ campaign.Unit, _ string) []observe.Assertion {
+				as := make([]observe.Assertion, 0, len(liveSpecs))
+				for _, s := range liveSpecs {
+					a, err := observe.Build(s)
+					if err != nil {
+						continue // validated above; unreachable
+					}
+					as = append(as, a)
+				}
+				return as
+			},
 		}
 	}
 

@@ -16,13 +16,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gremlin/internal/agentapi"
@@ -135,10 +138,17 @@ func runCommand(args []string) error {
 		return n
 	}))
 
+	// Ctrl-C stops the load early; the runner still reverts rules and
+	// evaluates assertions on whatever was collected.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := core.RunOptions{KeepRules: *keep, ClearLogs: *clearLogs}
 	if *loadURL != "" {
 		opts.Load = func() error {
-			res, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests, Concurrency: *concurrency})
+			res, err := loadgen.Run(*loadURL, loadgen.Options{
+				N: *requests, Concurrency: *concurrency, Context: ctx,
+			})
 			if err != nil {
 				return err
 			}
@@ -220,10 +230,14 @@ func autorunCommand(args []string) error {
 		}
 		return n
 	}))
+	// Ctrl-C winds down the in-flight recipe's load; the chain then stops
+	// at its (failing or interrupted) report instead of running all recipes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	reports, err := runner.RunChain(core.RunOptions{
 		ClearLogs: true,
 		Load: func() error {
-			_, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests})
+			_, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests, Context: ctx})
 			return err
 		},
 	}, recipes...)
@@ -291,6 +305,11 @@ func chaosCommand(args []string) error {
 	rng := rand.New(rand.NewSource(*seed))
 	fmt.Printf("chaos mode: %d rounds, %s each, seed %d\n", *rounds, *duration, *seed)
 
+	// Ctrl-C mid-round reverts the active fault before exiting — dying
+	// inside the hold would leave its rules installed on the agents.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for round := 1; round <= *rounds; round++ {
 		scenario, err := core.RandomScenario(g, rng, core.ChaosOptions{
 			SkipServices: splitComma(*skip),
@@ -310,11 +329,19 @@ func chaosCommand(args []string) error {
 		}
 		fmt.Printf("round %d: %s active for %s (%d rules on %d agents)\n",
 			round, scenario.Describe(), *duration, len(ruleset), applied.AgentCount())
-		time.Sleep(*duration)
+		interrupted := false
+		select {
+		case <-time.After(*duration):
+		case <-ctx.Done():
+			interrupted = true
+		}
 		if err := applied.Revert(); err != nil {
 			return err
 		}
 		fmt.Printf("round %d: reverted\n", round)
+		if interrupted {
+			return fmt.Errorf("gremlin-ctl chaos: interrupted during round %d (fault reverted)", round)
+		}
 	}
 	fmt.Println("chaos complete — note: no assertions were evaluated; use 'run' or 'autorun' for systematic verdicts")
 	return nil

@@ -50,6 +50,8 @@ func run(args []string) error {
 	fmt.Println("  POST   /v1/query    query observations")
 	fmt.Println("  DELETE /v1/records  clear")
 	fmt.Println("  GET    /v1/stats    record count")
+	fmt.Println("  GET    /v1/stream   live SSE record stream (?pattern=)")
+	fmt.Println("  GET    /metrics     Prometheus text exposition")
 
 	waitForSignal()
 	fmt.Println("shutting down")

@@ -1,0 +1,122 @@
+// Command gremlin-watch tails a deployment's event stream and evaluates
+// online assertions against it, exiting non-zero the moment one is
+// violated — the live counterpart of the batch Assertion Checker. Point it
+// at the same store a recipe or campaign run ships to (scoped to the run's
+// request-ID pattern) and it flags the failure while the experiment is
+// still running, instead of after the post-hoc check.
+//
+// Usage:
+//
+//	gremlin-watch -store http://127.0.0.1:9200 -pattern 'test-*' \
+//	    -assert asserts.json
+//	gremlin-watch -store http://127.0.0.1:9200 -pattern 'camp-run-3-*' \
+//	    -max-failures 0 -max-latency-p99 250ms -window 10s -duration 2m
+//
+// The -assert file is a JSON array of observe.Spec objects; -max-failures
+// and -max-latency-p99 are shorthands for the two most common bounds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/observe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gremlin-watch", flag.ContinueOnError)
+	var (
+		storeURL    = fs.String("store", "", "event store URL (required)")
+		pattern     = fs.String("pattern", "*", "request-ID pattern to tail (glob, or \"re:\" prefix for a regexp)")
+		assertPath  = fs.String("assert", "", "JSON file of assertion specs (array of observe.Spec)")
+		maxFailures = fs.Int("max-failures", -1, "violate after more than this many failure replies (-1 disables)")
+		maxP99      = fs.Duration("max-latency-p99", 0, "violate when the p99 reply latency exceeds this (0 disables)")
+		window      = fs.Duration("window", 10*time.Second, "sliding window for -max-failures and -max-latency-p99")
+		duration    = fs.Duration("duration", 0, "stop watching after this long (0 = until violation or interrupt)")
+		quiet       = fs.Bool("quiet", false, "print nothing but the violation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeURL == "" {
+		return errors.New("gremlin-watch: -store is required")
+	}
+
+	// The stream subscription already scopes records to -pattern, so the
+	// shorthand bounds filter on nothing further.
+	var checks []observe.Assertion
+	if *assertPath != "" {
+		f, err := os.Open(*assertPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := observe.LoadSpecs(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *assertPath, err)
+		}
+		checks = append(checks, loaded...)
+	}
+	if *maxFailures >= 0 {
+		a, err := observe.NewCheckStatus("", "", "", -1, *window, *maxFailures)
+		if err != nil {
+			return err
+		}
+		checks = append(checks, a)
+	}
+	if *maxP99 > 0 {
+		a, err := observe.NewReplyLatency("", "", "", *window, 0.99, *maxP99, true)
+		if err != nil {
+			return err
+		}
+		checks = append(checks, a)
+	}
+	if len(checks) == 0 {
+		return errors.New("gremlin-watch: no assertions — pass -assert, -max-failures, or -max-latency-p99")
+	}
+
+	client := eventlog.NewClient(*storeURL, nil)
+	if !client.Healthy() {
+		return fmt.Errorf("gremlin-watch: event store %s not reachable", *storeURL)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	if !*quiet {
+		fmt.Printf("gremlin-watch: tailing %s pattern %q with %d assertions\n",
+			*storeURL, *pattern, len(checks))
+	}
+	monitor := observe.NewMonitor(checks, nil)
+	err := observe.Watch(ctx, observe.ClientFeed(client), *pattern, monitor, true)
+
+	if v, ok := monitor.FirstViolation(); ok {
+		return fmt.Errorf("gremlin-watch: VIOLATION after %d records: %s", monitor.Observed(), v)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("gremlin-watch: no violation in %d records\n", monitor.Observed())
+	}
+	return nil
+}

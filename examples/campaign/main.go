@@ -89,10 +89,11 @@ func run() error {
 		ID:          "demo",
 		Parallelism: 3,
 		JournalPath: journal,
-		Load: func(idPrefix string) error {
+		Load: func(ctx context.Context, idPrefix string) error {
 			_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
 				N: 6, Concurrency: 2, IDPrefix: idPrefix,
-				RNG: rand.New(rand.NewSource(loadSeed.Add(1))),
+				Context: ctx,
+				RNG:     rand.New(rand.NewSource(loadSeed.Add(1))),
 			})
 			return err
 		},

@@ -89,6 +89,24 @@ func (c *Client) Flush() error {
 	return nil
 }
 
+// Metrics fetches the agent's Prometheus text exposition (GET /metrics),
+// raw, for relaying to a scraper or a human.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.baseURL + "/metrics")
+	if err != nil {
+		return "", fmt.Errorf("agentapi: metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", fmt.Errorf("agentapi: metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("agentapi: metrics: agent returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return string(b), nil
+}
+
 // Healthy reports whether the agent's control API responds.
 func (c *Client) Healthy() bool {
 	return c.do(http.MethodGet, "/healthz", nil, nil) == nil

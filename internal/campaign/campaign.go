@@ -30,6 +30,7 @@ import (
 
 	"gremlin/internal/core"
 	"gremlin/internal/graph"
+	"gremlin/internal/observe"
 	"gremlin/internal/rules"
 )
 
@@ -51,9 +52,18 @@ type Options struct {
 	// Load injects test traffic for one run. Every synthetic request must
 	// carry a request ID starting with idPrefix so the run's faults hit it
 	// and its assertions see it (loadgen.Options.IDPrefix does exactly
-	// this). Nil relies on ambient traffic, which then must carry matching
-	// IDs by other means.
-	Load func(idPrefix string) error
+	// this). The context is cancelled when a live assertion fires (see
+	// Observe); Load should wind down promptly (loadgen.Options.Context
+	// does exactly this). Campaign cancellation does not cancel it —
+	// in-flight runs drain and journal so resume skips them. Nil relies on
+	// ambient traffic, which then must carry matching IDs by other means.
+	Load func(ctx context.Context, idPrefix string) error
+
+	// Observe, when set, watches each run's records live and aborts the
+	// run's load as soon as an online assertion fires, instead of letting
+	// a doomed experiment run to completion. The batch checks still
+	// evaluate afterwards on whatever was collected.
+	Observe *ObserveOptions
 
 	// DroppedCount, when set, samples the data plane's cumulative count of
 	// dropped observation records (e.g. summing proxy.Stats().LogDropped
@@ -69,6 +79,18 @@ type Options struct {
 	// OnEntry, when set, observes each journal entry as it settles
 	// (progress reporting; called from worker goroutines).
 	OnEntry func(Entry)
+}
+
+// ObserveOptions wires live assertion evaluation into a campaign.
+type ObserveOptions struct {
+	// Feed taps the event stream (observe.StoreFeed for an in-process
+	// store, observe.ClientFeed for a remote one).
+	Feed observe.Feed
+
+	// Checks builds the online assertions for one unit, scoped to the
+	// run's request-ID pattern. Returning nil skips live evaluation for
+	// that unit.
+	Checks func(u Unit, idPattern string) []observe.Assertion
 }
 
 func (o Options) withDefaults() Options {
@@ -148,7 +170,7 @@ func Run(ctx context.Context, runner *core.Runner, units []Unit, opts Options) (
 					})
 					continue
 				}
-				settle(runUnit(runner, u, idx, o))
+				settle(runUnit(ctx, runner, u, idx, o))
 			}
 		}()
 	}
@@ -164,7 +186,7 @@ func Run(ctx context.Context, runner *core.Runner, units []Unit, opts Options) (
 // runUnit executes one unit under its own request-ID namespace and returns
 // its journal entry. Operational failures become error entries (re-run on
 // resume) rather than aborting the campaign.
-func runUnit(runner *core.Runner, u Unit, idx int, o Options) Entry {
+func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Options) Entry {
 	runID := fmt.Sprintf("%s-%d", o.ID, idx)
 	idPrefix := "camp-" + runID + "-"
 	pat := idPrefix + "*"
@@ -180,6 +202,35 @@ func runUnit(runner *core.Runner, u Unit, idx int, o Options) Entry {
 		return e
 	}
 
+	// Live observation: a monitor over the run's namespaced records whose
+	// first violation cancels the load context, aborting the experiment
+	// early. The subscription races the very first records by a goroutine
+	// hop at most — rule installation sits between watch start and load
+	// start, and violations of interest repeat throughout a faulted run.
+	//
+	// loadCtx deliberately does NOT derive from ctx: cancelling the
+	// campaign stops dispatching new units while in-flight runs drain and
+	// journal cleanly (the resume contract). Only a live violation cuts a
+	// run's load short.
+	loadCtx, cancelLoad := context.WithCancel(context.Background())
+	defer cancelLoad()
+	var (
+		monitor   *observe.Monitor
+		watchDone chan struct{}
+	)
+	if o.Observe != nil && o.Observe.Feed != nil && o.Observe.Checks != nil {
+		if checks := o.Observe.Checks(u, pat); len(checks) > 0 {
+			monitor = observe.NewMonitor(checks, func(observe.Violation) { cancelLoad() })
+			watchCtx, stopWatch := context.WithCancel(context.Background())
+			watchDone = make(chan struct{})
+			go func() {
+				defer close(watchDone)
+				_ = observe.Watch(watchCtx, o.Observe.Feed, pat, monitor, true)
+			}()
+			defer func() { stopWatch(); <-watchDone }()
+		}
+	}
+
 	var droppedBefore int64
 	if o.DroppedCount != nil {
 		droppedBefore = o.DroppedCount()
@@ -188,7 +239,15 @@ func runUnit(runner *core.Runner, u Unit, idx int, o Options) Entry {
 		AfterTranslate: func(rs []rules.Rule) { e.Edges = edgesOf(rs) },
 	}
 	if o.Load != nil {
-		ropts.Load = func() error { return o.Load(idPrefix) }
+		ropts.Load = func() error {
+			err := o.Load(loadCtx, idPrefix)
+			if monitor != nil && monitor.Violated() {
+				// The load was cut short on purpose; the violation, not the
+				// cancellation, is the story.
+				return nil
+			}
+			return err
+		}
 	}
 	report, err := runner.Run(recipe, ropts)
 	if o.Cleanup != nil {
@@ -197,13 +256,18 @@ func runUnit(runner *core.Runner, u Unit, idx int, o Options) Entry {
 	if o.DroppedCount != nil {
 		e.LogsDropped = o.DroppedCount() - droppedBefore
 	}
+	if monitor != nil {
+		if v, ok := monitor.FirstViolation(); ok {
+			e.LiveViolation = v.String()
+		}
+	}
 	if err != nil {
 		e.Status, e.Reason = StatusError, err.Error()
 		return e
 	}
 	e.Results = report.Results
 	e.ElapsedMillis = report.TotalTime().Milliseconds()
-	if report.Passed() {
+	if report.Passed() && e.LiveViolation == "" {
 		e.Status = StatusPassed
 	} else {
 		e.Status = StatusFailed

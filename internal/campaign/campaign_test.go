@@ -13,6 +13,7 @@ import (
 	"gremlin/internal/core"
 	"gremlin/internal/graph"
 	"gremlin/internal/loadgen"
+	"gremlin/internal/observe"
 	"gremlin/internal/orchestrator"
 	"gremlin/internal/topology"
 )
@@ -37,10 +38,10 @@ func newHarness(t *testing.T, spec topology.Spec) (*topology.App, *core.Runner) 
 
 // campaignLoad builds a Load hook that drives the app's entry with the
 // run's ID prefix, tracking how many loads ran and the peak overlap.
-func campaignLoad(app *topology.App, loads, maxPar *atomic.Int64) func(string) error {
+func campaignLoad(app *topology.App, loads, maxPar *atomic.Int64) func(context.Context, string) error {
 	var inFlight atomic.Int64
 	var seed atomic.Int64
-	return func(idPrefix string) error {
+	return func(ctx context.Context, idPrefix string) error {
 		loads.Add(1)
 		cur := inFlight.Add(1)
 		defer inFlight.Add(-1)
@@ -52,7 +53,8 @@ func campaignLoad(app *topology.App, loads, maxPar *atomic.Int64) func(string) e
 		}
 		_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
 			N: 6, Concurrency: 2, IDPrefix: idPrefix,
-			RNG: rand.New(rand.NewSource(seed.Add(1))),
+			Context: ctx,
+			RNG:     rand.New(rand.NewSource(seed.Add(1))),
 		})
 		return err
 	}
@@ -317,5 +319,95 @@ func TestEnumerateHonorsSkipAndTemplates(t *testing.T) {
 		if u.Kind != "sever" {
 			t.Fatalf("template filter leaked %s", u.Key)
 		}
+	}
+}
+
+// TestCampaignLiveViolationAbortsLoad wires online assertions into a
+// campaign: a crash unit's failure replies trip a live CheckStatus bound
+// long before the load finishes, which cancels the run's load context,
+// journals the violation, and forces the entry to failed.
+func TestCampaignLiveViolationAbortsLoad(t *testing.T) {
+	app, runner := newHarness(t, topology.BinaryTree(1, 0))
+
+	units, err := campaign.Enumerate(app.Graph, campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{
+			SkipServices: []string{topology.EdgeService},
+			MaxLatency:   5 * time.Second,
+		},
+		Templates: []string{"crash"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unit is enough: crashing tree-1 makes the fan-out at tree-0 fail
+	// fast, so every injected request yields failure replies.
+	var picked []campaign.Unit
+	for _, u := range units {
+		if u.Kind == "crash" && u.Service == "tree-1" {
+			picked = append(picked, u)
+			break
+		}
+	}
+	if len(picked) == 0 {
+		t.Fatalf("no crash unit for tree-1 in %d units", len(units))
+	}
+
+	// Online bound: more than 3 failure replies in the run's namespace is a
+	// violation. Built here (test goroutine) since the single unit uses the
+	// stateful evaluator exactly once.
+	live, err := observe.NewCheckStatus("", "", "camp-live-0-*", -1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paced so an un-aborted run would take seconds; the violation should
+	// cut it after a handful of requests.
+	const totalRequests = 200
+	var completed atomic.Int64
+	var entry campaign.Entry
+	sc, err := campaign.Run(context.Background(), runner, picked, campaign.Options{
+		ID:          "live",
+		Parallelism: 1,
+		Load: func(ctx context.Context, idPrefix string) error {
+			res, err := loadgen.Run(app.EntryURL(), loadgen.Options{
+				N: totalRequests, Concurrency: 1, IDPrefix: idPrefix,
+				Interval: 10 * time.Millisecond,
+				Context:  ctx,
+				RNG:      rand.New(rand.NewSource(99)),
+			})
+			if res != nil {
+				completed.Store(int64(len(res.Samples)))
+			}
+			return err
+		},
+		Observe: &campaign.ObserveOptions{
+			Feed: observe.StoreFeed(app.Store),
+			Checks: func(_ campaign.Unit, idPattern string) []observe.Assertion {
+				if idPattern != "camp-live-0-*" {
+					t.Errorf("checks got pattern %q", idPattern)
+				}
+				return []observe.Assertion{live}
+			},
+		},
+		OnEntry: func(e campaign.Entry) { entry = e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sc.Failed != 1 {
+		t.Fatalf("scorecard: %d failed, want 1 (passed %d, errors %v)", sc.Failed, sc.Passed, sc.ErrorUnits)
+	}
+	if entry.Status != campaign.StatusFailed {
+		t.Fatalf("entry status %q, want failed (reason %q)", entry.Status, entry.Reason)
+	}
+	if entry.LiveViolation == "" {
+		t.Fatal("entry records no live violation")
+	}
+	if !strings.Contains(entry.LiveViolation, "failure replies") {
+		t.Fatalf("violation %q does not describe failure replies", entry.LiveViolation)
+	}
+	if got := completed.Load(); got == 0 || got >= totalRequests {
+		t.Fatalf("load completed %d of %d requests; the live violation should abort it partway", got, totalRequests)
 	}
 }

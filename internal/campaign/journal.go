@@ -49,6 +49,12 @@ type Entry struct {
 	// computed on partial evidence.
 	LogsDropped int64 `json:"logsDropped,omitempty"`
 
+	// LiveViolation is the first online assertion violation observed during
+	// the run, when the campaign ran with Options.Observe. A non-empty
+	// value means the run's load was aborted early and forces the entry to
+	// StatusFailed even if the batch checks passed on the partial data.
+	LiveViolation string `json:"liveViolation,omitempty"`
+
 	ElapsedMillis int64 `json:"elapsedMillis,omitempty"`
 }
 

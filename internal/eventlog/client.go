@@ -1,12 +1,16 @@
 package eventlog
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 )
 
@@ -95,7 +99,100 @@ func (c *Client) Stats() (int, error) {
 	return out.Records, nil
 }
 
+// ErrStreamStopped is the sentinel a Stream callback returns to end the
+// stream cleanly: Stream closes the connection and returns nil.
+var ErrStreamStopped = errors.New("eventlog: stream stopped")
+
+// Stream tails the remote store's live record feed (GET /v1/stream),
+// calling fn for each record whose request ID matches pattern. It blocks
+// until ctx is cancelled (returning ctx.Err()), the server goes away
+// (returning the transport error), or fn returns an error — fn returning
+// ErrStreamStopped ends the stream with a nil error, any other error is
+// returned as-is.
+//
+// The feed is bounded server-side: if fn is too slow, records are dropped
+// at the server rather than buffered without limit (the drop count is
+// reported on the wire as "drop" events, visible in the store's metrics).
+func (c *Client) Stream(ctx context.Context, pattern string, fn func(Record) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.baseURL+"/v1/stream?pattern="+url.QueryEscape(pattern), nil)
+	if err != nil {
+		return fmt.Errorf("eventlog: stream: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// The default client enforces an overall request timeout, which would
+	// kill a long-lived stream; use the same transport without it. ctx
+	// still cancels the request.
+	hc := &http.Client{Transport: c.http.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("eventlog: stream: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("eventlog: stream: server returned %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []string
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event. Only unnamed
+			// (record) events carry store records; "drop" events carry a
+			// counter the client surfaces via the error path only if asked.
+			if event == "" && len(data) > 0 {
+				var rec Record
+				if err := json.Unmarshal([]byte(strings.Join(data, "\n")), &rec); err != nil {
+					return fmt.Errorf("eventlog: stream: decode record: %w", err)
+				}
+				if err := fn(rec); err != nil {
+					if errors.Is(err, ErrStreamStopped) {
+						return nil
+					}
+					return err
+				}
+			}
+			data, event = data[:0], ""
+		case strings.HasPrefix(line, ":"):
+			// Comment / keepalive.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("eventlog: stream: %w", err)
+	}
+	return ctx.Err()
+}
+
 // Healthy reports whether the remote store responds to its liveness probe.
+// Metrics fetches the server's raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.baseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("eventlog: metrics: %s: %s", resp.Status, body)
+	}
+	return string(body), nil
+}
+
 func (c *Client) Healthy() bool {
 	resp, err := c.http.Get(c.baseURL + "/healthz")
 	if err != nil {

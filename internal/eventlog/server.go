@@ -1,9 +1,14 @@
 package eventlog
 
 import (
+	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"gremlin/internal/httpx"
+	"gremlin/internal/metrics"
 )
 
 // Server exposes a Store over HTTP — the stand-in for the paper's
@@ -14,11 +19,19 @@ import (
 //	DELETE /v1/records   clear the store (?pattern= clears only matching
 //	                     request IDs, for per-campaign-run cleanup)
 //	GET    /v1/stats     store statistics
+//	GET    /v1/stream    live record feed (SSE; ?pattern= filters by
+//	                     request ID, ?buffer= sets the subscriber buffer)
+//	GET    /metrics      Prometheus text exposition
 //	GET    /healthz      liveness probe
 type Server struct {
 	store *Store
 	http  *httpx.Server
 }
+
+// streamHeartbeat is how often an idle stream emits an SSE comment so
+// intermediaries keep the connection alive and dead clients are detected.
+// Tests shorten it via the package-level variable.
+var streamHeartbeat = 15 * time.Second
 
 // statsBody is the payload of GET /v1/stats.
 type statsBody struct {
@@ -38,6 +51,8 @@ func NewServer(addr string, store *Store) (*Server, error) {
 	mux.HandleFunc("/v1/records", s.handleRecords)
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -109,4 +124,94 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, statsBody{Records: s.store.Len()})
+}
+
+// handleStream serves the live record feed as Server-Sent Events: one
+// `data:` line of record JSON per event, a comment heartbeat while idle,
+// and a `drop` event whenever the subscriber's buffer lost records. The
+// stream runs until the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpx.WriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	buffer := DefaultSubscriberBuffer
+	if b := r.URL.Query().Get("buffer"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 1 {
+			httpx.WriteError(w, http.StatusBadRequest, "bad buffer %q", b)
+			return
+		}
+		buffer = n
+	}
+	sub, err := s.store.SubscribeBuffer(r.URL.Query().Get("pattern"), buffer)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(streamHeartbeat)
+	defer heartbeat.Stop()
+	enc := json.NewEncoder(w)
+	var reportedDrops int64
+	for {
+		select {
+		case rec, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if _, err := w.Write([]byte("data: ")); err != nil {
+				return
+			}
+			if err := enc.Encode(rec); err != nil { // Encode appends \n
+				return
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			// Surface buffer overflow to the client so it knows its view
+			// is lossy, then keep the connection warm.
+			if d := sub.Dropped(); d > reportedDrops {
+				reportedDrops = d
+				if _, err := fmt.Fprintf(w, "event: drop\ndata: %d\n\n", d); err != nil {
+					return
+				}
+			} else if _, err := w.Write([]byte(": keepalive\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	mw := metrics.NewWriter()
+	mw.Gauge("gremlin_store_records", "Records currently held by the store.", float64(s.store.Len()))
+	mw.Counter("gremlin_store_appended_total", "Records ever appended to the store.", float64(s.store.Appended()))
+	mw.Gauge("gremlin_store_subscribers", "Open live-stream subscriptions.", float64(s.store.Subscribers()))
+	mw.Counter("gremlin_store_published_total", "Records delivered to live subscribers.", float64(s.store.Published()))
+	mw.Counter("gremlin_store_subscriber_dropped_total", "Records dropped because a subscriber's buffer was full.", float64(s.store.SubscriberDropped()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = mw.WriteTo(w)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gremlin/internal/pattern"
@@ -78,6 +79,15 @@ type Store struct {
 	// linearScan disables the posting-list index (ablation/benchmark
 	// baseline; see UseLinearScan).
 	linearScan bool
+
+	// Live subscriptions (see subscribe.go). subCount mirrors len(subs) so
+	// the append path can skip publishing without touching subMu.
+	subMu      sync.RWMutex
+	subs       map[uint64]*Subscription
+	subSeq     uint64
+	subCount   atomic.Int64
+	subDropped atomic.Int64
+	published  atomic.Int64
 }
 
 var (
@@ -106,11 +116,17 @@ func (s *Store) UseLinearScan(on bool) {
 }
 
 // Log appends records, assigning sequence numbers. Records with a zero
-// timestamp are stamped with the current time.
+// timestamp are stamped with the current time. Appended records also fan
+// out to live subscriptions (after the store lock is released, with
+// non-blocking sends, so subscribers never slow the append path down).
 func (s *Store) Log(recs ...Record) error {
 	now := time.Now()
+	live := s.subCount.Load() > 0
+	var stamped []Record
+	if live {
+		stamped = make([]Record, 0, len(recs))
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, r := range recs {
 		s.seq++
 		r.Seq = s.seq
@@ -127,8 +143,23 @@ func (s *Store) Log(recs ...Record) error {
 		} else {
 			s.lastTS = r.Timestamp
 		}
+		if live {
+			stamped = append(stamped, r)
+		}
+	}
+	s.mu.Unlock()
+	if live {
+		s.publish(stamped)
 	}
 	return nil
+}
+
+// Appended reports the total number of records ever appended (a monotone
+// counter, unlike Len, which Clear resets).
+func (s *Store) Appended() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
 }
 
 // Len reports the number of stored records.

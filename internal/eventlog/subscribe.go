@@ -1,0 +1,125 @@
+package eventlog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gremlin/internal/pattern"
+)
+
+// Subscription is one live feed of records appended to a Store, filtered
+// by a request-ID pattern. Records from one Log call arrive on C in order;
+// concurrent Log calls may interleave their batches, exactly as their
+// appends interleave.
+//
+// The feed is bounded: a subscriber that falls behind by more than its
+// buffer loses the overflow — dropped records are counted, never waited
+// for, so a slow or stuck consumer cannot block the append hot path.
+// Close the subscription to stop receiving; C is closed afterwards.
+type Subscription struct {
+	store *Store
+	id    uint64
+	pat   pattern.Pattern
+	ch    chan Record
+
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// C returns the record feed. It is closed by Close.
+func (s *Subscription) C() <-chan Record { return s.ch }
+
+// Dropped reports how many matching records were discarded because this
+// subscriber's buffer was full when they were appended.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the store and closes C. It is safe
+// to call more than once and concurrently with appends.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		// Taking the publisher lock exclusively means no Log call is
+		// mid-send on s.ch, so closing it cannot panic a publisher.
+		s.store.subMu.Lock()
+		delete(s.store.subs, s.id)
+		s.store.subCount.Add(-1)
+		s.store.subMu.Unlock()
+		close(s.ch)
+	})
+}
+
+// DefaultSubscriberBuffer is the per-subscriber channel capacity used by
+// Subscribe.
+const DefaultSubscriberBuffer = 1024
+
+// Subscribe opens a live feed of records whose request ID matches
+// idPattern (the shared glob/"re:" language; empty matches everything).
+// Only records appended after Subscribe returns are delivered — pair it
+// with Select to also see the past.
+func (s *Store) Subscribe(idPattern string) (*Subscription, error) {
+	return s.SubscribeBuffer(idPattern, DefaultSubscriberBuffer)
+}
+
+// SubscribeBuffer is Subscribe with an explicit per-subscriber buffer
+// capacity (minimum 1). Smaller buffers drop sooner under a slow consumer;
+// they never block the appender.
+func (s *Store) SubscribeBuffer(idPattern string, buffer int) (*Subscription, error) {
+	pat, err := pattern.Compile(idPattern)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: bad subscribe pattern: %w", err)
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscription{store: s, pat: pat, ch: make(chan Record, buffer)}
+	s.subMu.Lock()
+	s.subSeq++
+	sub.id = s.subSeq
+	if s.subs == nil {
+		s.subs = make(map[uint64]*Subscription)
+	}
+	s.subs[sub.id] = sub
+	s.subCount.Add(1)
+	s.subMu.Unlock()
+	return sub, nil
+}
+
+// Subscribers reports the number of open subscriptions.
+func (s *Store) Subscribers() int {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	return len(s.subs)
+}
+
+// SubscriberDropped reports the total records dropped across all
+// subscriptions (including closed ones) since the store was created.
+func (s *Store) SubscriberDropped() int64 { return s.subDropped.Load() }
+
+// Published reports the total records delivered to subscribers since the
+// store was created.
+func (s *Store) Published() int64 { return s.published.Load() }
+
+// publish fans stamped records out to the live subscriptions. It runs
+// after the store's main lock is released; each delivery is a non-blocking
+// send, so the cost per append is bounded by the subscriber count alone.
+func (s *Store) publish(recs []Record) {
+	s.subMu.RLock()
+	defer s.subMu.RUnlock()
+	if len(s.subs) == 0 {
+		return
+	}
+	for _, r := range recs {
+		for _, sub := range s.subs {
+			if !sub.pat.MatchAll() && !sub.pat.Match(r.RequestID) {
+				continue
+			}
+			select {
+			case sub.ch <- r:
+				s.published.Add(1)
+			default:
+				sub.dropped.Add(1)
+				s.subDropped.Add(1)
+			}
+		}
+	}
+}

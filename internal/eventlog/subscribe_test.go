@@ -1,0 +1,331 @@
+package eventlog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gremlin/internal/metrics"
+)
+
+func TestSubscribeDeliversMatchingRecords(t *testing.T) {
+	s := NewStore()
+	sub, err := s.Subscribe("req-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	if err := s.Log(
+		Record{RequestID: "req-1", Src: "a", Dst: "b", Kind: KindRequest},
+		Record{RequestID: "other", Src: "a", Dst: "b", Kind: KindRequest},
+		Record{RequestID: "req-2", Src: "b", Dst: "a", Kind: KindReply},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for len(got) < 2 {
+		select {
+		case r := <-sub.C():
+			got = append(got, r.RequestID)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	if got[0] != "req-1" || got[1] != "req-2" {
+		t.Fatalf("delivered %v, want [req-1 req-2]", got)
+	}
+	select {
+	case r := <-sub.C():
+		t.Fatalf("unexpected extra record %q", r.RequestID)
+	default:
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", sub.Dropped())
+	}
+	if s.Published() != 2 {
+		t.Fatalf("published = %d, want 2", s.Published())
+	}
+}
+
+func TestSubscribeBadPattern(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Subscribe("re:["); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if s.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after failed subscribe", s.Subscribers())
+	}
+}
+
+// TestSubscribeSlowConsumerDrops pins the bounded-buffer contract: a
+// consumer that never reads loses everything beyond its buffer, the losses
+// are counted, and the append path is never blocked.
+func TestSubscribeSlowConsumerDrops(t *testing.T) {
+	s := NewStore()
+	const buffer = 4
+	sub, err := s.SubscribeBuffer("", buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const n = 100
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			_ = s.Log(Record{RequestID: fmt.Sprintf("r-%03d", i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("append path blocked by a stuck subscriber")
+	}
+
+	if got := sub.Dropped(); got != n-buffer {
+		t.Fatalf("dropped = %d, want %d", got, n-buffer)
+	}
+	if got := s.SubscriberDropped(); got != n-buffer {
+		t.Fatalf("store dropped = %d, want %d", got, n-buffer)
+	}
+	// The survivors are the first `buffer` records, in order.
+	for i := 0; i < buffer; i++ {
+		r := <-sub.C()
+		if want := fmt.Sprintf("r-%03d", i); r.RequestID != want {
+			t.Fatalf("record %d = %q, want %q", i, r.RequestID, want)
+		}
+	}
+}
+
+func TestSubscriptionCloseIdempotentAndConcurrentWithLog(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Log(Record{RequestID: "x"})
+			}
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		sub, err := s.SubscribeBuffer("", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain a little, then close while the logger is mid-flight; a
+		// second Close must be a no-op.
+		select {
+		case <-sub.C():
+		default:
+		}
+		sub.Close()
+		sub.Close()
+		// C is closed after Close: drain to the closed signal.
+		for range sub.C() {
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after all closed", s.Subscribers())
+	}
+}
+
+func TestStoreLogSkipsPublishWithoutSubscribers(t *testing.T) {
+	s := NewStore()
+	if err := s.Log(Record{RequestID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Published() != 0 || s.SubscriberDropped() != 0 {
+		t.Fatalf("published=%d dropped=%d with no subscribers", s.Published(), s.SubscriberDropped())
+	}
+	if s.Appended() != 1 {
+		t.Fatalf("appended = %d, want 1", s.Appended())
+	}
+}
+
+func TestServerStreamEndToEnd(t *testing.T) {
+	old := streamHeartbeat
+	streamHeartbeat = 50 * time.Millisecond
+	defer func() { streamHeartbeat = old }()
+
+	store := NewStore()
+	srv, err := NewServer("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.URL(), nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	recs := make(chan Record, 16)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- c.Stream(ctx, "live-*", func(r Record) error {
+			recs <- r
+			if r.RequestID == "live-done" {
+				return ErrStreamStopped
+			}
+			return nil
+		})
+	}()
+
+	// Wait for the subscription to register before logging, so the stream
+	// doesn't miss the records.
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := c.Log(
+		Record{RequestID: "live-1", Src: "a", Dst: "b", Status: 503},
+		Record{RequestID: "ignored", Src: "a", Dst: "b"},
+		Record{RequestID: "live-done", Src: "a", Dst: "b"},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for len(got) < 2 {
+		select {
+		case r := <-recs:
+			got = append(got, r.RequestID)
+		case <-ctx.Done():
+			t.Fatalf("timed out; got %v", got)
+		}
+	}
+	if got[0] != "live-1" || got[1] != "live-done" {
+		t.Fatalf("streamed %v, want [live-1 live-done]", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("stream returned %v, want nil after ErrStreamStopped", err)
+	}
+
+	// The server-side subscription is torn down once the client goes away.
+	deadline = time.Now().Add(5 * time.Second)
+	for store.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscribers = %d after stream end", store.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServerStreamCancelledByContext(t *testing.T) {
+	store := NewStore()
+	srv, err := NewServer("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.URL(), nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- c.Stream(ctx, "", func(Record) error { return nil }) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("stream err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not stop on cancel")
+	}
+}
+
+func TestServerStreamRejectsBadRequests(t *testing.T) {
+	store := NewStore()
+	srv, err := NewServer("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.URL(), nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Stream(ctx, "re:[", func(Record) error { return nil }); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	resp, err := http.Get(srv.URL() + "/v1/stream?buffer=zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad buffer returned %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	store := NewStore()
+	srv, err := NewServer("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.URL(), nil)
+	if err := c.Log(Record{RequestID: "m-1"}, Record{RequestID: "m-2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if err := metrics.Lint(resp.Body); err != nil {
+		t.Fatalf("metrics output fails lint: %v", err)
+	}
+
+	resp2, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"gremlin_store_records 2",
+		"gremlin_store_appended_total 2",
+		"gremlin_store_subscribers 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,6 +27,12 @@ import (
 type Options struct {
 	// N is the total number of requests (required).
 	N int
+
+	// Context, when non-nil, cancels the run early: no new requests are
+	// issued after it is done, in-flight ones are abandoned, and Run
+	// returns the partial Result alongside the context's error. Campaigns
+	// use this to stop load the moment a live assertion fires.
+	Context context.Context
 
 	// Concurrency is the number of parallel workers (default 1).
 	Concurrency int
@@ -100,6 +107,10 @@ func Run(target string, opts Options) (*Result, error) {
 		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc * 2}}
 	}
 	gen := trace.NewGenerator(prefix, opts.RNG)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	var (
 		mu      sync.Mutex
@@ -113,23 +124,31 @@ func Run(target string, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for range work {
-				s := shoot(client, target+path, gen.Next())
+				s := shoot(ctx, client, target+path, gen.Next())
 				mu.Lock()
 				samples = append(samples, s)
 				mu.Unlock()
 				if opts.Interval > 0 {
-					time.Sleep(opts.Interval)
+					select {
+					case <-time.After(opts.Interval):
+					case <-ctx.Done():
+					}
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < opts.N; i++ {
-		work <- struct{}{}
+		select {
+		case work <- struct{}{}:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
-	return &Result{Samples: samples, Elapsed: time.Since(start)}, nil
+	return &Result{Samples: samples, Elapsed: time.Since(start)}, ctx.Err()
 }
 
 // RunSequential is Run with one worker and requests issued strictly in
@@ -139,8 +158,8 @@ func RunSequential(target string, n int, path string, client *http.Client) (*Res
 	return Run(target, Options{N: n, Concurrency: 1, Path: path, Client: client})
 }
 
-func shoot(client *http.Client, url, id string) Sample {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+func shoot(ctx context.Context, client *http.Client, url, id string) Sample {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return Sample{RequestID: id, Err: err}
 	}

@@ -1,0 +1,366 @@
+// Package metrics renders Gremlin's operational counters in the
+// Prometheus text exposition format (version 0.0.4) without depending on
+// the Prometheus client library. The agent and the log store each expose a
+// GET /metrics endpoint built from a Writer, so any Prometheus-compatible
+// scraper can watch a live test run.
+//
+// The package also provides Histogram, a fixed-bucket cumulative histogram
+// whose Observe is a few atomic adds — cheap enough for the proxy data
+// path — and Lint, a minimal format checker used by tests to keep the
+// hand-rolled exposition parseable.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Writer accumulates one scrape's worth of metric families and renders
+// them as Prometheus text exposition. It is not safe for concurrent use;
+// build a fresh Writer per scrape.
+type Writer struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+// NewWriter creates an empty Writer.
+func NewWriter() *Writer {
+	return &Writer{seen: make(map[string]bool)}
+}
+
+// header emits the # HELP / # TYPE preamble once per metric family.
+func (w *Writer) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter emits one counter sample. labels alternate name, value
+// ("rule", "r1"); repeated calls with the same metric name append samples
+// to the same family.
+func (w *Writer) Counter(name, help string, value float64, labels ...string) {
+	w.header(name, help, "counter")
+	w.sample(name, labels, value)
+}
+
+// Gauge emits one gauge sample.
+func (w *Writer) Gauge(name, help string, value float64, labels ...string) {
+	w.header(name, help, "gauge")
+	w.sample(name, labels, value)
+}
+
+// Histogram emits a histogram family (cumulative _bucket series plus _sum
+// and _count) from a snapshot.
+func (w *Writer) Histogram(name, help string, snap HistogramSnapshot, labels ...string) {
+	w.header(name, help, "histogram")
+	for i, bound := range snap.Bounds {
+		w.sample(name+"_bucket", append(append([]string{}, labels...), "le", formatFloat(bound)), float64(snap.Cumulative[i]))
+	}
+	w.sample(name+"_bucket", append(append([]string{}, labels...), "le", "+Inf"), float64(snap.Count))
+	w.sample(name+"_sum", labels, snap.Sum)
+	w.sample(name+"_count", labels, float64(snap.Count))
+}
+
+func (w *Writer) sample(name string, labels []string, value float64) {
+	w.b.WriteString(name)
+	if len(labels) > 0 {
+		w.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				w.b.WriteByte(',')
+			}
+			// %q escapes quotes, backslashes, and newlines as the
+			// exposition format requires.
+			fmt.Fprintf(&w.b, "%s=%q", labels[i], labels[i+1])
+		}
+		w.b.WriteByte('}')
+	}
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatFloat(value))
+	w.b.WriteByte('\n')
+}
+
+// String returns the accumulated exposition text.
+func (w *Writer) String() string { return w.b.String() }
+
+// WriteTo writes the accumulated exposition text to wr.
+func (w *Writer) WriteTo(wr io.Writer) (int64, error) {
+	n, err := io.WriteString(wr, w.b.String())
+	return int64(n), err
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
+}
+
+// DefaultLatencyBounds are the upper bucket bounds, in seconds, used for
+// request-latency histograms (Prometheus' conventional DefBuckets).
+var DefaultLatencyBounds = []float64{
+	.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram safe for concurrent
+// use. Observe costs two atomic adds plus an atomic CAS for the sum, so it
+// can sit on the proxy data path.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bucket
+// bounds. Nil bounds select DefaultLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Latency buckets are front-loaded: a linear scan beats binary search
+	// for the common small values and costs the same worst case at n=11.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view of a Histogram for one
+// scrape: per-bound cumulative counts, total count, and sum.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observe
+// calls may tear count against buckets by a few samples; scrape output
+// remains monotone and well-formed.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.bounds)),
+		Count:      h.count.Load(),
+		Sum:        math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		snap.Cumulative[i] = cum
+	}
+	// Guard the exposition invariant bucket{le=b} <= count under torn
+	// concurrent reads.
+	if n := len(snap.Cumulative); n > 0 && snap.Cumulative[n-1] > snap.Count {
+		snap.Count = snap.Cumulative[n-1]
+	}
+	return snap
+}
+
+// Count reports the number of observed samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Lint checks that text is well-formed Prometheus text exposition: every
+// non-comment line parses as `name[{labels}] value`, every sample is
+// preceded by a # TYPE for its family, histogram families carry an
+// le="+Inf" bucket, and no family is declared twice. It is a format
+// checker for tests, not a full parser.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	typed := make(map[string]string)
+	infSeen := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("metrics: line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				name := fields[2]
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("metrics: line %d: family %s declared twice", lineNo, name)
+				}
+				if len(fields) != 4 {
+					return fmt.Errorf("metrics: line %d: malformed TYPE %q", lineNo, line)
+				}
+				typed[name] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		typ, ok := typed[family]
+		if !ok {
+			return fmt.Errorf("metrics: line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+			if le, ok := labels["le"]; ok && le == "+Inf" {
+				infSeen[family] = true
+			}
+		}
+		_ = value
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, typ := range typed {
+		if typ == "histogram" && !infSeen[name] {
+			return fmt.Errorf("metrics: histogram %s lacks an le=\"+Inf\" bucket", name)
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name[{labels}] value` into parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, pair := range splitLabels(rest[i+1 : end]) {
+			eq := strings.IndexByte(pair, '=')
+			if eq < 0 {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			val, uerr := strconv.Unquote(strings.TrimSpace(pair[eq+1:]))
+			if uerr != nil {
+				return "", nil, 0, fmt.Errorf("unquote label %q: %v", pair, uerr)
+			}
+			labels[strings.TrimSpace(pair[:eq])] = val
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("expected `name value`, got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	v := strings.TrimSpace(rest)
+	switch v {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	default:
+		value, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad value %q", v)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var (
+		out      []string
+		start    int
+		inQuote  bool
+		escaping bool
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaping:
+			escaping = false
+		case c == '\\':
+			escaping = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			if p := strings.TrimSpace(s[start:i]); p != "" {
+				out = append(out, p)
+			}
+			start = i + 1
+		}
+	}
+	if p := strings.TrimSpace(s[start:]); p != "" {
+		out = append(out, p)
+	}
+	return out
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedKeys returns m's keys in sorted order — a small helper so metric
+// families render deterministically.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

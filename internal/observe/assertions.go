@@ -1,0 +1,269 @@
+package observe
+
+import (
+	"fmt"
+	"time"
+
+	"gremlin/internal/checker"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/stats"
+)
+
+// NumRequests is the online form of the checker's NumRequests/AtMostRequests
+// (Table 3): it bounds how many requests src sends dst within a sliding
+// window. Crossing the bound mid-run fires immediately instead of waiting
+// for the batch check — the paper's bounded-retries and circuit-breaker
+// patterns are exactly such upper bounds.
+type NumRequests struct {
+	f   filter
+	w   window
+	max int
+	out bool
+}
+
+// NewNumRequests builds the evaluator: a violation fires when more than max
+// matching requests arrive within window (0 = over the whole run).
+func NewNumRequests(src, dst, idPattern string, win time.Duration, max int) (*NumRequests, error) {
+	f, err := newFilter(src, dst, idPattern)
+	if err != nil {
+		return nil, err
+	}
+	if max < 0 {
+		return nil, fmt.Errorf("observe: numRequests max %d < 0", max)
+	}
+	return &NumRequests{f: f, w: window{span: win}, max: max}, nil
+}
+
+func (a *NumRequests) Name() string { return "numRequests" }
+
+func (a *NumRequests) Observe(rec eventlog.Record) *Violation {
+	if a.out || !a.f.match(rec, eventlog.KindRequest) {
+		return nil
+	}
+	a.w.slide(rec.Timestamp)
+	if n := a.w.count(); n > a.max {
+		a.out = true
+		return &Violation{
+			Assertion: a.Name(),
+			Detail:    fmt.Sprintf("%d requests %s->%s exceed the bound of %d%s", n, orAny(a.f.src), orAny(a.f.dst), a.max, inWindow(a.w.span)),
+			Record:    rec,
+			Time:      rec.Timestamp,
+		}
+	}
+	return nil
+}
+
+// CheckStatus is the online form of the checker's CheckStatus: it bounds
+// how many replies carrying a given status src may see from dst. A status
+// of -1 counts every failure reply (HTTP 4xx/5xx or a severed connection),
+// matching checker.IsFailureStatus; 0 counts severed connections only.
+type CheckStatus struct {
+	f      filter
+	w      window
+	status int
+	max    int
+	out    bool
+}
+
+// NewCheckStatus builds the evaluator: a violation fires when more than max
+// matching replies arrive within window (0 = whole run). max 0 means the
+// first such reply violates.
+func NewCheckStatus(src, dst, idPattern string, status int, win time.Duration, max int) (*CheckStatus, error) {
+	f, err := newFilter(src, dst, idPattern)
+	if err != nil {
+		return nil, err
+	}
+	if max < 0 {
+		return nil, fmt.Errorf("observe: checkStatus max %d < 0", max)
+	}
+	return &CheckStatus{f: f, w: window{span: win}, status: status, max: max}, nil
+}
+
+func (a *CheckStatus) Name() string { return "checkStatus" }
+
+func (a *CheckStatus) counts(status int) bool {
+	if a.status < 0 {
+		return checker.IsFailureStatus(status)
+	}
+	return status == a.status
+}
+
+func (a *CheckStatus) Observe(rec eventlog.Record) *Violation {
+	if a.out || !a.f.match(rec, eventlog.KindReply) || !a.counts(rec.Status) {
+		return nil
+	}
+	a.w.slide(rec.Timestamp)
+	if n := a.w.count(); n > a.max {
+		a.out = true
+		what := fmt.Sprintf("status-%d replies", a.status)
+		if a.status < 0 {
+			what = "failure replies"
+		}
+		return &Violation{
+			Assertion: a.Name(),
+			Detail:    fmt.Sprintf("%d %s %s->%s exceed the bound of %d%s", n, what, orAny(a.f.src), orAny(a.f.dst), a.max, inWindow(a.w.span)),
+			Record:    rec,
+			Time:      rec.Timestamp,
+		}
+	}
+	return nil
+}
+
+// RequestRate is the online form of the checker's RequestRate: it bounds
+// the request rate src sustains toward dst, measured over a sliding window.
+type RequestRate struct {
+	f         filter
+	w         window
+	maxPerSec float64
+	out       bool
+}
+
+// NewRequestRate builds the evaluator: a violation fires when the rate of
+// matching requests over the (required, positive) window exceeds maxPerSec.
+// The window must fill past one record before a rate exists, so a single
+// burst shorter than the window is judged against the whole window span —
+// the conservative reading of "requests per second".
+func NewRequestRate(src, dst, idPattern string, win time.Duration, maxPerSec float64) (*RequestRate, error) {
+	f, err := newFilter(src, dst, idPattern)
+	if err != nil {
+		return nil, err
+	}
+	if win <= 0 {
+		return nil, fmt.Errorf("observe: requestRate needs a positive window, got %v", win)
+	}
+	if maxPerSec <= 0 {
+		return nil, fmt.Errorf("observe: requestRate needs a positive bound, got %v", maxPerSec)
+	}
+	return &RequestRate{f: f, w: window{span: win}, maxPerSec: maxPerSec}, nil
+}
+
+func (a *RequestRate) Name() string { return "requestRate" }
+
+func (a *RequestRate) Observe(rec eventlog.Record) *Violation {
+	if a.out || !a.f.match(rec, eventlog.KindRequest) {
+		return nil
+	}
+	a.w.slide(rec.Timestamp)
+	rate := float64(a.w.count()) / a.w.span.Seconds()
+	if rate > a.maxPerSec {
+		a.out = true
+		return &Violation{
+			Assertion: a.Name(),
+			Detail:    fmt.Sprintf("%.1f req/s %s->%s exceeds the bound of %.1f req/s over %v", rate, orAny(a.f.src), orAny(a.f.dst), a.maxPerSec, a.w.span),
+			Record:    rec,
+			Time:      rec.Timestamp,
+		}
+	}
+	return nil
+}
+
+// ReplyLatency is the online form of the checker's ReplyLatency statistics:
+// it bounds a latency quantile of the replies src sees from dst, estimated
+// incrementally by a streaming histogram over a sliding window. With
+// withRule=false (the checker's untampered mode) Gremlin-synthesized
+// replies are skipped and injected delays subtracted, so the bound judges
+// the callee, not the injected fault.
+type ReplyLatency struct {
+	f        filter
+	span     time.Duration
+	quantile float64
+	max      time.Duration
+	withRule bool
+
+	hist *stats.StreamingHistogram
+	// samples mirrors the histogram's live window so eviction can Remove
+	// the exact values that expired.
+	samples []latSample
+	head    int
+	out     bool
+}
+
+type latSample struct {
+	ts  time.Time
+	sec float64
+}
+
+// NewReplyLatency builds the evaluator: a violation fires when the given
+// quantile (0 < q <= 1; 1 = the max) of matching reply latencies within
+// window (0 = whole run) exceeds max. withRule selects the checker's
+// latency mode: true judges latencies as the caller saw them, injected
+// delays included; false subtracts Gremlin's interference.
+func NewReplyLatency(src, dst, idPattern string, win time.Duration, quantile float64, max time.Duration, withRule bool) (*ReplyLatency, error) {
+	f, err := newFilter(src, dst, idPattern)
+	if err != nil {
+		return nil, err
+	}
+	if quantile <= 0 || quantile > 1 {
+		return nil, fmt.Errorf("observe: replyLatency quantile %v outside (0,1]", quantile)
+	}
+	if max <= 0 {
+		return nil, fmt.Errorf("observe: replyLatency needs a positive bound, got %v", max)
+	}
+	return &ReplyLatency{
+		f: f, span: win, quantile: quantile, max: max, withRule: withRule,
+		hist: stats.NewStreamingHistogram(),
+	}, nil
+}
+
+func (a *ReplyLatency) Name() string { return "replyLatency" }
+
+func (a *ReplyLatency) Observe(rec eventlog.Record) *Violation {
+	if a.out || !a.f.match(rec, eventlog.KindReply) {
+		return nil
+	}
+	var lat time.Duration
+	if a.withRule {
+		lat = rec.Latency()
+	} else {
+		if rec.GremlinGenerated {
+			return nil
+		}
+		lat = rec.UntamperedLatency()
+	}
+	sec := lat.Seconds()
+
+	// Evict expired samples (by the newest record's clock), then admit.
+	if a.span > 0 {
+		cutoff := rec.Timestamp.Add(-a.span)
+		for a.head < len(a.samples) && !a.samples[a.head].ts.After(cutoff) {
+			a.hist.Remove(a.samples[a.head].sec)
+			a.head++
+		}
+		if a.head > 64 && a.head*2 > len(a.samples) {
+			a.samples = append(a.samples[:0], a.samples[a.head:]...)
+			a.head = 0
+		}
+	}
+	a.samples = append(a.samples, latSample{ts: rec.Timestamp, sec: sec})
+	a.hist.Observe(sec)
+
+	q, err := a.hist.Quantile(a.quantile)
+	if err != nil {
+		return nil
+	}
+	if q > a.max.Seconds() {
+		a.out = true
+		return &Violation{
+			Assertion: a.Name(),
+			Detail: fmt.Sprintf("p%g reply latency %s->%s is %.1fms, exceeding the bound of %v%s",
+				a.quantile*100, orAny(a.f.src), orAny(a.f.dst), q*1000, a.max, inWindow(a.span)),
+			Record: rec,
+			Time:   rec.Timestamp,
+		}
+	}
+	return nil
+}
+
+func orAny(s string) string {
+	if s == "" {
+		return "*"
+	}
+	return s
+}
+
+func inWindow(span time.Duration) string {
+	if span <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" in %v", span)
+}

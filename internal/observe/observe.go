@@ -1,0 +1,177 @@
+// Package observe implements online assertion evaluation: the streaming
+// counterpart to the batch Assertion Checker (internal/checker).
+//
+// The batch checker answers "did the run satisfy its assertions?" after the
+// load finishes, from the complete event log. The evaluators here consume
+// the live record feed (eventlog.Subscription / GET /v1/stream) and report
+// violations while the run is still in progress, so a campaign can abort a
+// failing experiment early and an operator can watch a recipe unfold.
+//
+// Only monotone violations are decidable online: an upper bound (at most N
+// requests, failures, a latency ceiling) that a stream prefix exceeds stays
+// exceeded no matter what arrives later, so firing on the prefix is sound.
+// Lower bounds ("at least N requests succeeded") are only decidable once
+// the run ends and remain the batch checker's job. Every evaluator in this
+// package is an upper bound for exactly that reason.
+package observe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/pattern"
+)
+
+// Violation reports one assertion failing against the live feed.
+type Violation struct {
+	// Assertion names the evaluator that fired, e.g. "numRequests".
+	Assertion string `json:"assertion"`
+	// Detail is a human-readable account of the bound and the observed value.
+	Detail string `json:"detail"`
+	// Record is the record whose arrival crossed the bound.
+	Record eventlog.Record `json:"record"`
+	// Time is the violating record's timestamp.
+	Time time.Time `json:"time"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Assertion, v.Detail)
+}
+
+// Assertion is one online evaluator. Observe consumes the next record from
+// the feed and returns a non-nil Violation the first time the assertion's
+// bound is crossed; afterwards it stays silent (a violated assertion stays
+// violated). Implementations are not safe for concurrent use — a Monitor
+// serializes them.
+type Assertion interface {
+	Name() string
+	Observe(rec eventlog.Record) *Violation
+}
+
+// filter is the record selector shared by all evaluators: source,
+// destination, and request-ID pattern, any of which may be empty.
+type filter struct {
+	src, dst string
+	pat      pattern.Pattern
+}
+
+func newFilter(src, dst, idPattern string) (filter, error) {
+	pat, err := pattern.Compile(idPattern)
+	if err != nil {
+		return filter{}, fmt.Errorf("observe: bad pattern: %w", err)
+	}
+	return filter{src: src, dst: dst, pat: pat}, nil
+}
+
+func (f filter) match(r eventlog.Record, kind eventlog.Kind) bool {
+	if kind != "" && r.Kind != kind {
+		return false
+	}
+	if f.src != "" && r.Src != f.src {
+		return false
+	}
+	if f.dst != "" && r.Dst != f.dst {
+		return false
+	}
+	return f.pat.MatchAll() || f.pat.Match(r.RequestID)
+}
+
+// window is a sliding time window of record timestamps. Eviction is by the
+// newest record's clock, not wall time, so evaluation is deterministic and
+// replayable.
+type window struct {
+	span  time.Duration // 0 = unbounded (whole run)
+	times []time.Time
+	head  int
+}
+
+// slide admits ts and evicts entries older than span before it, returning
+// the evicted timestamps (valid until the next call).
+func (w *window) slide(ts time.Time) []time.Time {
+	evictedFrom := w.head
+	if w.span > 0 {
+		cutoff := ts.Add(-w.span)
+		for w.head < len(w.times) && !w.times[w.head].After(cutoff) {
+			w.head++
+		}
+	}
+	evicted := w.times[evictedFrom:w.head]
+	// Compact once the dead prefix dominates, keeping memory proportional
+	// to the live window.
+	if w.head > 64 && w.head*2 > len(w.times) {
+		w.times = append(w.times[:0], w.times[w.head:]...)
+		w.head = 0
+	}
+	w.times = append(w.times, ts)
+	return evicted
+}
+
+func (w *window) count() int { return len(w.times) - w.head }
+
+// Monitor runs a set of assertions against a record feed, collecting
+// violations and invoking an optional callback as each fires. It is safe
+// for concurrent use.
+type Monitor struct {
+	mu          sync.Mutex
+	assertions  []Assertion
+	onViolation func(Violation)
+	violations  []Violation
+	observed    int64
+}
+
+// NewMonitor creates a monitor over the given assertions. onViolation, if
+// non-nil, is called synchronously (under the monitor's lock) each time an
+// assertion first fires — keep it fast; campaigns use it to cancel load.
+func NewMonitor(assertions []Assertion, onViolation func(Violation)) *Monitor {
+	return &Monitor{assertions: assertions, onViolation: onViolation}
+}
+
+// Observe feeds one record to every assertion.
+func (m *Monitor) Observe(rec eventlog.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observed++
+	for _, a := range m.assertions {
+		if v := a.Observe(rec); v != nil {
+			m.violations = append(m.violations, *v)
+			if m.onViolation != nil {
+				m.onViolation(*v)
+			}
+		}
+	}
+}
+
+// Violated reports whether any assertion has fired.
+func (m *Monitor) Violated() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.violations) > 0
+}
+
+// FirstViolation returns the earliest violation, if any.
+func (m *Monitor) FirstViolation() (Violation, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.violations) == 0 {
+		return Violation{}, false
+	}
+	return m.violations[0], true
+}
+
+// Violations returns a copy of all violations so far, in firing order.
+func (m *Monitor) Violations() []Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	return out
+}
+
+// Observed reports how many records the monitor has consumed.
+func (m *Monitor) Observed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.observed
+}

@@ -1,0 +1,357 @@
+package observe
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func req(id string, at time.Duration) eventlog.Record {
+	return eventlog.Record{
+		RequestID: id, Src: "a", Dst: "b",
+		Kind: eventlog.KindRequest, Timestamp: t0.Add(at),
+	}
+}
+
+func reply(id string, at time.Duration, status int, latencyMillis float64) eventlog.Record {
+	return eventlog.Record{
+		RequestID: id, Src: "a", Dst: "b",
+		Kind: eventlog.KindReply, Timestamp: t0.Add(at),
+		Status: status, LatencyMillis: latencyMillis,
+	}
+}
+
+func TestNumRequestsWindowBound(t *testing.T) {
+	a, err := NewNumRequests("a", "b", "", time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three requests inside one second cross the bound; the first two don't.
+	if v := a.Observe(req("r1", 0)); v != nil {
+		t.Fatalf("violation after 1 request: %v", v)
+	}
+	if v := a.Observe(req("r2", 100*time.Millisecond)); v != nil {
+		t.Fatalf("violation after 2 requests: %v", v)
+	}
+	v := a.Observe(req("r3", 200*time.Millisecond))
+	if v == nil {
+		t.Fatal("3 requests in 1s did not violate max=2")
+	}
+	if v.Assertion != "numRequests" || v.Record.RequestID != "r3" {
+		t.Fatalf("violation = %+v", v)
+	}
+	// Fired assertions stay silent.
+	if v := a.Observe(req("r4", 300*time.Millisecond)); v != nil {
+		t.Fatal("violated assertion fired twice")
+	}
+}
+
+func TestNumRequestsWindowSlides(t *testing.T) {
+	a, err := NewNumRequests("a", "b", "", time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two per window, forever: never violates because old requests expire.
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 2 * time.Second
+		if v := a.Observe(req("r", at)); v != nil {
+			t.Fatalf("violation at step %d: %v", i, v)
+		}
+		if v := a.Observe(req("r", at+100*time.Millisecond)); v != nil {
+			t.Fatalf("violation at step %d: %v", i, v)
+		}
+	}
+}
+
+func TestNumRequestsIgnoresNonMatching(t *testing.T) {
+	a, err := NewNumRequests("a", "b", "camp-1-*", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := req("other", 0)
+	if v := a.Observe(other); v != nil {
+		t.Fatal("non-matching ID counted")
+	}
+	rep := reply("camp-1-x", 0, 200, 1)
+	if v := a.Observe(rep); v != nil {
+		t.Fatal("reply counted as request")
+	}
+	wrongDst := req("camp-1-x", 0)
+	wrongDst.Dst = "c"
+	if v := a.Observe(wrongDst); v != nil {
+		t.Fatal("wrong destination counted")
+	}
+	if v := a.Observe(req("camp-1-x", 0)); v == nil {
+		t.Fatal("matching request did not violate max=0")
+	}
+}
+
+func TestCheckStatusAnyFailure(t *testing.T) {
+	a, err := NewCheckStatus("a", "b", "", -1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := a.Observe(reply("r1", 0, 200, 1)); v != nil {
+		t.Fatal("success reply counted as failure")
+	}
+	if v := a.Observe(reply("r2", 0, 503, 1)); v != nil {
+		t.Fatal("first failure violated max=1")
+	}
+	v := a.Observe(reply("r3", 0, 0, 1)) // severed connection is a failure too
+	if v == nil {
+		t.Fatal("second failure did not violate max=1")
+	}
+	if !strings.Contains(v.Detail, "failure replies") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+}
+
+func TestCheckStatusExactCode(t *testing.T) {
+	a, err := NewCheckStatus("", "", "", 503, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := a.Observe(reply("r1", 0, 500, 1)); v != nil {
+		t.Fatal("500 counted as 503")
+	}
+	if v := a.Observe(reply("r2", 0, 503, 1)); v == nil {
+		t.Fatal("first 503 did not violate max=0")
+	}
+}
+
+func TestRequestRateBound(t *testing.T) {
+	a, err := NewRequestRate("a", "b", "", time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 requests over a second is exactly the bound: no violation.
+	var v *Violation
+	for i := 0; i < 5; i++ {
+		v = a.Observe(req("r", time.Duration(i)*200*time.Millisecond))
+		if v != nil {
+			t.Fatalf("violation at request %d: %v", i, v)
+		}
+	}
+	// The sixth in the same window pushes the rate to 6/s.
+	if v = a.Observe(req("r", 900*time.Millisecond)); v == nil {
+		t.Fatal("6 req/s did not violate the 5 req/s bound")
+	}
+}
+
+func TestRequestRateRejectsBadConfig(t *testing.T) {
+	if _, err := NewRequestRate("a", "b", "", 0, 5); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewRequestRate("a", "b", "", time.Second, 0); err == nil {
+		t.Error("zero bound accepted")
+	}
+}
+
+func TestReplyLatencyQuantileBound(t *testing.T) {
+	a, err := NewReplyLatency("a", "b", "", 0, 0.5, 100*time.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast replies keep the median low.
+	for i := 0; i < 10; i++ {
+		if v := a.Observe(reply("r", time.Duration(i)*time.Millisecond, 200, 10)); v != nil {
+			t.Fatalf("violation on fast replies: %v", v)
+		}
+	}
+	// Slow replies drag the median past 100 ms.
+	var v *Violation
+	for i := 0; i < 20 && v == nil; i++ {
+		v = a.Observe(reply("r", time.Duration(10+i)*time.Millisecond, 200, 500))
+	}
+	if v == nil {
+		t.Fatal("median of slow replies did not violate 100ms bound")
+	}
+	if !strings.Contains(v.Detail, "p50") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+}
+
+func TestReplyLatencyWindowForgets(t *testing.T) {
+	a, err := NewReplyLatency("a", "b", "", time.Second, 1, 100*time.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow reply arrives but stays under the bound's attention only while
+	// in-window: after it expires, fast replies must not violate.
+	if v := a.Observe(reply("r", 0, 200, 90)); v != nil {
+		t.Fatalf("90ms violated a 100ms bound: %v", v)
+	}
+	for i := 0; i < 50; i++ {
+		at := 2*time.Second + time.Duration(i)*10*time.Millisecond
+		if v := a.Observe(reply("r", at, 200, 5)); v != nil {
+			t.Fatalf("violation after slow reply expired: %v", v)
+		}
+	}
+}
+
+func TestReplyLatencyUntamperedModeSkipsGremlin(t *testing.T) {
+	a, err := NewReplyLatency("a", "b", "", 0, 1, 100*time.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Gremlin-synthesized abort reply is not the callee's latency.
+	synth := reply("r1", 0, 503, 5000)
+	synth.GremlinGenerated = true
+	if v := a.Observe(synth); v != nil {
+		t.Fatalf("synthesized reply judged: %v", v)
+	}
+	// An injected delay is subtracted before judging.
+	delayed := reply("r2", 0, 200, 550)
+	delayed.InjectedDelayMillis = 500
+	if v := a.Observe(delayed); v != nil {
+		t.Fatalf("injected delay judged against the callee: %v", v)
+	}
+	// The same latency with no injected delay violates.
+	if v := a.Observe(reply("r3", 0, 200, 550)); v == nil {
+		t.Fatal("genuine 550ms latency did not violate 100ms bound")
+	}
+}
+
+func TestMonitorCollectsAndCallsBack(t *testing.T) {
+	cs, err := NewCheckStatus("", "", "", -1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := NewNumRequests("", "", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []string
+	m := NewMonitor([]Assertion{cs, nr}, func(v Violation) { fired = append(fired, v.Assertion) })
+
+	if m.Violated() {
+		t.Fatal("fresh monitor violated")
+	}
+	m.Observe(reply("r1", 0, 503, 1)) // fires checkStatus
+	m.Observe(req("r2", 0))           // fires numRequests
+	m.Observe(reply("r3", 0, 503, 1)) // both already fired: silent
+
+	vs := m.Violations()
+	if len(vs) != 2 || vs[0].Assertion != "checkStatus" || vs[1].Assertion != "numRequests" {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if first, ok := m.FirstViolation(); !ok || first.Assertion != "checkStatus" {
+		t.Fatalf("first violation = %+v, ok=%v", first, ok)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("callback fired %d times, want 2", len(fired))
+	}
+	if m.Observed() != 3 {
+		t.Fatalf("observed = %d, want 3", m.Observed())
+	}
+}
+
+func TestStoreFeedDeliversAndCancels(t *testing.T) {
+	store := eventlog.NewStore()
+	cs, err := NewCheckStatus("", "", "", -1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor([]Assertion{cs}, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- Watch(ctx, StoreFeed(store), "live-*", m, true) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("feed never subscribed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	good := reply("live-1", 0, 200, 1)
+	bad := reply("live-2", time.Millisecond, 503, 1)
+	if err := store.Log(good, bad); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("watch returned %v, want nil on stop-on-violation", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("watch did not stop on violation")
+	}
+	if !m.Violated() {
+		t.Fatal("monitor saw no violation")
+	}
+}
+
+func TestWatchReturnsContextErrWithoutViolation(t *testing.T) {
+	store := eventlog.NewStore()
+	m := NewMonitor(nil, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Watch(ctx, StoreFeed(store), "", m, true) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for store.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("feed never subscribed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("watch err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch did not return on cancel")
+	}
+}
+
+func TestSpecBuildAndLoad(t *testing.T) {
+	specJSON := `[
+		{"type": "checkStatus", "src": "a", "dst": "b", "status": -1, "max": 0},
+		{"type": "numRequests", "max": 100, "windowMillis": 1000},
+		{"type": "requestRate", "max": 50, "windowMillis": 1000},
+		{"type": "replyLatency", "quantile": 0.99, "maxLatencyMillis": 250}
+	]`
+	as, err := LoadSpecs(strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 4 {
+		t.Fatalf("built %d assertions, want 4", len(as))
+	}
+	wantNames := []string{"checkStatus", "numRequests", "requestRate", "replyLatency"}
+	for i, a := range as {
+		if a.Name() != wantNames[i] {
+			t.Errorf("assertion %d = %q, want %q", i, a.Name(), wantNames[i])
+		}
+	}
+
+	if _, err := Build(Spec{Type: "nope"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := Build(Spec{Type: "requestRate", Max: 5}); err == nil {
+		t.Error("requestRate without window accepted")
+	}
+	if _, err := LoadSpecs(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestReplyLatencyDefaultQuantileIsMax(t *testing.T) {
+	a, err := Build(Spec{Type: "replyLatency", MaxLatencyMillis: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := a.(*ReplyLatency)
+	if rl.quantile != 1 {
+		t.Fatalf("default quantile = %v, want 1", rl.quantile)
+	}
+}

@@ -1,0 +1,89 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Spec is the JSON form of one online assertion, as consumed by
+// gremlin-watch's -assert file. Example:
+//
+//	[
+//	  {"type": "checkStatus", "src": "gateway", "dst": "payments",
+//	   "status": -1, "max": 0},
+//	  {"type": "replyLatency", "src": "gateway", "dst": "payments",
+//	   "quantile": 0.99, "maxLatencyMillis": 250, "windowMillis": 10000}
+//	]
+type Spec struct {
+	// Type selects the evaluator: "numRequests", "checkStatus",
+	// "requestRate", or "replyLatency".
+	Type string `json:"type"`
+
+	// Src, Dst, and Pattern filter the records the evaluator sees (empty
+	// matches anything; Pattern is the shared request-ID glob/"re:" form).
+	Src     string `json:"src,omitempty"`
+	Dst     string `json:"dst,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+
+	// WindowMillis is the sliding-window span (0 = whole run; requestRate
+	// requires it).
+	WindowMillis float64 `json:"windowMillis,omitempty"`
+
+	// Max is the bound: a request count for numRequests, an occurrence
+	// count for checkStatus, requests/second for requestRate.
+	Max float64 `json:"max,omitempty"`
+
+	// Status is checkStatus's reply status to count (-1 = any failure,
+	// 0 = severed connections).
+	Status int `json:"status,omitempty"`
+
+	// Quantile and MaxLatencyMillis configure replyLatency: the quantile
+	// (0 < q <= 1; defaults to 1, the max) and its ceiling.
+	Quantile         float64 `json:"quantile,omitempty"`
+	MaxLatencyMillis float64 `json:"maxLatencyMillis,omitempty"`
+
+	// WithRule selects the checker's latency mode for replyLatency: true
+	// judges caller-observed latencies, injected delays included.
+	WithRule bool `json:"withRule,omitempty"`
+}
+
+// Build constructs the evaluator a spec describes.
+func Build(s Spec) (Assertion, error) {
+	win := time.Duration(s.WindowMillis * float64(time.Millisecond))
+	switch s.Type {
+	case "numRequests":
+		return NewNumRequests(s.Src, s.Dst, s.Pattern, win, int(s.Max))
+	case "checkStatus":
+		return NewCheckStatus(s.Src, s.Dst, s.Pattern, s.Status, win, int(s.Max))
+	case "requestRate":
+		return NewRequestRate(s.Src, s.Dst, s.Pattern, win, s.Max)
+	case "replyLatency":
+		q := s.Quantile
+		if q == 0 {
+			q = 1
+		}
+		max := time.Duration(s.MaxLatencyMillis * float64(time.Millisecond))
+		return NewReplyLatency(s.Src, s.Dst, s.Pattern, win, q, max, s.WithRule)
+	default:
+		return nil, fmt.Errorf("observe: unknown assertion type %q", s.Type)
+	}
+}
+
+// LoadSpecs reads a JSON array of specs and builds each.
+func LoadSpecs(r io.Reader) ([]Assertion, error) {
+	var specs []Spec
+	if err := json.NewDecoder(r).Decode(&specs); err != nil {
+		return nil, fmt.Errorf("observe: decode assertion specs: %w", err)
+	}
+	out := make([]Assertion, 0, len(specs))
+	for i, s := range specs {
+		a, err := Build(s)
+		if err != nil {
+			return nil, fmt.Errorf("observe: spec %d: %w", i, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"gremlin/internal/eventlog"
 	"gremlin/internal/httpx"
+	"gremlin/internal/metrics"
 	"gremlin/internal/pattern"
 	"gremlin/internal/rules"
 	"gremlin/internal/trace"
@@ -40,6 +41,10 @@ type Agent struct {
 	nModified atomic.Int64
 	nSevered  atomic.Int64
 	nStreamed atomic.Int64
+
+	// latency observes each proxied exchange's wall time in seconds
+	// (including injected delays), exposed via GET /metrics.
+	latency *metrics.Histogram
 }
 
 // copyBufs holds 32 KiB buffers reused by the streaming fast path, so a
@@ -150,6 +155,7 @@ func New(cfg Config) (*Agent, error) {
 		matcher: rules.NewMatcher(cfg.RNG),
 		sink:    cfg.Sink,
 		routes:  make(map[string]*routeProxy, len(cfg.Routes)),
+		latency: metrics.NewHistogram(metrics.DefaultLatencyBounds),
 	}
 	for _, r := range cfg.Routes {
 		canaryPat, err := pattern.Compile(r.CanaryPattern)
@@ -305,6 +311,9 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	)
 
 	a.nProxied.Add(1)
+	// Deferred so severed connections (which unwind via ErrAbortHandler)
+	// still observe their duration.
+	defer func() { a.latency.Observe(time.Since(start).Seconds()) }()
 	reqMsg := rules.Message{
 		Src:       a.cfg.ServiceName,
 		Dst:       rp.route.Dst,

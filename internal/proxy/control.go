@@ -5,17 +5,19 @@ import (
 	"net/http"
 
 	"gremlin/internal/httpx"
+	"gremlin/internal/metrics"
 	"gremlin/internal/rules"
 )
 
 // InfoBody describes an agent to the control plane (GET /v1/info).
 type InfoBody struct {
-	Service string            `json:"service"`
-	AgentID string            `json:"agentId"`
-	Routes  []RouteInfo       `json:"routes"`
-	Rules   int               `json:"rules"`
-	Stats   Stats             `json:"stats"`
-	Extra   map[string]string `json:"extra,omitempty"`
+	Service   string            `json:"service"`
+	AgentID   string            `json:"agentId"`
+	Routes    []RouteInfo       `json:"routes"`
+	Rules     int               `json:"rules"`
+	Stats     Stats             `json:"stats"`
+	RuleStats []rules.RuleStat  `json:"ruleStats,omitempty"`
+	Extra     map[string]string `json:"extra,omitempty"`
 }
 
 // RouteInfo is one route as reported by the control API.
@@ -38,15 +40,17 @@ func (a *Agent) controlHandler() http.Handler {
 	mux.HandleFunc("DELETE /v1/rules", a.handleClearRules)
 	mux.HandleFunc("DELETE /v1/rules/{id}", a.handleRemoveRule)
 	mux.HandleFunc("POST /v1/flush", a.handleFlush)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	return mux
 }
 
 func (a *Agent) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	info := InfoBody{
-		Service: a.cfg.ServiceName,
-		AgentID: a.cfg.agentID(),
-		Rules:   a.matcher.Len(),
-		Stats:   a.Stats(),
+		Service:   a.cfg.ServiceName,
+		AgentID:   a.cfg.agentID(),
+		Rules:     a.matcher.Len(),
+		Stats:     a.Stats(),
+		RuleStats: a.matcher.RuleStats(),
 	}
 	for _, rp := range a.routes {
 		info.Routes = append(info.Routes, RouteInfo{Dst: rp.route.Dst, ListenAddr: rp.server.Addr()})
@@ -96,6 +100,32 @@ func (a *Agent) handleFlush(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
+// handleMetrics renders the agent's state as Prometheus text exposition:
+// the data-path counters, per-rule match/injection tallies, the request
+// latency histogram, and the log-shipping health gauges.
+func (a *Agent) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := a.Stats()
+	mw := metrics.NewWriter()
+	svc := a.cfg.ServiceName
+	mw.Counter("gremlin_agent_proxied_total", "Messages handled on the data path.", float64(st.Proxied), "service", svc)
+	mw.Counter("gremlin_agent_aborted_total", "Messages terminated by an Abort rule with an HTTP error code.", float64(st.Aborted), "service", svc)
+	mw.Counter("gremlin_agent_severed_total", "Connections cut by Abort rules emulating a crash.", float64(st.Severed), "service", svc)
+	mw.Counter("gremlin_agent_delayed_total", "Messages held back by Delay rules.", float64(st.Delayed), "service", svc)
+	mw.Counter("gremlin_agent_modified_total", "Messages rewritten by Modify rules.", float64(st.Modified), "service", svc)
+	mw.Counter("gremlin_agent_streamed_total", "Replies relayed on the unbuffered fast path.", float64(st.Streamed), "service", svc)
+	for _, rs := range a.matcher.RuleStats() {
+		mw.Counter("gremlin_rule_matched_total", "Messages that matched a rule's criteria, before probability sampling.", float64(rs.Matched), "service", svc, "rule", rs.ID)
+		mw.Counter("gremlin_rule_fired_total", "Fault injections actually applied by a rule.", float64(rs.Fired), "service", svc, "rule", rs.ID)
+	}
+	mw.Histogram("gremlin_agent_request_duration_seconds", "Wall time per proxied exchange, including injected delays.", a.latency.Snapshot(), "service", svc)
+	mw.Gauge("gremlin_agent_log_dropped", "Records dropped by the log-shipping buffer.", float64(st.LogDropped), "service", svc)
+	mw.Gauge("gremlin_agent_log_flushes", "Batches shipped to the event store.", float64(st.LogFlushes), "service", svc)
+	mw.Gauge("gremlin_agent_log_retries", "Failed ship attempts that were retried.", float64(st.LogRetries), "service", svc)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = mw.WriteTo(w)
 }
 
 // InstallRules validates and installs rules on this agent. Every rule must

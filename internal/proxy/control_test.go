@@ -3,11 +3,13 @@ package proxy_test
 import (
 	"fmt"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
 	"gremlin/internal/agentapi"
 	"gremlin/internal/eventlog"
+	"gremlin/internal/metrics"
 	"gremlin/internal/proxy"
 	"gremlin/internal/rules"
 )
@@ -250,5 +252,58 @@ func TestControlInfoReportsSinkHealth(t *testing.T) {
 	a3, _ := startAgent(t, store)
 	if st3 := a3.Stats(); st3.LogFlushes != 0 || st3.LogDropped != 0 || st3.LogRetries != 0 {
 		t.Fatalf("plain-sink stats = %+v, want zero shipping counters", st3)
+	}
+}
+
+func TestControlMetricsExposition(t *testing.T) {
+	a, c := startAgent(t, nil)
+	if err := c.InstallRules(abortRule("abort-server")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive one aborted exchange through the data path so the counters and
+	// the latency histogram have something to show.
+	route, err := a.RouteURL("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodGet, route+"/x", nil)
+	req.Header.Set("X-Gremlin-ID", "test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("fault did not fire: status %d", resp.StatusCode)
+	}
+
+	body, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Lint(strings.NewReader(body)); err != nil {
+		t.Fatalf("agent metrics fail lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`gremlin_agent_proxied_total{service="client"} 1`,
+		`gremlin_agent_aborted_total{service="client"} 1`,
+		`gremlin_rule_matched_total{service="client",rule="abort-server"} 1`,
+		`gremlin_rule_fired_total{service="client",rule="abort-server"} 1`,
+		`gremlin_agent_request_duration_seconds_count{service="client"} 1`,
+		`gremlin_agent_request_duration_seconds_bucket{service="client",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The info body carries the same per-rule counters for the control plane.
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.RuleStats) != 1 || info.RuleStats[0].Fired != 1 {
+		t.Fatalf("info.RuleStats = %+v, want one rule with 1 fired", info.RuleStats)
 	}
 }

@@ -75,12 +75,34 @@ type routeKey struct {
 	on       MessageType
 }
 
+// ruleCounters is one rule's lifetime match/fire tally. Counters live
+// outside the immutable snapshot (behind pointers) so Decide can bump them
+// without copying or locking, and snapshot rebuilds carry them across by
+// rule ID.
+type ruleCounters struct {
+	matched atomic.Int64
+	fired   atomic.Int64
+}
+
+// RuleStat reports one installed rule's lifetime counters: how many
+// messages matched its criteria and how many times its fault actually
+// fired after probability sampling. Counters reset when the rule is
+// removed and reinstalled.
+type RuleStat struct {
+	ID      string `json:"id"`
+	Matched int64  `json:"matched"`
+	Fired   int64  `json:"fired"`
+}
+
 // snapshot is one immutable generation of the installed rule set. Writers
 // build a fresh snapshot and publish it atomically (RCU); readers load the
 // pointer and never synchronize with writers.
 type snapshot struct {
 	// rules holds every installed rule in insertion order.
 	rules []CompiledRule
+	// stats holds each rule's counters, parallel to rules. The pointers are
+	// shared with prior snapshots for rules that survived the rebuild.
+	stats []*ruleCounters
 	// ids is the set of installed rule IDs, for O(1) duplicate checks.
 	ids map[string]struct{}
 	// index maps each (src, dst, on) bucket to the positions (into rules,
@@ -88,13 +110,28 @@ type snapshot struct {
 	index map[routeKey][]int
 }
 
-func newSnapshot(rules []CompiledRule) *snapshot {
+// newSnapshot builds a snapshot for rules, carrying counters over from
+// prev (nil for a fresh matcher) for rules whose ID survives.
+func newSnapshot(rules []CompiledRule, prev *snapshot) *snapshot {
+	var carried map[string]*ruleCounters
+	if prev != nil {
+		carried = make(map[string]*ruleCounters, len(prev.rules))
+		for i, r := range prev.rules {
+			carried[r.ID] = prev.stats[i]
+		}
+	}
 	s := &snapshot{
 		rules: rules,
+		stats: make([]*ruleCounters, len(rules)),
 		ids:   make(map[string]struct{}, len(rules)),
 		index: make(map[routeKey][]int, len(rules)),
 	}
 	for i, r := range rules {
+		if c := carried[r.ID]; c != nil {
+			s.stats[i] = c
+		} else {
+			s.stats[i] = &ruleCounters{}
+		}
 		s.ids[r.ID] = struct{}{}
 		k := routeKey{src: r.Src, dst: r.Dst, on: r.on()}
 		s.index[k] = append(s.index[k], i)
@@ -146,7 +183,7 @@ func NewMatcher(rng *rand.Rand) *Matcher {
 		m.seedMu.Unlock()
 		return rand.New(rand.NewSource(seed))
 	}
-	m.snap.Store(newSnapshot(nil))
+	m.snap.Store(newSnapshot(nil, nil))
 	return m
 }
 
@@ -178,7 +215,7 @@ func (m *Matcher) Install(rs ...Rule) error {
 	next := make([]CompiledRule, 0, len(cur.rules)+len(compiled))
 	next = append(next, cur.rules...)
 	next = append(next, compiled...)
-	m.snap.Store(newSnapshot(next))
+	m.snap.Store(newSnapshot(next, cur))
 	return nil
 }
 
@@ -196,7 +233,7 @@ func (m *Matcher) Remove(id string) bool {
 			next = append(next, r)
 		}
 	}
-	m.snap.Store(newSnapshot(next))
+	m.snap.Store(newSnapshot(next, cur))
 	return true
 }
 
@@ -205,7 +242,7 @@ func (m *Matcher) Clear() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	n := len(m.snap.Load().rules)
-	m.snap.Store(newSnapshot(nil))
+	m.snap.Store(newSnapshot(nil, nil))
 	return n
 }
 
@@ -218,6 +255,23 @@ func (m *Matcher) List() []Rule {
 	out := make([]Rule, len(cur.rules))
 	for i, r := range cur.rules {
 		out[i] = r.Rule
+	}
+	return out
+}
+
+// RuleStats returns each installed rule's lifetime counters in insertion
+// order. Counters survive snapshot rebuilds (further installs or removals
+// of other rules) but are lost with the rule itself: Remove or Clear
+// followed by a reinstall starts that rule's tally from zero.
+func (m *Matcher) RuleStats() []RuleStat {
+	cur := m.snap.Load()
+	out := make([]RuleStat, len(cur.rules))
+	for i, r := range cur.rules {
+		out[i] = RuleStat{
+			ID:      r.ID,
+			Matched: cur.stats[i].matched.Load(),
+			Fired:   cur.stats[i].fired.Load(),
+		}
 	}
 	return out
 }
@@ -259,7 +313,9 @@ func (m *Matcher) Decide(msg Message) Decision {
 			continue
 		}
 		d.Matched = true
+		snap.stats[i].matched.Add(1)
 		if m.sample(r.EffectiveProbability()) {
+			snap.stats[i].fired.Add(1)
 			d.Rule = *r
 			d.Fired = true
 			return d
@@ -282,7 +338,9 @@ func (m *Matcher) decideScan(snap *snapshot, msg Message) Decision {
 			continue
 		}
 		d.Matched = true
+		snap.stats[i].matched.Add(1)
 		if m.sample(r.EffectiveProbability()) {
+			snap.stats[i].fired.Add(1)
 			d.Rule = *r
 			d.Fired = true
 			return d

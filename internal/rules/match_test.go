@@ -314,3 +314,74 @@ func TestFastPathSkipsNonMatchingPrefixes(t *testing.T) {
 		t.Fatal("matching rule must still fire")
 	}
 }
+
+func TestRuleStatsCountMatchesAndFires(t *testing.T) {
+	m := NewMatcher(rand.New(rand.NewSource(1)))
+	certain := validAbort() // fires every match (probability defaults to 1)
+	never := validDelay()
+	never.Probability = 0.000001 // matches but essentially never fires
+	if err := m.Install(certain, never); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 10; i++ {
+		m.Decide(msg("serviceA", "serviceB", OnRequest, "test-1"))
+	}
+	m.Decide(msg("serviceX", "serviceB", OnRequest, "test-1")) // matches nothing
+
+	stats := m.RuleStats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stats, want 2", len(stats))
+	}
+	if stats[0].ID != certain.ID || stats[0].Matched != 10 || stats[0].Fired != 10 {
+		t.Fatalf("certain rule stats = %+v, want 10 matched, 10 fired", stats[0])
+	}
+	// The certain rule fires first, so the low-probability rule behind it
+	// is never even visited.
+	if stats[1].ID != never.ID || stats[1].Matched != 0 || stats[1].Fired != 0 {
+		t.Fatalf("shadowed rule stats = %+v, want 0/0", stats[1])
+	}
+}
+
+func TestRuleStatsSurviveRebuildsAndResetOnReinstall(t *testing.T) {
+	m := NewMatcher(rand.New(rand.NewSource(1)))
+	keep := validAbort()
+	if err := m.Install(keep); err != nil {
+		t.Fatal(err)
+	}
+	m.Decide(msg("serviceA", "serviceB", OnRequest, "test-1"))
+
+	// Installing another rule rebuilds the snapshot; keep's tally survives.
+	other := validDelay()
+	if err := m.Install(other); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.RuleStats(); s[0].Matched != 1 {
+		t.Fatalf("matched = %d after rebuild, want 1", s[0].Matched)
+	}
+	// Removing an unrelated rule also preserves it.
+	m.Remove(other.ID)
+	if s := m.RuleStats(); s[0].Matched != 1 {
+		t.Fatalf("matched = %d after unrelated remove, want 1", s[0].Matched)
+	}
+	// Remove + reinstall starts over.
+	m.Remove(keep.ID)
+	if err := m.Install(keep); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.RuleStats(); s[0].Matched != 0 {
+		t.Fatalf("matched = %d after reinstall, want 0", s[0].Matched)
+	}
+}
+
+func TestRuleStatsLinearScanCountsToo(t *testing.T) {
+	m := NewMatcher(rand.New(rand.NewSource(1)))
+	m.UseLinearScan(true)
+	if err := m.Install(validAbort()); err != nil {
+		t.Fatal(err)
+	}
+	m.Decide(msg("serviceA", "serviceB", OnRequest, "test-1"))
+	if s := m.RuleStats(); s[0].Matched != 1 || s[0].Fired != 1 {
+		t.Fatalf("linear-scan stats = %+v, want 1/1", s[0])
+	}
+}

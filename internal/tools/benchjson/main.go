@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON array on stdout, so benchmark runs can be committed and
+// diffed across PRs (see the Makefile's bench-json target):
+//
+//	go test -bench 'MatcherDecide' . | go run ./internal/tools/benchjson
+//
+// Each benchmark line becomes one object: the name (CPU suffix split off),
+// iteration count, and every reported metric keyed by its unit
+// ("ns/op", "B/op", "allocs/op", "MB/s", ...). Non-benchmark lines are
+// ignored, so the full `go test` transcript can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(in *os.File, out *os.File) error {
+	results, err := Parse(bufio.NewScanner(in))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// Parse extracts benchmark results from a `go test -bench` transcript.
+func Parse(sc *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  N  v unit  v unit ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// splitProcs separates the -GOMAXPROCS suffix go test appends to names.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 0
+	}
+	return name[:i], n
+}

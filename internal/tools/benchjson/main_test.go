@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseTranscript(t *testing.T) {
+	transcript := `goos: linux
+goarch: amd64
+pkg: gremlin
+BenchmarkStoreSelectIndexed100k-8   3017  392.1ns/op
+BenchmarkMatcherDecideIndexed10Rules-8    3000000  391.0 ns/op  16 B/op  1 allocs/op
+BenchmarkProxyThroughputStreamed64KiB-8      5000  250013 ns/op  262.14 MB/s
+PASS
+ok  	gremlin	4.2s
+`
+	results, err := Parse(bufio.NewScanner(strings.NewReader(transcript)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2 (the torn line must be skipped): %+v", len(results), results)
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkMatcherDecideIndexed10Rules" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 3000000 {
+		t.Fatalf("iterations = %d", r.Iterations)
+	}
+	for unit, want := range map[string]float64{"ns/op": 391.0, "B/op": 16, "allocs/op": 1} {
+		if got := r.Metrics[unit]; got != want {
+			t.Fatalf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := results[1].Metrics["MB/s"]; got != 262.14 {
+		t.Fatalf("MB/s = %v", got)
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	cases := []string{
+		"",
+		"PASS",
+		"Benchmark",                       // no fields
+		"BenchmarkX-8 notanumber 1 ns/op", // bad iterations
+		"BenchmarkX-8 100",                // no metrics
+		"--- BENCH: BenchmarkX-8",
+	}
+	for _, line := range cases {
+		if r, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for name, want := range map[string]struct {
+		base  string
+		procs int
+	}{
+		"BenchmarkFoo-8":      {"BenchmarkFoo", 8},
+		"BenchmarkFoo":        {"BenchmarkFoo", 0},
+		"BenchmarkFoo-bar":    {"BenchmarkFoo-bar", 0},
+		"BenchmarkFoo-bar-16": {"BenchmarkFoo-bar", 16},
+	} {
+		base, procs := splitProcs(name)
+		if base != want.base || procs != want.procs {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", name, base, procs, want.base, want.procs)
+		}
+	}
+}
