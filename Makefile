@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-figures campaign-smoke check
+.PHONY: all build test race vet bench bench-json bench-figures campaign-smoke trace-smoke check
 
 all: check
 
@@ -34,5 +34,11 @@ bench-figures:
 # enumeration, parallel isolated runs, signature pruning, scorecard.
 campaign-smoke:
 	$(GO) run ./examples/campaign
+
+# End-to-end causal-tracing smoke: spans propagate through live agents,
+# the waterfall's critical path crosses a 100ms-delayed edge, and the
+# inflation is attributed to the injected rule. Exits non-zero otherwise.
+trace-smoke:
+	$(GO) run ./examples/tracing
 
 check: build vet test race

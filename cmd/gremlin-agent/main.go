@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gremlin/internal/eventlog"
+	"gremlin/internal/httpx"
 	"gremlin/internal/proxy"
 )
 
@@ -54,6 +55,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gremlin-agent", flag.ContinueOnError)
 	configPath := fs.String("config", "", "path to the agent JSON config (required)")
 	flushEvery := fs.Duration("flush", 2*time.Second, "interval for flushing buffered observations")
+	pprofAddr := fs.String("pprof", "", "listen address for /debug/pprof/ endpoints (disabled when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +104,15 @@ func run(args []string) error {
 	agent.Start()
 	fmt.Printf("gremlin-agent for service %q\n", cfg.Service)
 	fmt.Printf("  control API: %s\n", agent.ControlURL())
+	if *pprofAddr != "" {
+		dbg, err := httpx.StartPprof(*pprofAddr)
+		if err != nil {
+			_ = agent.Close()
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("  pprof: %s/debug/pprof/\n", dbg.URL())
+	}
 	for _, r := range cfg.Routes {
 		addr, err := agent.RouteAddr(r.Dst)
 		if err != nil {

@@ -75,6 +75,7 @@ func TestRunFullAgentLifecycle(t *testing.T) {
 
 	controlAddr := freePort(t)
 	routeAddr := freePort(t)
+	pprofAddr := freePort(t)
 	cfg := map[string]any{
 		"service":  "client",
 		"control":  controlAddr,
@@ -103,7 +104,7 @@ func TestRunFullAgentLifecycle(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-config", cfgPath, "-flush", "10ms"})
+		done <- run([]string{"-config", cfgPath, "-flush", "10ms", "-pprof", pprofAddr})
 	}()
 	<-started
 
@@ -133,6 +134,17 @@ func TestRunFullAgentLifecycle(t *testing.T) {
 	}
 	if store.Len() == 0 {
 		t.Fatal("observations did not reach the log store")
+	}
+
+	// The -pprof flag exposes the debug endpoints on their own listener.
+	dbg, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbgBody, _ := io.ReadAll(dbg.Body)
+	_ = dbg.Body.Close()
+	if dbg.StatusCode != 200 || !strings.Contains(string(dbgBody), "goroutine") {
+		t.Fatalf("pprof index: %d %q", dbg.StatusCode, dbgBody)
 	}
 
 	close(release)

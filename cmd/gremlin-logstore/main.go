@@ -16,6 +16,7 @@ import (
 	"syscall"
 
 	"gremlin/internal/eventlog"
+	"gremlin/internal/httpx"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("gremlin-logstore", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:9200", "listen address")
 	persist := fs.String("persist", "", "JSON Lines file to load at startup and save on shutdown")
+	pprofAddr := fs.String("pprof", "", "listen address for /debug/pprof/ endpoints (disabled when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +54,15 @@ func run(args []string) error {
 	fmt.Println("  GET    /v1/stats    record count")
 	fmt.Println("  GET    /v1/stream   live SSE record stream (?pattern=)")
 	fmt.Println("  GET    /metrics     Prometheus text exposition")
+	if *pprofAddr != "" {
+		dbg, err := httpx.StartPprof(*pprofAddr)
+		if err != nil {
+			_ = srv.Close()
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("  pprof: %s/debug/pprof/\n", dbg.URL())
+	}
 
 	waitForSignal()
 	fmt.Println("shutting down")

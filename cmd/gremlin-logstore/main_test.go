@@ -1,8 +1,12 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gremlin/internal/eventlog"
@@ -65,6 +69,41 @@ func TestRunLifecycleWithPersistence(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("persisted %d records across restart, want 1", n)
+	}
+}
+
+func TestRunPprofEndpoint(t *testing.T) {
+	// The store's own address is ephemeral, but -pprof takes a fixed one:
+	// ask the kernel for a free port by binding and releasing it.
+	probe := httptest.NewServer(http.NotFoundHandler())
+	pprofAddr := strings.TrimPrefix(probe.URL, "http://")
+	probe.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waitForSignal = func() {
+		close(started)
+		<-release
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-pprof", pprofAddr})
+	}()
+	<-started
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: %d %q", resp.StatusCode, body)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
 	}
 }
 

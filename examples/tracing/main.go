@@ -1,0 +1,98 @@
+// Command tracing demonstrates the causal tracing plane end to end on a
+// live two-service application: agents mint and propagate span IDs per
+// proxied hop, the event log captures them, and internal/tracing
+// assembles the records into a causal tree with a critical path and a
+// fault attribution.
+//
+// The program injects a 100ms delay on serviceA -> serviceB, sends one
+// traced request, and prints the resulting waterfall. It exits non-zero
+// unless the critical path crosses the delayed edge and the latency is
+// attributed to the injected rule — which makes it usable as a CI smoke
+// test (`make trace-smoke`).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"gremlin/internal/eventlog"
+	"gremlin/internal/rules"
+	"gremlin/internal/topology"
+	"gremlin/internal/trace"
+	"gremlin/internal/tracing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Gremlin tracing: span propagation -> waterfall -> attribution ===")
+
+	spec := topology.TwoServices(0, 0)
+	spec.RNG = rand.New(rand.NewSource(42))
+	app, err := topology.Build(spec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := app.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "close:", cerr)
+		}
+	}()
+
+	// Delay every serviceA -> serviceB call in our namespace by 100ms.
+	const ruleID = "smoke-delay-ab"
+	if err := app.Agent("serviceA").InstallRules(rules.Rule{
+		ID: ruleID, Src: "serviceA", Dst: "serviceB",
+		Action: rules.ActionDelay, DelayMillis: 100, Pattern: "smoke-*",
+	}); err != nil {
+		return err
+	}
+
+	req, err := http.NewRequest(http.MethodGet, app.EntryURL()+"/", nil)
+	if err != nil {
+		return err
+	}
+	trace.SetRequestID(req, "smoke-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.Body.Close()
+
+	traces, err := tracing.FromSource(app.Store, eventlog.Query{IDPattern: "smoke-*"})
+	if err != nil {
+		return err
+	}
+	if len(traces) != 1 {
+		return fmt.Errorf("assembled %d traces, want 1", len(traces))
+	}
+	t := traces[0]
+	fmt.Println()
+	fmt.Print(tracing.Waterfall(t))
+	fmt.Print(tracing.RenderCriticalPath(t))
+
+	// Self-check: the delayed edge dominates the critical path and the
+	// inflation is attributed to the installed rule.
+	cp := t.CriticalPath()
+	if !cp.Contains("serviceA", "serviceB") {
+		return fmt.Errorf("critical path misses the delayed edge serviceA -> serviceB")
+	}
+	if cp.Injected < 100*time.Millisecond {
+		return fmt.Errorf("critical path carries %s injected latency, want >= 100ms", cp.Injected)
+	}
+	attr, ok := t.Attribute()
+	if !ok || attr.RuleID != ruleID {
+		return fmt.Errorf("latency not attributed to %s (got %+v, ok=%v)", ruleID, attr, ok)
+	}
+	fmt.Println("\ntrace-smoke OK: critical path crosses the delayed edge and the")
+	fmt.Printf("latency inflation is attributed to rule %s.\n", ruleID)
+	return nil
+}

@@ -21,6 +21,7 @@ func TestExamplesRun(t *testing.T) {
 		"./examples/outages",
 		"./examples/pubsub",
 		"./examples/shadow",
+		"./examples/tracing",
 		"./examples/watch",
 	}
 	for _, dir := range examples {

@@ -29,9 +29,11 @@ import (
 	"sync"
 
 	"gremlin/internal/core"
+	"gremlin/internal/eventlog"
 	"gremlin/internal/graph"
 	"gremlin/internal/observe"
 	"gremlin/internal/rules"
+	"gremlin/internal/tracing"
 )
 
 // Options tunes campaign execution.
@@ -250,6 +252,14 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 		}
 	}
 	report, err := runner.Run(recipe, ropts)
+	// Blast radius must be computed before cleanup reclaims the run's
+	// records. An analysis error is not worth failing the run over; the
+	// entry simply carries no blast fields.
+	if traces, terr := tracing.FromSource(runner.Checker().Source(),
+		eventlog.Query{IDPattern: pat}); terr == nil {
+		blast := tracing.BlastRadius(traces)
+		e.BlastReached, e.BlastFailed = blast.Reached, blast.Failed
+	}
 	if o.Cleanup != nil {
 		o.Cleanup(pat)
 	}

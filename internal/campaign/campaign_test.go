@@ -182,6 +182,24 @@ func TestCampaignSystematicSweep(t *testing.T) {
 	if b, err := sc.JSON(); err != nil || len(b) == 0 {
 		t.Fatalf("JSON render: %v", err)
 	}
+
+	// Executed runs staged faults on loaded flows, so their traces carry
+	// fired rules and the journal records each run's blast radius.
+	withBlast := 0
+	for _, e := range entries {
+		if len(e.BlastReached) > 0 {
+			withBlast++
+		}
+	}
+	if withBlast == 0 {
+		t.Fatal("no journal entry recorded a blast radius")
+	}
+	if len(sc.Blast) != withBlast {
+		t.Fatalf("scorecard has %d blast rows, journal has %d", len(sc.Blast), withBlast)
+	}
+	if !strings.Contains(md, "## Blast radius") {
+		t.Fatalf("markdown missing blast radius section:\n%s", md)
+	}
 }
 
 // TestCampaignResume kills a campaign midway and resumes it from the

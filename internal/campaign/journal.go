@@ -49,6 +49,13 @@ type Entry struct {
 	// computed on partial evidence.
 	LogsDropped int64 `json:"logsDropped,omitempty"`
 
+	// BlastReached and BlastFailed are the run's blast radius, computed
+	// from the run's causal traces before cleanup: services that handled
+	// faulted flows, and services that delivered failures within them
+	// (tracing.BlastRadius). Empty when no fault fired on any traced flow.
+	BlastReached []string `json:"blastReached,omitempty"`
+	BlastFailed  []string `json:"blastFailed,omitempty"`
+
 	// LiveViolation is the first online assertion violation observed during
 	// the run, when the campaign ran with Options.Observe. A non-empty
 	// value means the run's load was aborted early and forces the entry to

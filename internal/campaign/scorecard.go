@@ -28,6 +28,14 @@ type ServiceScore struct {
 	Failed  int    `json:"failed"`
 }
 
+// BlastScore is one executed run's blast radius: how many services the
+// staged fault's flows touched, and which of them delivered failures.
+type BlastScore struct {
+	Unit    string   `json:"unit"`
+	Reached int      `json:"reached"`
+	Failed  []string `json:"failed,omitempty"`
+}
+
 // Scorecard is the campaign's aggregate resilience report.
 type Scorecard struct {
 	Campaign string `json:"campaign"`
@@ -52,6 +60,12 @@ type Scorecard struct {
 
 	Edges    []EdgeScore    `json:"edges"`
 	Services []ServiceScore `json:"services"`
+
+	// Blast lists per-run blast radii for executed runs whose traces
+	// carried a fired fault, widest first. A run whose fault failed
+	// services beyond the targeted edge is where resilience patterns are
+	// missing.
+	Blast []BlastScore `json:"blast,omitempty"`
 
 	// FailedUnits lists the units whose assertions failed, with the first
 	// failing check's detail.
@@ -106,6 +120,11 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 		if e.LogsDropped > 0 {
 			sc.Lossy++
 		}
+		if len(e.BlastReached) > 0 {
+			sc.Blast = append(sc.Blast, BlastScore{
+				Unit: e.Unit, Reached: len(e.BlastReached), Failed: e.BlastFailed,
+			})
+		}
 		for _, edge := range e.Edges {
 			es, ok := edgeIdx[edge]
 			if !ok {
@@ -156,6 +175,12 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 	}
 	sort.Strings(sc.FailedUnits)
 	sort.Strings(sc.ErrorUnits)
+	sort.SliceStable(sc.Blast, func(i, j int) bool {
+		if len(sc.Blast[i].Failed) != len(sc.Blast[j].Failed) {
+			return len(sc.Blast[i].Failed) > len(sc.Blast[j].Failed)
+		}
+		return sc.Blast[i].Reached > sc.Blast[j].Reached
+	})
 	return sc
 }
 
@@ -192,6 +217,16 @@ func (s *Scorecard) Markdown() string {
 	b.WriteString("\n## Services\n\n| service | runs | passed | failed |\n|---|---:|---:|---:|\n")
 	for _, sv := range s.Services {
 		fmt.Fprintf(&b, "| %s | %d | %d | %d |\n", sv.Service, sv.Runs, sv.Passed, sv.Failed)
+	}
+	if len(s.Blast) > 0 {
+		b.WriteString("\n## Blast radius\n\n| unit | services reached | services failed |\n|---|---:|---|\n")
+		for _, bl := range s.Blast {
+			failed := strings.Join(bl.Failed, ", ")
+			if failed == "" {
+				failed = "—"
+			}
+			fmt.Fprintf(&b, "| %s | %d | %s |\n", bl.Unit, bl.Reached, failed)
+		}
 	}
 	if len(s.FailedUnits) > 0 {
 		b.WriteString("\n## Failed units\n\n")

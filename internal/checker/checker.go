@@ -45,6 +45,11 @@ func New(source eventlog.Source) *Checker {
 	return &Checker{source: source}
 }
 
+// Source exposes the event-log source the checker reads from, so layers
+// holding only a Checker (e.g. campaign blast-radius analysis via
+// internal/tracing) can run their own queries against the same records.
+func (c *Checker) Source() eventlog.Source { return c.source }
+
 // GetRequests returns all observed requests from src to dst whose request
 // ID matches idPattern (Table 3). Empty src, dst, or idPattern match
 // anything.

@@ -41,6 +41,17 @@ type Record struct {
 	// RequestID is the flow ID from the message headers ("" if absent).
 	RequestID string `json:"requestId,omitempty"`
 
+	// SpanID identifies the proxied hop that produced this record; the
+	// agent mints one span ID per exchange, so a hop's request and reply
+	// records share it. Empty on records logged before span propagation
+	// existed — trace assembly falls back to timestamp nesting for those.
+	SpanID string `json:"spanId,omitempty"`
+
+	// ParentSpanID is the span of the hop that delivered the request to
+	// the calling service, as read from the inbound HeaderSpan ("" at the
+	// application edge).
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+
 	// Src and Dst are the logical caller and callee service names.
 	Src string `json:"src"`
 	Dst string `json:"dst"`

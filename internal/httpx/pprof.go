@@ -1,0 +1,33 @@
+package httpx
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofHandler returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/. The binaries expose it behind an explicit -pprof
+// flag on a dedicated listener rather than registering pprof on a shared
+// mux, so profiling never rides along on a production control port by
+// accident.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof binds and starts a pprof debug server on addr. The caller
+// owns the returned server and should Close it on shutdown.
+func StartPprof(addr string) (*Server, error) {
+	srv, err := NewServer(addr, PprofHandler())
+	if err != nil {
+		return nil, fmt.Errorf("httpx: bind pprof server: %w", err)
+	}
+	srv.Start()
+	return srv, nil
+}

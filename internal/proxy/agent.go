@@ -30,6 +30,10 @@ type Agent struct {
 	matcher *rules.Matcher
 	sink    eventlog.Sink
 
+	// spanGen mints one span ID per proxied hop; the agent identity in the
+	// prefix keeps span namespaces disjoint across agents sharing a store.
+	spanGen *trace.Generator
+
 	routes  map[string]*routeProxy // by Dst
 	control *httpx.Server
 	started bool
@@ -41,6 +45,7 @@ type Agent struct {
 	nModified atomic.Int64
 	nSevered  atomic.Int64
 	nStreamed atomic.Int64
+	nSpans    atomic.Int64
 
 	// latency observes each proxied exchange's wall time in seconds
 	// (including injected delays), exposed via GET /metrics.
@@ -74,6 +79,11 @@ type Stats struct {
 	// without being buffered (the fast path: no Modify rule applied).
 	Streamed int64 `json:"streamed"`
 
+	// SpansMinted counts the span IDs this agent minted — one per proxied
+	// hop — so scrapers can confirm causal tracing is live on the data
+	// path.
+	SpansMinted int64 `json:"spansMinted"`
+
 	// LogDropped, LogFlushes, and LogRetries report event-log shipping
 	// health when the agent's sink exposes it (eventlog.BufferedSink does).
 	// A run with LogDropped > 0 evaluated its assertions on partial data —
@@ -93,12 +103,13 @@ type sinkHealth interface {
 // Stats returns a snapshot of the agent's counters.
 func (a *Agent) Stats() Stats {
 	s := Stats{
-		Proxied:  a.nProxied.Load(),
-		Aborted:  a.nAborted.Load(),
-		Severed:  a.nSevered.Load(),
-		Delayed:  a.nDelayed.Load(),
-		Modified: a.nModified.Load(),
-		Streamed: a.nStreamed.Load(),
+		Proxied:     a.nProxied.Load(),
+		Aborted:     a.nAborted.Load(),
+		Severed:     a.nSevered.Load(),
+		Delayed:     a.nDelayed.Load(),
+		Modified:    a.nModified.Load(),
+		Streamed:    a.nStreamed.Load(),
+		SpansMinted: a.nSpans.Load(),
 	}
 	if h, ok := a.sink.(sinkHealth); ok {
 		s.LogDropped = h.Dropped()
@@ -125,6 +136,16 @@ func (a *Agent) countFault(d rules.Decision) {
 	case rules.ActionModify:
 		a.nModified.Add(1)
 	}
+}
+
+// flow carries one exchange's identity down the data path: the flat
+// request ID, the span this hop minted, its parent span, and the start
+// time every latency is measured from.
+type flow struct {
+	reqID      string
+	spanID     string
+	parentSpan string
+	start      time.Time
 }
 
 type routeProxy struct {
@@ -154,6 +175,11 @@ func New(cfg Config) (*Agent, error) {
 		cfg:     cfg,
 		matcher: rules.NewMatcher(cfg.RNG),
 		sink:    cfg.Sink,
+		// The span generator deliberately does not consume cfg.RNG: the
+		// matcher's probability sampling stream must not shift when span
+		// minting is added. Agent-identity prefix plus process-global salt
+		// keep span IDs unique across the deployment.
+		spanGen: trace.NewGenerator("sp-"+cfg.agentID()+"-", nil),
 		routes:  make(map[string]*routeProxy, len(cfg.Routes)),
 		latency: metrics.NewHistogram(metrics.DefaultLatencyBounds),
 	}
@@ -305,12 +331,20 @@ func (a *Agent) log(rec eventlog.Record) {
 // the proxy's memory cost is independent of body size.
 func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var (
-		a     = rp.agent
-		reqID = trace.FromRequest(r)
-		start = time.Now()
+		a = rp.agent
+		// The inbound span — minted by the agent of the hop that delivered
+		// this request to our service — becomes the parent of the span this
+		// hop mints; at the application edge it is empty and the minted
+		// span is a trace root.
+		reqID      = trace.FromRequest(r)
+		parentSpan = trace.SpanFromRequest(r)
+		spanID     = a.spanGen.Next()
+		start      = time.Now()
 	)
 
 	a.nProxied.Add(1)
+	a.nSpans.Add(1)
+	f := flow{reqID: reqID, spanID: spanID, parentSpan: parentSpan, start: start}
 	// Deferred so severed connections (which unwind via ErrAbortHandler)
 	// still observe their duration.
 	defer func() { a.latency.Observe(time.Since(start).Seconds()) }()
@@ -326,6 +360,8 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqRec := rp.recProto
 	reqRec.Timestamp = start
 	reqRec.RequestID = reqID
+	reqRec.SpanID = spanID
+	reqRec.ParentSpanID = parentSpan
 	reqRec.Kind = eventlog.KindRequest
 	reqRec.Method = r.Method
 	reqRec.URI = r.URL.RequestURI()
@@ -348,7 +384,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if reqDecision.Fired {
 		switch reqDecision.Rule.Action {
 		case rules.ActionAbort:
-			rp.abort(w, r, reqDecision, reqID, start, injected, faultActions, faultRules)
+			rp.abort(w, r, reqDecision, f, injected, faultActions, faultRules)
 			return
 		case rules.ActionDelay:
 			d := reqDecision.Rule.Delay()
@@ -374,9 +410,9 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Forward upstream.
-	resp, err := rp.forward(r, reqBody, bufferReq)
+	resp, err := rp.forward(r, f, reqBody, bufferReq)
 	if err != nil {
-		a.log(rp.replyRecord(r, reqID, http.StatusBadGateway, start, injected,
+		a.log(rp.replyRecord(r, f, http.StatusBadGateway, injected,
 			faultActions, faultRules, false))
 		httpx.WriteError(w, http.StatusBadGateway, "proxy: forward to %s: %v", rp.route.Dst, err)
 		return
@@ -399,12 +435,12 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if respDecision.Rule.ErrorCode == rules.AbortSeverConnection {
 			// The severed reply must still reach the event log: the checker
 			// cannot reason about a connection cut it never saw.
-			a.log(rp.replyRecord(r, reqID, 0, start, injected, faultActions, faultRules, true))
+			a.log(rp.replyRecord(r, f, 0, injected, faultActions, faultRules, true))
 			rp.sever(w)
 			return
 		}
 		status = respDecision.Rule.ErrorCode
-		a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, true))
+		a.log(rp.replyRecord(r, f, status, injected, faultActions, faultRules, true))
 		body := http.StatusText(status) + "\n"
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
@@ -431,7 +467,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		respBody = bytes.ReplaceAll(respBody,
 			[]byte(respDecision.Rule.SearchBytes),
 			[]byte(respDecision.Rule.ReplaceBytes))
-		a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, false))
+		a.log(rp.replyRecord(r, f, status, injected, faultActions, faultRules, false))
 		copyHeaders(w.Header(), resp.Header)
 		// The body was rewritten; the upstream framing headers no longer
 		// apply.
@@ -444,7 +480,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	// Streaming fast path: the reply body flows upstream→client through a
 	// pooled buffer without ever being held whole in memory.
-	a.log(rp.replyRecord(r, reqID, status, start, injected, faultActions, faultRules, false))
+	a.log(rp.replyRecord(r, f, status, injected, faultActions, faultRules, false))
 	a.nStreamed.Add(1)
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(status)
@@ -456,17 +492,19 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // replyRecord builds the reply-side record for this exchange from the
 // route's prototype.
-func (rp *routeProxy) replyRecord(r *http.Request, reqID string, status int, start time.Time,
+func (rp *routeProxy) replyRecord(r *http.Request, f flow, status int,
 	injected time.Duration, actions, ruleIDs []string, gremlin bool) eventlog.Record {
 
 	rec := rp.recProto
 	rec.Timestamp = time.Now()
-	rec.RequestID = reqID
+	rec.RequestID = f.reqID
+	rec.SpanID = f.spanID
+	rec.ParentSpanID = f.parentSpan
 	rec.Kind = eventlog.KindReply
 	rec.Method = r.Method
 	rec.URI = r.URL.RequestURI()
 	rec.Status = status
-	rec.LatencyMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	rec.LatencyMillis = float64(time.Since(f.start)) / float64(time.Millisecond)
 	rec.FaultAction = strings.Join(actions, ",")
 	rec.FaultRuleID = strings.Join(ruleIDs, ",")
 	rec.InjectedDelayMillis = float64(injected) / float64(time.Millisecond)
@@ -479,14 +517,14 @@ func (rp *routeProxy) replyRecord(r *http.Request, reqID string, status int, sta
 // connection to emulate a crashed process. Either way the reply is logged,
 // severed connections as status 0.
 func (rp *routeProxy) abort(w http.ResponseWriter, r *http.Request, d rules.Decision,
-	reqID string, start time.Time, injected time.Duration, actions, ruleIDs []string) {
+	f flow, injected time.Duration, actions, ruleIDs []string) {
 
 	severed := d.Rule.ErrorCode == rules.AbortSeverConnection
 	status := d.Rule.ErrorCode
 	if severed {
 		status = 0
 	}
-	rp.agent.log(rp.replyRecord(r, reqID, status, start, injected, actions, ruleIDs, true))
+	rp.agent.log(rp.replyRecord(r, f, status, injected, actions, ruleIDs, true))
 	if severed {
 		rp.sever(w)
 		return
@@ -518,7 +556,7 @@ func (rp *routeProxy) sever(w http.ResponseWriter) {
 // When buffered is false (no Modify rewrite, no mirror), the inbound body
 // is handed straight to the outbound connection instead of being read into
 // memory; body must then be nil.
-func (rp *routeProxy) forward(r *http.Request, body []byte, buffered bool) (*http.Response, error) {
+func (rp *routeProxy) forward(r *http.Request, f flow, body []byte, buffered bool) (*http.Response, error) {
 	var target string
 	if len(rp.route.CanaryTargets) > 0 && rp.canaryPat.Match(trace.FromRequest(r)) {
 		target = rp.route.CanaryTargets[int(rp.canaryNext.Add(1)-1)%len(rp.route.CanaryTargets)]
@@ -551,6 +589,10 @@ func (rp *routeProxy) forward(r *http.Request, body []byte, buffered bool) (*htt
 		out.ContentLength = r.ContentLength
 	}
 	copyHeaders(out.Header, r.Header)
+	// The outbound request carries this hop's span so the callee's agent
+	// (and any microservice relaying headers via trace.Propagate) links its
+	// own span to ours.
+	trace.SetSpan(out, f.spanID, f.parentSpan)
 	out.Header.Del("Connection")
 	return rp.client.Do(out)
 }

@@ -708,3 +708,111 @@ func TestAgentStatsCounters(t *testing.T) {
 		t.Fatalf("Proxied = %d, want %d", st.Proxied, 4+st.Severed)
 	}
 }
+
+// TestSpanPropagationAcrossHops chains two agents through a relaying
+// microservice and verifies the causal links: the edge agent mints a root
+// span (empty parent), the middle service relays the span headers via
+// trace.Propagate, and the second agent's span names the first as parent.
+func TestSpanPropagationAcrossHops(t *testing.T) {
+	store := eventlog.NewStore()
+
+	// Leaf backend records the span header the second agent sent it.
+	var leafSpan, leafParent atomic.Value
+	leaf := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		leafSpan.Store(r.Header.Get(trace.HeaderSpan))
+		leafParent.Store(r.Header.Get(trace.HeaderParentSpan))
+		fmt.Fprint(w, "leaf")
+	}))
+	defer leaf.Close()
+
+	// Agent for serviceB with a route to the leaf.
+	agentB, err := New(Config{
+		ServiceName: "serviceB",
+		Routes: []Route{{
+			Dst:        "leaf",
+			ListenAddr: "127.0.0.1:0",
+			Targets:    []string{hostport(leaf.URL)},
+		}},
+		Sink: store,
+		RNG:  rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentB.Start()
+	defer agentB.Close()
+	routeB, err := agentB.RouteURL("leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Middle microservice: relays flow identity downstream via Propagate,
+	// exactly as internal/app's Caller does.
+	middle := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		out, err := http.NewRequest(http.MethodGet, routeB+"/leaf", nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		trace.Propagate(r, out)
+		resp, err := http.DefaultClient.Do(out)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	defer middle.Close()
+
+	agentA := newAgent(t, store, hostport(middle.URL))
+
+	resp := routeGet(t, agentA, "/entry", "test-span-1")
+	if body := readBody(t, resp); body != "leaf" {
+		t.Fatalf("body = %q", body)
+	}
+
+	recs, err := store.Select(eventlog.Query{IDPattern: "test-span-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hopA, hopB eventlog.Record
+	for _, rec := range recs {
+		if rec.Kind != eventlog.KindRequest {
+			continue
+		}
+		switch rec.Src {
+		case "client":
+			hopA = rec
+		case "serviceB":
+			hopB = rec
+		}
+	}
+	if hopA.SpanID == "" || hopB.SpanID == "" {
+		t.Fatalf("missing span IDs: hopA=%+v hopB=%+v", hopA, hopB)
+	}
+	if hopA.ParentSpanID != "" {
+		t.Fatalf("edge hop should be a root span, got parent %q", hopA.ParentSpanID)
+	}
+	if hopB.ParentSpanID != hopA.SpanID {
+		t.Fatalf("hopB parent = %q, want hopA span %q", hopB.ParentSpanID, hopA.SpanID)
+	}
+	if hopA.SpanID == hopB.SpanID {
+		t.Fatalf("both hops share span %q", hopA.SpanID)
+	}
+
+	// Request and reply halves of one hop share the span ID.
+	for _, rec := range recs {
+		if rec.Kind == eventlog.KindReply && rec.Src == "client" && rec.SpanID != hopA.SpanID {
+			t.Fatalf("reply span %q != request span %q", rec.SpanID, hopA.SpanID)
+		}
+	}
+
+	// The leaf saw the second agent's span on the wire.
+	if got := leafSpan.Load(); got != hopB.SpanID {
+		t.Fatalf("leaf saw span %v, want %q", got, hopB.SpanID)
+	}
+	if got := leafParent.Load(); got != hopA.SpanID {
+		t.Fatalf("leaf saw parent %v, want %q", got, hopA.SpanID)
+	}
+}

@@ -115,6 +115,7 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.Counter("gremlin_agent_delayed_total", "Messages held back by Delay rules.", float64(st.Delayed), "service", svc)
 	mw.Counter("gremlin_agent_modified_total", "Messages rewritten by Modify rules.", float64(st.Modified), "service", svc)
 	mw.Counter("gremlin_agent_streamed_total", "Replies relayed on the unbuffered fast path.", float64(st.Streamed), "service", svc)
+	mw.Counter("gremlin_agent_spans_minted_total", "Span IDs minted for causal tracing, one per proxied hop.", float64(st.SpansMinted), "service", svc)
 	for _, rs := range a.matcher.RuleStats() {
 		mw.Counter("gremlin_rule_matched_total", "Messages that matched a rule's criteria, before probability sampling.", float64(rs.Matched), "service", svc, "rule", rs.ID)
 		mw.Counter("gremlin_rule_fired_total", "Fault injections actually applied by a rule.", float64(rs.Fired), "service", svc, "rule", rs.ID)

@@ -25,11 +25,53 @@ func TestGeneratorUnique(t *testing.T) {
 
 func TestGeneratorNilRNG(t *testing.T) {
 	g := NewGenerator("p-", nil)
-	if got := g.Next(); got != "p-1" {
-		t.Fatalf("Next() = %q, want p-1", got)
+	a, b := g.Next(), g.Next()
+	if a == b {
+		t.Fatalf("consecutive ids collide: %q", a)
 	}
-	if got := g.Next(); got != "p-2" {
-		t.Fatalf("Next() = %q, want p-2", got)
+	for _, id := range []string{a, b} {
+		if !strings.HasPrefix(id, "p-") {
+			t.Fatalf("id %q missing prefix", id)
+		}
+	}
+	// Two nil-rng generators with the same prefix draw distinct salts from
+	// the process-global sequence, so their ID spaces stay disjoint.
+	g2 := NewGenerator("p-", nil)
+	if got := g2.Next(); got == a || got == b {
+		t.Fatalf("second generator repeated id %q", got)
+	}
+}
+
+func TestGeneratorRejectsEmptyPrefix(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGenerator(\"\", nil) should panic")
+		}
+	}()
+	NewGenerator("", nil)
+}
+
+// TestGeneratorDistinctPrefixesNeverCollide pins the namespace-isolation
+// contract campaigns depend on: generators with distinct prefixes sharing
+// one event store never produce the same ID, even when one prefix extends
+// the other (the "camp-" vs "camp-1-" shape) and regardless of rng.
+func TestGeneratorDistinctPrefixesNeverCollide(t *testing.T) {
+	gens := []*Generator{
+		NewGenerator("camp-", nil),
+		NewGenerator("camp-1-", nil),
+		NewGenerator("camp-", rand.New(rand.NewSource(3))),
+		NewGenerator("camp-1-", rand.New(rand.NewSource(3))),
+		NewGenerator("camp-11-", rand.New(rand.NewSource(4))),
+	}
+	seen := make(map[string]int)
+	for gi, g := range gens {
+		for i := 0; i < 500; i++ {
+			id := g.Next()
+			if prev, dup := seen[id]; dup && gens[prev].prefix != g.prefix {
+				t.Fatalf("generators %d and %d (distinct prefixes) both produced %q", prev, gi, id)
+			}
+			seen[id] = gi
+		}
 	}
 }
 
@@ -99,6 +141,35 @@ func TestPropagate(t *testing.T) {
 	}
 	if got := FromRequest(out); got != "test-123" {
 		t.Fatalf("outbound id = %q, want test-123", got)
+	}
+}
+
+func TestPropagateCopiesSpanHeaders(t *testing.T) {
+	in, _ := http.NewRequest(http.MethodGet, "http://a/x", nil)
+	out, _ := http.NewRequest(http.MethodGet, "http://b/y", nil)
+	SetRequestID(in, "test-9")
+	SetSpan(in, "sp-1", "sp-0")
+
+	if id := Propagate(in, out); id != "test-9" {
+		t.Fatalf("Propagate = %q, want test-9", id)
+	}
+	if got := SpanFromRequest(out); got != "sp-1" {
+		t.Fatalf("outbound span = %q, want sp-1", got)
+	}
+	if got := out.Header.Get(HeaderParentSpan); got != "sp-0" {
+		t.Fatalf("outbound parent span = %q, want sp-0", got)
+	}
+}
+
+func TestSetSpanClearsStaleHeaders(t *testing.T) {
+	r, _ := http.NewRequest(http.MethodGet, "http://a/", nil)
+	SetSpan(r, "sp-new", "sp-old")
+	SetSpan(r, "", "")
+	if _, ok := r.Header[http.CanonicalHeaderKey(HeaderSpan)]; ok {
+		t.Fatal("empty span should delete header")
+	}
+	if _, ok := r.Header[http.CanonicalHeaderKey(HeaderParentSpan)]; ok {
+		t.Fatal("empty parent should delete header")
 	}
 }
 

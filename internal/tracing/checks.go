@@ -1,0 +1,113 @@
+package tracing
+
+import (
+	"fmt"
+	"time"
+
+	"gremlin/internal/checker"
+)
+
+// Per-trace pattern checks: the §5 checks evaluated per causal tree
+// instead of per (src, dst) edge. The edge-level checks in
+// internal/checker pool every call on an edge, so two concurrent flows
+// each retrying N times look like one flow retrying 2N times; here each
+// flow is judged against its own budget, which is both stricter and fairer
+// under concurrent load.
+
+// HasBoundedRetriesPerTrace checks that no single request flow carries
+// more than 1+maxTries attempts on the src→dst edge: the original call
+// plus at most maxTries retries. Traces with no src→dst hop are skipped;
+// if no trace exercises the edge the check fails for lack of evidence,
+// matching the edge-level check's behaviour.
+func HasBoundedRetriesPerTrace(traces []*Trace, src, dst string, maxTries int) checker.Result {
+	name := fmt.Sprintf("HasBoundedRetriesPerTrace(%s, %s, %d)", src, dst, maxTries)
+	budget := 1 + maxTries
+	var (
+		exercised int
+		worst     *Trace
+		worstN    int
+	)
+	for _, t := range traces {
+		n := countEdge(t, src, dst)
+		if n == 0 {
+			continue
+		}
+		exercised++
+		if n > worstN {
+			worstN, worst = n, t
+		}
+	}
+	if exercised == 0 {
+		return checker.Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no trace exercises %s->%s", src, dst)}
+	}
+	if worstN > budget {
+		return checker.Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("trace %s made %d calls on %s->%s (budget %d = 1 + %d retries)",
+				worst.RequestID, worstN, src, dst, budget, maxTries)}
+	}
+	return checker.Result{Check: name, Passed: true,
+		Details: fmt.Sprintf("%d traces exercise %s->%s, worst makes %d calls (budget %d)",
+			exercised, src, dst, worstN, budget)}
+}
+
+// HasCircuitBreakerPerTrace checks that within each flow, once threshold
+// src→dst attempts have failed, the flow stops retrying the edge for at
+// least tdelta — no further src→dst hop starts inside the window. A flow
+// that keeps hammering a failed dependency past the threshold is a
+// per-request retry storm even if a global breaker would eventually trip.
+func HasCircuitBreakerPerTrace(traces []*Trace, src, dst string, threshold int, tdelta time.Duration) checker.Result {
+	name := fmt.Sprintf("HasCircuitBreakerPerTrace(%s, %s, %d, %s)", src, dst, threshold, tdelta)
+	var exercised, tripped int
+	for _, t := range traces {
+		var (
+			failures int
+			tripAt   time.Time
+		)
+		hit := false
+		for _, s := range t.Spans { // start order
+			if s.Src != src || s.Dst != dst {
+				continue
+			}
+			hit = true
+			if failures >= threshold && s.Start.Before(tripAt.Add(tdelta)) {
+				return checker.Result{Check: name, Passed: false,
+					Details: fmt.Sprintf("trace %s sent a call on %s->%s %s after its %d-th failure (quiet window %s)",
+						t.RequestID, src, dst,
+						s.Start.Sub(tripAt).Round(time.Millisecond), threshold, tdelta)}
+			}
+			if s.Failed() {
+				failures++
+				if failures == threshold {
+					tripAt = s.End
+					tripped++
+				}
+			}
+		}
+		if hit {
+			exercised++
+		}
+	}
+	if exercised == 0 {
+		return checker.Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no trace exercises %s->%s", src, dst)}
+	}
+	if tripped == 0 {
+		return checker.Result{Check: name, Passed: false,
+			Details: fmt.Sprintf("no trace reached %d failures on %s->%s; breaker never exercised",
+				threshold, src, dst)}
+	}
+	return checker.Result{Check: name, Passed: true,
+		Details: fmt.Sprintf("%d of %d traces tripped the %d-failure threshold on %s->%s and stayed quiet for %s",
+			tripped, exercised, threshold, src, dst, tdelta)}
+}
+
+func countEdge(t *Trace, src, dst string) int {
+	n := 0
+	for _, s := range t.Spans {
+		if s.Src == src && s.Dst == dst {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package tracing
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// waterfallWidth is the character width of the bar column.
+const waterfallWidth = 32
+
+// Waterfall renders the trace as an ASCII waterfall: one line per span in
+// tree order, with a bar showing the hop's interval relative to the whole
+// trace and annotations for status, latency, and fired faults.
+func Waterfall(t *Trace) string {
+	var b strings.Builder
+	dur := t.Duration()
+	fmt.Fprintf(&b, "trace %s  (%d spans, %s", t.RequestID, len(t.Spans), fmtDur(dur))
+	if t.Legacy {
+		b.WriteString(", legacy")
+	}
+	if t.Failed() {
+		b.WriteString(", FAILED")
+	}
+	b.WriteString(")\n")
+
+	// Column width for the left label so the bars align.
+	labelW := 0
+	for _, s := range t.Spans {
+		if w := len(s.Src) + len(s.Dst) + 4; w > labelW {
+			labelW = w
+		}
+	}
+	labelW += 2 * maxDepth(t)
+
+	for _, root := range t.Roots {
+		root.Walk(func(s *Span) {
+			depth := spanDepthIn(t, s)
+			label := strings.Repeat("  ", depth) + s.Src + " -> " + s.Dst
+			fmt.Fprintf(&b, "%-*s |%s| %7s", labelW, label, bar(t, s, dur), fmtDur(s.Latency))
+			switch {
+			case s.Severed:
+				b.WriteString("  SEVERED")
+			case s.Incomplete:
+				b.WriteString("  (no reply)")
+			default:
+				fmt.Fprintf(&b, "  %d", s.Status)
+			}
+			if s.FaultRuleID != "" {
+				fmt.Fprintf(&b, "  [%s %s", s.FaultAction, s.FaultRuleID)
+				if s.Injected > 0 {
+					fmt.Fprintf(&b, " +%s", fmtDur(s.Injected))
+				}
+				b.WriteString("]")
+			}
+			b.WriteString("\n")
+		})
+	}
+	for _, o := range t.Orphans {
+		fmt.Fprintf(&b, "orphan reply %s -> %s status %d (request record missing)\n", o.Src, o.Dst, o.Status)
+	}
+	if len(t.DuplicateSpanIDs) > 0 {
+		fmt.Fprintf(&b, "duplicate span IDs: %s\n", strings.Join(t.DuplicateSpanIDs, ", "))
+	}
+	return b.String()
+}
+
+// RenderCriticalPath renders the critical path with the injected/service
+// latency split and, when a fault fired on the flow, the attribution line.
+func RenderCriticalPath(t *Trace) string {
+	cp := t.CriticalPath()
+	if len(cp.Steps) == 0 {
+		return "critical path: (empty trace)\n"
+	}
+	var b strings.Builder
+	b.WriteString("critical path: ")
+	for i, st := range cp.Steps {
+		if i == 0 {
+			b.WriteString(st.Span.Src)
+		}
+		b.WriteString(" -> " + st.Span.Dst)
+	}
+	fmt.Fprintf(&b, "\n  total %s = injected %s + service %s\n",
+		fmtDur(cp.Total), fmtDur(cp.Injected), fmtDur(cp.Service))
+	for _, st := range cp.Steps {
+		fmt.Fprintf(&b, "  %s -> %s: %s (self %s", st.Span.Src, st.Span.Dst,
+			fmtDur(st.Span.Latency), fmtDur(st.Self))
+		if st.Span.Injected > 0 {
+			fmt.Fprintf(&b, ", injected %s by %s", fmtDur(st.Span.Injected), st.Span.FaultRuleID)
+		}
+		b.WriteString(")\n")
+	}
+	if a, ok := t.Attribute(); ok {
+		fmt.Fprintf(&b, "attribution: rule %s on %s -> %s (depth %d), +%s injected on path",
+			a.RuleID, a.Span.Src, a.Span.Dst, len(a.Path)-1, fmtDur(a.Injected))
+		if a.RootFailed {
+			b.WriteString(", surfaced as edge failure")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JSON marshals traces as indented JSON for machine consumption.
+func JSON(traces []*Trace) ([]byte, error) {
+	return json.MarshalIndent(traces, "", "  ")
+}
+
+// DOT renders traces as a Graphviz digraph: one node per span, edges
+// parent→child, faulted spans highlighted. Multiple traces land in one
+// graph, clustered by request ID.
+func DOT(traces []*Trace) string {
+	var b strings.Builder
+	b.WriteString("digraph traces {\n  rankdir=LR;\n  node [shape=box];\n")
+	for ti, t := range traces {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", ti, t.RequestID)
+		for si, s := range t.Spans {
+			attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s->%s\n%s %d", s.Src, s.Dst, fmtDur(s.Latency), s.Status))
+			if s.FaultRuleID != "" {
+				attrs += fmt.Sprintf(", style=filled, fillcolor=orange, tooltip=%q", s.FaultRuleID)
+			}
+			if s.Failed() {
+				attrs += ", color=red"
+			}
+			fmt.Fprintf(&b, "    t%d_s%d [%s];\n", ti, si, attrs)
+		}
+		for si, s := range t.Spans {
+			for _, c := range s.Children {
+				fmt.Fprintf(&b, "    t%d_s%d -> t%d_s%d;\n", ti, si, ti, indexOf(t, c))
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indexOf(t *Trace, target *Span) int {
+	for i, s := range t.Spans {
+		if s == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// bar renders a span's interval as a fixed-width gantt segment.
+func bar(t *Trace, s *Span, total time.Duration) string {
+	cells := make([]byte, waterfallWidth)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	if total > 0 {
+		start := int(float64(s.Start.Sub(t.Start())) / float64(total) * waterfallWidth)
+		end := int(float64(s.End.Sub(t.Start())) / float64(total) * waterfallWidth)
+		if start < 0 {
+			start = 0
+		}
+		if end >= waterfallWidth {
+			end = waterfallWidth - 1
+		}
+		for i := start; i <= end && i >= 0; i++ {
+			cells[i] = '#'
+		}
+	} else if len(t.Spans) > 0 {
+		cells[0] = '#'
+	}
+	return string(cells)
+}
+
+func maxDepth(t *Trace) int {
+	max := 0
+	for _, r := range t.Roots {
+		if d := r.Depth(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// spanDepthIn returns s's depth below its root (root = 0).
+func spanDepthIn(t *Trace, target *Span) int {
+	depth := -1
+	for _, r := range t.Roots {
+		var walk func(s *Span, d int) bool
+		walk = func(s *Span, d int) bool {
+			if s == target {
+				depth = d
+				return true
+			}
+			for _, c := range s.Children {
+				if walk(c, d+1) {
+					return true
+				}
+			}
+			return false
+		}
+		if walk(r, 0) {
+			break
+		}
+	}
+	if depth < 0 {
+		return 0
+	}
+	return depth
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d == 0:
+		return "0ms"
+	default:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+}

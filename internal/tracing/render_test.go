@@ -1,0 +1,96 @@
+package tracing
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWaterfall(t *testing.T) {
+	tr := Assemble(delayedChain("test-wf"))[0]
+	out := Waterfall(tr)
+	for _, want := range []string{
+		"trace test-wf",
+		"a -> b",
+		"b -> c",
+		"[delay r-delay +100.0ms]",
+		"#",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	// The inner hop is indented below the root.
+	lines := strings.Split(out, "\n")
+	var rootLine, innerLine string
+	for _, l := range lines {
+		if strings.Contains(l, "a -> b") {
+			rootLine = l
+		}
+		if strings.Contains(l, "b -> c") {
+			innerLine = l
+		}
+	}
+	if !strings.HasPrefix(innerLine, "  ") || strings.HasPrefix(rootLine, " ") {
+		t.Fatalf("indentation wrong:\n%s", out)
+	}
+}
+
+func TestWaterfallAnnotations(t *testing.T) {
+	recs := hop("test-ann", "sp-1", "", "a", "b", t0, 0, 0)
+	recs[1].GremlinGenerated = true
+	tr := Assemble(recs)[0]
+	tr.Spans[0].Severed = true
+	if out := Waterfall(tr); !strings.Contains(out, "SEVERED") {
+		t.Fatalf("missing SEVERED:\n%s", out)
+	}
+
+	incomplete := Assemble(hop("test-inc", "sp-2", "", "a", "b", t0, 0, 0)[:1])[0]
+	if out := Waterfall(incomplete); !strings.Contains(out, "(no reply)") {
+		t.Fatalf("missing (no reply):\n%s", out)
+	}
+}
+
+func TestRenderCriticalPath(t *testing.T) {
+	tr := Assemble(delayedChain("test-rcp"))[0]
+	out := RenderCriticalPath(tr)
+	for _, want := range []string{
+		"critical path: a -> b -> c",
+		"injected 100.0ms",
+		"service 30.0ms",
+		"attribution: rule r-delay on b -> c",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	traces := Assemble(delayedChain("test-json"))
+	data, err := JSON(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0]["requestId"] != "test-json" {
+		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	out := DOT(Assemble(delayedChain("test-dot")))
+	for _, want := range []string{
+		"digraph traces",
+		`label="test-dot"`,
+		"t0_s0 -> t0_s1",
+		"fillcolor=orange",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
