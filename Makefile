@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-figures campaign-smoke trace-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke check
 
 all: check
 
@@ -15,6 +15,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Per-package statement coverage, lowest first, with the module-wide
+# figure last. Advisory: low coverage is a signal, not a gate.
+cover:
+	$(GO) test -count=1 -cover -coverprofile=cover.out ./... \
+		| grep -E 'coverage: [0-9.]+% of statements' \
+		| sed -E 's/^ok +([^ ]+).*coverage: ([0-9.]+)%.*/\2%  \1/' \
+		| sort -n
+	@echo "total: $$($(GO) tool cover -func=cover.out | tail -n 1 | awk '{print $$3}')"
+	@rm -f cover.out
 
 # Before/after micro-benchmarks for the hot paths (matcher, store, proxy).
 bench:

@@ -17,6 +17,7 @@
 package gremlin_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -314,11 +315,11 @@ func benchmarkFigure7Orchestration(b *testing.B, depth int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		applied, err := orch.Apply(ruleset)
+		applied, err := orch.Apply(context.Background(), ruleset)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := applied.Revert(); err != nil {
+		if err := applied.Revert(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

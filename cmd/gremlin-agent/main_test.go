@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 
 	"io"
@@ -110,7 +111,7 @@ func TestRunFullAgentLifecycle(t *testing.T) {
 
 	// The agent proxies and the control API answers.
 	ctl := agentapi.New("http://"+controlAddr, nil)
-	if !ctl.Healthy() {
+	if !ctl.Healthy(context.Background()) {
 		t.Fatal("control API not healthy")
 	}
 	req, err := http.NewRequest(http.MethodGet, "http://"+routeAddr+"/x", nil)
@@ -129,7 +130,7 @@ func TestRunFullAgentLifecycle(t *testing.T) {
 	if resp.StatusCode != 200 || string(body) != "backend" {
 		t.Fatalf("proxied request: %d %q", resp.StatusCode, body)
 	}
-	if err := ctl.Flush(); err != nil {
+	if err := ctl.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() == 0 {

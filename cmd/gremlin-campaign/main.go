@@ -64,6 +64,7 @@ func run(args []string) error {
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the chaos draws")
 		maxLatency   = fs.Duration("max-latency", 0, "per-request latency bound asserted on callers (default 10s)")
 		keepLogs     = fs.Bool("keep-logs", false, "leave each run's records in the store instead of reclaiming them")
+		lease        = fs.Duration("lease", 30*time.Second, "lease TTL for each run's staged faults (0 disables leasing): if the campaign dies, agents self-expire the rules after this long")
 		liveAsserts  = fs.String("live-asserts", "", "JSON file of online assertions (observe specs); a live violation aborts that run's load early")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -147,6 +148,7 @@ func run(args []string) error {
 		ID:          *id,
 		Parallelism: *parallelism,
 		JournalPath: *journalPath,
+		LeaseTTL:    *lease,
 		Load: func(ctx context.Context, idPrefix string) error {
 			_, err := loadgen.Run(*loadURL, loadgen.Options{
 				N: *requests, Concurrency: *concurrency, IDPrefix: idPrefix,
@@ -158,7 +160,7 @@ func run(args []string) error {
 		DroppedCount: func() int64 {
 			var sum int64
 			for _, a := range agents {
-				info, err := a.Info()
+				info, err := a.Info(context.Background())
 				if err != nil {
 					continue // unreachable agent: counted as zero, not fatal
 				}

@@ -10,6 +10,8 @@
 //	gremlin-ctl remove  -agent http://127.0.0.1:9001 -id rule-1
 //	gremlin-ctl clear   -agent http://127.0.0.1:9001
 //	gremlin-ctl flush   -agent http://127.0.0.1:9001
+//	gremlin-ctl status  -registry registry.json
+//	gremlin-ctl drift   -registry registry.json [-file rules.json] [-repair]
 //	gremlin-ctl query   -store http://127.0.0.1:9200 -src a -dst b -kind reply -pattern 'test-*'
 //	gremlin-ctl stats   -store http://127.0.0.1:9200
 //	gremlin-ctl wipe    -store http://127.0.0.1:9200
@@ -55,6 +57,10 @@ func run(args []string) error {
 		return agentCommand(sub, rest)
 	case "query", "stats", "wipe":
 		return storeCommand(sub, rest)
+	case "status":
+		return statusCommand(rest)
+	case "drift":
+		return driftCommand(rest)
 	case "run":
 		return runCommand(rest)
 	case "autorun":
@@ -106,25 +112,14 @@ func runCommand(args []string) error {
 		return err
 	}
 
-	graphRaw, err := os.ReadFile(*graphPath)
+	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
-	var edges []graph.Edge
-	if err := json.Unmarshal(graphRaw, &edges); err != nil {
-		return fmt.Errorf("parse %s: %w", *graphPath, err)
-	}
-	g := graph.FromEdges(edges)
-
-	registryRaw, err := os.ReadFile(*registryPath)
+	reg, err := loadRegistry(*registryPath)
 	if err != nil {
 		return err
 	}
-	var instances []registry.Instance
-	if err := json.Unmarshal(registryRaw, &instances); err != nil {
-		return fmt.Errorf("parse %s: %w", *registryPath, err)
-	}
-	reg := registry.NewStatic(instances...)
 
 	storeClient := eventlog.NewClient(*storeURL, nil)
 	if !storeClient.Healthy() {
@@ -139,7 +134,8 @@ func runCommand(args []string) error {
 	}))
 
 	// Ctrl-C stops the load early; the runner still reverts rules and
-	// evaluates assertions on whatever was collected.
+	// evaluates assertions on whatever was collected. The run itself gets a
+	// fresh context so the cancelled one cannot abort the revert.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -156,7 +152,7 @@ func runCommand(args []string) error {
 			return nil
 		}
 	}
-	report, err := runner.Run(recipe, opts)
+	report, err := runner.Run(context.Background(), recipe, opts)
 	if err != nil {
 		return err
 	}
@@ -191,25 +187,14 @@ func autorunCommand(args []string) error {
 		}
 	}
 
-	graphRaw, err := os.ReadFile(*graphPath)
+	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
-	var edges []graph.Edge
-	if err := json.Unmarshal(graphRaw, &edges); err != nil {
-		return fmt.Errorf("parse %s: %w", *graphPath, err)
-	}
-	g := graph.FromEdges(edges)
-
-	registryRaw, err := os.ReadFile(*registryPath)
+	reg, err := loadRegistry(*registryPath)
 	if err != nil {
 		return err
 	}
-	var instances []registry.Instance
-	if err := json.Unmarshal(registryRaw, &instances); err != nil {
-		return fmt.Errorf("parse %s: %w", *registryPath, err)
-	}
-	reg := registry.NewStatic(instances...)
 
 	recipes, err := core.GenerateRecipes(g, core.GenerateOptions{
 		SkipServices: splitComma(*skip),
@@ -234,7 +219,7 @@ func autorunCommand(args []string) error {
 	// at its (failing or interrupted) report instead of running all recipes.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	reports, err := runner.RunChain(core.RunOptions{
+	reports, err := runner.RunChain(context.Background(), core.RunOptions{
 		ClearLogs: true,
 		Load: func() error {
 			_, err := loadgen.Run(*loadURL, loadgen.Options{N: *requests, Context: ctx})
@@ -278,25 +263,14 @@ func chaosCommand(args []string) error {
 		return fmt.Errorf("gremlin-ctl chaos: -graph and -registry are required")
 	}
 
-	graphRaw, err := os.ReadFile(*graphPath)
+	g, err := loadGraph(*graphPath)
 	if err != nil {
 		return err
 	}
-	var edges []graph.Edge
-	if err := json.Unmarshal(graphRaw, &edges); err != nil {
-		return fmt.Errorf("parse %s: %w", *graphPath, err)
-	}
-	g := graph.FromEdges(edges)
-
-	registryRaw, err := os.ReadFile(*registryPath)
+	reg, err := loadRegistry(*registryPath)
 	if err != nil {
 		return err
 	}
-	var instances []registry.Instance
-	if err := json.Unmarshal(registryRaw, &instances); err != nil {
-		return fmt.Errorf("parse %s: %w", *registryPath, err)
-	}
-	reg := registry.NewStatic(instances...)
 	orch := orchestrator.New(reg)
 
 	if *seed == 0 {
@@ -323,7 +297,7 @@ func chaosCommand(args []string) error {
 		if err != nil {
 			return err
 		}
-		applied, err := orch.Apply(ruleset)
+		applied, err := orch.Apply(context.Background(), ruleset)
 		if err != nil {
 			return err
 		}
@@ -335,7 +309,9 @@ func chaosCommand(args []string) error {
 		case <-ctx.Done():
 			interrupted = true
 		}
-		if err := applied.Revert(); err != nil {
+		// Revert with a fresh context: after Ctrl-C the signal context is
+		// already cancelled, and the whole point is to withdraw the fault.
+		if err := applied.Revert(context.Background()); err != nil {
 			return err
 		}
 		fmt.Printf("round %d: reverted\n", round)
@@ -368,17 +344,18 @@ func agentCommand(sub string, args []string) error {
 	if *agentURL == "" {
 		return fmt.Errorf("gremlin-ctl %s: -agent is required", sub)
 	}
+	ctx := context.Background()
 	client := agentapi.New(*agentURL, nil)
 
 	switch sub {
 	case "info":
-		info, err := client.Info()
+		info, err := client.Info(ctx)
 		if err != nil {
 			return err
 		}
 		return printJSON(info)
 	case "rules":
-		list, err := client.ListRules()
+		list, err := client.ListRules(ctx)
 		if err != nil {
 			return err
 		}
@@ -399,7 +376,7 @@ func agentCommand(sub string, args []string) error {
 		if err := json.Unmarshal(raw, &batch); err != nil {
 			return fmt.Errorf("parse %s: %w", *file, err)
 		}
-		if err := client.InstallRules(batch...); err != nil {
+		if err := client.InstallRules(ctx, batch...); err != nil {
 			return err
 		}
 		fmt.Printf("installed %d rules\n", len(batch))
@@ -408,26 +385,159 @@ func agentCommand(sub string, args []string) error {
 		if *id == "" {
 			return fmt.Errorf("gremlin-ctl remove: -id is required")
 		}
-		if err := client.RemoveRule(*id); err != nil {
+		if err := client.RemoveRule(ctx, *id); err != nil {
 			return err
 		}
 		fmt.Printf("removed rule %s\n", *id)
 		return nil
 	case "clear":
-		n, err := client.ClearRules()
+		n, err := client.ClearRules(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("removed %d rules\n", n)
 		return nil
 	case "flush":
-		if err := client.Flush(); err != nil {
+		if err := client.Flush(ctx); err != nil {
 			return err
 		}
 		fmt.Println("flushed")
 		return nil
 	}
 	return nil
+}
+
+// statusCommand prints each agent's rule-set status — generation, content
+// hash, rule count, and whether a self-expiry lease is armed — either for
+// one agent (-agent) or for every agent in a registry file (-registry).
+func statusCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl status", flag.ContinueOnError)
+	var (
+		agentURL     = fs.String("agent", "", "agent control URL")
+		registryPath = fs.String("registry", "", "registry JSON file (all agents)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var urls []string
+	switch {
+	case *agentURL != "":
+		urls = []string{*agentURL}
+	case *registryPath != "":
+		reg, err := loadRegistry(*registryPath)
+		if err != nil {
+			return err
+		}
+		urls, err = registry.AllAgentURLs(reg)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("gremlin-ctl status: -agent or -registry is required")
+	}
+
+	ctx := context.Background()
+	failed := 0
+	for _, url := range urls {
+		body, err := agentapi.New(url, nil).GetRuleSet(ctx)
+		if err != nil {
+			fmt.Printf("%s: UNREACHABLE (%v)\n", url, err)
+			failed++
+			continue
+		}
+		lease := "permanent"
+		if body.Leased {
+			lease = "leased"
+		}
+		fmt.Printf("%s: generation=%d rules=%d %s hash=%s\n",
+			url, body.Generation, len(body.Rules), lease, body.Hash)
+	}
+	if failed > 0 {
+		return fmt.Errorf("gremlin-ctl status: %d of %d agents unreachable", failed, len(urls))
+	}
+	return nil
+}
+
+// driftCommand compares every agent's installed rule set against declared
+// desired state — the rules in -file, or "no faults anywhere" when -file is
+// omitted — and reports which agents have drifted. It is read-only unless
+// -repair is set, in which case a reconcile pass converges the drifted
+// agents. A non-converged fleet is a non-zero exit.
+func driftCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl drift", flag.ContinueOnError)
+	var (
+		registryPath = fs.String("registry", "", "registry JSON file (required)")
+		file         = fs.String("file", "", "desired rules JSON file (default: empty — no faults expected)")
+		repair       = fs.Bool("repair", false, "converge drifted agents instead of only reporting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *registryPath == "" {
+		return fmt.Errorf("gremlin-ctl drift: -registry is required")
+	}
+	reg, err := loadRegistry(*registryPath)
+	if err != nil {
+		return err
+	}
+	orch := orchestrator.New(reg)
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		var batch []rules.Rule
+		if err := json.Unmarshal(raw, &batch); err != nil {
+			return fmt.Errorf("parse %s: %w", *file, err)
+		}
+		if err := orch.StageOwner("gremlin-ctl", batch, 0); err != nil {
+			return err
+		}
+	}
+
+	ctx := context.Background()
+	var rep *orchestrator.Report
+	if *repair {
+		rep, err = orch.Reconcile(ctx)
+	} else {
+		rep, err = orch.Drift(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Describe())
+	if !rep.Converged() {
+		return fmt.Errorf("gremlin-ctl drift: fleet has not converged")
+	}
+	fmt.Println("converged")
+	return nil
+}
+
+// loadGraph reads an application-graph JSON file ([{"src":..,"dst":..}]).
+func loadGraph(path string) (*graph.Graph, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var edges []graph.Edge
+	if err := json.Unmarshal(raw, &edges); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return graph.FromEdges(edges), nil
+}
+
+// loadRegistry reads a registry JSON file
+// ([{"service":..,"addr":..,"agentControlUrl":..}]).
+func loadRegistry(path string) (registry.Registry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var instances []registry.Instance
+	if err := json.Unmarshal(raw, &instances); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return registry.NewStatic(instances...), nil
 }
 
 func storeCommand(sub string, args []string) error {
@@ -494,12 +604,17 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `gremlin-ctl — Gremlin control-plane CLI
 
 agent commands (-agent <control URL>):
-  info      show agent identity and routes
+  info      show agent identity, routes and rule-set generation
   rules     list installed rules
   install   install rules from -file <rules.json>
   remove    remove one rule by -id
   clear     remove all rules
   flush     flush buffered observations to the store
+
+fleet commands:
+  status    per-agent rule-set generation/hash/lease (-agent or -registry)
+  drift     compare agents against desired state (-registry, optional
+            -file <rules.json>, -repair to converge); non-zero exit on drift
 
 store commands (-store <store URL>):
   query     print records (-src -dst -kind -pattern -limit)

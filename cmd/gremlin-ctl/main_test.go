@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"gremlin/internal/agentapi"
 	"gremlin/internal/eventlog"
 	"gremlin/internal/registry"
 	"gremlin/internal/topology"
@@ -333,5 +335,87 @@ func TestChaosAgainstLiveTopology(t *testing.T) {
 func TestChaosRequiredFlags(t *testing.T) {
 	if err := run([]string{"chaos"}); err == nil {
 		t.Fatal("want error")
+	}
+}
+
+// TestStatusAndDriftCommands drives the fleet subcommands against a live
+// topology: a clean fleet converges, an out-of-band rule shows up as
+// drift, declaring it as desired state clears the drift, and -repair
+// converges the fleet back without it.
+func TestStatusAndDriftCommands(t *testing.T) {
+	spec := topology.TwoServices(5, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dir := t.TempDir()
+	var instances []registry.Instance
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, ins...)
+	}
+	registryPath := writeJSON(t, dir, "registry.json", instances)
+	agentURL := app.Agent("serviceA").ControlURL()
+
+	if err := run([]string{"status"}); err == nil {
+		t.Fatal("status without -agent/-registry should fail")
+	}
+	if err := run([]string{"drift"}); err == nil {
+		t.Fatal("drift without -registry should fail")
+	}
+	if err := run([]string{"status", "-agent", agentURL}); err != nil {
+		t.Fatalf("status -agent: %v", err)
+	}
+	if err := run([]string{"status", "-registry", registryPath}); err != nil {
+		t.Fatalf("status -registry: %v", err)
+	}
+
+	// A clean fleet is converged against the default "no faults" state.
+	if err := run([]string{"drift", "-registry", registryPath}); err != nil {
+		t.Fatalf("drift on clean fleet: %v", err)
+	}
+
+	// An out-of-band rule is drift...
+	rulesPath := writeJSON(t, dir, "rules.json", []map[string]any{{
+		"id": "orphan-1", "src": "serviceA", "dst": "serviceB",
+		"action": "abort", "pattern": "test-*", "errorCode": 503,
+	}})
+	if err := run([]string{"install", "-agent", agentURL, "-file", rulesPath}); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := run([]string{"drift", "-registry", registryPath}); err == nil {
+		t.Fatal("drift should report the out-of-band rule")
+	}
+	// ...unless declared as desired state...
+	if err := run([]string{"drift", "-registry", registryPath, "-file", rulesPath}); err != nil {
+		t.Fatalf("drift with matching desired state: %v", err)
+	}
+	// ...and -repair converges the fleet back without it.
+	if err := run([]string{"drift", "-registry", registryPath, "-repair"}); err != nil {
+		t.Fatalf("drift -repair: %v", err)
+	}
+	if err := run([]string{"drift", "-registry", registryPath}); err != nil {
+		t.Fatalf("drift after repair: %v", err)
+	}
+	list, err := agentapi.New(agentURL, nil).ListRules(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("repair left %d rules installed", len(list))
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,7 +55,7 @@ func run() error {
 
 	// Recipe 1: slow catalog — the library's timeout handles this case.
 	fmt.Println("\n--- 1. Delay(webapp->catalog, 2s): does the timeout fire? ---")
-	report, err := runner.Run(gremlin.Recipe{
+	report, err := runner.Run(context.Background(), gremlin.Recipe{
 		Name: "slow-catalog",
 		Scenarios: []gremlin.Scenario{gremlin.Delay{
 			Src: topology.WebAppService, Dst: topology.CatalogService, Interval: 2 * time.Second,
@@ -74,7 +75,7 @@ func run() error {
 	// resiliency pattern did not gracefully handle corner cases involving
 	// TCP connection timeout").
 	fmt.Println("\n--- 2. Crash(catalog): severed connections bypass the leaky timeout ---")
-	report, err = runner.Run(gremlin.Recipe{
+	report, err = runner.Run(context.Background(), gremlin.Recipe{
 		Name:      "catalog-crash",
 		Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.CatalogService}},
 		Checks: []gremlin.Check{
@@ -116,7 +117,7 @@ func run() error {
 	}
 	defer closeApp(fixedApp)
 	fixedRunner := gremlin.NewRunner(fixedApp.Graph, gremlin.NewOrchestrator(fixedApp.Registry), fixedApp.Store, fixedApp.Store)
-	report, err = fixedRunner.Run(gremlin.Recipe{
+	report, err = fixedRunner.Run(context.Background(), gremlin.Recipe{
 		Name:      "catalog-crash-fixed",
 		Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.CatalogService}},
 		Checks: []gremlin.Check{

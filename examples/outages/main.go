@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -70,7 +71,7 @@ func middlewareCascade() error {
 				gremlin.ExpectCircuitBreaker(s, topology.MessageBusService, 5, 5*time.Second),
 			)
 		}
-		report, err := runner.Run(gremlin.Recipe{
+		report, err := runner.Run(context.Background(), gremlin.Recipe{
 			Name:      "cassandra-crash",
 			Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.CassandraService}},
 			Checks:    checks,
@@ -133,7 +134,7 @@ func databaseOverload() error {
 		for _, s := range deps {
 			checks = append(checks, gremlin.ExpectCircuitBreaker(s, topology.ElasticsearchService, 10, 2*time.Second))
 		}
-		report, err := runner.Run(gremlin.Recipe{
+		report, err := runner.Run(context.Background(), gremlin.Recipe{
 			Name: "database-overload",
 			Scenarios: []gremlin.Scenario{gremlin.Overload{
 				Service:       topology.ElasticsearchService,

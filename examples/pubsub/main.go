@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -111,7 +112,7 @@ func run() error {
 
 	fmt.Println("\n--- revert the fault: queues drain, publishing recovers ---")
 	ctl := gremlin.NewAgentClient(agent.ControlURL())
-	if _, err := ctl.ClearRules(); err != nil {
+	if _, err := ctl.ClearRules(context.Background()); err != nil {
 		return err
 	}
 	waitDrain(mbus)

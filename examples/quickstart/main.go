@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -65,7 +66,7 @@ func run() error {
 		},
 	}
 	fmt.Println("\n--- step 1: Overload(serviceB) + HasBoundedRetries(serviceA, serviceB, 5) ---")
-	report, err := runner.Run(overload, gremlin.RunOptions{Load: load, ClearLogs: true})
+	report, err := runner.Run(context.Background(), overload, gremlin.RunOptions{Load: load, ClearLogs: true})
 	if err != nil {
 		return err
 	}
@@ -86,7 +87,7 @@ func run() error {
 		},
 	}
 	fmt.Println("\n--- step 2: Crash(serviceB) + HasCircuitBreaker(serviceA, serviceB, ...) ---")
-	report2, err := runner.Run(crash, gremlin.RunOptions{Load: load, ClearLogs: true})
+	report2, err := runner.Run(context.Background(), crash, gremlin.RunOptions{Load: load, ClearLogs: true})
 	if err != nil {
 		return err
 	}

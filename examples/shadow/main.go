@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -74,7 +75,7 @@ func run() error {
 
 	// Stage the failure in the SHADOW stack only: a 300 ms search delay.
 	shadowRunner := gremlin.NewRunner(shadow.Graph, gremlin.NewOrchestrator(shadow.Registry), shadow.Store, shadow.Store)
-	report, err := shadowRunner.Run(gremlin.Recipe{
+	report, err := shadowRunner.Run(context.Background(), gremlin.Recipe{
 		Name: "shadow-slow-search",
 		Scenarios: []gremlin.Scenario{gremlin.Delay{
 			Src: topology.WordPressService, Dst: topology.ElasticsearchService,

@@ -95,7 +95,7 @@ func run() error {
 	}
 	var sent int
 	var agentMetrics []string
-	report, err := runner.Run(crash, gremlin.RunOptions{
+	report, err := runner.Run(context.Background(), crash, gremlin.RunOptions{
 		ClearLogs: true,
 		Load: func() error {
 			res, lerr := loadgen.Run(app.EntryURL(), loadgen.Options{
@@ -109,7 +109,7 @@ func run() error {
 			// installed: per-rule counters live with the rules and vanish
 			// when the runner reverts them.
 			for _, u := range agentURLs {
-				body, merr := agentapi.New(u, nil).Metrics()
+				body, merr := agentapi.New(u, nil).Metrics(context.Background())
 				if merr != nil {
 					return merr
 				}

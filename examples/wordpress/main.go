@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -43,7 +44,7 @@ func run() error {
 
 	// 1. The fallback path: crash Elasticsearch, expect MySQL to serve.
 	fmt.Println("\n--- 1. Crash(elasticsearch): does the plugin fall back to MySQL? ---")
-	report, err := runner.Run(gremlin.Recipe{
+	report, err := runner.Run(context.Background(), gremlin.Recipe{
 		Name:      "es-crash-fallback",
 		Scenarios: []gremlin.Scenario{gremlin.Crash{Service: topology.ElasticsearchService}},
 		Checks:    []gremlin.Check{gremlin.ExpectFallback(topology.WordPressService, 0.99)},
@@ -105,7 +106,7 @@ func run() error {
 // returning the HasTimeouts report and the measured latencies.
 func delayedRun(runner *gremlin.Runner, app *topology.App, d time.Duration, n int) (*gremlin.Report, *loadgen.Result, error) {
 	var res *loadgen.Result
-	report, err := runner.Run(gremlin.Recipe{
+	report, err := runner.Run(context.Background(), gremlin.Recipe{
 		Name: fmt.Sprintf("fig5-delay-%s", d),
 		Scenarios: []gremlin.Scenario{gremlin.Delay{
 			Src: topology.WordPressService, Dst: topology.ElasticsearchService, Interval: d,
@@ -121,7 +122,7 @@ func delayedRun(runner *gremlin.Runner, app *topology.App, d time.Duration, n in
 
 func figure6(runner *gremlin.Runner, app *topology.App) error {
 	// Phase A: 100 aborted requests (fallback answers quickly).
-	abortRep, err := runner.Run(gremlin.Recipe{
+	abortRep, err := runner.Run(context.Background(), gremlin.Recipe{
 		Name:      "fig6-abort",
 		Scenarios: []gremlin.Scenario{gremlin.Disconnect{From: topology.WordPressService, To: topology.ElasticsearchService}},
 	}, gremlin.RunOptions{ClearLogs: true, Load: func() error {
@@ -140,7 +141,7 @@ func figure6(runner *gremlin.Runner, app *topology.App) error {
 
 	// Phase B: immediately delay the next 100 by 300 ms (scaled from the
 	// paper's 3 s) and check for a breaker.
-	report, err := runner.Run(gremlin.Recipe{
+	report, err := runner.Run(context.Background(), gremlin.Recipe{
 		Name: "fig6-delay",
 		Scenarios: []gremlin.Scenario{gremlin.Delay{
 			Src: topology.WordPressService, Dst: topology.ElasticsearchService, Interval: 300 * time.Millisecond,

@@ -20,7 +20,7 @@
 // URLs at the agent's local routes, and execute a recipe:
 //
 //	runner := gremlin.NewRunner(appGraph, gremlin.NewOrchestrator(reg), store, store)
-//	report, err := runner.Run(gremlin.Recipe{
+//	report, err := runner.Run(ctx, gremlin.Recipe{
 //	    Name:      "overload-b",
 //	    Scenarios: []gremlin.Scenario{gremlin.Overload{Service: "serviceB"}},
 //	    Checks:    []gremlin.Check{gremlin.ExpectBoundedRetries("serviceA", "serviceB", 5)},
@@ -57,6 +57,15 @@ type (
 	// installed on an agent.
 	Rule = rules.Rule
 
+	// RuleSet is an agent's complete desired rule state: a versioned,
+	// content-hashed set applied as an idempotent atomic swap, optionally
+	// leased with an agent-side TTL.
+	RuleSet = rules.RuleSet
+
+	// RuleSetStatus reports an agent's current generation, content hash
+	// and rule count.
+	RuleSetStatus = rules.RuleSetStatus
+
 	// Agent is a running Gremlin agent: per-dependency proxy listeners
 	// plus a REST control API.
 	Agent = proxy.Agent
@@ -83,6 +92,10 @@ const (
 	// AbortSeverConnection as a Rule.ErrorCode severs the TCP connection
 	// instead of returning an HTTP error (crash emulation).
 	AbortSeverConnection = rules.AbortSeverConnection
+
+	// NoMatch, passed as the If-Match argument of AgentClient.PutRuleSet,
+	// disables the compare-and-swap precondition.
+	NoMatch = rules.NoMatch
 )
 
 // NewAgent creates a Gremlin agent. Call Start to begin proxying and Close
@@ -165,12 +178,16 @@ func NewRegistry(instances ...Instance) *StaticRegistry { return registry.NewSta
 
 // Control-plane types: orchestrator, checker, recipes, runner.
 type (
-	// Orchestrator is the Failure Orchestrator: it ships rules to every
-	// agent of the affected services.
+	// Orchestrator is the Failure Orchestrator: a declarative reconciler
+	// that converges every agent toward the registered desired state.
 	Orchestrator = orchestrator.Orchestrator
 
 	// Applied is a handle to an applied rule set; Revert removes it.
 	Applied = orchestrator.Applied
+
+	// ReconcileReport is the outcome of one reconcile or drift pass:
+	// per-agent sync state, unresolved services, expired leases.
+	ReconcileReport = orchestrator.Report
 
 	// Checker is the Assertion Checker over an event-log source.
 	Checker = checker.Checker

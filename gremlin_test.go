@@ -1,6 +1,7 @@
 package gremlin_test
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -33,7 +34,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		Scenarios: []gremlin.Scenario{gremlin.Overload{Service: "serviceB", AbortFraction: 1}},
 		Checks:    []gremlin.Check{gremlin.ExpectBoundedRetries("serviceA", "serviceB", 5)},
 	}
-	report, err := runner.Run(recipe, gremlin.RunOptions{
+	report, err := runner.Run(context.Background(), recipe, gremlin.RunOptions{
 		ClearLogs: true,
 		Load: func() error {
 			_, err := loadgen.Run(app.EntryURL(), loadgen.Options{N: 1})
@@ -122,13 +123,13 @@ func TestPublicAPIAgent(t *testing.T) {
 	}()
 
 	ctl := gremlin.NewAgentClient(agent.ControlURL())
-	if err := ctl.InstallRules(gremlin.Rule{
+	if err := ctl.InstallRules(context.Background(), gremlin.Rule{
 		ID: "r1", Src: "client", Dst: "server",
 		Action: gremlin.ActionAbort, Pattern: gremlin.DefaultPattern, ErrorCode: 503,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	list, err := ctl.ListRules()
+	list, err := ctl.ListRules(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

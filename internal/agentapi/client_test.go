@@ -1,6 +1,8 @@
 package agentapi
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -36,20 +38,21 @@ func TestBaseURL(t *testing.T) {
 }
 
 func TestPathsAndMethods(t *testing.T) {
+	ctx := context.Background()
 	var calls []string
 	srv := cannedServer(t, 200, `[]`, &calls)
 	c := New(srv.URL, nil)
 
-	if _, err := c.ListRules(); err != nil {
+	if _, err := c.ListRules(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RemoveRule("has space/slash"); err != nil {
+	if err := c.RemoveRule(ctx, "has space/slash"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Healthy() {
+	if !c.Healthy(ctx) {
 		t.Fatal("healthy server reported unhealthy")
 	}
 
@@ -72,20 +75,96 @@ func TestPathsAndMethods(t *testing.T) {
 func TestServerErrorSurfaced(t *testing.T) {
 	srv := cannedServer(t, 400, `{"error":"mis-targeted rule"}`, nil)
 	c := New(srv.URL, nil)
-	err := c.InstallRules(rules.Rule{ID: "x", Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: 503})
+	err := c.InstallRules(context.Background(), rules.Rule{ID: "x", Src: "a", Dst: "b", Action: rules.ActionAbort, ErrorCode: 503})
 	if err == nil || !strings.Contains(err.Error(), "mis-targeted rule") {
 		t.Fatalf("err = %v, want body surfaced", err)
 	}
 }
 
 func TestMalformedResponseBody(t *testing.T) {
+	ctx := context.Background()
 	srv := cannedServer(t, 200, `not json`, nil)
 	c := New(srv.URL, nil)
-	if _, err := c.ListRules(); err == nil {
+	if _, err := c.ListRules(ctx); err == nil {
 		t.Fatal("want decode error")
 	}
-	if _, err := c.Info(); err == nil {
+	if _, err := c.Info(ctx); err == nil {
 		t.Fatal("want decode error")
+	}
+}
+
+func TestContextCancellationAborts(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	t.Cleanup(func() { close(block); srv.Close() })
+
+	c := New(srv.URL, &http.Client{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Info(ctx); err == nil {
+		t.Fatal("want context deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, context not honoured", elapsed)
+	}
+}
+
+func TestPutRuleSetSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	set := rules.RuleSet{Generation: 3}
+
+	conflict := cannedServer(t, http.StatusConflict,
+		`{"error":"stale generation","current":{"generation":9,"hash":"sha256:ab","rules":2}}`, nil)
+	st, err := New(conflict.URL, nil).PutRuleSet(ctx, set, rules.NoMatch)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if st.Generation != 9 || st.Rules != 2 {
+		t.Fatalf("conflict status = %+v, want agent's current version", st)
+	}
+
+	precond := cannedServer(t, http.StatusPreconditionFailed,
+		`{"error":"generation moved","current":{"generation":7}}`, nil)
+	st, err = New(precond.URL, nil).PutRuleSet(ctx, set, 5)
+	if !errors.Is(err, ErrPreconditionFailed) {
+		t.Fatalf("want ErrPreconditionFailed, got %v", err)
+	}
+	if st.Generation != 7 {
+		t.Fatalf("precondition status = %+v", st)
+	}
+
+	boom := cannedServer(t, http.StatusInternalServerError, `oops`, nil)
+	if _, err := New(boom.URL, nil).PutRuleSet(ctx, set, rules.NoMatch); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("want 500 surfaced, got %v", err)
+	}
+}
+
+func TestPutRuleSetIfMatchHeader(t *testing.T) {
+	var headers []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v, ok := r.Header[http.CanonicalHeaderKey("If-Match")]
+		if !ok {
+			headers = append(headers, "<absent>")
+		} else {
+			headers = append(headers, strings.Join(v, ","))
+		}
+		_, _ = w.Write([]byte(`{"generation":1}`))
+	}))
+	t.Cleanup(srv.Close)
+
+	ctx := context.Background()
+	c := New(srv.URL, nil)
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 1}, rules.NoMatch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 1}, 42); err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 2 || headers[0] != "<absent>" || headers[1] != "42" {
+		t.Fatalf("If-Match headers = %v", headers)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"gremlin/internal/core"
 	"gremlin/internal/eventlog"
@@ -81,6 +82,15 @@ type Options struct {
 	// OnEntry, when set, observes each journal entry as it settles
 	// (progress reporting; called from worker goroutines).
 	OnEntry func(Entry)
+
+	// LeaseTTL, when positive, leases each run's staged faults: the run
+	// registers its rules under its run ID with this TTL (renewed in the
+	// background for as long as the run lives), so a killed campaign
+	// process can never leak faults — the orchestrator's anti-entropy
+	// loop withdraws the orphaned rules when the lease lapses, and the
+	// agents themselves expire them even if the whole control plane died.
+	// Zero stages rules permanently (revert-on-completion only).
+	LeaseTTL time.Duration
 }
 
 // ObserveOptions wires live assertion evaluation into a campaign.
@@ -239,6 +249,8 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 	}
 	ropts := core.RunOptions{
 		AfterTranslate: func(rs []rules.Rule) { e.Edges = edgesOf(rs) },
+		Owner:          runID,
+		LeaseTTL:       o.LeaseTTL,
 	}
 	if o.Load != nil {
 		ropts.Load = func() error {
@@ -251,7 +263,34 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 			return err
 		}
 	}
-	report, err := runner.Run(recipe, ropts)
+	if o.LeaseTTL > 0 {
+		// Heartbeat the lease while the run lives, so runs longer than
+		// the TTL keep their faults staged; only a crash stops renewal.
+		interval := o.LeaseTTL / 3
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		stopRenew := make(chan struct{})
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					return
+				case <-t.C:
+					// Fails harmlessly before the rules are staged and
+					// after they are reverted.
+					_ = runner.Orchestrator().RenewLease(runID, o.LeaseTTL)
+				}
+			}
+		}()
+		defer close(stopRenew)
+	}
+	// The run itself is never cut short by campaign cancellation (the
+	// resume contract: in-flight runs drain, revert, and journal cleanly),
+	// so orchestration uses a fresh context rather than ctx.
+	report, err := runner.Run(context.Background(), recipe, ropts)
 	// Blast radius must be computed before cleanup reclaims the run's
 	// records. An analysis error is not worth failing the run over; the
 	// entry simply carries no blast fields.

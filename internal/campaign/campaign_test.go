@@ -429,3 +429,50 @@ func TestCampaignLiveViolationAbortsLoad(t *testing.T) {
 		t.Fatalf("load completed %d of %d requests; the live violation should abort it partway", got, totalRequests)
 	}
 }
+
+// TestCampaignLeaseRenewalOutlivesTTL runs a campaign whose per-run lease
+// TTL is far shorter than the load phase. The background renewal must keep
+// the staged faults alive for the whole run — if it didn't, the agents
+// would self-expire the rules mid-load and the revert would go stale — and
+// the orchestrator must hold no leases once the campaign settles.
+func TestCampaignLeaseRenewalOutlivesTTL(t *testing.T) {
+	app, runner := newHarness(t, topology.TwoServices(3, time.Millisecond))
+
+	units, err := campaign.Enumerate(app.Graph, campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{
+			SkipServices: []string{topology.EdgeService},
+			MaxLatency:   5 * time.Second,
+		},
+		Templates: []string{"overload"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) == 0 {
+		t.Fatal("no units enumerated")
+	}
+
+	sc, err := campaign.Run(context.Background(), runner, units, campaign.Options{
+		ID:          "leased",
+		Parallelism: 2,
+		LeaseTTL:    40 * time.Millisecond,
+		Load: func(ctx context.Context, idPrefix string) error {
+			// Three lease TTLs of load: only renewal can carry the run.
+			time.Sleep(120 * time.Millisecond)
+			_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
+				N: 4, IDPrefix: idPrefix, Context: ctx,
+				RNG: rand.New(rand.NewSource(1)),
+			})
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Errors > 0 {
+		t.Fatalf("campaign hit %d operational errors:\n%s", sc.Errors, sc.Markdown())
+	}
+	if owners := runner.Orchestrator().Owners(); len(owners) != 0 {
+		t.Fatalf("campaign left leases behind: %v", owners)
+	}
+}

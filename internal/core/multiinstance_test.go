@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"net/http"
@@ -91,7 +92,7 @@ func TestMultiInstanceFanOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	applied, err := orch.Apply(ruleset)
+	applied, err := orch.Apply(context.Background(), ruleset)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestMultiInstanceFanOut(t *testing.T) {
 	}
 
 	// Revert removes the rules from both agents; traffic flows again.
-	if err := applied.Revert(); err != nil {
+	if err := applied.Revert(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i, agent := range agents {

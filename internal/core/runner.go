@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,6 +57,10 @@ func (r *Runner) Graph() *graph.Graph { return r.graph }
 // Checker returns the runner's assertion checker, for ad-hoc queries
 // between recipe steps.
 func (r *Runner) Checker() *checker.Checker { return r.check }
+
+// Orchestrator returns the runner's failure orchestrator, for drift
+// inspection and lease renewal while a recipe is staged.
+func (r *Runner) Orchestrator() *orchestrator.Orchestrator { return r.orch }
 
 // Report is the outcome of one recipe run. Timings separate the
 // orchestration, load, and assertion phases — the breakdown the paper
@@ -156,10 +161,22 @@ type RunOptions struct {
 	// it is installed. Campaigns record the edges each run actually faults
 	// here, feeding coverage-driven scheduling.
 	AfterTranslate func(ruleset []rules.Rule)
+
+	// Owner names the desired-state owner the rules are registered under
+	// in the orchestrator. Empty picks an anonymous per-run owner.
+	// Campaigns set this so a run's rules are attributable and leasable.
+	Owner string
+
+	// LeaseTTL, when positive, leases the staged rules: if the run's
+	// process dies without reverting, the orchestrator withdraws them
+	// after the TTL — and the agents themselves expire them even if the
+	// whole control plane died. Zero stages permanent rules (reverted
+	// explicitly, as before).
+	LeaseTTL time.Duration
 }
 
 // Run executes a recipe: translate → orchestrate → load → assert → revert.
-func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
+func (r *Runner) Run(ctx context.Context, recipe Recipe, opts RunOptions) (*Report, error) {
 	report := &Report{Recipe: recipe.name()}
 
 	t0 := time.Now()
@@ -178,7 +195,7 @@ func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
 	}
 
 	t1 := time.Now()
-	applied, err := r.orch.Apply(ruleset)
+	applied, err := r.orch.ApplyOwned(ctx, opts.Owner, opts.LeaseTTL, ruleset)
 	if err != nil {
 		return nil, fmt.Errorf("core: orchestrate %s: %w", recipe.name(), err)
 	}
@@ -187,7 +204,7 @@ func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
 
 	revert := func() error {
 		t := time.Now()
-		err := applied.Revert()
+		err := applied.Revert(ctx)
 		report.RevertTime = time.Since(t)
 		return err
 	}
@@ -202,7 +219,7 @@ func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
 	}
 
 	t3 := time.Now()
-	if err := r.orch.FlushAll(); err != nil {
+	if err := r.orch.FlushAll(ctx); err != nil {
 		_ = revert()
 		return nil, fmt.Errorf("core: flush observations for %s: %w", recipe.name(), err)
 	}
@@ -228,13 +245,13 @@ func (r *Runner) Run(recipe Recipe, opts RunOptions) (*Report, error) {
 // checks fail (paper §4.2 "Chained failures": later, more intrusive
 // failures are only staged when earlier expectations held). It returns all
 // reports produced; err is non-nil only for operational failures.
-func (r *Runner) RunChain(opts RunOptions, recipes ...Recipe) ([]*Report, error) {
+func (r *Runner) RunChain(ctx context.Context, opts RunOptions, recipes ...Recipe) ([]*Report, error) {
 	if len(recipes) == 0 {
 		return nil, errors.New("core: RunChain needs at least one recipe")
 	}
 	var reports []*Report
 	for _, recipe := range recipes {
-		rep, err := r.Run(recipe, opts)
+		rep, err := r.Run(ctx, recipe, opts)
 		if err != nil {
 			return reports, err
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"math/rand"
@@ -64,7 +65,7 @@ func TestExample1BoundedRetries(t *testing.T) {
 				checker.BoundedRetriesOptions{FailureThreshold: 5, Window: time.Minute}),
 		},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestExample1UnboundedRetriesFails(t *testing.T) {
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		Checks:    []core.Check{core.ExpectBoundedRetries("serviceA", "serviceB", 5)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestChainedFailures(t *testing.T) {
 		Scenarios: []core.Scenario{core.Crash{Service: "serviceB"}},
 		Checks:    []core.Check{core.ExpectCircuitBreaker("serviceA", "serviceB", 3, 10*time.Second)},
 	}
-	reports, err := h.runner.RunChain(core.RunOptions{Load: h.load(t, 1), ClearLogs: true}, overload, crash)
+	reports, err := h.runner.RunChain(context.Background(), core.RunOptions{Load: h.load(t, 1), ClearLogs: true}, overload, crash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestChainStopsOnFailure(t *testing.T) {
 		Scenarios: []core.Scenario{core.Crash{Service: "serviceB"}},
 		Checks:    []core.Check{core.ExpectCircuitBreaker("serviceA", "serviceB", 3, time.Second)},
 	}
-	reports, err := h.runner.RunChain(core.RunOptions{Load: h.load(t, 1), ClearLogs: true}, failing, never)
+	reports, err := h.runner.RunChain(context.Background(), core.RunOptions{Load: h.load(t, 1), ClearLogs: true}, failing, never)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestChainStopsOnFailure(t *testing.T) {
 
 func TestRunChainEmpty(t *testing.T) {
 	h := newHarness(t, topology.TwoServices(0, 0))
-	if _, err := h.runner.RunChain(core.RunOptions{}); err == nil {
+	if _, err := h.runner.RunChain(context.Background(), core.RunOptions{}); err == nil {
 		t.Fatal("want error")
 	}
 }
@@ -179,7 +180,7 @@ func TestCrashCascades(t *testing.T) {
 		Scenarios: []core.Scenario{core.Crash{Service: "serviceB"}},
 		Checks:    []core.Check{core.ExpectFallback("serviceA", 0.9)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 5), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 5), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestWordPressFallbackRecipe(t *testing.T) {
 			core.ExpectTimeouts(topology.WordPressService, time.Second),
 		},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 10), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 10), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestWordPressNoTimeoutDetected(t *testing.T) {
 		},
 		Checks: []core.Check{core.ExpectTimeouts(topology.WordPressService, 100*time.Millisecond)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 5), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 5), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestKeepRules(t *testing.T) {
 		Name:      "keep",
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 	}
-	_, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), KeepRules: true, ClearLogs: true})
+	_, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), KeepRules: true, ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestClearLogs(t *testing.T) {
 		Name:      "clear",
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 	}
-	if _, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true}); err != nil {
+	if _, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true}); err != nil {
 		t.Fatal(err)
 	}
 	recs, err := h.app.Store.Select(eventlog.Query{Src: "noise"})
@@ -284,7 +285,7 @@ func TestWholeTestUnderOneSecond(t *testing.T) {
 		Scenarios: []core.Scenario{core.Delay{Src: "tree-0", Dst: "tree-1", Interval: 5 * time.Millisecond}},
 		Checks:    []core.Check{core.ExpectTimeouts("tree-0", time.Second)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 100), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 100), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestReportString(t *testing.T) {
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		Checks:    []core.Check{core.ExpectBoundedRetries("serviceA", "serviceB", 5)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestExponentialBackoffEndToEnd(t *testing.T) {
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		Checks:    []core.Check{core.ExpectExponentialBackoff("serviceA", "serviceB", 1.5)},
 	}
-	report, err := h.runner.Run(recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
+	report, err := h.runner.Run(context.Background(), recipe, core.RunOptions{Load: h.load(t, 1), ClearLogs: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestRunOperationalFailures(t *testing.T) {
 		g := graph.New()
 		g.AddEdge("serviceA", "serviceB")
 		runner := core.NewRunner(g, orchestrator.New(reg), eventlog.NewStore(), nil)
-		_, err := runner.Run(core.Recipe{
+		_, err := runner.Run(context.Background(), core.Recipe{
 			Name:      "x",
 			Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		}, core.RunOptions{})
@@ -359,7 +360,7 @@ func TestRunOperationalFailures(t *testing.T) {
 
 	t.Run("load failure reverts rules", func(t *testing.T) {
 		h := newHarness(t, topology.TwoServices(0, 0))
-		_, err := h.runner.Run(core.Recipe{
+		_, err := h.runner.Run(context.Background(), core.Recipe{
 			Name:      "x",
 			Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		}, core.RunOptions{Load: func() error { return errors.New("generator crashed") }})
@@ -373,7 +374,7 @@ func TestRunOperationalFailures(t *testing.T) {
 
 	t.Run("translate failure", func(t *testing.T) {
 		h := newHarness(t, topology.TwoServices(0, 0))
-		_, err := h.runner.Run(core.Recipe{
+		_, err := h.runner.Run(context.Background(), core.Recipe{
 			Name:      "x",
 			Scenarios: []core.Scenario{core.Crash{Service: "ghost"}},
 		}, core.RunOptions{})
@@ -384,7 +385,7 @@ func TestRunOperationalFailures(t *testing.T) {
 
 	t.Run("check error reverts rules", func(t *testing.T) {
 		h := newHarness(t, topology.TwoServices(0, 0))
-		_, err := h.runner.Run(core.Recipe{
+		_, err := h.runner.Run(context.Background(), core.Recipe{
 			Name:      "x",
 			Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 			Checks: []core.Check{func(c *checker.Checker) (checker.Result, error) {
@@ -403,7 +404,7 @@ func TestRunOperationalFailures(t *testing.T) {
 // TestReportJSONSerializable pins the Report wire form used by tooling.
 func TestReportJSONSerializable(t *testing.T) {
 	h := newHarness(t, topology.TwoServices(0, 0))
-	report, err := h.runner.Run(core.Recipe{
+	report, err := h.runner.Run(context.Background(), core.Recipe{
 		Name:      "json",
 		Scenarios: []core.Scenario{core.Disconnect{From: "serviceA", To: "serviceB"}},
 		Checks:    []core.Check{core.ExpectNoCalls("serviceA", "serviceB")},

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -95,7 +96,7 @@ func Figure5(opts Options) ([]DelaySeries, error) {
 	for _, base := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second} {
 		d := time.Duration(float64(base) * o.Scale)
 		var res *loadgen.Result
-		report, err := runner.Run(core.Recipe{
+		report, err := runner.Run(context.Background(), core.Recipe{
 			Name: fmt.Sprintf("fig5-%s", d),
 			Scenarios: []core.Scenario{core.Delay{
 				Src: topology.WordPressService, Dst: topology.ElasticsearchService, Interval: d,
@@ -155,7 +156,7 @@ func Figure6(opts Options) (*Figure6Result, error) {
 	result := &Figure6Result{InjectedDelay: delay}
 
 	// Batch 1: aborted.
-	_, err = runner.Run(core.Recipe{
+	_, err = runner.Run(context.Background(), core.Recipe{
 		Name: "fig6-abort",
 		Scenarios: []core.Scenario{core.Disconnect{
 			From: topology.WordPressService, To: topology.ElasticsearchService,
@@ -174,7 +175,7 @@ func Figure6(opts Options) (*Figure6Result, error) {
 
 	// Batch 2: delayed, immediately after; the breaker check runs over the
 	// union of both batches' observations (no ClearLogs).
-	report, err := runner.Run(core.Recipe{
+	report, err := runner.Run(context.Background(), core.Recipe{
 		Name: "fig6-delay",
 		Scenarios: []core.Scenario{core.Delay{
 			Src: topology.WordPressService, Dst: topology.ElasticsearchService, Interval: delay,
@@ -274,7 +275,7 @@ func figure7Point(o Options, depth, n int) (*Figure7Row, error) {
 		checks = append(checks, core.ExpectTimeouts(svc, time.Minute))
 	}
 
-	report, err := runner.Run(core.Recipe{
+	report, err := runner.Run(context.Background(), core.Recipe{
 		Name:      fmt.Sprintf("fig7-depth%d", depth),
 		Scenarios: scenarios,
 		Checks:    checks,

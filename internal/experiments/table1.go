@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -72,7 +73,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 				core.ExpectCircuitBreaker(s, topology.MessageBusService, 5, 5*time.Second),
 			)
 		}
-		report, err := runner.Run(core.Recipe{
+		report, err := runner.Run(context.Background(), core.Recipe{
 			Name:      "cassandra-crash",
 			Scenarios: []core.Scenario{core.Crash{Service: topology.CassandraService}},
 			Checks:    checks,
@@ -120,7 +121,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 			checks = append(checks,
 				core.ExpectCircuitBreaker(s, topology.ElasticsearchService, 10, 2*time.Second))
 		}
-		report, err := runner.Run(core.Recipe{
+		report, err := runner.Run(context.Background(), core.Recipe{
 			Name: "database-overload",
 			Scenarios: []core.Scenario{core.Overload{
 				Service: topology.ElasticsearchService, AbortFraction: 1, ErrorCode: 503,

@@ -1,23 +1,36 @@
 // Package orchestrator implements Gremlin's Failure Orchestrator: the
-// control-plane component that ships translated fault-injection rules to
-// every physical Gremlin agent they concern, over an out-of-band control
-// channel (paper §4.2).
+// control-plane component that programs fault-injection rules into every
+// physical Gremlin agent they concern, over an out-of-band control channel
+// (paper §4.2).
 //
-// Rules name logical services; the orchestrator resolves each rule's source
-// service to its physical instances through the registry and installs the
-// rule on every co-located agent, in parallel. Applying a rule set returns
-// an Applied handle whose Revert removes exactly those rules again, so
-// chained recipes can stage and unstage failures step by step.
+// The orchestrator is declarative: callers register *desired state* — a set
+// of logical rules per owner (a recipe run, a campaign, a manual session) —
+// and the orchestrator reconciles the fleet toward it. Each reconcile pass
+// resolves logical services to physical agents through the registry,
+// computes the union rule set each agent should hold, and converges agents
+// that differ with versioned compare-and-swap PUTs (bounded retries with
+// backoff). Agents the pass cannot reach are reported, not fatal; an
+// optional anti-entropy loop re-syncs them — and restarted agents, which
+// come back empty at generation zero — on the next pass.
+//
+// Owners may hold a lease: desired state that expires unless renewed, so a
+// killed campaign process can never leak faults into the mesh. Leased rule
+// sets are additionally shipped with an agent-side TTL as a second line of
+// defence — the agent clears them itself even if the whole control plane
+// dies with the campaign.
 package orchestrator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"gremlin/internal/agentapi"
+	"gremlin/internal/proxy"
 	"gremlin/internal/registry"
 	"gremlin/internal/rules"
 )
@@ -25,10 +38,10 @@ import (
 // AgentControl is the slice of the agent control API the orchestrator
 // needs. *agentapi.Client implements it; tests may substitute fakes.
 type AgentControl interface {
-	InstallRules(batch ...rules.Rule) error
-	RemoveRule(id string) error
-	ClearRules() (int, error)
-	Flush() error
+	GetRuleSet(ctx context.Context) (proxy.RuleSetBody, error)
+	PutRuleSet(ctx context.Context, set rules.RuleSet, ifMatch uint64) (rules.RuleSetStatus, error)
+	ClearRules(ctx context.Context) (int, error)
+	Flush(ctx context.Context) error
 }
 
 var _ AgentControl = (*agentapi.Client)(nil)
@@ -38,23 +51,56 @@ type Option interface {
 	apply(*Orchestrator)
 }
 
-type dialerOption func(url string) AgentControl
+type optionFunc func(*Orchestrator)
 
-func (d dialerOption) apply(o *Orchestrator) { o.dial = d }
+func (f optionFunc) apply(o *Orchestrator) { f(o) }
 
 // WithDialer overrides how the orchestrator connects to an agent control
 // URL. Used by tests and embedded (in-process) deployments.
 func WithDialer(dial func(url string) AgentControl) Option {
-	return dialerOption(dial)
+	return optionFunc(func(o *Orchestrator) { o.dial = dial })
 }
 
-// Orchestrator ships rules to agents.
-type Orchestrator struct {
-	reg  registry.Registry
-	dial func(url string) AgentControl
+// WithRetry bounds the per-agent convergence loop: attempts tries per
+// reconcile pass, sleeping backoff, 2*backoff, ... between them. The
+// default is 3 attempts starting at 25 ms.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return optionFunc(func(o *Orchestrator) {
+		if attempts > 0 {
+			o.attempts = attempts
+		}
+		o.backoff = backoff
+	})
+}
 
-	mu     sync.Mutex
-	ncalls int // control-channel calls made, for benchmark accounting
+// Orchestrator reconciles agents toward the registered desired state.
+type Orchestrator struct {
+	reg      registry.Registry
+	dial     func(url string) AgentControl
+	attempts int
+	backoff  time.Duration
+	now      func() time.Time
+
+	// syncMu serializes reconcile passes. Each pass recomputes desired
+	// state after acquiring it, so a pass can never overwrite the effects
+	// of a pass that started later.
+	syncMu sync.Mutex
+
+	mu         sync.Mutex
+	ncalls     int               // control-channel calls made, for benchmark accounting
+	owners     map[string]*owner // desired state, by owner name
+	version    uint64            // bumped whenever desired state changes
+	nextApply  int               // anonymous owner names for Apply
+	lastReport *Report           // most recent reconcile/drift outcome, for metrics
+
+	nRepairs  int64 // content pushes made by anti-entropy passes
+	nExpiries int64 // owner leases lapsed
+}
+
+// owner is one registered slice of desired state.
+type owner struct {
+	rules   []rules.Rule
+	expires time.Time // zero: no lease
 }
 
 // New creates an orchestrator over the given registry.
@@ -64,6 +110,10 @@ func New(reg registry.Registry, opts ...Option) *Orchestrator {
 		dial: func(url string) AgentControl {
 			return agentapi.New(url, nil)
 		},
+		attempts: 3,
+		backoff:  25 * time.Millisecond,
+		now:      time.Now,
+		owners:   make(map[string]*owner),
 	}
 	for _, opt := range opts {
 		opt.apply(o)
@@ -74,7 +124,9 @@ func New(reg registry.Registry, opts ...Option) *Orchestrator {
 // Applied is a handle to a successfully applied rule set.
 type Applied struct {
 	orch *Orchestrator
-	// perAgent maps agent control URL to the IDs of rules installed there.
+	name string
+	// perAgent maps agent control URL to the IDs of rules desired there,
+	// for counts and human-readable summaries.
 	perAgent map[string][]string
 }
 
@@ -90,10 +142,20 @@ func (a *Applied) RuleCount() int {
 	return n
 }
 
-// Apply validates the rule set, resolves each rule's source service to its
-// agents, and installs the rules on all agents in parallel. On any failure
-// it rolls back the installations that succeeded and returns the error.
-func (o *Orchestrator) Apply(ruleset []rules.Rule) (*Applied, error) {
+// Apply validates the rule set, registers it as an anonymous owner, and
+// reconciles the fleet so every targeted agent holds the rules. On any
+// failure it withdraws the owner again (converging agents back) and
+// returns the error. The Applied handle's Revert withdraws it explicitly.
+func (o *Orchestrator) Apply(ctx context.Context, ruleset []rules.Rule) (*Applied, error) {
+	return o.ApplyOwned(ctx, "", 0, ruleset)
+}
+
+// ApplyOwned is Apply with an explicit owner name and an optional lease:
+// when ttl is positive the rules are withdrawn automatically unless the
+// lease is renewed (RenewLease), and ship to agents with a self-expiry TTL
+// so even a dead control plane cannot leak them. An empty name picks an
+// anonymous per-call owner.
+func (o *Orchestrator) ApplyOwned(ctx context.Context, name string, ttl time.Duration, ruleset []rules.Rule) (*Applied, error) {
 	if len(ruleset) == 0 {
 		return &Applied{orch: o, perAgent: map[string][]string{}}, nil
 	}
@@ -101,8 +163,9 @@ func (o *Orchestrator) Apply(ruleset []rules.Rule) (*Applied, error) {
 		return nil, fmt.Errorf("orchestrator: %w", err)
 	}
 
-	// Group rules by the agents that must receive them.
-	perAgent := make(map[string][]rules.Rule)
+	// Resolve up front so unknown or agent-less services fail fast, and so
+	// the handle can report exact per-agent counts.
+	perAgent := make(map[string][]string)
 	for _, r := range ruleset {
 		urls, err := registry.AgentURLs(o.reg, r.Src)
 		if err != nil {
@@ -112,79 +175,60 @@ func (o *Orchestrator) Apply(ruleset []rules.Rule) (*Applied, error) {
 			return nil, fmt.Errorf("orchestrator: service %q has no gremlin agents", r.Src)
 		}
 		for _, u := range urls {
-			perAgent[u] = append(perAgent[u], r)
+			perAgent[u] = append(perAgent[u], r.ID)
 		}
 	}
 
-	type result struct {
-		url string
-		ids []string
-		err error
-	}
-	results := make(chan result, len(perAgent))
-	for url, batch := range perAgent {
-		go func(url string, batch []rules.Rule) {
-			err := o.agent(url).InstallRules(batch...)
-			ids := make([]string, len(batch))
-			for i, r := range batch {
-				ids[i] = r.ID
-			}
-			results <- result{url: url, ids: ids, err: err}
-		}(url, batch)
+	if name == "" {
+		o.mu.Lock()
+		o.nextApply++
+		name = fmt.Sprintf("apply-%d", o.nextApply)
+		o.mu.Unlock()
 	}
 
-	applied := &Applied{orch: o, perAgent: make(map[string][]string, len(perAgent))}
-	var errs []error
-	for range perAgent {
-		res := <-results
-		if res.err != nil {
-			errs = append(errs, fmt.Errorf("agent %s: %w", res.url, res.err))
-			continue
-		}
-		applied.perAgent[res.url] = res.ids
+	rep, err := o.SetOwner(ctx, name, ruleset, ttl)
+	if err == nil {
+		err = rep.Err()
 	}
-	if len(errs) > 0 {
-		// Roll back the agents that did take the rules.
-		_ = applied.Revert()
-		return nil, fmt.Errorf("orchestrator: apply failed: %w", errors.Join(errs...))
+	if err != nil {
+		// Withdraw and converge back whatever partial state landed.
+		_, _ = o.RemoveOwner(ctx, name)
+		return nil, fmt.Errorf("orchestrator: apply failed: %w", err)
 	}
-	return applied, nil
+	return &Applied{orch: o, name: name, perAgent: perAgent}, nil
 }
 
-// Revert removes the applied rules from every agent that received them.
-// It keeps going on errors and returns them joined.
-func (a *Applied) Revert() error {
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	for url, ids := range a.perAgent {
-		wg.Add(1)
-		go func(url string, ids []string) {
-			defer wg.Done()
-			c := a.orch.agent(url)
-			for _, id := range ids {
-				if err := c.RemoveRule(id); err != nil {
-					mu.Lock()
-					errs = append(errs, fmt.Errorf("agent %s rule %s: %w", url, id, err))
-					mu.Unlock()
-				}
-			}
-		}(url, ids)
+// Revert withdraws the applied rules: the owner is removed from desired
+// state and every agent is reconciled back. It is idempotent.
+func (a *Applied) Revert(ctx context.Context) error {
+	if a.name == "" {
+		return nil
 	}
-	wg.Wait()
+	name := a.name
+	a.name = ""
 	a.perAgent = map[string][]string{}
-	if len(errs) > 0 {
-		return fmt.Errorf("orchestrator: revert failed: %w", errors.Join(errs...))
+	rep, err := a.orch.RemoveOwner(ctx, name)
+	if err == nil {
+		err = rep.Err()
+	}
+	if err != nil {
+		return fmt.Errorf("orchestrator: revert failed: %w", err)
 	}
 	return nil
 }
 
-// ClearAll removes every rule from every agent of the named services (all
-// registered services when none are named). It returns the number of rules
-// removed.
-func (o *Orchestrator) ClearAll(services ...string) (int, error) {
+// ClearAll drops all registered desired state and removes every rule from
+// every agent of the named services (all registered services when none are
+// named). It is the operator's big hammer — owners registered by live
+// recipe runs are withdrawn too. It returns the number of rules removed.
+func (o *Orchestrator) ClearAll(ctx context.Context, services ...string) (int, error) {
+	o.mu.Lock()
+	if len(o.owners) > 0 {
+		o.owners = make(map[string]*owner)
+		o.version++
+	}
+	o.mu.Unlock()
+
 	urls, err := o.resolveAgents(services)
 	if err != nil {
 		return 0, err
@@ -199,7 +243,7 @@ func (o *Orchestrator) ClearAll(services ...string) (int, error) {
 		wg.Add(1)
 		go func(url string) {
 			defer wg.Done()
-			n, err := o.agent(url).ClearRules()
+			n, err := o.agent(url).ClearRules(ctx)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -219,7 +263,7 @@ func (o *Orchestrator) ClearAll(services ...string) (int, error) {
 // FlushAll asks every agent of the named services (all services when none
 // are named) to flush buffered observations to the event store, so the
 // Assertion Checker sees a complete log.
-func (o *Orchestrator) FlushAll(services ...string) error {
+func (o *Orchestrator) FlushAll(ctx context.Context, services ...string) error {
 	urls, err := o.resolveAgents(services)
 	if err != nil {
 		return err
@@ -233,7 +277,7 @@ func (o *Orchestrator) FlushAll(services ...string) error {
 		wg.Add(1)
 		go func(url string) {
 			defer wg.Done()
-			if err := o.agent(url).Flush(); err != nil {
+			if err := o.agent(url).Flush(ctx); err != nil {
 				mu.Lock()
 				errs = append(errs, fmt.Errorf("agent %s: %w", url, err))
 				mu.Unlock()
@@ -301,7 +345,9 @@ func (a *Applied) Describe() string {
 	sort.Strings(urls)
 	var b strings.Builder
 	for _, u := range urls {
-		fmt.Fprintf(&b, "%s: %s\n", u, strings.Join(a.perAgent[u], ", "))
+		ids := append([]string(nil), a.perAgent[u]...)
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "%s: %s\n", u, strings.Join(ids, ", "))
 	}
 	return b.String()
 }

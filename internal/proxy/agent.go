@@ -38,6 +38,14 @@ type Agent struct {
 	control *httpx.Server
 	started bool
 
+	// leaseMu guards the rule-set lease timer. A rule set shipped with a
+	// TTL self-expires: if no PUT renews it in time, the agent clears all
+	// rules itself, so a dead control plane cannot leak faults into the
+	// fleet. Control-path only; the data path never touches it.
+	leaseMu    sync.Mutex
+	leaseTimer *time.Timer
+	nExpired   atomic.Int64
+
 	// Data-path counters, exposed via GET /v1/info.
 	nProxied  atomic.Int64
 	nAborted  atomic.Int64
@@ -84,6 +92,11 @@ type Stats struct {
 	// path.
 	SpansMinted int64 `json:"spansMinted"`
 
+	// RulesetExpirations counts rule sets the agent cleared itself because
+	// their lease TTL lapsed without a renewing PUT — each one is a
+	// control plane that died holding faults.
+	RulesetExpirations int64 `json:"rulesetExpirations"`
+
 	// LogDropped, LogFlushes, and LogRetries report event-log shipping
 	// health when the agent's sink exposes it (eventlog.BufferedSink does).
 	// A run with LogDropped > 0 evaluated its assertions on partial data —
@@ -103,13 +116,14 @@ type sinkHealth interface {
 // Stats returns a snapshot of the agent's counters.
 func (a *Agent) Stats() Stats {
 	s := Stats{
-		Proxied:     a.nProxied.Load(),
-		Aborted:     a.nAborted.Load(),
-		Severed:     a.nSevered.Load(),
-		Delayed:     a.nDelayed.Load(),
-		Modified:    a.nModified.Load(),
-		Streamed:    a.nStreamed.Load(),
-		SpansMinted: a.nSpans.Load(),
+		Proxied:            a.nProxied.Load(),
+		Aborted:            a.nAborted.Load(),
+		Severed:            a.nSevered.Load(),
+		Delayed:            a.nDelayed.Load(),
+		Modified:           a.nModified.Load(),
+		Streamed:           a.nStreamed.Load(),
+		SpansMinted:        a.nSpans.Load(),
+		RulesetExpirations: a.nExpired.Load(),
 	}
 	if h, ok := a.sink.(sinkHealth); ok {
 		s.LogDropped = h.Dropped()
@@ -260,6 +274,12 @@ func (a *Agent) Start() {
 // Close shuts down all listeners and waits for their goroutines,
 // including any in-flight mirror copies.
 func (a *Agent) Close() error {
+	a.leaseMu.Lock()
+	if a.leaseTimer != nil {
+		a.leaseTimer.Stop()
+		a.leaseTimer = nil
+	}
+	a.leaseMu.Unlock()
 	var firstErr error
 	for _, rp := range a.routes {
 		if err := rp.server.Close(); err != nil && firstErr == nil {

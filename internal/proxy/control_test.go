@@ -1,6 +1,8 @@
 package proxy_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -49,8 +51,9 @@ func abortRule(id string) rules.Rule {
 }
 
 func TestControlInfo(t *testing.T) {
+	ctx := context.Background()
 	a, c := startAgent(t, nil)
-	info, err := c.Info()
+	info, err := c.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,15 +70,19 @@ func TestControlInfo(t *testing.T) {
 	if info.Routes[0].ListenAddr != addr {
 		t.Fatalf("route addr %q != %q", info.Routes[0].ListenAddr, addr)
 	}
+	if info.RuleSet.Generation != 0 || info.RuleSet.Hash == "" {
+		t.Fatalf("fresh agent ruleset status = %+v", info.RuleSet)
+	}
 }
 
 func TestControlInstallListRemoveClear(t *testing.T) {
+	ctx := context.Background()
 	_, c := startAgent(t, nil)
 
-	if err := c.InstallRules(abortRule("r1"), abortRule("r2")); err != nil {
+	if err := c.InstallRules(ctx, abortRule("r1"), abortRule("r2")); err != nil {
 		t.Fatal(err)
 	}
-	list, err := c.ListRules()
+	list, err := c.ListRules(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,21 +90,21 @@ func TestControlInstallListRemoveClear(t *testing.T) {
 		t.Fatalf("ListRules = %d rules", len(list))
 	}
 
-	if err := c.RemoveRule("r1"); err != nil {
+	if err := c.RemoveRule(ctx, "r1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.RemoveRule("r1"); err == nil {
+	if err := c.RemoveRule(ctx, "r1"); err == nil {
 		t.Fatal("removing a missing rule should error")
 	}
 
-	n, err := c.ClearRules()
+	n, err := c.ClearRules(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("ClearRules = %d, want 1", n)
 	}
-	list, err = c.ListRules()
+	list, err = c.ListRules(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,19 +115,20 @@ func TestControlInstallListRemoveClear(t *testing.T) {
 
 func TestControlInstallEmptyBatchIsLocalNoop(t *testing.T) {
 	c := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
-	if err := c.InstallRules(); err != nil {
+	if err := c.InstallRules(context.Background()); err != nil {
 		t.Fatalf("empty install should not touch the network: %v", err)
 	}
 }
 
 func TestControlInstallRejectsBadRules(t *testing.T) {
+	ctx := context.Background()
 	_, c := startAgent(t, nil)
 	bad := abortRule("r1")
 	bad.Src = "someoneelse"
-	if err := c.InstallRules(bad); err == nil {
+	if err := c.InstallRules(ctx, bad); err == nil {
 		t.Fatal("want error for mis-targeted rule")
 	}
-	list, err := c.ListRules()
+	list, err := c.ListRules(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,12 +138,13 @@ func TestControlInstallRejectsBadRules(t *testing.T) {
 }
 
 func TestControlHealthz(t *testing.T) {
+	ctx := context.Background()
 	_, c := startAgent(t, nil)
-	if !c.Healthy() {
+	if !c.Healthy(ctx) {
 		t.Fatal("agent should be healthy")
 	}
 	down := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
-	if down.Healthy() {
+	if down.Healthy(ctx) {
 		t.Fatal("unreachable agent should be unhealthy")
 	}
 }
@@ -151,7 +160,7 @@ func TestControlFlushBufferedSink(t *testing.T) {
 	if store.Len() != 0 {
 		t.Fatal("record should still be buffered")
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if store.Len() != 1 {
@@ -161,30 +170,37 @@ func TestControlFlushBufferedSink(t *testing.T) {
 
 func TestControlFlushUnbufferedSinkOK(t *testing.T) {
 	_, c := startAgent(t, eventlog.NewStore())
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatalf("flush on plain sink should succeed: %v", err)
 	}
 }
 
 func TestClientErrorsAgainstDownAgent(t *testing.T) {
+	ctx := context.Background()
 	c := agentapi.New("http://127.0.0.1:1", &http.Client{Timeout: 100 * time.Millisecond})
-	if _, err := c.Info(); err == nil {
+	if _, err := c.Info(ctx); err == nil {
 		t.Fatal("Info should fail")
 	}
-	if err := c.InstallRules(abortRule("r")); err == nil {
+	if err := c.InstallRules(ctx, abortRule("r")); err == nil {
 		t.Fatal("InstallRules should fail")
 	}
-	if _, err := c.ListRules(); err == nil {
+	if _, err := c.ListRules(ctx); err == nil {
 		t.Fatal("ListRules should fail")
 	}
-	if err := c.RemoveRule("r"); err == nil {
+	if err := c.RemoveRule(ctx, "r"); err == nil {
 		t.Fatal("RemoveRule should fail")
 	}
-	if _, err := c.ClearRules(); err == nil {
+	if _, err := c.ClearRules(ctx); err == nil {
 		t.Fatal("ClearRules should fail")
 	}
-	if err := c.Flush(); err == nil {
+	if err := c.Flush(ctx); err == nil {
 		t.Fatal("Flush should fail")
+	}
+	if _, err := c.GetRuleSet(ctx); err == nil {
+		t.Fatal("GetRuleSet should fail")
+	}
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 1}, rules.NoMatch); err == nil {
+		t.Fatal("PutRuleSet should fail")
 	}
 }
 
@@ -200,6 +216,7 @@ func (brokenSink) Log(...eventlog.Record) error {
 // dropped/flush/retry counters so operators (and campaigns) can tell lossy
 // runs from trustworthy ones.
 func TestControlInfoReportsSinkHealth(t *testing.T) {
+	ctx := context.Background()
 	store := eventlog.NewStore()
 	b := eventlog.NewBufferedSinkOpts(store, eventlog.BufferOptions{Size: 1 << 20, Interval: time.Hour})
 	defer b.Close()
@@ -216,7 +233,7 @@ func TestControlInfoReportsSinkHealth(t *testing.T) {
 	if st.LogFlushes != 1 || st.LogDropped != 0 || st.LogRetries != 0 {
 		t.Fatalf("stats = %+v, want one clean flush", st)
 	}
-	info, err := c.Info()
+	info, err := c.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +255,7 @@ func TestControlInfoReportsSinkHealth(t *testing.T) {
 	if st2.LogRetries == 0 || st2.LogDropped == 0 || st2.LogFlushes != 0 {
 		t.Fatalf("stats = %+v, want retries and drops, no flushes", st2)
 	}
-	info2, err := c2.Info()
+	info2, err := c2.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,8 +273,9 @@ func TestControlInfoReportsSinkHealth(t *testing.T) {
 }
 
 func TestControlMetricsExposition(t *testing.T) {
+	ctx := context.Background()
 	a, c := startAgent(t, nil)
-	if err := c.InstallRules(abortRule("abort-server")); err != nil {
+	if err := c.InstallRules(ctx, abortRule("abort-server")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -278,7 +296,7 @@ func TestControlMetricsExposition(t *testing.T) {
 		t.Fatalf("fault did not fire: status %d", resp.StatusCode)
 	}
 
-	body, err := c.Metrics()
+	body, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,6 +310,9 @@ func TestControlMetricsExposition(t *testing.T) {
 		`gremlin_rule_fired_total{service="client",rule="abort-server"} 1`,
 		`gremlin_agent_request_duration_seconds_count{service="client"} 1`,
 		`gremlin_agent_request_duration_seconds_bucket{service="client",le="+Inf"} 1`,
+		`gremlin_agent_ruleset_generation{service="client"} 1`,
+		`gremlin_agent_ruleset_rules{service="client"} 1`,
+		`gremlin_agent_ruleset_expired_total{service="client"} 0`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)
@@ -299,11 +320,149 @@ func TestControlMetricsExposition(t *testing.T) {
 	}
 
 	// The info body carries the same per-rule counters for the control plane.
-	info, err := c.Info()
+	info, err := c.Info(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(info.RuleStats) != 1 || info.RuleStats[0].Fired != 1 {
 		t.Fatalf("info.RuleStats = %+v, want one rule with 1 fired", info.RuleStats)
+	}
+}
+
+// TestControlRuleSetRoundTrip pins the declarative surface over the wire:
+// PUT replaces the whole rule state atomically, GET returns it, and the
+// version shows up in /v1/info for drift detection.
+func TestControlRuleSetRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	_, c := startAgent(t, nil)
+
+	set := rules.RuleSet{Generation: 3, Rules: []rules.Rule{abortRule("r1"), abortRule("r2")}}
+	st, err := c.PutRuleSet(ctx, set, rules.NoMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Changed || st.Generation != 3 || st.Rules != 2 || st.Hash != set.Hash() {
+		t.Fatalf("put status = %+v", st)
+	}
+
+	got, err := c.GetRuleSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 3 || len(got.Rules) != 2 || got.Hash != set.Hash() {
+		t.Fatalf("get ruleset = %+v", got)
+	}
+
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.RuleSet.Generation != 3 || info.RuleSet.Rules != 2 {
+		t.Fatalf("info ruleset = %+v", info.RuleSet)
+	}
+
+	// Mis-targeted rules are rejected up front, leaving state untouched.
+	bad := abortRule("evil")
+	bad.Src = "someoneelse"
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 9, Rules: []rules.Rule{bad}}, rules.NoMatch); err == nil {
+		t.Fatal("want error for mis-targeted rule")
+	}
+	if info, _ := c.Info(ctx); info.RuleSet.Generation != 3 {
+		t.Fatalf("failed put moved the generation: %+v", info.RuleSet)
+	}
+}
+
+// TestControlRuleSetConflicts pins the HTTP status mapping for the CAS
+// semantics: stale and split-brain applies return 409, losing If-Match
+// returns 412, and each carries the agent's current version for recovery.
+func TestControlRuleSetConflicts(t *testing.T) {
+	ctx := context.Background()
+	_, c := startAgent(t, nil)
+
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 5, Rules: []rules.Rule{abortRule("r1")}}, rules.NoMatch); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 4}, rules.NoMatch)
+	if !errors.Is(err, agentapi.ErrConflict) {
+		t.Fatalf("stale put: want ErrConflict, got %v", err)
+	}
+	if st.Generation != 5 {
+		t.Fatalf("conflict response should carry current version, got %+v", st)
+	}
+
+	_, err = c.PutRuleSet(ctx, rules.RuleSet{Generation: 5, Rules: []rules.Rule{abortRule("other")}}, rules.NoMatch)
+	if !errors.Is(err, agentapi.ErrConflict) {
+		t.Fatalf("split-brain put: want ErrConflict, got %v", err)
+	}
+
+	st, err = c.PutRuleSet(ctx, rules.RuleSet{Generation: 9}, 3)
+	if !errors.Is(err, agentapi.ErrPreconditionFailed) {
+		t.Fatalf("wrong If-Match: want ErrPreconditionFailed, got %v", err)
+	}
+	if st.Generation != 5 {
+		t.Fatalf("412 response should carry current version, got %+v", st)
+	}
+
+	// A matching If-Match wins even with a lower generation: a fresh
+	// control plane taking over an agent left behind by a dead one.
+	st, err = c.PutRuleSet(ctx, rules.RuleSet{Generation: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Changed || st.Generation != 2 || st.Rules != 0 {
+		t.Fatalf("takeover status = %+v", st)
+	}
+}
+
+// TestControlRuleSetLeaseExpiry pins the agent-side safety net: a rule set
+// delivered with a TTL self-clears if no renewal arrives, so a killed
+// control plane can never leak faults into the mesh.
+func TestControlRuleSetLeaseExpiry(t *testing.T) {
+	ctx := context.Background()
+	a, c := startAgent(t, nil)
+
+	set := rules.RuleSet{Generation: 1, Rules: []rules.Rule{abortRule("r1")}, TTLMillis: 60}
+	if _, err := c.PutRuleSet(ctx, set, rules.NoMatch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Renewing before the deadline keeps the rules alive past the original
+	// TTL (the re-PUT is a no-op apply but re-arms the lease).
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.PutRuleSet(ctx, set, rules.NoMatch); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond) // 70ms past first PUT, 40ms past renewal
+	if info, _ := c.Info(ctx); info.RuleSet.Rules != 1 {
+		t.Fatalf("rules expired despite renewal: %+v", info.RuleSet)
+	}
+
+	// Then let the lease lapse.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, err := c.Info(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.RuleSet.Rules == 0 {
+			if info.Stats.RulesetExpirations != 1 {
+				t.Fatalf("stats = %+v, want one expiration", info.Stats)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired: %+v", info.RuleSet)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A later PUT without TTL installs permanent rules; no timer fires.
+	if _, err := c.PutRuleSet(ctx, rules.RuleSet{Generation: 10, Rules: []rules.Rule{abortRule("r2")}}, rules.NoMatch); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if st := a.Stats(); st.RulesetExpirations != 1 {
+		t.Fatalf("ttl-less rule set expired: %+v", st)
 	}
 }

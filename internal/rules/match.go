@@ -98,6 +98,12 @@ type RuleStat struct {
 // build a fresh snapshot and publish it atomically (RCU); readers load the
 // pointer and never synchronize with writers.
 type snapshot struct {
+	// gen is the rule-set generation this snapshot carries and hash the
+	// content hash of its rules — the version the agent reports to the
+	// control plane for drift detection. Versioned applies adopt the
+	// incoming generation; imperative writers bump it by one.
+	gen  uint64
+	hash string
 	// rules holds every installed rule in insertion order.
 	rules []CompiledRule
 	// stats holds each rule's counters, parallel to rules. The pointers are
@@ -159,6 +165,10 @@ type Matcher struct {
 	snap atomic.Pointer[snapshot]
 	mu   sync.Mutex // serializes snapshot writers
 
+	// rebuilds counts snapshot recompilations; idempotent re-applies of an
+	// unchanged rule set leave it untouched (see ApplyRuleSet).
+	rebuilds atomic.Int64
+
 	fastPath   atomic.Bool
 	linearScan atomic.Bool
 
@@ -183,8 +193,27 @@ func NewMatcher(rng *rand.Rand) *Matcher {
 		m.seedMu.Unlock()
 		return rand.New(rand.NewSource(seed))
 	}
-	m.snap.Store(newSnapshot(nil, nil))
+	empty := newSnapshot(nil, nil)
+	empty.hash = HashRules(nil)
+	m.snap.Store(empty)
 	return m
+}
+
+// publishLocked is the single imperative write path: it compiles the next
+// rule list into a snapshot at the successor generation and publishes it.
+// Install, Remove, and Clear all funnel through here, which is what makes
+// them shims over the versioned rule-set state — every imperative mutation
+// is just the next generation of the whole set. Callers hold m.mu.
+func (m *Matcher) publishLocked(next []CompiledRule, prev *snapshot) {
+	s := newSnapshot(next, prev)
+	s.gen = prev.gen + 1
+	list := make([]Rule, len(next))
+	for i, r := range next {
+		list[i] = r.Rule
+	}
+	s.hash = HashRules(list)
+	m.rebuilds.Add(1)
+	m.snap.Store(s)
 }
 
 // Install adds rules to the matcher. It rejects the whole batch if any rule
@@ -215,7 +244,7 @@ func (m *Matcher) Install(rs ...Rule) error {
 	next := make([]CompiledRule, 0, len(cur.rules)+len(compiled))
 	next = append(next, cur.rules...)
 	next = append(next, compiled...)
-	m.snap.Store(newSnapshot(next, cur))
+	m.publishLocked(next, cur)
 	return nil
 }
 
@@ -233,7 +262,7 @@ func (m *Matcher) Remove(id string) bool {
 			next = append(next, r)
 		}
 	}
-	m.snap.Store(newSnapshot(next, cur))
+	m.publishLocked(next, cur)
 	return true
 }
 
@@ -241,8 +270,9 @@ func (m *Matcher) Remove(id string) bool {
 func (m *Matcher) Clear() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := len(m.snap.Load().rules)
-	m.snap.Store(newSnapshot(nil, nil))
+	cur := m.snap.Load()
+	n := len(cur.rules)
+	m.publishLocked(nil, cur)
 	return n
 }
 

@@ -1,0 +1,95 @@
+package gremlin_test
+
+import (
+	"context"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/agentapi"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/metrics"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/rules"
+)
+
+// TestMetricInventoryDocumented scrapes every metrics producer — a live
+// agent, the store server, and the orchestrator's reconciler — lints the
+// expositions, and asserts README.md documents every family emitted. A new
+// metric without a README row fails here, so the inventory cannot rot.
+func TestMetricInventoryDocumented(t *testing.T) {
+	app := buildApp(t)
+	ctx := context.Background()
+
+	// Stage a rule through the reconciler so the per-rule and per-agent
+	// families have samples to emit.
+	orch := orchestrator.New(app.Registry, orchestrator.WithRetry(3, 5*time.Millisecond))
+	_, err := orch.SetOwner(ctx, "inventory", []rules.Rule{{
+		ID: "inv-1", Src: "serviceA", Dst: "serviceB",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var expositions []string
+
+	agentBody, err := agentapi.New(app.Agent("serviceA").ControlURL(), nil).Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expositions = append(expositions, agentBody)
+
+	storeServer, err := eventlog.NewServer("127.0.0.1:0", app.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := storeServer.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	storeBody, err := eventlog.NewClient(storeServer.URL(), nil).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expositions = append(expositions, storeBody)
+
+	mw := metrics.NewWriter()
+	orch.WriteMetrics(mw)
+	expositions = append(expositions, mw.String())
+
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	typeLine := regexp.MustCompile(`(?m)^# TYPE (\S+) `)
+	families := map[string]bool{}
+	for i, body := range expositions {
+		if err := metrics.Lint(strings.NewReader(body)); err != nil {
+			t.Errorf("exposition %d fails lint: %v", i, err)
+		}
+		for _, m := range typeLine.FindAllStringSubmatch(body, -1) {
+			families[m[1]] = true
+		}
+	}
+	if len(families) < 20 {
+		t.Fatalf("only %d metric families scraped — a producer is missing from this test", len(families))
+	}
+	for fam := range families {
+		if !strings.Contains(string(readme), "`"+fam+"`") {
+			t.Errorf("metric family %s is emitted but not documented in README.md", fam)
+		}
+	}
+
+	// And the other direction: every documented gremlin_* family exists.
+	docRow := regexp.MustCompile("`(gremlin_[a-z_]+)`")
+	for _, m := range docRow.FindAllStringSubmatch(string(readme), -1) {
+		if !families[m[1]] {
+			t.Errorf("README.md documents %s but no producer emits it", m[1])
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package gremlin_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gremlin"
+	"gremlin/internal/agentapi"
+	"gremlin/internal/core"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/rules"
+	"gremlin/internal/topology"
+)
+
+// These tests exercise the declarative control plane end to end against a
+// live topology: real agents with real control APIs, reconciled by a real
+// orchestrator — the acceptance scenarios for drift repair, lease
+// reclamation, and idempotent rule-set application.
+
+func buildApp(t *testing.T) *topology.App {
+	t.Helper()
+	spec := topology.TwoServices(5, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(7))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return app
+}
+
+// TestE2EAntiEntropyRepairsRestartedAgent stages a recipe's rules, wipes an
+// agent out-of-band (what a crash-restart produces: the agent comes back
+// with no rules), and verifies that Drift reports the divergence and the
+// anti-entropy loop restores the rules without any help from the recipe.
+func TestE2EAntiEntropyRepairsRestartedAgent(t *testing.T) {
+	app := buildApp(t)
+	ctx := context.Background()
+	orch := orchestrator.New(app.Registry, orchestrator.WithRetry(3, 5*time.Millisecond))
+	runner := core.NewRunner(app.Graph, orch, app.Store, app.Store)
+
+	report, err := runner.Run(ctx, gremlin.Recipe{
+		Name:      "staged",
+		Scenarios: []gremlin.Scenario{gremlin.Overload{Service: "serviceB", AbortFraction: 1}},
+		Checks:    []gremlin.Check{gremlin.ExpectBoundedRetries("serviceA", "serviceB", 5)},
+	}, core.RunOptions{
+		Owner:     "recipe-1",
+		KeepRules: true, // leave the faults staged: the run is "mid-recipe"
+		ClearLogs: true,
+		Load: func() error {
+			_, err := loadgen.Run(app.EntryURL(), loadgen.Options{N: 1})
+			return err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Passed() {
+		t.Fatalf("recipe failed:\n%s", report)
+	}
+
+	ctl := agentapi.New(app.Agent("serviceA").ControlURL(), nil)
+	body, err := ctl.GetRuleSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rules) == 0 {
+		t.Fatal("staged recipe installed no rules on serviceA's agent")
+	}
+
+	// "Restart" the agent: its rule state is gone.
+	if _, err := ctl.ClearRules(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := orch.Drift(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Converged() {
+		t.Fatalf("drift after agent wipe should not be converged:\n%s", rep.Describe())
+	}
+
+	stop := orch.StartAntiEntropy(10 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err = orch.Drift(ctx)
+		if err == nil && rep.Converged() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not reconverge:\n%s", rep.Describe())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body, err = ctl.GetRuleSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rules) == 0 {
+		t.Fatal("anti-entropy did not restore the staged rules")
+	}
+	stop()
+
+	// Withdrawing the owner converges the fleet back to empty.
+	rep, err = orch.RemoveOwner(ctx, "recipe-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	body, err = ctl.GetRuleSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rules) != 0 {
+		t.Fatalf("rules left after revert: %d", len(body.Rules))
+	}
+}
+
+// TestE2ELeasedRulesExpireWithoutControlPlane kills a "campaign" the
+// rudest possible way — nobody renews its lease and no control plane is
+// left running — and verifies the agents reclaim the orphaned faults all
+// by themselves, and that the orchestrator's own lease bookkeeping expires
+// the owner on its next pass.
+func TestE2ELeasedRulesExpireWithoutControlPlane(t *testing.T) {
+	app := buildApp(t)
+	ctx := context.Background()
+	orch := orchestrator.New(app.Registry, orchestrator.WithRetry(3, 5*time.Millisecond))
+
+	ruleset := []rules.Rule{{
+		ID: "lease-1", Src: "serviceA", Dst: "serviceB",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}}
+	if _, err := orch.ApplyOwned(ctx, "campaign-1", 150*time.Millisecond, ruleset); err != nil {
+		t.Fatal(err)
+	}
+
+	ctl := agentapi.New(app.Agent("serviceA").ControlURL(), nil)
+	body, err := ctl.GetRuleSet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rules) != 1 || !body.Leased {
+		t.Fatalf("want 1 leased rule, got %d (leased=%v)", len(body.Rules), body.Leased)
+	}
+
+	// The campaign is dead: no renewal, no anti-entropy. The agent's own
+	// TTL is the last line of defence.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body, err = ctl.GetRuleSet(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Rules) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never expired the leased rules: %d still installed", len(body.Rules))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	info, err := ctl.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Stats.RulesetExpirations == 0 {
+		t.Fatal("agent should count its self-expiry")
+	}
+
+	// The orchestrator's next pass notices the lapsed lease too: the owner
+	// is gone and renewals are refused.
+	rep, err := orch.Reconcile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range rep.Expired {
+		if name == "campaign-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reconcile should report the lapsed lease, got %v", rep.Expired)
+	}
+	if owners := orch.Owners(); len(owners) != 0 {
+		t.Fatalf("owners after expiry: %v", owners)
+	}
+	if err := orch.RenewLease("campaign-1", time.Second); err == nil {
+		t.Fatal("renewing an expired lease should fail")
+	}
+}
+
+// TestE2ERuleSetPutIdempotent re-sends an identical RuleSet to a live
+// agent and verifies the second application is a pure no-op: same
+// generation, Changed=false, and — crucially — no matcher rebuild, so a
+// chatty reconciler costs converged agents nothing on the hot path.
+func TestE2ERuleSetPutIdempotent(t *testing.T) {
+	app := buildApp(t)
+	ctx := context.Background()
+	ctl := agentapi.New(app.Agent("serviceA").ControlURL(), nil)
+
+	rs := rules.RuleSet{Generation: 1, Rules: []rules.Rule{{
+		ID: "idem-1", Src: "serviceA", Dst: "serviceB",
+		Action: rules.ActionAbort, Pattern: "test-*", ErrorCode: 503,
+	}}}
+	st, err := ctl.PutRuleSet(ctx, rs, rules.NoMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Changed || st.Generation != 1 || st.Rules != 1 {
+		t.Fatalf("first apply: %+v", st)
+	}
+
+	rebuilds := app.Agent("serviceA").Matcher().Rebuilds()
+	st2, err := ctl.PutRuleSet(ctx, rs, rules.NoMatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Changed {
+		t.Fatalf("re-apply should be a no-op: %+v", st2)
+	}
+	if st2.Generation != st.Generation || st2.Hash != st.Hash {
+		t.Fatalf("re-apply moved the rule set: %+v vs %+v", st2, st)
+	}
+	if got := app.Agent("serviceA").Matcher().Rebuilds(); got != rebuilds {
+		t.Fatalf("idempotent re-apply rebuilt the matcher: %d -> %d", rebuilds, got)
+	}
+}
