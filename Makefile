@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke check
 
 all: check
 
@@ -26,15 +26,16 @@ cover:
 	@echo "total: $$($(GO) tool cover -func=cover.out | tail -n 1 | awk '{print $$3}')"
 	@rm -f cover.out
 
-# Before/after micro-benchmarks for the hot paths (matcher, store, proxy).
+# Before/after micro-benchmarks for the hot paths (matcher, store, proxy)
+# plus the sharded-vs-single store pairs.
 bench:
-	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput' -benchtime 0.5s .
+	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput|ShardedStore' -benchtime 0.5s .
 
 # The same hot-path benchmarks, parsed into a committed JSON snapshot so
 # runs can be diffed across PRs.
 bench-json:
-	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput' -benchtime 0.5s . \
-		| $(GO) run ./internal/tools/benchjson > BENCH_2.json
+	$(GO) test -run xxx -bench 'MatcherDecide|StoreSelect|ProxyThroughput|ShardedStore' -benchtime 0.5s . \
+		| $(GO) run ./internal/tools/benchjson > BENCH_3.json
 
 # The paper's full evaluation series (Tables 1-3, Figures 5-8).
 bench-figures:
@@ -50,5 +51,11 @@ campaign-smoke:
 # inflation is attributed to the injected rule. Exits non-zero otherwise.
 trace-smoke:
 	$(GO) run ./examples/tracing
+
+# Crash-recovery smoke: a real gremlin-logstore process is SIGKILLed
+# mid-stream; the restart must replay every acknowledged record
+# byte-exact, and compaction must reclaim cleared namespaces' WAL space.
+store-smoke:
+	$(GO) run ./examples/storecrash
 
 check: build vet test race

@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -600,3 +601,176 @@ func BenchmarkFigure8Match200RulesFastPath(b *testing.B) {
 		}
 	}
 }
+
+// ---- Sharded store: concurrent append/select scaling ----
+//
+// The workloads below are the store's production shape: many agents
+// batch-appending concurrently while checkers issue namespace-pinned
+// queries. Shards=1 is the ablation — a plain single-mutex store behind
+// the same API — so the pairs quantify what partitioning buys.
+
+const shardBenchNamespaces = 64
+
+func shardBenchRecord(ns, i int) eventlog.Record {
+	return eventlog.Record{
+		Timestamp: time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Microsecond),
+		RequestID: fmt.Sprintf("ns%d-%d", ns, i),
+		Src:       "a", Dst: "b", Kind: eventlog.KindReply, Status: 200, LatencyMillis: 1,
+	}
+}
+
+func newBenchShardedStore(b *testing.B, shards int) *eventlog.ShardedStore {
+	b.Helper()
+	ss, err := eventlog.NewShardedStore(eventlog.StoreOptions{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := ss.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	return ss
+}
+
+// populateSharded fills the store with total records spread evenly over
+// the bench namespaces.
+func populateSharded(b *testing.B, ss *eventlog.ShardedStore, total int) {
+	b.Helper()
+	const chunk = 1000
+	for at := 0; at < total; at += chunk {
+		recs := make([]eventlog.Record, 0, chunk)
+		for i := at; i < at+chunk && i < total; i++ {
+			recs = append(recs, shardBenchRecord(i%shardBenchNamespaces, i))
+		}
+		if err := ss.Log(recs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkShardedAppend: parallel writers, each appending 128-record
+// batches into its own rotation of namespaces (the shard-aware client's
+// flush shape). One op = one batch.
+func benchmarkShardedAppend(b *testing.B, shards int) {
+	ss := newBenchShardedStore(b, shards)
+	var worker atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1))
+		i := 0
+		for pb.Next() {
+			recs := make([]eventlog.Record, 128)
+			for j := range recs {
+				recs[j] = shardBenchRecord((w*7+i+j)%shardBenchNamespaces, i+j)
+			}
+			if err := ss.Log(recs...); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedStoreAppend1Shard(b *testing.B)  { benchmarkShardedAppend(b, 1) }
+func BenchmarkShardedStoreAppend8Shards(b *testing.B) { benchmarkShardedAppend(b, 8) }
+
+// benchmarkShardedSelect: 100k records resident, parallel namespace-pinned
+// queries — the checker's per-run access pattern during a campaign.
+func benchmarkShardedSelect(b *testing.B, shards int) {
+	ss := newBenchShardedStore(b, shards)
+	populateSharded(b, ss, 100_000)
+	var worker atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1))
+		i := 0
+		for pb.Next() {
+			ns := (w*13 + i) % shardBenchNamespaces
+			// Namespaces below 100k%64 hold one extra record.
+			want := 100_000 / shardBenchNamespaces
+			if ns < 100_000%shardBenchNamespaces {
+				want++
+			}
+			recs, err := ss.Select(eventlog.Query{IDPattern: fmt.Sprintf("ns%d-*", ns)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != want {
+				b.Fatalf("ns%d: got %d records, want %d", ns, len(recs), want)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedStoreSelect1Shard(b *testing.B)  { benchmarkShardedSelect(b, 1) }
+func BenchmarkShardedStoreSelect8Shards(b *testing.B) { benchmarkShardedSelect(b, 8) }
+
+// benchmarkShardedMixed: appends and pinned selects interleaved across
+// workers over a 100k-record store — campaign steady state, where a
+// single-mutex store serializes readers behind writers.
+func benchmarkShardedMixed(b *testing.B, shards int) {
+	ss := newBenchShardedStore(b, shards)
+	populateSharded(b, ss, 100_000)
+	var worker atomic.Int64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1))
+		i := 0
+		for pb.Next() {
+			ns := (w*13 + i) % shardBenchNamespaces
+			if (w+i)%2 == 0 {
+				recs := make([]eventlog.Record, 64)
+				for j := range recs {
+					recs[j] = shardBenchRecord((ns+j)%shardBenchNamespaces, i+j)
+				}
+				if err := ss.Log(recs...); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := ss.Select(eventlog.Query{IDPattern: fmt.Sprintf("ns%d-*", ns), Limit: 2000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedStoreMixed1Shard(b *testing.B)  { benchmarkShardedMixed(b, 1) }
+func BenchmarkShardedStoreMixed8Shards(b *testing.B) { benchmarkShardedMixed(b, 8) }
+
+// benchmarkWALAppend: the durable append path (WAL to the kernel before
+// ack, no fsync wait) against the volatile one.
+func benchmarkWALAppend(b *testing.B, dataDir bool) {
+	opts := eventlog.StoreOptions{Shards: 8, Fsync: eventlog.FsyncNever}
+	if dataDir {
+		opts.DataDir = b.TempDir()
+	}
+	ss, err := eventlog.NewShardedStore(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := ss.Close(); err != nil {
+			b.Error(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := make([]eventlog.Record, 128)
+		for j := range recs {
+			recs[j] = shardBenchRecord((i+j)%shardBenchNamespaces, i+j)
+		}
+		if err := ss.Log(recs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedStoreAppendVolatile(b *testing.B) { benchmarkWALAppend(b, false) }
+func BenchmarkShardedStoreAppendWAL(b *testing.B)      { benchmarkWALAppend(b, true) }

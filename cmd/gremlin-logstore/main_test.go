@@ -130,3 +130,78 @@ func TestRunBadPersistFile(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o600)
 }
+
+func TestRunShardedWithDataDir(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "wal")
+
+	// First run: ingest via HTTP, shut down cleanly.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	waitForSignal = func() {
+		close(started)
+		<-release
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "4", "-data-dir", dataDir, "-fsync", "never"})
+	}()
+	<-started
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Seed the WAL out of band, then restart: the store must replay it.
+	ss, err := eventlog.NewShardedStore(eventlog.StoreOptions{Shards: 4, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Log(eventlog.Record{Src: "a", Dst: "b", Kind: eventlog.KindRequest, RequestID: "test-1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	started = make(chan struct{})
+	release = make(chan struct{})
+	waitForSignal = func() {
+		close(started)
+		<-release
+	}
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-shards", "4", "-data-dir", dataDir})
+	}()
+	<-started
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+
+	re, err := eventlog.NewShardedStore(eventlog.StoreOptions{Shards: 4, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 1 {
+		t.Fatalf("replayed %d records across restart, want 1", got)
+	}
+}
+
+func TestRunRejectsPersistWithDataDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-persist", filepath.Join(dir, "e.jsonl"),
+		"-data-dir", filepath.Join(dir, "wal"),
+	})
+	if err == nil {
+		t.Fatal("-persist with -data-dir must be rejected")
+	}
+}
+
+func TestRunRejectsBadFsyncPolicy(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0", "-fsync", "sometimes"}); err == nil {
+		t.Fatal("want fsync policy error")
+	}
+}

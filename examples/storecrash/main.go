@@ -1,0 +1,213 @@
+// Command storecrash demonstrates the sharded event store's crash
+// durability end to end, with a real process kill:
+//
+//  1. It builds the gremlin-logstore binary and starts it with 4 shards
+//     and a write-ahead-log data directory.
+//  2. A client batch-appends records across several request-ID
+//     namespaces; every append below is acknowledged — the store wrote
+//     the batch to the kernel before replying.
+//  3. The store process is killed with SIGKILL (no shutdown path runs).
+//  4. A restarted store on the same data directory replays the WAL; the
+//     client re-reads everything and verifies the acknowledged records
+//     came back byte-exact.
+//  5. A campaign namespace is cleared and compacted away; the data
+//     directory shrinks, and a final restart still replays correctly.
+//
+// Everything runs in this process tree on loopback TCP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"gremlin/internal/eventlog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Gremlin sharded store: surviving kill -9 ===")
+
+	work, err := os.MkdirTemp("", "gremlin-storecrash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "gremlin-logstore")
+	dataDir := filepath.Join(work, "data")
+
+	fmt.Println("\n--- build gremlin-logstore ---")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/gremlin-logstore")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	url := "http://" + addr
+
+	fmt.Println("\n--- first run: append across namespaces, then SIGKILL ---")
+	proc, err := startStore(bin, addr, dataDir)
+	if err != nil {
+		return err
+	}
+	defer proc.Process.Kill() //nolint:errcheck // belt and braces on early error paths
+
+	client := eventlog.NewClient(url, nil)
+	var batch []eventlog.Record
+	base := time.Now().UTC().Truncate(time.Millisecond)
+	for i := 0; i < 2000; i++ {
+		ns := []string{"test", "prod", "camp-run1", "camp-run2"}[i%4]
+		batch = append(batch, eventlog.Record{
+			Timestamp: base.Add(time.Duration(i) * time.Millisecond),
+			RequestID: fmt.Sprintf("%s-%d", ns, i),
+			Src:       "gateway", Dst: "backend",
+			Kind: eventlog.KindRequest,
+		})
+	}
+	if err := client.LogBatch(batch); err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	acked, err := client.Select(eventlog.Query{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("acknowledged %d records across 4 shards\n", len(acked))
+
+	fmt.Println("kill -9", proc.Process.Pid)
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	_ = proc.Wait()
+
+	fmt.Println("\n--- second run: replay the WAL, verify byte-exact recovery ---")
+	proc, err = startStore(bin, addr, dataDir)
+	if err != nil {
+		return err
+	}
+	recovered, err := client.Select(eventlog.Query{})
+	if err != nil {
+		return err
+	}
+	if len(recovered) != len(acked) {
+		return fmt.Errorf("recovered %d records, acknowledged %d", len(recovered), len(acked))
+	}
+	for i := range recovered {
+		if recovered[i] != acked[i] {
+			return fmt.Errorf("record %d differs after crash recovery:\n before %+v\n after  %+v", i, acked[i], recovered[i])
+		}
+	}
+	fmt.Printf("all %d acknowledged records recovered byte-exact\n", len(recovered))
+
+	fmt.Println("\n--- clear a campaign namespace; compaction reclaims its WAL space ---")
+	sizeBefore, err := dirSize(dataDir)
+	if err != nil {
+		return err
+	}
+	for _, pat := range []string{"camp-run1-*", "camp-run2-*"} {
+		n, err := client.ClearMatching(pat)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cleared %d records matching %s\n", n, pat)
+	}
+	// CompactAfter defaults above the 1000 records just cleared, so the
+	// automatic trigger stays quiet; ask explicitly.
+	if err := client.Compact(); err != nil {
+		return err
+	}
+	sizeAfter, err := dirSize(dataDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data dir: %d bytes -> %d bytes\n", sizeBefore, sizeAfter)
+	if sizeAfter >= sizeBefore {
+		return fmt.Errorf("compaction did not reclaim space (%d -> %d bytes)", sizeBefore, sizeAfter)
+	}
+
+	fmt.Println("\n--- third run: post-compaction WAL still replays ---")
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	_ = proc.Wait()
+	proc, err = startStore(bin, addr, dataDir)
+	if err != nil {
+		return err
+	}
+	final, err := client.Select(eventlog.Query{})
+	if err != nil {
+		return err
+	}
+	if want := len(acked) / 2; len(final) != want {
+		return fmt.Errorf("post-compaction replay: %d records, want %d", len(final), want)
+	}
+	fmt.Printf("%d surviving records replayed after compaction\n", len(final))
+
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	_ = proc.Wait()
+	fmt.Println("\n=== done: every acknowledged append survived kill -9 ===")
+	return nil
+}
+
+// startStore launches the logstore binary and waits for /healthz.
+func startStore(bin, addr, dataDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, "-addr", addr, "-shards", "4", "-data-dir", dataDir, "-fsync", "interval")
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	return nil, fmt.Errorf("store at %s never became healthy", addr)
+}
+
+// freeAddr asks the kernel for an unused loopback port.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	defer l.Close()
+	return l.Addr().String(), nil
+}
+
+// dirSize sums the bytes under dir.
+func dirSize(dir string) (int64, error) {
+	var n int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			n += info.Size()
+		}
+		return nil
+	})
+	return n, err
+}

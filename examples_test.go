@@ -20,6 +20,7 @@ var runnableExamples = []string{
 	"./examples/outages",
 	"./examples/pubsub",
 	"./examples/shadow",
+	"./examples/storecrash",
 	"./examples/tracing",
 	"./examples/watch",
 }

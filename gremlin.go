@@ -128,6 +128,16 @@ type (
 
 	// Source answers record queries (the checker reads through it).
 	Source = eventlog.Source
+
+	// ShardedStore is the sharded, optionally WAL-backed event store:
+	// records partition across shards by request-ID namespace, reads
+	// scatter-gather with a time-sorted merge, and a data directory makes
+	// every acknowledged append crash-durable.
+	ShardedStore = eventlog.ShardedStore
+
+	// StoreOptions configures a ShardedStore (shard count, WAL directory,
+	// fsync policy, segment size, compaction threshold).
+	StoreOptions = eventlog.StoreOptions
 )
 
 // Record kinds.
@@ -139,9 +149,16 @@ const (
 // NewStore creates an empty in-memory event store.
 func NewStore() *Store { return eventlog.NewStore() }
 
+// NewShardedStore creates a sharded event store. The zero StoreOptions
+// value yields a single volatile shard — equivalent to NewStore; set
+// Shards and DataDir to scale and persist it.
+func NewShardedStore(opts StoreOptions) (*ShardedStore, error) {
+	return eventlog.NewShardedStore(opts)
+}
+
 // NewStoreServer starts an event-store server on addr ("127.0.0.1:0" for
-// an ephemeral port).
-func NewStoreServer(addr string, store *Store) (*StoreServer, error) {
+// an ephemeral port). store is either a *Store or a *ShardedStore.
+func NewStoreServer(addr string, store eventlog.StoreAPI) (*StoreServer, error) {
 	return eventlog.NewServer(addr, store)
 }
 

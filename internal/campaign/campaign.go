@@ -299,6 +299,10 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 		blast := tracing.BlastRadius(traces)
 		e.BlastReached, e.BlastFailed = blast.Reached, blast.Failed
 	}
+	if n, cerr := eventlog.CountRecords(runner.Checker().Source(),
+		eventlog.Query{IDPattern: pat}); cerr == nil {
+		e.RecordCount = n
+	}
 	if o.Cleanup != nil {
 		o.Cleanup(pat)
 	}

@@ -49,6 +49,11 @@ type Entry struct {
 	// computed on partial evidence.
 	LogsDropped int64 `json:"logsDropped,omitempty"`
 
+	// RecordCount is how many observation records the run left in the
+	// store before cleanup reclaimed its namespace — counted store-side
+	// (one shard, for a sharded store), never shipped.
+	RecordCount int `json:"recordCount,omitempty"`
+
 	// BlastReached and BlastFailed are the run's blast radius, computed
 	// from the run's causal traces before cleanup: services that handled
 	// faulted flows, and services that delivered failures within them

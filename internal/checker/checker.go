@@ -77,6 +77,21 @@ func (c *Checker) GetReplies(src, dst, idPattern string) (RList, error) {
 	return recs, nil
 }
 
+// CountRequests reports how many requests from src to dst match
+// idPattern without materializing them: against a sharded or remote
+// store the count is computed store-side (shard-locally for namespaced
+// patterns), so existence and volume checks never copy record bodies.
+// limit > 0 stops counting early — an existence check passes limit 1.
+func (c *Checker) CountRequests(src, dst, idPattern string, limit int) (int, error) {
+	n, err := eventlog.CountRecords(c.source, eventlog.Query{
+		Src: src, Dst: dst, Kind: eventlog.KindRequest, IDPattern: idPattern, Limit: limit,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("checker: count requests %s->%s: %w", src, dst, err)
+	}
+	return n, nil
+}
+
 // Destinations returns the distinct destination services that src was
 // observed calling, in first-seen order. Pattern checks that must reason
 // about "all other dependencies" (HasBulkhead) use it.

@@ -24,6 +24,7 @@ import (
 // reading assertions to make all observations visible.
 type BufferedSink struct {
 	sink     Sink
+	batch    batchSink     // sink's batch fast path, nil when absent
 	size     int           // flush threshold
 	max      int           // buffer bound; overflow drops oldest records
 	interval time.Duration // background flush period
@@ -36,13 +37,23 @@ type BufferedSink struct {
 	// even when Flush races the background flusher.
 	flushMu sync.Mutex
 
-	dropped atomic.Int64
-	flushes atomic.Int64
-	retries atomic.Int64
+	dropped      atomic.Int64
+	flushes      atomic.Int64
+	retries      atomic.Int64
+	batchRecords atomic.Int64
+	maxBatch     atomic.Int64
 
 	kick chan struct{}
 	stop chan struct{}
 	done chan struct{}
+}
+
+// batchSink is the optional one-body batch surface of a Sink
+// (Client.LogBatch encodes a flush into a single pooled NDJSON body and
+// pre-routes it per shard). When the underlying sink has it, flushes go
+// through it instead of the record-slice Log call.
+type batchSink interface {
+	LogBatch(recs []Record) error
 }
 
 // BufferOptions tunes a BufferedSink. Zero values select defaults.
@@ -98,6 +109,7 @@ func NewBufferedSinkOpts(sink Sink, opts BufferOptions) *BufferedSink {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	b.batch, _ = sink.(batchSink)
 	go b.run()
 	return b
 }
@@ -161,6 +173,14 @@ func (b *BufferedSink) Flushes() int64 { return b.flushes.Load() }
 // may have evaluated partial data.
 func (b *BufferedSink) Retries() int64 { return b.retries.Load() }
 
+// BatchRecords reports the total records shipped in successful flushes;
+// divided by Flushes it gives the mean batch size, the measure of how
+// well the sink is amortizing per-request overhead.
+func (b *BufferedSink) BatchRecords() int64 { return b.batchRecords.Load() }
+
+// MaxBatch reports the largest batch shipped in one flush.
+func (b *BufferedSink) MaxBatch() int64 { return b.maxBatch.Load() }
+
 // run is the background flusher: it ships on size signals and on the
 // periodic interval until Close.
 func (b *BufferedSink) run() {
@@ -195,7 +215,13 @@ func (b *BufferedSink) flush() error {
 		return nil
 	}
 
-	if err := b.sink.Log(recs...); err != nil {
+	var err error
+	if b.batch != nil {
+		err = b.batch.LogBatch(recs)
+	} else {
+		err = b.sink.Log(recs...)
+	}
+	if err != nil {
 		b.retries.Add(1)
 		b.mu.Lock()
 		if over := len(recs) + len(b.buf) - b.max; over > 0 {
@@ -212,5 +238,9 @@ func (b *BufferedSink) flush() error {
 		return err
 	}
 	b.flushes.Add(1)
+	b.batchRecords.Add(int64(len(recs)))
+	if n := int64(len(recs)); n > b.maxBatch.Load() {
+		b.maxBatch.Store(n)
+	}
 	return nil
 }

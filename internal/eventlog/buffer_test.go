@@ -248,3 +248,66 @@ func TestBufferedSinkCountsFlushesAndRetries(t *testing.T) {
 		t.Fatalf("empty flush bumped Flushes to %d", f)
 	}
 }
+
+// countingBatchSink records LogBatch calls so tests can verify the
+// buffered sink prefers the batch path over record-by-record Log.
+type countingBatchSink struct {
+	mu      sync.Mutex
+	batches [][]Record
+	logs    int
+}
+
+func (c *countingBatchSink) Log(recs ...Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logs++
+	return nil
+}
+
+func (c *countingBatchSink) LogBatch(recs []Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches = append(c.batches, recs)
+	return nil
+}
+
+func (c *countingBatchSink) stats() (batches, logs, recs int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.batches {
+		recs += len(b)
+	}
+	return len(c.batches), c.logs, recs
+}
+
+func TestBufferedSinkUsesBatchPath(t *testing.T) {
+	sink := &countingBatchSink{}
+	b := NewBufferedSinkOpts(sink, BufferOptions{Size: 4, Interval: time.Hour})
+	defer b.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := b.Log(Record{Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "batched flushes", func() bool {
+		_, _, recs := sink.stats()
+		return recs == 10
+	})
+	batches, logs, _ := sink.stats()
+	if logs != 0 {
+		t.Fatalf("%d record-by-record Log calls; all flushes should batch", logs)
+	}
+	if batches == 0 {
+		t.Fatal("no LogBatch calls")
+	}
+	if got := b.BatchRecords(); got != 10 {
+		t.Fatalf("BatchRecords=%d, want 10", got)
+	}
+	if got := b.MaxBatch(); got < 4 || got > 10 {
+		t.Fatalf("MaxBatch=%d, want within [4,10]", got)
+	}
+}

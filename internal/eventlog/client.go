@@ -7,10 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +22,10 @@ import (
 type Client struct {
 	baseURL string
 	http    *http.Client
+
+	// shards caches the server's shard topology (0 = not yet learned) so
+	// LogBatch can pre-route batches; see topology().
+	shards atomic.Int32
 }
 
 var (
@@ -48,6 +55,92 @@ func (c *Client) Log(recs ...Record) error {
 	return nil
 }
 
+// LogBatch ships one flush's worth of records as a single JSON Lines
+// body per shard: the batch is grouped by the server's shard topology
+// (learned once from /v1/stats and re-learned when it drifts), encoded
+// into a pooled buffer, and sent with the ?shard= pre-routing hint so the
+// server appends each group under exactly one shard lock. BufferedSink
+// uses this instead of Log when its sink is a Client.
+func (c *Client) LogBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	n := c.topology()
+	if n <= 1 {
+		return c.postBatch("/v1/records", recs)
+	}
+	groups := make(map[int][]Record, 4)
+	for _, r := range recs {
+		si := shardOf(r.RequestID, n)
+		groups[si] = append(groups[si], r)
+	}
+	for si, g := range groups {
+		path := fmt.Sprintf("/v1/records?shard=%d&of=%d", si, n)
+		if err := c.postBatch(path, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardOf mirrors the server's request-ID-namespace routing so client
+// batches land pre-sorted (the server re-verifies placement).
+func shardOf(id string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(namespaceOf(id)))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// topology returns the server's shard count, fetching it on first use.
+// An unreachable server reads as single-shard; the count is retried on
+// the next batch.
+func (c *Client) topology() int {
+	if n := c.shards.Load(); n > 0 {
+		return int(n)
+	}
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/v1/stats", nil)
+	if err != nil {
+		return 1
+	}
+	var out statsBody
+	if err := c.do(req, &out); err != nil || out.Shards < 1 {
+		return 1
+	}
+	c.shards.Store(int32(out.Shards))
+	return out.Shards
+}
+
+// batchBufPool recycles NDJSON encode buffers across flushes.
+var batchBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// postBatch sends records as one application/x-ndjson body encoded into a
+// pooled buffer — one request, one encoder pass, zero per-record HTTP
+// overhead.
+func (c *Client) postBatch(path string, recs []Record) error {
+	buf := batchBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer batchBufPool.Put(buf)
+	enc := json.NewEncoder(buf)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("eventlog: encode batch: %w", err)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, c.baseURL+path, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("eventlog: ship %d records: %w", len(recs), err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	var out map[string]int
+	if err := c.do(req, &out); err != nil {
+		return fmt.Errorf("eventlog: ship %d records: %w", len(recs), err)
+	}
+	return nil
+}
+
 // Select runs a query against the remote store.
 func (c *Client) Select(q Query) ([]Record, error) {
 	var recs []Record
@@ -55,6 +148,16 @@ func (c *Client) Select(q Query) ([]Record, error) {
 		return nil, fmt.Errorf("eventlog: query: %w", err)
 	}
 	return recs, nil
+}
+
+// Count runs a count-only query against the remote store (POST
+// /v1/count), so totals never ship the matching records over the wire.
+func (c *Client) Count(q Query) (int, error) {
+	var out countBody
+	if err := c.post("/v1/count", q, &out); err != nil {
+		return 0, fmt.Errorf("eventlog: count: %w", err)
+	}
+	return out.Count, nil
 }
 
 // Clear drops all records in the remote store and returns how many were
@@ -84,6 +187,16 @@ func (c *Client) ClearMatching(idPattern string) (int, error) {
 		return 0, fmt.Errorf("eventlog: clear matching: %w", err)
 	}
 	return out.Dropped, nil
+}
+
+// Compact asks the remote store to compact its write-ahead logs,
+// rewriting each shard's live set into a single snapshot segment. A
+// volatile store treats it as a no-op.
+func (c *Client) Compact() error {
+	if err := c.post("/v1/compact", nil, nil); err != nil {
+		return fmt.Errorf("eventlog: compact: %w", err)
+	}
+	return nil
 }
 
 // Stats returns the number of records held by the remote store.

@@ -9,12 +9,12 @@ import (
 	"os"
 )
 
-// WriteJSONL streams every stored record to w as JSON Lines — one record
-// per line, in (timestamp, seq) order. The format is the same one
+// writeJSONL streams every record src holds to w as JSON Lines — one
+// record per line, in (timestamp, seq) order. The format is the same one
 // logstash-style shippers use, so dumps interoperate with standard log
-// tooling.
-func (s *Store) WriteJSONL(w io.Writer) (int, error) {
-	recs, err := s.Select(Query{})
+// tooling (and with the sharded store's WAL segments).
+func writeJSONL(w io.Writer, src Source) (int, error) {
+	recs, err := src.Select(Query{})
 	if err != nil {
 		return 0, err
 	}
@@ -31,11 +31,10 @@ func (s *Store) WriteJSONL(w io.Writer) (int, error) {
 	return len(recs), nil
 }
 
-// ReadJSONL appends records decoded from r (one JSON record per line) to
-// the store. Sequence numbers are reassigned on append, preserving the
-// input order. Blank lines are skipped. Returns the number of records
-// loaded.
-func (s *Store) ReadJSONL(r io.Reader) (int, error) {
+// readJSONL appends records decoded from r (one JSON record per line) to
+// sink. Sequence numbers are reassigned on append, preserving the input
+// order. Blank lines are skipped. Returns the number of records loaded.
+func readJSONL(r io.Reader, sink Sink) (int, error) {
 	dec := json.NewDecoder(r)
 	n := 0
 	for {
@@ -48,22 +47,22 @@ func (s *Store) ReadJSONL(r io.Reader) (int, error) {
 			return n, fmt.Errorf("eventlog: decode record %d: %w", n, err)
 		}
 		rec.Seq = 0 // reassigned by Log
-		if err := s.Log(rec); err != nil {
+		if err := sink.Log(rec); err != nil {
 			return n, err
 		}
 		n++
 	}
 }
 
-// SaveFile writes the store's records to path as JSON Lines, replacing any
+// saveFile writes src's records to path as JSON Lines, replacing any
 // existing file atomically (write to a temp file, then rename).
-func (s *Store) SaveFile(path string) (int, error) {
+func saveFile(path string, src Source) (int, error) {
 	tmp, err := os.CreateTemp(dirOf(path), ".eventlog-*")
 	if err != nil {
 		return 0, fmt.Errorf("eventlog: save: %w", err)
 	}
 	tmpName := tmp.Name()
-	n, werr := s.WriteJSONL(tmp)
+	n, werr := writeJSONL(tmp, src)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		_ = os.Remove(tmpName)
@@ -79,10 +78,10 @@ func (s *Store) SaveFile(path string) (int, error) {
 	return n, nil
 }
 
-// LoadFile appends records from a JSON Lines file to the store. A missing
-// file is not an error and loads zero records, so servers can start
-// against a persistence path that does not exist yet.
-func (s *Store) LoadFile(path string) (int, error) {
+// loadFile appends records from a JSON Lines file to sink. A missing file
+// is not an error and loads zero records, so servers can start against a
+// persistence path that does not exist yet.
+func loadFile(path string, sink Sink) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -91,8 +90,24 @@ func (s *Store) LoadFile(path string) (int, error) {
 		return 0, fmt.Errorf("eventlog: load: %w", err)
 	}
 	defer f.Close()
-	return s.ReadJSONL(bufio.NewReader(f))
+	return readJSONL(bufio.NewReader(f), sink)
 }
+
+// WriteJSONL streams every stored record to w as JSON Lines, one record
+// per line, in (timestamp, seq) order.
+func (s *Store) WriteJSONL(w io.Writer) (int, error) { return writeJSONL(w, s) }
+
+// ReadJSONL appends records decoded from r (one JSON record per line) to
+// the store, reassigning sequence numbers.
+func (s *Store) ReadJSONL(r io.Reader) (int, error) { return readJSONL(r, s) }
+
+// SaveFile writes the store's records to path as JSON Lines, replacing any
+// existing file atomically (write to a temp file, then rename).
+func (s *Store) SaveFile(path string) (int, error) { return saveFile(path, s) }
+
+// LoadFile appends records from a JSON Lines file to the store. A missing
+// file is not an error and loads zero records.
+func (s *Store) LoadFile(path string) (int, error) { return loadFile(path, s) }
 
 func dirOf(path string) string {
 	for i := len(path) - 1; i >= 0; i-- {

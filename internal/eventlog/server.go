@@ -2,29 +2,61 @@ package eventlog
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"gremlin/internal/httpx"
 	"gremlin/internal/metrics"
 )
 
-// Server exposes a Store over HTTP — the stand-in for the paper's
+// StoreAPI is the store surface the HTTP server exposes. Both *Store and
+// *ShardedStore implement it, so the same Server fronts a single-shard
+// in-memory store and a sharded persistent one.
+type StoreAPI interface {
+	Sink
+	Source
+	Counter
+	Clear() int
+	ClearMatching(idPattern string) (int, error)
+	Len() int
+	Appended() uint64
+	Subscribers() int
+	Published() int64
+	SubscriberDropped() int64
+	SubscribeBuffer(idPattern string, buffer int) (Subscriber, error)
+	NumShards() int
+	ShardStats() []ShardStats
+}
+
+// shardSink is the optional pre-routed append fast path (ShardedStore's
+// LogShard): a shard-aware client groups a batch per shard so the server
+// appends it under exactly one shard lock.
+type shardSink interface {
+	LogShard(shard int, recs ...Record) error
+}
+
+// Server exposes a store over HTTP — the stand-in for the paper's
 // logstash→Elasticsearch pipeline. Endpoints:
 //
-//	POST   /v1/records   ingest a JSON array of records
+//	POST   /v1/records   ingest records: a JSON array, or JSON Lines with
+//	                     Content-Type application/x-ndjson; ?shard=i&of=N
+//	                     marks a batch pre-routed to shard i of N
 //	POST   /v1/query     run a Query, returning matching records
+//	POST   /v1/count     run a Query, returning only the match count
 //	DELETE /v1/records   clear the store (?pattern= clears only matching
 //	                     request IDs, for per-campaign-run cleanup)
-//	GET    /v1/stats     store statistics
+//	GET    /v1/stats     store statistics (record count, shard count)
 //	GET    /v1/stream    live record feed (SSE; ?pattern= filters by
 //	                     request ID, ?buffer= sets the subscriber buffer)
 //	GET    /metrics      Prometheus text exposition
 //	GET    /healthz      liveness probe
 type Server struct {
-	store *Store
+	store StoreAPI
 	http  *httpx.Server
 }
 
@@ -33,9 +65,16 @@ type Server struct {
 // Tests shorten it via the package-level variable.
 var streamHeartbeat = 15 * time.Second
 
-// statsBody is the payload of GET /v1/stats.
+// statsBody is the payload of GET /v1/stats. Shards lets shard-aware
+// clients pre-route their append batches.
 type statsBody struct {
 	Records int `json:"records"`
+	Shards  int `json:"shards,omitempty"`
+}
+
+// countBody is the payload of POST /v1/count.
+type countBody struct {
+	Count int `json:"count"`
 }
 
 // clearBody is the payload of DELETE /v1/records.
@@ -45,11 +84,13 @@ type clearBody struct {
 
 // NewServer creates and starts a store server on addr (use "127.0.0.1:0"
 // for an ephemeral port). Call Close to stop it.
-func NewServer(addr string, store *Store) (*Server, error) {
+func NewServer(addr string, store StoreAPI) (*Server, error) {
 	s := &Server{store: store}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/records", s.handleRecords)
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/count", s.handleCount)
+	mux.HandleFunc("/v1/compact", s.handleCompact)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -74,12 +115,12 @@ func (s *Server) Close() error { return s.http.Close() }
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
-		var recs []Record
-		if err := httpx.ReadJSON(w, r, &recs); err != nil {
+		recs, err := decodeRecords(w, r)
+		if err != nil {
 			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		if err := s.store.Log(recs...); err != nil {
+		if err := s.ingest(r, recs); err != nil {
 			httpx.WriteError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
@@ -98,6 +139,87 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	default:
 		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 	}
+}
+
+// decodeRecords reads an ingest body: a JSON array (the default), or JSON
+// Lines when the client announces application/x-ndjson — the encoding the
+// BufferedSink batches flushes in, identical to the WAL segment format.
+func decodeRecords(w http.ResponseWriter, r *http.Request) ([]Record, error) {
+	if !strings.Contains(r.Header.Get("Content-Type"), "x-ndjson") {
+		var recs []Record
+		if err := httpx.ReadJSON(w, r, &recs); err != nil {
+			return nil, err
+		}
+		return recs, nil
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, httpx.MaxBodyBytes))
+	var recs []Record
+	for {
+		var rec Record
+		err := dec.Decode(&rec)
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("decode record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ingest appends decoded records, honouring a shard-aware client's
+// pre-routing hint when its view of the shard topology is current.
+func (s *Server) ingest(r *http.Request, recs []Record) error {
+	q := r.URL.Query()
+	if shard, of := q.Get("shard"), q.Get("of"); shard != "" && of != "" {
+		si, err1 := strconv.Atoi(shard)
+		n, err2 := strconv.Atoi(of)
+		if err1 == nil && err2 == nil && n == s.store.NumShards() {
+			if ssink, ok := s.store.(shardSink); ok {
+				return ssink.LogShard(si, recs...)
+			}
+		}
+	}
+	return s.store.Log(recs...)
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	var q Query
+	if err := httpx.ReadJSON(w, r, &q); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := s.store.Count(q)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, countBody{Count: n})
+}
+
+// compacter is the optional WAL-compaction surface of a store; only
+// persistent sharded stores implement it.
+type compacter interface {
+	Compact() error
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if c, ok := s.store.(compacter); ok {
+		if err := c.Compact(); err != nil {
+			httpx.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	// Volatile stores have nothing to compact; success either way.
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -123,7 +245,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	httpx.WriteJSON(w, http.StatusOK, statsBody{Records: s.store.Len()})
+	httpx.WriteJSON(w, http.StatusOK, statsBody{Records: s.store.Len(), Shards: s.store.NumShards()})
 }
 
 // handleStream serves the live record feed as Server-Sent Events: one
@@ -211,6 +333,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.Gauge("gremlin_store_subscribers", "Open live-stream subscriptions.", float64(s.store.Subscribers()))
 	mw.Counter("gremlin_store_published_total", "Records delivered to live subscribers.", float64(s.store.Published()))
 	mw.Counter("gremlin_store_subscriber_dropped_total", "Records dropped because a subscriber's buffer was full.", float64(s.store.SubscriberDropped()))
+	mw.Gauge("gremlin_store_shards", "Number of store partitions.", float64(s.store.NumShards()))
+	for _, st := range s.store.ShardStats() {
+		shard := strconv.Itoa(st.Shard)
+		mw.Counter("gremlin_store_shard_appends_total", "Records ever appended, per shard.", float64(st.Appended), "shard", shard)
+		mw.Gauge("gremlin_store_shard_records", "Records currently held, per shard.", float64(st.Records), "shard", shard)
+		mw.Gauge("gremlin_store_wal_segments", "Write-ahead-log segment files on disk, per shard.", float64(st.WALSegments), "shard", shard)
+		mw.Gauge("gremlin_store_wal_bytes", "Write-ahead-log bytes on disk, per shard.", float64(st.WALBytes), "shard", shard)
+		mw.Gauge("gremlin_store_wal_replayed_records", "Records recovered from the write-ahead log at startup, per shard.", float64(st.WALReplayed), "shard", shard)
+		mw.Counter("gremlin_store_wal_compactions_total", "Write-ahead-log compactions run, per shard.", float64(st.WALCompactions), "shard", shard)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = mw.WriteTo(w)

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -182,5 +183,111 @@ func TestServerClearMatchingPattern(t *testing.T) {
 	}
 	if _, err := c.ClearMatching("re:["); err == nil {
 		t.Fatal("want error for bad pattern")
+	}
+}
+
+func newShardedTestServer(t *testing.T, shards int) (*ShardedStore, *Client) {
+	t.Helper()
+	ss, err := NewShardedStore(StoreOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+		ss.Close()
+	})
+	return ss, NewClient(srv.URL(), nil)
+}
+
+func TestClientLogBatchShardAware(t *testing.T) {
+	ss, c := newShardedTestServer(t, 4)
+
+	var recs []Record
+	for i := 0; i < 120; i++ {
+		recs = append(recs, Record{
+			Src: "a", Dst: "b", Kind: KindRequest,
+			RequestID: fmt.Sprintf("ns%d-%d", i%9, i),
+			Timestamp: t0.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+	if err := c.LogBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Len(); got != 120 {
+		t.Fatalf("server holds %d records, want 120", got)
+	}
+	// Every record must be findable by its namespace pattern (i.e. it
+	// landed on the shard the pattern pins).
+	for ns := 0; ns < 9; ns++ {
+		got, err := c.Select(Query{IDPattern: fmt.Sprintf("ns%d-*", ns)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i < 120; i++ {
+			if i%9 == ns {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("ns%d: %d records via client, want %d", ns, len(got), want)
+		}
+	}
+}
+
+func TestClientCount(t *testing.T) {
+	_, c := newShardedTestServer(t, 4)
+	var recs []Record
+	for i := 0; i < 50; i++ {
+		recs = append(recs, Record{
+			Src: "a", Dst: "b", Kind: KindRequest,
+			RequestID: fmt.Sprintf("test-%d", i),
+			Timestamp: t0.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+	if err := c.LogBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Count(Query{IDPattern: "test-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("Count=%d, want 50", n)
+	}
+	n, err = c.Count(Query{IDPattern: "other-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Count=%d, want 0", n)
+	}
+}
+
+func TestServerNDJSONIngest(t *testing.T) {
+	srv, c := newTestServer(t)
+	body := `{"requestId":"test-1","src":"a","dst":"b","kind":"request"}
+{"requestId":"test-2","src":"a","dst":"b","kind":"request"}
+`
+	resp, err := http.Post(srv.URL()+"/v1/records", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	n, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("stats=%d, want 2", n)
 	}
 }

@@ -1,0 +1,456 @@
+package eventlog
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gremlin/internal/pattern"
+)
+
+func newSharded(t *testing.T, opts StoreOptions) *ShardedStore {
+	t.Helper()
+	ss, err := NewShardedStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ss.Close() })
+	return ss
+}
+
+func TestNamespaceOf(t *testing.T) {
+	tests := []struct{ id, want string }{
+		{"test-1", "test"},
+		{"test-99", "test"},
+		{"prod-7", "prod"},
+		{"camp-run1-u3-2", "camp-run1"},
+		{"camp-run1-other", "camp-run1"},
+		{"camp-run2-u1-0", "camp-run2"},
+		{"noseparator", "noseparator"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := namespaceOf(tt.id); got != tt.want {
+			t.Errorf("namespaceOf(%q) = %q, want %q", tt.id, got, tt.want)
+		}
+	}
+}
+
+func TestNamespaceRoutingKeepsNamespaceTogether(t *testing.T) {
+	// All IDs of one namespace must land on one shard, whatever the count.
+	// shardOf (client side) and ShardedStore.shardFor (server side) must
+	// agree, or client batch hints would always miss.
+	for _, n := range []int{2, 3, 8} {
+		ss := newSharded(t, StoreOptions{Shards: n})
+		for _, ns := range []string{"test", "camp-run1", "camp-run2", "prod"} {
+			want := shardOf(ns+"-0", n)
+			for i := 1; i < 50; i++ {
+				id := fmt.Sprintf("%s-%d", ns, i)
+				if got := shardOf(id, n); got != want {
+					t.Fatalf("shards=%d ns=%s: id %d routed to %d, want %d", n, ns, i, got, want)
+				}
+				if got := ss.shardFor(id); got != want {
+					t.Fatalf("shards=%d ns=%s: server routes %q to %d, client to %d", n, ns, id, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternPinning(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 8})
+	tests := []struct {
+		pattern string
+		pinned  bool
+	}{
+		{"test-*", true},      // literal prefix passes the namespace boundary
+		{"test-17", true},     // exact ID
+		{"camp-run1-*", true}, // campaign namespace
+		{"camp-run1-u2*", true},
+		{"camp-*", false}, // prefix IS a (partial) namespace — could match many
+		{"test*", false},  // "test" and "testing" are different namespaces
+		{"*", false},
+		{"", false},
+		{"*-suffix", false},
+	}
+	for _, tt := range tests {
+		pat, err := pattern.Compile(tt.pattern)
+		if err != nil {
+			t.Fatalf("compile %q: %v", tt.pattern, err)
+		}
+		si := ss.shardOfPattern(pat)
+		if got := si >= 0; got != tt.pinned {
+			t.Errorf("shardOfPattern(%q) pinned=%v, want %v", tt.pattern, got, tt.pinned)
+			continue
+		}
+		if si >= 0 {
+			// The pinned shard must be where matching IDs actually live.
+			id := tt.pattern
+			if len(id) > 0 && id[len(id)-1] == '*' {
+				id = id[:len(id)-1] + "x"
+			}
+			if want := ss.shardFor(id); si != want {
+				t.Errorf("shardOfPattern(%q) = %d, but id %q routes to %d", tt.pattern, si, id, want)
+			}
+		}
+	}
+}
+
+// TestScatterGatherMatchesSingleStore is the merge-correctness check: a
+// sharded Select over any pattern must return exactly what a single-shard
+// store returns for the same input, in the same order.
+func TestScatterGatherMatchesSingleStore(t *testing.T) {
+	single := NewStore()
+	sharded := newSharded(t, StoreOptions{Shards: 8})
+
+	rng := rand.New(rand.NewSource(42))
+	namespaces := []string{"test", "prod", "camp-run1", "camp-run2", "camp-run3", "chaos"}
+	var recs []Record
+	for i := 0; i < 5000; i++ {
+		ns := namespaces[rng.Intn(len(namespaces))]
+		r := Record{
+			Timestamp: t0.Add(time.Duration(rng.Intn(1_000_000)) * time.Microsecond),
+			RequestID: fmt.Sprintf("%s-%d", ns, rng.Intn(400)),
+			Src:       fmt.Sprintf("svc%d", rng.Intn(5)),
+			Dst:       fmt.Sprintf("svc%d", rng.Intn(5)),
+			Kind:      KindRequest,
+		}
+		if rng.Intn(2) == 0 {
+			r.Kind = KindReply
+		}
+		recs = append(recs, r)
+	}
+	// Stamp via the sharded store (global seq), replay the stamped records
+	// into the single store so both hold identical data.
+	if err := sharded.Log(recs...); err != nil {
+		t.Fatal(err)
+	}
+	all, err := sharded.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(recs) {
+		t.Fatalf("sharded holds %d records, want %d", len(all), len(recs))
+	}
+	single.logStamped(all)
+
+	queries := []Query{
+		{},
+		{IDPattern: "test-*"},
+		{IDPattern: "camp-*"},
+		{IDPattern: "camp-run2-*"},
+		{IDPattern: "*"},
+		{Src: "svc1"},
+		{Dst: "svc3", Kind: KindReply},
+		{IDPattern: "camp-*", Since: t0.Add(200 * time.Millisecond)},
+		{Until: t0.Add(500 * time.Millisecond)},
+		{IDPattern: "test-*", Limit: 17},
+		{Limit: 100},
+	}
+	for _, q := range queries {
+		want, err := single.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: sharded %d records, single %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Seq != want[i].Seq {
+				t.Fatalf("query %+v: record %d Seq=%d, want %d", q, i, got[i].Seq, want[i].Seq)
+			}
+		}
+		// Count must agree with Select.
+		gc, err := sharded.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc := len(want)
+		if q.Limit > 0 && wc > q.Limit {
+			wc = q.Limit
+		}
+		if gc != wc {
+			t.Fatalf("query %+v: Count=%d, want %d", q, gc, wc)
+		}
+	}
+}
+
+func TestScatterGatherTimestampTies(t *testing.T) {
+	// Equal timestamps across shards: the merge must still be total and
+	// deterministic (seq breaks the tie) and lose no records.
+	ss := newSharded(t, StoreOptions{Shards: 4})
+	ts := t0
+	for i := 0; i < 100; i++ {
+		ns := fmt.Sprintf("ns%d", i%7)
+		if err := ss.Log(Record{Timestamp: ts, RequestID: ns + "-1", Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ss.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 100 {
+		t.Fatalf("got %d records, want 100", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if !recs[i-1].Before(recs[i]) {
+			t.Fatalf("records %d/%d out of order: seq %d then %d", i-1, i, recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+func TestShardedClearMatching(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 4})
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("camp-run1-u%d", i)
+		if i%2 == 0 {
+			id = fmt.Sprintf("test-%d", i)
+		}
+		if err := ss.Log(Record{RequestID: id, Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := ss.ClearMatching("camp-run1-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("cleared %d, want 20", n)
+	}
+	if got := ss.Len(); got != 20 {
+		t.Fatalf("Len=%d after clear, want 20", got)
+	}
+	left, err := ss.Select(Query{IDPattern: "camp-run1-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d campaign records survived clear", len(left))
+	}
+}
+
+func TestShardedSubscribe(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 4})
+
+	// Pattern-pinned subscription: only its namespace's records arrive.
+	pinned, err := ss.SubscribeBuffer("test-*", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter subscription: everything arrives.
+	all, err := ss.SubscribeBuffer("", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 30; i++ {
+		ns := "test"
+		if i%3 != 0 {
+			ns = fmt.Sprintf("other%d", i%3)
+		}
+		if err := ss.Log(Record{RequestID: fmt.Sprintf("%s-%d", ns, i), Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	drain := func(sub Subscriber, want int) int {
+		got := 0
+		timeout := time.After(2 * time.Second)
+		for got < want {
+			select {
+			case <-sub.C():
+				got++
+			case <-timeout:
+				return got
+			}
+		}
+		// Give stray extras a moment to show up.
+		select {
+		case <-sub.C():
+			got++
+		case <-time.After(50 * time.Millisecond):
+		}
+		return got
+	}
+	if got := drain(pinned, 10); got != 10 {
+		t.Errorf("pinned subscription got %d records, want 10", got)
+	}
+	if got := drain(all, 30); got != 30 {
+		t.Errorf("scatter subscription got %d records, want 30", got)
+	}
+	pinned.Close()
+	all.Close()
+	if n := ss.Subscribers(); n != 0 {
+		t.Errorf("%d subscribers left after Close", n)
+	}
+}
+
+func TestShardedStoreStats(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 4})
+	for i := 0; i < 100; i++ {
+		if err := ss.Log(Record{RequestID: fmt.Sprintf("ns%d-%d", i%11, i), Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ss.NumShards() != 4 {
+		t.Fatalf("NumShards=%d", ss.NumShards())
+	}
+	stats := ss.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("%d shard stats", len(stats))
+	}
+	var total, appended int
+	populated := 0
+	for _, st := range stats {
+		total += st.Records
+		appended += int(st.Appended)
+		if st.Records > 0 {
+			populated++
+		}
+	}
+	if total != 100 || appended != 100 {
+		t.Fatalf("stats total=%d appended=%d, want 100/100", total, appended)
+	}
+	if populated < 2 {
+		t.Fatalf("only %d shards populated; namespace hashing is degenerate", populated)
+	}
+}
+
+func TestSingleShardIsPlainStore(t *testing.T) {
+	// Shards=1, no DataDir: behaves exactly like NewStore, no WAL files.
+	ss := newSharded(t, StoreOptions{})
+	if ss.NumShards() != 1 {
+		t.Fatalf("NumShards=%d, want 1", ss.NumShards())
+	}
+	if err := ss.Log(rec("a", "b", KindRequest, "test-1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ss.Select(Query{IDPattern: "test-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 1 {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestLogShardVerifiesRouting(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 4})
+	r1 := Record{RequestID: "test-1", Src: "a", Dst: "b", Kind: KindRequest}
+	r2 := Record{RequestID: "other-1", Src: "a", Dst: "b", Kind: KindRequest}
+	want := ss.shardFor("test-1")
+	// Send both to test-1's shard: the mismatched one must be rerouted,
+	// not appended to the wrong shard.
+	if err := ss.LogShard(want, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Len(); got != 2 {
+		t.Fatalf("Len=%d, want 2", got)
+	}
+	other := ss.shardFor("other-1")
+	if other != want {
+		recs, _ := ss.shards[other].Select(Query{IDPattern: "other-1"})
+		if len(recs) != 1 {
+			t.Fatalf("misrouted record not rerouted to shard %d", other)
+		}
+	}
+	// An out-of-range hint (stale topology) degrades to ordinary routing.
+	if err := ss.LogShard(99, r1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Len(); got != 3 {
+		t.Fatalf("Len=%d after out-of-range hint, want 3", got)
+	}
+}
+
+// TestShardedStoreRace exercises concurrent multi-shard appends, selects,
+// counts, clears, and subscriptions; run with -race.
+func TestShardedStoreRace(t *testing.T) {
+	ss := newSharded(t, StoreOptions{Shards: 8, DataDir: t.TempDir(), Fsync: FsyncNever, CompactAfter: 64})
+	const (
+		writers = 4
+		readers = 3
+		perW    = 300
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	sub, err := ss.SubscribeBuffer("", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainDone := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		for {
+			select {
+			case <-sub.C():
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r := Record{
+					RequestID: fmt.Sprintf("ns%d-%d", (w+i)%13, i),
+					Src:       "a", Dst: "b", Kind: KindRequest,
+				}
+				if err := ss.Log(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := ss.Select(Query{IDPattern: fmt.Sprintf("ns%d-*", i%13)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ss.Count(Query{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := ss.ClearMatching(fmt.Sprintf("ns%d-*", i%13)); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Writers/readers/clearer finish; then stop the subscriber drain.
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("race test deadlocked")
+	}
+	close(stop)
+	<-drainDone
+	sub.Close()
+}

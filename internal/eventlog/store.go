@@ -62,9 +62,10 @@ type storeKey struct {
 // (the common single-writer case), posting lists are already in
 // (timestamp, seq) order and Select skips the output sort entirely.
 type Store struct {
-	mu   sync.RWMutex
-	recs []Record
-	seq  uint64
+	mu       sync.RWMutex
+	recs     []Record
+	seq      uint64
+	appended uint64
 
 	// ordered reports whether recs is in (timestamp, seq) order as
 	// appended; lastTS is the most recently appended timestamp.
@@ -133,16 +134,7 @@ func (s *Store) Log(recs ...Record) error {
 		if r.Timestamp.IsZero() {
 			r.Timestamp = now
 		}
-		pos := int32(len(s.recs))
-		s.recs = append(s.recs, r)
-		s.byEdge[storeKey{r.Src, r.Dst}] = append(s.byEdge[storeKey{r.Src, r.Dst}], pos)
-		s.bySrc[r.Src] = append(s.bySrc[r.Src], pos)
-		s.byDst[r.Dst] = append(s.byDst[r.Dst], pos)
-		if r.Timestamp.Before(s.lastTS) {
-			s.ordered = false
-		} else {
-			s.lastTS = r.Timestamp
-		}
+		s.appendLocked(r)
 		if live {
 			stamped = append(stamped, r)
 		}
@@ -154,12 +146,61 @@ func (s *Store) Log(recs ...Record) error {
 	return nil
 }
 
+// logStamped appends records that already carry final sequence numbers
+// and timestamps — the ShardedStore stamps globally unique sequences
+// before routing a batch to its shard (and WAL replay restores the
+// original ones), so this path must not reassign them.
+func (s *Store) logStamped(recs []Record) {
+	if len(recs) == 0 {
+		return
+	}
+	live := s.subCount.Load() > 0
+	s.mu.Lock()
+	for _, r := range recs {
+		if r.Seq > s.seq {
+			s.seq = r.Seq
+		}
+		s.appendLocked(r)
+	}
+	s.mu.Unlock()
+	if live {
+		s.publish(recs)
+	}
+}
+
+// appendLocked stores one stamped record and indexes it. Caller holds
+// s.mu and has assigned Seq and Timestamp.
+func (s *Store) appendLocked(r Record) {
+	s.appended++
+	pos := int32(len(s.recs))
+	s.recs = append(s.recs, r)
+	s.byEdge[storeKey{r.Src, r.Dst}] = append(s.byEdge[storeKey{r.Src, r.Dst}], pos)
+	s.bySrc[r.Src] = append(s.bySrc[r.Src], pos)
+	s.byDst[r.Dst] = append(s.byDst[r.Dst], pos)
+	if r.Timestamp.Before(s.lastTS) {
+		s.ordered = false
+	} else {
+		s.lastTS = r.Timestamp
+	}
+}
+
 // Appended reports the total number of records ever appended (a monotone
 // counter, unlike Len, which Clear resets).
 func (s *Store) Appended() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.seq
+	return s.appended
+}
+
+// NumShards reports the number of partitions (always 1 for a plain
+// Store; see ShardedStore).
+func (s *Store) NumShards() int { return 1 }
+
+// ShardStats returns the single-shard view of the store's counters, so
+// shard-labelled metrics read identically against a Store and a
+// ShardedStore.
+func (s *Store) ShardStats() []ShardStats {
+	return []ShardStats{{Shard: 0, Records: s.Len(), Appended: s.Appended()}}
 }
 
 // Len reports the number of stored records.
@@ -284,6 +325,63 @@ func (s *Store) Select(q Query) ([]Record, error) {
 		matched = matched[:q.Limit]
 	}
 	return matched, nil
+}
+
+// Count reports how many records match q without copying them out — the
+// cheap path for count-only assertions and campaign bookkeeping.
+func (s *Store) Count(q Query) (int, error) {
+	pat, err := pattern.Compile(q.IDPattern)
+	if err != nil {
+		return 0, fmt.Errorf("eventlog: bad query pattern: %w", err)
+	}
+	n := 0
+	s.mu.RLock()
+	if list, ok := s.postings(q); ok {
+		for _, pos := range list {
+			r := &s.recs[pos]
+			if s.ordered && !q.Until.IsZero() && !r.Timestamp.Before(q.Until) {
+				break
+			}
+			if matches(r, q, pat) {
+				n++
+				if q.Limit > 0 && n == q.Limit {
+					break
+				}
+			}
+		}
+	} else {
+		for i := range s.recs {
+			if matches(&s.recs[i], q, pat) {
+				n++
+				if q.Limit > 0 && n == q.Limit {
+					break
+				}
+			}
+		}
+	}
+	s.mu.RUnlock()
+	return n, nil
+}
+
+// Counter is the optional count-only surface of a Source. Store,
+// ShardedStore, and Client all implement it.
+type Counter interface {
+	Count(q Query) (int, error)
+}
+
+// CountRecords counts the records matching q, using src's Count fast
+// path when it has one and falling back to Select otherwise — so callers
+// that only need a total never force a remote store to materialize and
+// ship the records.
+func CountRecords(src Source, q Query) (int, error) {
+	if c, ok := src.(Counter); ok {
+		return c.Count(q)
+	}
+	recs, err := src.Select(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(recs), nil
 }
 
 // postings returns the narrowest posting list serving q, or ok=false when

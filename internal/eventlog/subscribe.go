@@ -8,6 +8,21 @@ import (
 	"gremlin/internal/pattern"
 )
 
+// Subscriber is a live feed of appended records: Store and ShardedStore
+// subscriptions both satisfy it, so the server's SSE stream and the
+// observe plane work identically against either.
+type Subscriber interface {
+	// C returns the record feed; it is closed by Close.
+	C() <-chan Record
+
+	// Dropped reports how many matching records were discarded because
+	// the feed's buffer was full when they were appended.
+	Dropped() int64
+
+	// Close detaches the feed and closes C.
+	Close()
+}
+
 // Subscription is one live feed of records appended to a Store, filtered
 // by a request-ID pattern. Records from one Log call arrive on C in order;
 // concurrent Log calls may interleave their batches, exactly as their
@@ -56,14 +71,14 @@ const DefaultSubscriberBuffer = 1024
 // idPattern (the shared glob/"re:" language; empty matches everything).
 // Only records appended after Subscribe returns are delivered — pair it
 // with Select to also see the past.
-func (s *Store) Subscribe(idPattern string) (*Subscription, error) {
+func (s *Store) Subscribe(idPattern string) (Subscriber, error) {
 	return s.SubscribeBuffer(idPattern, DefaultSubscriberBuffer)
 }
 
 // SubscribeBuffer is Subscribe with an explicit per-subscriber buffer
 // capacity (minimum 1). Smaller buffers drop sooner under a slow consumer;
 // they never block the appender.
-func (s *Store) SubscribeBuffer(idPattern string, buffer int) (*Subscription, error) {
+func (s *Store) SubscribeBuffer(idPattern string, buffer int) (Subscriber, error) {
 	pat, err := pattern.Compile(idPattern)
 	if err != nil {
 		return nil, fmt.Errorf("eventlog: bad subscribe pattern: %w", err)

@@ -1,0 +1,457 @@
+package eventlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gremlin/internal/pattern"
+)
+
+// FsyncPolicy selects how aggressively a shard's write-ahead log is
+// synced to stable storage. Every append is written to the kernel with a
+// single write() before it is acknowledged regardless of policy, so a
+// SIGKILL'd store never loses acknowledged records; the policy only
+// governs what survives a whole-machine crash (power loss).
+type FsyncPolicy string
+
+// Fsync policies.
+const (
+	// FsyncAlways fsyncs after every append batch: maximum durability,
+	// one disk flush per shipped batch.
+	FsyncAlways FsyncPolicy = "always"
+
+	// FsyncInterval fsyncs dirty segments from a background loop on the
+	// store's FsyncInterval cadence (default 100ms): bounded data loss on
+	// power failure, near-zero append-path cost. The default.
+	FsyncInterval FsyncPolicy = "interval"
+
+	// FsyncNever leaves flushing to the OS entirely.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a policy string (as passed to
+// `gremlin-logstore -fsync`).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch p := FsyncPolicy(s); p {
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return p, nil
+	case "":
+		return FsyncInterval, nil
+	}
+	return "", fmt.Errorf("eventlog: bad fsync policy %q (want always, interval, or never)", s)
+}
+
+// walLine is one decoded WAL line: either a record (the Record fields) or
+// a tombstone ({"clear":"<pattern>"} — "*" clears everything, which is
+// also how a compacted snapshot segment begins).
+type walLine struct {
+	Clear *string `json:"clear,omitempty"`
+	Record
+}
+
+// clearLine encodes a tombstone for idPattern ("*" = clear all).
+func clearLine(idPattern string) ([]byte, error) {
+	b, err := json.Marshal(struct {
+		Clear string `json:"clear"`
+	}{idPattern})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// walBufPool recycles the per-batch encode buffers so a flood of appends
+// does not allocate a fresh buffer per batch.
+var walBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// wal is one shard's write-ahead log: append-only JSONL segment files
+// (`00000001.wal`, `00000002.wal`, ...) in a directory, size-rotated, with
+// compaction rewriting the live set behind a `{"clear":"*"}` marker so
+// replay of the segment sequence always reproduces the exact pre-crash
+// state. Record lines use the store's ordinary Record JSON, so segments
+// double as plain JSONL dumps readable by standard log tooling.
+type wal struct {
+	dir    string
+	policy FsyncPolicy
+	maxSeg int64
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      int   // current (open) segment index
+	segBytes int64 // bytes in the current segment
+	segCount int   // segment files on disk, including the open one
+	allBytes int64 // bytes across all segments
+	closed   bool
+
+	dirty       bool // unsynced writes under FsyncInterval
+	replayed    int  // records recovered at open
+	compactions uint64
+}
+
+func segName(idx int) string { return fmt.Sprintf("%08d.wal", idx) }
+
+// openWAL opens (creating if needed) the shard WAL in dir and replays it,
+// returning the recovered records in append order with their original
+// sequence numbers. A torn trailing line — the tail of a write cut short
+// by a crash — is truncated away, never fatal; it can only hold a record
+// that was not yet acknowledged.
+func openWAL(dir string, policy FsyncPolicy, maxSeg int64) (*wal, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("eventlog: wal: %w", err)
+	}
+	w := &wal{dir: dir, policy: policy, maxSeg: maxSeg}
+
+	segs, err := w.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	lastClearAll := -1
+	for _, idx := range segs {
+		recs, err = w.replaySegment(idx, recs, &lastClearAll)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	// Segments wholly before the last clear-all marker can never affect
+	// replay again — a crash between a compaction's rename and its
+	// deletes leaves exactly these behind.
+	for _, idx := range segs {
+		if idx < lastClearAll {
+			_ = os.Remove(filepath.Join(dir, segName(idx)))
+		}
+	}
+
+	// Append into the newest segment (or a fresh first one), rotating
+	// immediately if it is already over the size bound.
+	next := 1
+	if len(segs) > 0 {
+		next = segs[len(segs)-1]
+	}
+	if err := w.openSegment(next); err != nil {
+		return nil, nil, err
+	}
+	if err := w.recount(); err != nil {
+		return nil, nil, err
+	}
+	if w.segBytes >= w.maxSeg {
+		if err := w.rotateLocked(); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.replayed = len(recs)
+	return w, recs, nil
+}
+
+// listSegments returns the on-disk segment indices in ascending order.
+func (w *wal) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: wal: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(name, ".wal"))
+		if err != nil || idx < 1 {
+			continue
+		}
+		segs = append(segs, idx)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// replaySegment applies one segment's lines to recs. lastClearAll is
+// updated to this segment's index whenever a clear-all tombstone is seen.
+func (w *wal) replaySegment(idx int, recs []Record, lastClearAll *int) ([]Record, error) {
+	path := filepath.Join(w.dir, segName(idx))
+	f, err := os.Open(path)
+	if err != nil {
+		return recs, fmt.Errorf("eventlog: wal: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 256<<10)
+	var offset int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return recs, fmt.Errorf("eventlog: wal: read %s: %w", path, err)
+		}
+		torn := err != nil // EOF before the terminating newline
+		if len(line) > 0 && !torn {
+			var wl walLine
+			if derr := json.Unmarshal(line, &wl); derr != nil {
+				// A malformed line mid-file means the segment itself is
+				// corrupt; a malformed final line is a torn write.
+				if _, perr := br.Peek(1); perr == nil {
+					return recs, fmt.Errorf("eventlog: wal: %s offset %d: %w", path, offset, derr)
+				}
+				torn = true
+			} else if wl.Clear != nil {
+				if *wl.Clear == "" || *wl.Clear == "*" {
+					recs = recs[:0]
+					*lastClearAll = idx
+				} else {
+					pat, perr := pattern.Compile(*wl.Clear)
+					if perr != nil {
+						return recs, fmt.Errorf("eventlog: wal: %s offset %d: %w", path, offset, perr)
+					}
+					kept := recs[:0]
+					for _, r := range recs {
+						if !pat.Match(r.RequestID) {
+							kept = append(kept, r)
+						}
+					}
+					recs = kept
+				}
+			} else {
+				recs = append(recs, wl.Record)
+			}
+		}
+		if torn && len(line) > 0 {
+			// Truncate the torn tail so the next append starts on a clean
+			// line boundary.
+			if terr := os.Truncate(path, offset); terr != nil {
+				return recs, fmt.Errorf("eventlog: wal: truncate torn line in %s: %w", path, terr)
+			}
+			break
+		}
+		offset += int64(len(line))
+		if err != nil {
+			break
+		}
+	}
+	return recs, nil
+}
+
+// openSegment opens segment idx for appending, creating it if absent.
+func (w *wal) openSegment(idx int) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(idx)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventlog: wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("eventlog: wal: %w", err)
+	}
+	w.f, w.seg, w.segBytes = f, idx, st.Size()
+	return nil
+}
+
+// recount refreshes the on-disk totals (segment count and bytes).
+func (w *wal) recount() error {
+	segs, err := w.listSegments()
+	if err != nil {
+		return err
+	}
+	w.segCount = len(segs)
+	w.allBytes = 0
+	for _, idx := range segs {
+		if st, err := os.Stat(filepath.Join(w.dir, segName(idx))); err == nil {
+			w.allBytes += st.Size()
+		}
+	}
+	return nil
+}
+
+// append writes one batch of records as JSONL with a single write(),
+// rotating and fsyncing per policy. The caller has already stamped
+// timestamps and sequence numbers.
+func (w *wal) append(recs []Record) error {
+	buf := walBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			walBufPool.Put(buf)
+			return fmt.Errorf("eventlog: wal: encode: %w", err)
+		}
+	}
+	err := w.write(buf.Bytes())
+	walBufPool.Put(buf)
+	return err
+}
+
+// appendClear writes a tombstone for idPattern.
+func (w *wal) appendClear(idPattern string) error {
+	line, err := clearLine(idPattern)
+	if err != nil {
+		return fmt.Errorf("eventlog: wal: encode tombstone: %w", err)
+	}
+	return w.write(line)
+}
+
+func (w *wal) write(b []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("eventlog: wal: closed")
+	}
+	n, err := w.f.Write(b)
+	w.segBytes += int64(n)
+	w.allBytes += int64(n)
+	if err != nil {
+		return fmt.Errorf("eventlog: wal: %w", err)
+	}
+	if w.policy == FsyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("eventlog: wal: sync: %w", err)
+		}
+	} else {
+		w.dirty = true
+	}
+	if w.segBytes >= w.maxSeg {
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the current segment and opens the next. Caller holds
+// w.mu (or has exclusive access during open).
+func (w *wal) rotateLocked() error {
+	if w.policy != FsyncNever {
+		_ = w.f.Sync()
+		w.dirty = false
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("eventlog: wal: rotate: %w", err)
+	}
+	if err := w.openSegment(w.seg + 1); err != nil {
+		return err
+	}
+	w.segCount++
+	return nil
+}
+
+// sync flushes dirty writes to stable storage (the FsyncInterval loop and
+// Close call it).
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || !w.dirty {
+		return nil
+	}
+	w.dirty = false
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("eventlog: wal: sync: %w", err)
+	}
+	return nil
+}
+
+// compact rewrites the log as a single snapshot segment: a clear-all
+// marker followed by the live records, written to a temp file, fsynced,
+// renamed into place as the next segment index, after which all older
+// segments are deleted. Replay order makes this crash-safe at every step —
+// if the process dies before the deletes, replay drops the stale prefix at
+// the marker and open removes the leftover files.
+//
+// The caller must have quiesced appends to this shard (ShardedStore holds
+// the shard's append gate), so the snapshot is exactly the log's tail
+// state.
+func (w *wal) compact(snapshot []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("eventlog: wal: closed")
+	}
+	old, err := w.listSegments()
+	if err != nil {
+		return err
+	}
+	if w.policy != FsyncNever {
+		_ = w.f.Sync()
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("eventlog: wal: compact: %w", err)
+	}
+
+	snapIdx := w.seg + 1
+	snapPath := filepath.Join(w.dir, segName(snapIdx))
+	tmp, err := os.CreateTemp(w.dir, ".compact-*")
+	if err != nil {
+		return fmt.Errorf("eventlog: wal: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("eventlog: wal: compact: %w", err)
+	}
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	marker, err := clearLine("*")
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := bw.Write(marker); err != nil {
+		return fail(err)
+	}
+	enc := json.NewEncoder(bw)
+	for i := range snapshot {
+		if err := enc.Encode(&snapshot[i]); err != nil {
+			return fail(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, snapPath); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("eventlog: wal: compact: %w", err)
+	}
+	// The snapshot is durable; the old segments are now dead weight.
+	for _, idx := range old {
+		_ = os.Remove(filepath.Join(w.dir, segName(idx)))
+	}
+	if err := w.openSegment(snapIdx + 1); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.compactions++
+	return w.recount()
+}
+
+// close seals the log.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.policy != FsyncNever {
+		_ = w.f.Sync()
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("eventlog: wal: close: %w", err)
+	}
+	return nil
+}
+
+// stats returns the log's observability counters.
+func (w *wal) stats() (segments int, bytes int64, replayed int, compactions uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.segCount, w.allBytes, w.replayed, w.compactions
+}

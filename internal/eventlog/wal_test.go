@@ -1,0 +1,374 @@
+package eventlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func logN(t *testing.T, s Sink, n int, ns string) {
+	t.Helper()
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Timestamp: t0.Add(time.Duration(i) * time.Millisecond),
+			RequestID: fmt.Sprintf("%s-%d", ns, i),
+			Src:       "a", Dst: "b", Kind: KindRequest,
+		}
+	}
+	if err := s.Log(recs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func selectAll(t *testing.T, src Source) []Record {
+	t.Helper()
+	recs, err := src.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("ParseFsyncPolicy should reject unknown policies")
+	}
+}
+
+// TestWALReplayExact writes, closes, reopens, and demands byte-exact state:
+// same records, same seqs, same timestamps.
+func TestWALReplayExact(t *testing.T) {
+	dir := t.TempDir()
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(fmt.Sprint(policy), func(t *testing.T) {
+			sub := filepath.Join(dir, fmt.Sprint(policy))
+			ss, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: sub, Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			logN(t, ss, 500, "test")
+			logN(t, ss, 300, "camp-run1")
+			want := selectAll(t, ss)
+			if err := ss.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: sub, Fsync: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			got := selectAll(t, re)
+			if len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d differs after replay:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+			if re.Replayed() != len(want) {
+				t.Errorf("Replayed()=%d, want %d", re.Replayed(), len(want))
+			}
+			// New appends must continue the sequence, not collide with it.
+			if err := re.Log(Record{RequestID: "test-new", Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+				t.Fatal(err)
+			}
+			recs, err := re.Select(Query{IDPattern: "test-new"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) != 1 || recs[0].Seq <= want[len(want)-1].Seq {
+				t.Fatalf("post-replay Seq=%d not after replayed max %d", recs[0].Seq, want[len(want)-1].Seq)
+			}
+		})
+	}
+}
+
+// TestWALCrashReplay reopens the WAL directory WITHOUT closing the first
+// store — the in-process stand-in for kill -9. Every acknowledged append
+// must survive.
+func TestWALCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 1000, "test")
+	want := selectAll(t, ss)
+	// No Close: the OS has the bytes (write() returned before each ack),
+	// the process just vanishes.
+	ss.closeWALs() // release file handles only, as the kernel would
+
+	re, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := selectAll(t, re)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after crash replay", i)
+		}
+	}
+}
+
+// TestWALTornTrailingLine truncates the last segment mid-line: replay must
+// keep every whole record and truncate the torn tail, not fail.
+func TestWALTornTrailingLine(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 100, "test")
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-0", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: drop its trailing newline plus a dozen bytes.
+	if err := os.WriteFile(last, b[:len(b)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatalf("torn trailing line must not fail open: %v", err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 99 {
+		t.Fatalf("recovered %d records, want 99 (all but the torn one)", got)
+	}
+	// The torn bytes must be gone from disk so the next append starts a
+	// clean line.
+	if err := re.Log(Record{RequestID: "test-after", Src: "a", Dst: "b", Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.Len(); got != 100 {
+		t.Fatalf("after post-truncation append: %d records, want 100", got)
+	}
+}
+
+// TestWALMidFileCorruption: garbage in the middle of a segment is real
+// corruption and must fail loudly, not be skipped.
+func TestWALMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 10, "test")
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-0", "*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	seg := segs[0]
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(b), "\n")
+	lines[3] = "{garbage!!\n"
+	if err := os.WriteFile(seg, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncAlways}); err == nil {
+		t.Fatal("mid-file corruption must fail the open")
+	}
+}
+
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{
+		Shards: 1, DataDir: dir, Fsync: FsyncNever, MaxSegmentBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 500, "test")
+	stats := ss.ShardStats()
+	if stats[0].WALSegments < 2 {
+		t.Fatalf("WALSegments=%d, want rotation past 1", stats[0].WALSegments)
+	}
+	want := selectAll(t, ss)
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncNever, MaxSegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != len(want) {
+		t.Fatalf("multi-segment replay: %d records, want %d", got, len(want))
+	}
+}
+
+// TestWALCompactionReclaims: clearing a namespace then compacting must
+// shrink the on-disk WAL and still replay to the surviving records.
+func TestWALCompactionReclaims(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{
+		Shards: 1, DataDir: dir, Fsync: FsyncNever,
+		MaxSegmentBytes: 16 * 1024, CompactAfter: -1, // manual compaction
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 2000, "camp-run1")
+	logN(t, ss, 50, "test")
+	before := ss.ShardStats()[0].WALBytes
+
+	if _, err := ss.ClearMatching("camp-run1-*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := ss.ShardStats()[0]
+	if st.WALBytes >= before/4 {
+		t.Fatalf("WALBytes=%d after compaction, want well under %d", st.WALBytes, before)
+	}
+	if st.WALCompactions != 1 {
+		t.Fatalf("WALCompactions=%d, want 1", st.WALCompactions)
+	}
+	want := selectAll(t, ss)
+	if len(want) != 50 {
+		t.Fatalf("%d records survive, want 50", len(want))
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewShardedStore(StoreOptions{Shards: 1, DataDir: dir, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := selectAll(t, re)
+	if len(got) != len(want) {
+		t.Fatalf("post-compaction replay: %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after compaction replay", i)
+		}
+	}
+}
+
+// TestWALAutoCompaction: crossing CompactAfter garbage records triggers
+// compaction without an explicit call.
+func TestWALAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{
+		Shards: 1, DataDir: dir, Fsync: FsyncNever, CompactAfter: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	logN(t, ss, 200, "camp-run1")
+	if _, err := ss.ClearMatching("camp-run1-*"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.ShardStats()[0].WALCompactions; got != 1 {
+		t.Fatalf("WALCompactions=%d after threshold clear, want 1", got)
+	}
+}
+
+// TestWALClearTombstoneWithoutCompaction: a clear whose garbage stays under
+// the threshold must still replay correctly (tombstone honored).
+func TestWALClearTombstoneWithoutCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{Shards: 2, DataDir: dir, Fsync: FsyncNever, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 100, "camp-run1")
+	logN(t, ss, 100, "test")
+	if _, err := ss.ClearMatching("camp-run1-*"); err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 10, "camp-run1") // post-clear records in the cleared namespace
+	want := selectAll(t, ss)
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := NewShardedStore(StoreOptions{Shards: 2, DataDir: dir, Fsync: FsyncNever, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := selectAll(t, re)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d (tombstone must clear only pre-clear records)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after tombstone replay", i)
+		}
+	}
+}
+
+func TestWALShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN(t, ss, 100, "test")
+	logN(t, ss, 100, "prod")
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening with a different shard count must be rejected: routing
+	// depends on the count, so replayed records would otherwise strand on
+	// shards the new hash never reads.
+	if _, err := NewShardedStore(StoreOptions{Shards: 8, DataDir: dir}); err == nil {
+		t.Fatal("reopen with a different shard count must fail")
+	}
+	re, err := NewShardedStore(StoreOptions{Shards: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 200 {
+		t.Fatalf("matching reopen replayed %d records, want 200", got)
+	}
+}

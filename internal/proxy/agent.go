@@ -104,6 +104,13 @@ type Stats struct {
 	LogDropped int64 `json:"logDropped"`
 	LogFlushes int64 `json:"logFlushes"`
 	LogRetries int64 `json:"logRetries"`
+
+	// LogBatchRecords and LogMaxBatch describe the sink's batching:
+	// total records shipped in successful flushes (divide by LogFlushes
+	// for the mean batch size — how well HTTP and encode overhead are
+	// being amortized) and the largest single batch.
+	LogBatchRecords int64 `json:"logBatchRecords,omitempty"`
+	LogMaxBatch     int64 `json:"logMaxBatch,omitempty"`
 }
 
 // sinkHealth is the optional shipping-health surface of a sink.
@@ -111,6 +118,13 @@ type sinkHealth interface {
 	Dropped() int64
 	Flushes() int64
 	Retries() int64
+}
+
+// sinkBatchHealth is the optional batching surface of a sink
+// (eventlog.BufferedSink has it).
+type sinkBatchHealth interface {
+	BatchRecords() int64
+	MaxBatch() int64
 }
 
 // Stats returns a snapshot of the agent's counters.
@@ -129,6 +143,10 @@ func (a *Agent) Stats() Stats {
 		s.LogDropped = h.Dropped()
 		s.LogFlushes = h.Flushes()
 		s.LogRetries = h.Retries()
+	}
+	if h, ok := a.sink.(sinkBatchHealth); ok {
+		s.LogBatchRecords = h.BatchRecords()
+		s.LogMaxBatch = h.MaxBatch()
 	}
 	return s
 }

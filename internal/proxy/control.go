@@ -206,6 +206,8 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.Gauge("gremlin_agent_log_dropped", "Records dropped by the log-shipping buffer.", float64(st.LogDropped), "service", svc)
 	mw.Gauge("gremlin_agent_log_flushes", "Batches shipped to the event store.", float64(st.LogFlushes), "service", svc)
 	mw.Gauge("gremlin_agent_log_retries", "Failed ship attempts that were retried.", float64(st.LogRetries), "service", svc)
+	mw.Gauge("gremlin_agent_log_batch_records", "Records shipped in successful flush batches.", float64(st.LogBatchRecords), "service", svc)
+	mw.Gauge("gremlin_agent_log_max_batch", "Largest batch shipped in one flush.", float64(st.LogMaxBatch), "service", svc)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = mw.WriteTo(w)
