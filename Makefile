@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke check
 
 all: check
 
@@ -57,5 +57,13 @@ trace-smoke:
 # byte-exact, and compaction must reclaim cleared namespaces' WAL space.
 store-smoke:
 	$(GO) run ./examples/storecrash
+
+# Stream-plane smoke: faults on a raw TCP edge, observed from the client
+# side. A campaign enumerates the stream grid over a protocol:tcp edge,
+# a mid-stream sever and a bandwidth throttle are felt by a live client,
+# and the relay's conn records attribute every fault. Exits non-zero on
+# any mismatch.
+l4-smoke:
+	$(GO) run ./examples/l4
 
 check: build vet test race

@@ -14,12 +14,22 @@
 //	  "routes": [
 //	    {"dst": "serviceB", "listenAddr": "127.0.0.1:7001",
 //	     "targets": ["10.0.0.2:8080", "10.0.0.3:8080"]}
+//	  ],
+//	  "l4": [
+//	    {"dst": "db", "listenAddr": "127.0.0.1:7002",
+//	     "targets": ["10.0.0.4:5432"]}
 //	  ]
 //	}
+//
+// "routes" are HTTP dependencies served by the L7 proxy; "l4" lists raw-TCP
+// dependencies (databases, caches) served by stream relays that inject
+// connection-level faults (sever, half-open, throttle, connect-refuse).
+// The -l4 flag appends ad-hoc relays without a config edit.
 //
 // Usage:
 //
 //	gremlin-agent -config agent.json
+//	gremlin-agent -config agent.json -l4 db=127.0.0.1:7002=10.0.0.4:5432
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,11 +49,30 @@ import (
 )
 
 type fileConfig struct {
-	Service  string        `json:"service"`
-	AgentID  string        `json:"agentId,omitempty"`
-	Control  string        `json:"control"`
-	LogStore string        `json:"logstore,omitempty"`
-	Routes   []proxy.Route `json:"routes"`
+	Service  string          `json:"service"`
+	AgentID  string          `json:"agentId,omitempty"`
+	Control  string          `json:"control"`
+	LogStore string          `json:"logstore,omitempty"`
+	Routes   []proxy.Route   `json:"routes"`
+	L4       []proxy.L4Route `json:"l4,omitempty"`
+}
+
+// l4Flags collects repeated -l4 dst=listen=target[,target...] values.
+type l4Flags []proxy.L4Route
+
+func (f *l4Flags) String() string { return fmt.Sprintf("%v", []proxy.L4Route(*f)) }
+
+func (f *l4Flags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fmt.Errorf("want dst=listenAddr=target[,target...], got %q", v)
+	}
+	*f = append(*f, proxy.L4Route{
+		Dst:        parts[0],
+		ListenAddr: parts[1],
+		Targets:    strings.Split(parts[2], ","),
+	})
+	return nil
 }
 
 func main() {
@@ -56,6 +86,8 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "path to the agent JSON config (required)")
 	flushEvery := fs.Duration("flush", 2*time.Second, "interval for flushing buffered observations")
 	pprofAddr := fs.String("pprof", "", "listen address for /debug/pprof/ endpoints (disabled when empty)")
+	var l4 l4Flags
+	fs.Var(&l4, "l4", "add a stream relay: dst=listenAddr=target[,target...] (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +128,7 @@ func run(args []string) error {
 		AgentID:     cfg.AgentID,
 		ControlAddr: cfg.Control,
 		Routes:      cfg.Routes,
+		L4Routes:    append(cfg.L4, l4...),
 		Sink:        sink,
 	})
 	if err != nil {
@@ -119,6 +152,13 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("  route %s -> %v via %s\n", r.Dst, r.Targets, addr)
+	}
+	for _, r := range append(cfg.L4, l4...) {
+		addr, err := agent.L4RouteAddr(r.Dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  l4 relay %s -> %v via %s\n", r.Dst, r.Targets, addr)
 	}
 
 	waitForSignal()

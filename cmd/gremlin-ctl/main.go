@@ -415,6 +415,7 @@ func statusCommand(args []string) error {
 	var (
 		agentURL     = fs.String("agent", "", "agent control URL")
 		registryPath = fs.String("registry", "", "registry JSON file (all agents)")
+		storeURL     = fs.String("store", "", "event store URL (also report store topology and WAL durability)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -433,11 +434,23 @@ func statusCommand(args []string) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("gremlin-ctl status: -agent or -registry is required")
+		if *storeURL == "" {
+			return fmt.Errorf("gremlin-ctl status: -agent, -registry or -store is required")
+		}
 	}
 
 	ctx := context.Background()
 	failed := 0
+	if *storeURL != "" {
+		info, err := eventlog.NewClient(*storeURL, nil).Info()
+		if err != nil {
+			fmt.Printf("store %s: UNREACHABLE (%v)\n", *storeURL, err)
+			failed++
+		} else {
+			fmt.Printf("store %s: records=%d shards=%d %s\n",
+				*storeURL, info.Records, info.Shards, describeDurability(info))
+		}
+	}
 	for _, url := range urls {
 		body, err := agentapi.New(url, nil).GetRuleSet(ctx)
 		if err != nil {
@@ -574,11 +587,12 @@ func storeCommand(sub string, args []string) error {
 		fmt.Printf("%d records\n", len(recs))
 		return nil
 	case "stats":
-		n, err := client.Stats()
+		info, err := client.Info()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d records\n", n)
+		fmt.Printf("%d records across %d shards, %s\n",
+			info.Records, info.Shards, describeDurability(info))
 		return nil
 	case "wipe":
 		n, err := client.Clear()
@@ -589,6 +603,18 @@ func storeCommand(sub string, args []string) error {
 		return nil
 	}
 	return nil
+}
+
+// describeDurability renders a StoreInfo's WAL configuration for humans.
+func describeDurability(info eventlog.StoreInfo) string {
+	if !info.Persistent {
+		return "volatile"
+	}
+	s := "wal fsync=" + info.Fsync
+	if info.FsyncIntervalMillis > 0 {
+		s += fmt.Sprintf("/%dms", info.FsyncIntervalMillis)
+	}
+	return s + " dir=" + info.DataDir
 }
 
 func printJSON(v any) error {
@@ -612,13 +638,14 @@ agent commands (-agent <control URL>):
   flush     flush buffered observations to the store
 
 fleet commands:
-  status    per-agent rule-set generation/hash/lease (-agent or -registry)
+  status    per-agent rule-set generation/hash/lease (-agent or -registry);
+            -store <url> also reports store shards and WAL fsync policy
   drift     compare agents against desired state (-registry, optional
             -file <rules.json>, -repair to converge); non-zero exit on drift
 
 store commands (-store <store URL>):
   query     print records (-src -dst -kind -pattern -limit)
-  stats     record count
+  stats     record count, shard count and WAL durability
   wipe      drop all records
 
 recipe execution:

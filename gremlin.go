@@ -76,6 +76,14 @@ type (
 	// Route maps one outbound dependency of the co-located microservice.
 	Route = proxy.Route
 
+	// L4Route maps one outbound raw-TCP dependency, served by a stream
+	// relay that injects connection-level faults (the L4 plane).
+	L4Route = proxy.L4Route
+
+	// Layer selects which plane a rule acts on: LayerHTTP (the L7 proxy,
+	// the default) or LayerL4 (the stream relays).
+	Layer = rules.Layer
+
 	// AgentClient drives a remote agent's control API.
 	AgentClient = agentapi.Client
 )
@@ -85,6 +93,20 @@ const (
 	ActionAbort  = rules.ActionAbort
 	ActionDelay  = rules.ActionDelay
 	ActionModify = rules.ActionModify
+
+	// Stream (L4) fault actions.
+	ActionSever    = rules.ActionSever
+	ActionHalfOpen = rules.ActionHalfOpen
+	ActionThrottle = rules.ActionThrottle
+	ActionJitter   = rules.ActionJitter
+
+	// Rule layers.
+	LayerHTTP = rules.LayerHTTP
+	LayerL4   = rules.LayerL4
+
+	// Sever modes.
+	SeverRST = rules.SeverRST
+	SeverFIN = rules.SeverFIN
 
 	OnRequest  = rules.OnRequest
 	OnResponse = rules.OnResponse
@@ -144,7 +166,15 @@ type (
 const (
 	KindRequest = eventlog.KindRequest
 	KindReply   = eventlog.KindReply
+
+	// Stream-connection lifecycle records emitted by the L4 relays.
+	KindConnOpen  = eventlog.KindConnOpen
+	KindConnClose = eventlog.KindConnClose
 )
+
+// StoreInfo is a store's partition topology and WAL durability
+// configuration, as reported by GET /v1/info.
+type StoreInfo = eventlog.StoreInfo
 
 // NewStore creates an empty in-memory event store.
 func NewStore() *Store { return eventlog.NewStore() }
@@ -267,6 +297,29 @@ type (
 
 	// Partition severs all edges crossing a cut of the graph.
 	Partition = core.Partition
+
+	// StreamSever terminates matching stream connections mid-transfer
+	// (RST or FIN), optionally after a byte threshold.
+	StreamSever = core.StreamSever
+
+	// StreamHalfOpen stops relaying one direction of matching stream
+	// connections while keeping both sockets open.
+	StreamHalfOpen = core.StreamHalfOpen
+
+	// StreamThrottle paces one direction of matching stream connections
+	// with a token bucket.
+	StreamThrottle = core.StreamThrottle
+
+	// StreamJitter delays each relayed chunk of matching stream
+	// connections.
+	StreamJitter = core.StreamJitter
+
+	// ConnectRefuse resets matching stream connections at accept.
+	ConnectRefuse = core.ConnectRefuse
+
+	// ConnectDelay holds matching stream connections before dialing the
+	// upstream.
+	ConnectDelay = core.ConnectDelay
 )
 
 // NewOrchestrator creates a Failure Orchestrator over a registry.
@@ -308,6 +361,10 @@ var (
 
 	// ExpectCustom wraps an arbitrary closure as a named assertion.
 	ExpectCustom = core.ExpectCustom
+
+	// ExpectStreamFaults asserts that staged L4 faults were actually
+	// actuated on an edge, attributed by fault-rule-ID prefix.
+	ExpectStreamFaults = core.ExpectStreamFaults
 )
 
 // GenerateOptions tunes GenerateRecipes.

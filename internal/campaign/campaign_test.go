@@ -15,6 +15,7 @@ import (
 	"gremlin/internal/loadgen"
 	"gremlin/internal/observe"
 	"gremlin/internal/orchestrator"
+	"gremlin/internal/rules"
 	"gremlin/internal/topology"
 )
 
@@ -474,5 +475,102 @@ func TestCampaignLeaseRenewalOutlivesTTL(t *testing.T) {
 	}
 	if owners := runner.Orchestrator().Owners(); len(owners) != 0 {
 		t.Fatalf("campaign left leases behind: %v", owners)
+	}
+}
+
+// TestEnumerateStreamGrid: a protocol:tcp edge yields the stream fault
+// grid (sever, halfopen, refuse, throttle per rate) and is excluded from
+// the http sever/delay grids, while http edges get no stream units.
+func TestEnumerateStreamGrid(t *testing.T) {
+	g := graph.FromEdges([]graph.Edge{
+		{Src: "user", Dst: "web"},
+		{Src: "web", Dst: "db", Protocol: graph.ProtocolTCP},
+	})
+	units, err := campaign.Enumerate(g, campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{SkipServices: []string{"user"}},
+		L4Rates:  []int64{1024, 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]campaign.Unit{}
+	for _, u := range units {
+		byKey[u.Key] = u
+		if u.Kind == "sever" || u.Kind == "delay" {
+			if strings.Contains(u.Target, "web->db") {
+				t.Fatalf("http grid unit %s targets the tcp edge", u.Key)
+			}
+		}
+	}
+	for _, want := range []string{
+		"l4-sever-web-db", "l4-halfopen-web-db", "l4-refuse-web-db",
+		"l4-throttle-web-db-1024", "l4-throttle-web-db-4096",
+	} {
+		u, ok := byKey[want]
+		if !ok {
+			t.Fatalf("missing stream unit %s in %v", want, byKey)
+		}
+		if u.Kind != "stream" || u.Service != "db" {
+			t.Fatalf("unit = %+v", u)
+		}
+		r, err := u.Build("camp-1-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := r.Translate(g)
+		if err != nil {
+			t.Fatalf("%s: %v", want, err)
+		}
+		for _, rule := range rs {
+			if rule.Layer != rules.LayerL4 {
+				t.Fatalf("%s produced non-l4 rule %+v", want, rule)
+			}
+			// Stream rules keep matching relay-minted conn IDs even when
+			// the campaign confines the recipe to its run pattern.
+			if rule.Pattern != core.L4Pattern {
+				t.Fatalf("%s rule pattern = %q", want, rule.Pattern)
+			}
+		}
+	}
+
+	// Stream units over distinct faults have distinct signatures; the two
+	// throttle rates must not collapse into one.
+	if byKey["l4-throttle-web-db-1024"].Signature == byKey["l4-throttle-web-db-4096"].Signature {
+		t.Fatal("throttle rates share a signature")
+	}
+	if byKey["l4-sever-web-db"].Signature == byKey["l4-halfopen-web-db"].Signature {
+		t.Fatal("sever and halfopen share a signature")
+	}
+
+	// The stream template alone selects only stream units.
+	only, err := campaign.Enumerate(g, campaign.EnumerateOptions{
+		Generate:  core.GenerateOptions{SkipServices: []string{"user"}},
+		Templates: []string{"stream"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) == 0 {
+		t.Fatal("stream template enumerated nothing")
+	}
+	for _, u := range only {
+		if u.Kind != "stream" {
+			t.Fatalf("template filter leaked %s", u.Key)
+		}
+	}
+
+	// An all-http graph enumerates no stream units at all.
+	httpOnly, err := campaign.Enumerate(graph.FromEdges([]graph.Edge{
+		{Src: "user", Dst: "web"}, {Src: "web", Dst: "db"},
+	}), campaign.EnumerateOptions{
+		Generate: core.GenerateOptions{SkipServices: []string{"user"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range httpOnly {
+		if u.Kind == "stream" {
+			t.Fatalf("stream unit %s on an http-only graph", u.Key)
+		}
 	}
 }

@@ -22,7 +22,7 @@ type Unit struct {
 	Key string
 
 	// Kind names the scenario template ("overload", "crash", "hang",
-	// "partition", "sever", "delay", "chaos").
+	// "partition", "sever", "delay", "stream", "chaos").
 	Kind string
 
 	// Service is the conceptual fault target (the callee, for edge units).
@@ -52,7 +52,8 @@ type EnumerateOptions struct {
 	Generate core.GenerateOptions
 
 	// Templates selects which deterministic templates to enumerate; nil
-	// selects all of overload, crash, hang, partition, sever, delay.
+	// selects all of overload, crash, hang, partition, sever, delay and
+	// stream (the L4 grid over protocol:tcp edges).
 	Templates []string
 
 	// HangInterval is how long the hang template stalls each request
@@ -74,6 +75,11 @@ type EnumerateOptions struct {
 
 	// ChaosMaxDelay bounds randomly drawn delays (default 250 ms).
 	ChaosMaxDelay time.Duration
+
+	// L4Rates is the bandwidth grid for the stream template's throttle
+	// units, one unit per tcp edge per rate (default
+	// core.DefaultThrottleRate).
+	L4Rates []int64
 }
 
 func (o EnumerateOptions) withDefaults() EnumerateOptions {
@@ -85,6 +91,9 @@ func (o EnumerateOptions) withDefaults() EnumerateOptions {
 	}
 	if o.ChaosMaxDelay <= 0 {
 		o.ChaosMaxDelay = 250 * time.Millisecond
+	}
+	if len(o.L4Rates) == 0 {
+		o.L4Rates = []int64{core.DefaultThrottleRate}
 	}
 	return o
 }
@@ -140,6 +149,13 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 		for _, r := range recipes {
 			name := r.Name
 			kind, svc := splitAutoName(name)
+			// GenerateRecipes also emits per-tcp-edge stream recipes; the
+			// dedicated stream template below enumerates that grid with
+			// its own parameters, so only the service-scoped templates
+			// ride along here.
+			if kind != "overload" && kind != "crash" {
+				continue
+			}
 			if !enabled(kind) {
 				continue
 			}
@@ -242,7 +258,9 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 	if enabled("sever") {
 		for _, e := range g.Edges() {
 			e := e
-			if skip[e.Dst] {
+			// tcp edges carry no HTTP plane to disconnect; the stream
+			// template faults them at L4 instead.
+			if skip[e.Dst] || g.Protocol(e.Src, e.Dst) == graph.ProtocolTCP {
 				continue
 			}
 			units = append(units, Unit{
@@ -268,7 +286,7 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 	if enabled("delay") {
 		for _, e := range g.Edges() {
 			e := e
-			if skip[e.Dst] {
+			if skip[e.Dst] || g.Protocol(e.Src, e.Dst) == graph.ProtocolTCP {
 				continue
 			}
 			for _, d := range o.EdgeDelays {
@@ -292,6 +310,50 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 						return rec, nil
 					},
 				})
+			}
+		}
+	}
+
+	// Stream-fault grid over protocol:tcp edges: sever mid-stream,
+	// half-open, connect-refuse, and a bandwidth throttle per grid rate.
+	// L4 connections carry relay-minted IDs rather than per-run request-ID
+	// namespaces, so these units assert delivery by rule-ID prefix — each
+	// recipe is named by its unit key, Translate mints rule IDs under that
+	// prefix, and the conn-close records log the fired rule's ID.
+	if enabled("stream") {
+		for _, e := range g.TCPEdges() {
+			e := e
+			if skip[e.Dst] {
+				continue
+			}
+			streamUnit := func(key string, sc core.Scenario) Unit {
+				return Unit{
+					Key:     key,
+					Kind:    "stream",
+					Service: e.Dst,
+					Target:  e.Src + "->" + e.Dst,
+					Build: func(pattern string) (core.Recipe, error) {
+						return core.Recipe{
+							Name:      key,
+							Scenarios: []core.Scenario{sc},
+							Pattern:   pattern,
+							Checks:    []core.Check{core.ExpectStreamFaults(e.Src, e.Dst, key, 1)},
+						}, nil
+					},
+				}
+			}
+			units = append(units,
+				streamUnit(fmt.Sprintf("l4-sever-%s-%s", e.Src, e.Dst),
+					core.StreamSever{Src: e.Src, Dst: e.Dst, Probability: 1}),
+				streamUnit(fmt.Sprintf("l4-halfopen-%s-%s", e.Src, e.Dst),
+					core.StreamHalfOpen{Src: e.Src, Dst: e.Dst, On: rules.OnResponse, Probability: 1}),
+				streamUnit(fmt.Sprintf("l4-refuse-%s-%s", e.Src, e.Dst),
+					core.ConnectRefuse{Src: e.Src, Dst: e.Dst, Probability: 1}),
+			)
+			for _, rate := range o.L4Rates {
+				units = append(units,
+					streamUnit(fmt.Sprintf("l4-throttle-%s-%s-%d", e.Src, e.Dst, rate),
+						core.StreamThrottle{Src: e.Src, Dst: e.Dst, BytesPerSec: rate, Probability: 1}))
 			}
 		}
 	}

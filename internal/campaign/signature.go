@@ -30,9 +30,16 @@ func signatureOf(rs []rules.Rule) string {
 		if on == "" {
 			on = rules.OnRequest
 		}
-		keys = append(keys, fmt.Sprintf("%s>%s/%s/%s/c%d/d%d/p%.3f/%s/%s",
-			r.Src, r.Dst, on, r.Action, r.ErrorCode, r.DelayMillis,
-			r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes))
+		// Sever mode participates only for sever rules, so its default
+		// does not perturb every other signature.
+		mode := ""
+		if r.Action == rules.ActionSever {
+			mode = r.EffectiveSeverMode()
+		}
+		keys = append(keys, fmt.Sprintf("%s>%s/%s/%s/%s/c%d/d%d/p%.3f/%s/%s/r%d/b%d/%s",
+			r.Src, r.Dst, r.EffectiveLayer(), on, r.Action, r.ErrorCode, r.DelayMillis,
+			r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes,
+			r.RateBytesPerSec, r.AbortAfterBytes, mode))
 	}
 	sort.Strings(keys)
 	h := fnv.New64a()

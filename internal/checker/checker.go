@@ -25,6 +25,7 @@ package checker
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"gremlin/internal/eventlog"
@@ -75,6 +76,38 @@ func (c *Checker) GetReplies(src, dst, idPattern string) (RList, error) {
 		return nil, fmt.Errorf("checker: get replies %s->%s: %w", src, dst, err)
 	}
 	return recs, nil
+}
+
+// GetConns returns the conn-close records for relayed src→dst stream
+// connections whose connection ID matches idPattern. Every relayed L4
+// connection produces exactly one conn-close record carrying the bytes
+// moved in each direction, the connection duration, and any stream fault
+// that fired, so an RList of conn-closes doubles as the list of completed
+// connections.
+func (c *Checker) GetConns(src, dst, idPattern string) (RList, error) {
+	recs, err := c.source.Select(eventlog.Query{
+		Src: src, Dst: dst, Kind: eventlog.KindConnClose, IDPattern: idPattern,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checker: get conns %s->%s: %w", src, dst, err)
+	}
+	return recs, nil
+}
+
+// CountStreamFaults counts the records in rl that closed with a stream
+// fault fired, i.e. carry a fault rule ID starting with ruleIDPrefix. An
+// empty prefix counts every faulted connection. Campaign units attribute
+// L4 faults this way: stream connections carry relay-minted IDs rather
+// than per-run request-ID namespaces, so attribution keys off the
+// installed rule's ID instead of the ID pattern.
+func CountStreamFaults(rl RList, ruleIDPrefix string) int {
+	n := 0
+	for _, r := range rl {
+		if r.FaultRuleID != "" && strings.HasPrefix(r.FaultRuleID, ruleIDPrefix) {
+			n++
+		}
+	}
+	return n
 }
 
 // CountRequests reports how many requests from src to dst match

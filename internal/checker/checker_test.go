@@ -243,3 +243,46 @@ func TestMaxLatency(t *testing.T) {
 		t.Fatalf("empty MaxLatency = %v", got)
 	}
 }
+
+func connClose(src, dst, connID, ruleID string, up, down int64, at time.Duration) eventlog.Record {
+	return eventlog.Record{
+		Timestamp: t0.Add(at), RequestID: connID, Src: src, Dst: dst,
+		Kind: eventlog.KindConnClose, BytesUp: up, BytesDown: down,
+		FaultRuleID: ruleID,
+	}
+}
+
+func TestGetConnsAndCountStreamFaults(t *testing.T) {
+	s := storeWith(t,
+		eventlog.Record{Timestamp: t0, RequestID: "l4-web-1", Src: "web", Dst: "db", Kind: eventlog.KindConnOpen},
+		connClose("web", "db", "l4-web-1", "l4-sever-web-db-sever-1", 100, 220, time.Millisecond),
+		connClose("web", "db", "l4-web-2", "", 50, 50, 2*time.Millisecond),
+		connClose("web", "db", "l4-web-3", "other-rule-1", 1, 1, 3*time.Millisecond),
+		connClose("web", "auth", "l4-web-4", "l4-sever-web-db-sever-1", 9, 9, 4*time.Millisecond),
+	)
+	c := New(s)
+
+	conns, err := c.GetConns("web", "db", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only conn-close records count as completed connections: the open
+	// record and the web->auth edge are excluded.
+	if len(conns) != 3 {
+		t.Fatalf("conns = %+v", conns)
+	}
+	if conns[0].BytesUp != 100 || conns[0].BytesDown != 220 {
+		t.Fatalf("byte counters = %+v", conns[0])
+	}
+
+	if n := CountStreamFaults(conns, "l4-sever-web-db"); n != 1 {
+		t.Fatalf("prefix count = %d, want 1", n)
+	}
+	// Empty prefix counts every faulted connection, not the clean one.
+	if n := CountStreamFaults(conns, ""); n != 2 {
+		t.Fatalf("any-fault count = %d, want 2", n)
+	}
+	if n := CountStreamFaults(conns, "nope"); n != 0 {
+		t.Fatalf("miss count = %d, want 0", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gremlin/internal/checker"
+	"gremlin/internal/graph"
 )
 
 // GenerateOptions tunes automatic recipe generation.
@@ -75,9 +76,16 @@ func (o GenerateOptions) withDefaults() GenerateOptions {
 //   - a Crash of the service, asserting that each dependent trips a
 //     circuit breaker.
 //
-// Recipes are ordered least-intrusive first (all overloads, then all
-// crashes), so RunChain stops before staging crashes into an application
-// that already failed the gentler test.
+// When the graph carries protocol metadata (*graph.Graph does), tcp edges
+// participate too: dependents reaching a target over a stream edge get the
+// stream-fault attribution check instead of HTTP-plane assertions, and
+// every tcp edge additionally gets a bandwidth-throttle recipe
+// ("auto-l4-throttle-<src>-<dst>") and a mid-stream sever recipe
+// ("auto-l4-sever-<src>-<dst>").
+//
+// Recipes are ordered least-intrusive first (overloads and throttles, then
+// crashes and severs), so RunChain stops before staging crashes into an
+// application that already failed the gentler test.
 func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
 	o := opts.withDefaults()
 	skip := make(map[string]bool, len(o.SkipServices))
@@ -122,12 +130,31 @@ func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
 			if skip[d] {
 				continue
 			}
+			// Stream dependents carry no HTTP records to assert retry or
+			// timeout patterns over; assert instead that the L4 faults the
+			// scenario stages on their edge were actually actuated.
+			if edgeProtocol(g, d, svc) == graph.ProtocolTCP {
+				overload.Checks = append(overload.Checks,
+					ExpectStreamFaults(d, svc, overload.Name, 1))
+				continue
+			}
 			overload.Checks = append(overload.Checks,
 				ExpectBoundedRetriesOpts(d, svc, o.MaxRetries, o.Pattern, checker.BoundedRetriesOptions{}),
 				ExpectTimeoutsOn(d, o.MaxLatency, o.Pattern),
 			)
 		}
 		recipes = append(recipes, overload)
+	}
+	for _, e := range tcpEdges(g, skip) {
+		name := fmt.Sprintf("auto-l4-throttle-%s-%s", e.Src, e.Dst)
+		recipes = append(recipes, Recipe{
+			Name: name,
+			Scenarios: []Scenario{StreamThrottle{
+				Src: e.Src, Dst: e.Dst, BytesPerSec: DefaultThrottleRate, Probability: 1,
+			}},
+			Pattern: o.Pattern,
+			Checks:  []Check{ExpectStreamFaults(e.Src, e.Dst, name, 1)},
+		})
 	}
 	for _, svc := range targets {
 		deps, err := g.Dependents(svc)
@@ -143,17 +170,71 @@ func GenerateRecipes(g GraphView, opts GenerateOptions) ([]Recipe, error) {
 			if skip[d] {
 				continue
 			}
+			if edgeProtocol(g, d, svc) == graph.ProtocolTCP {
+				crash.Checks = append(crash.Checks,
+					ExpectStreamFaults(d, svc, crash.Name, 1))
+				continue
+			}
 			crash.Checks = append(crash.Checks,
 				ExpectCircuitBreakerOn(d, svc, o.BreakerThreshold, o.BreakerQuiet, o.Pattern))
 		}
 		recipes = append(recipes, crash)
 	}
+	for _, e := range tcpEdges(g, skip) {
+		name := fmt.Sprintf("auto-l4-sever-%s-%s", e.Src, e.Dst)
+		recipes = append(recipes, Recipe{
+			Name: name,
+			Scenarios: []Scenario{StreamSever{
+				Src: e.Src, Dst: e.Dst, Probability: 1,
+			}},
+			Pattern: o.Pattern,
+			Checks:  []Check{ExpectStreamFaults(e.Src, e.Dst, name, 1)},
+		})
+	}
 	return recipes, nil
 }
+
+// DefaultThrottleRate is the bandwidth generated throttle recipes pace tcp
+// edges to: slow enough that a bulk transfer visibly stretches, fast
+// enough that campaign load drivers finish within their deadlines.
+const DefaultThrottleRate int64 = 64 * 1024
 
 // GraphView is the read-only slice of the application graph that recipe
 // generation needs. *graph.Graph implements it.
 type GraphView interface {
 	Services() []string
 	Dependents(name string) ([]string, error)
+}
+
+// protocolView is the optional extension of GraphView carrying per-edge
+// protocol metadata (*graph.Graph implements it). Views without it are
+// treated as all-HTTP graphs.
+type protocolView interface {
+	Protocol(src, dst string) string
+	TCPEdges() []graph.Edge
+}
+
+// edgeProtocol reports the protocol of src→dst under g, defaulting to
+// HTTP when the view carries no protocol metadata.
+func edgeProtocol(g GraphView, src, dst string) string {
+	if pv, ok := g.(protocolView); ok {
+		return pv.Protocol(src, dst)
+	}
+	return graph.ProtocolHTTP
+}
+
+// tcpEdges returns g's tcp edges whose endpoints are both unskipped, or
+// nil for views without protocol metadata.
+func tcpEdges(g GraphView, skip map[string]bool) []graph.Edge {
+	pv, ok := g.(protocolView)
+	if !ok {
+		return nil
+	}
+	var out []graph.Edge
+	for _, e := range pv.TCPEdges() {
+		if !skip[e.Src] && !skip[e.Dst] {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -149,6 +149,28 @@ func ExpectCustom(name string, fn func(c *checker.Checker) (bool, string, error)
 	}
 }
 
+// ExpectStreamFaults asserts that at least minFired relayed src→dst
+// stream connections closed with a fault fired whose rule ID starts with
+// ruleIDPrefix (empty prefix accepts any stream fault). L4 connections
+// carry relay-minted IDs rather than request-ID namespaces, so this is
+// the stream plane's attribution check: "the sever/throttle I staged was
+// actually actuated on this edge".
+func ExpectStreamFaults(src, dst, ruleIDPrefix string, minFired int) Check {
+	if minFired <= 0 {
+		minFired = 1
+	}
+	name := fmt.Sprintf("StreamFaults(%s->%s, rule=%s*, min=%d)", src, dst, ruleIDPrefix, minFired)
+	return ExpectCustom(name, func(c *checker.Checker) (bool, string, error) {
+		conns, err := c.GetConns(src, dst, "")
+		if err != nil {
+			return false, "", err
+		}
+		fired := checker.CountStreamFaults(conns, ruleIDPrefix)
+		details := fmt.Sprintf("%d of %d connections closed with a matching stream fault", fired, len(conns))
+		return fired >= minFired, details, nil
+	})
+}
+
 // ExpectExponentialBackoff asserts that src's retries against dst space
 // out by at least growthFactor between consecutive attempts (§2.1's
 // exponential-backoff recommendation).

@@ -202,6 +202,21 @@ func (c Crash) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rules.Ru
 	}
 	out := make([]rules.Rule, 0, len(dependents))
 	for _, dep := range dependents {
+		// A crashed service refuses TCP connections too: dependents that
+		// reach it over a raw stream edge get the L4 connect-refuse
+		// equivalent instead of an HTTP abort.
+		if g.Protocol(dep, c.Service) == graph.ProtocolTCP {
+			out = append(out, rules.Rule{
+				ID:          ids.Next("crash"),
+				Src:         dep,
+				Dst:         c.Service,
+				Layer:       rules.LayerL4,
+				Action:      rules.ActionAbort,
+				Pattern:     L4Pattern,
+				Probability: c.Probability,
+			})
+			continue
+		}
 		out = append(out, rules.Rule{
 			ID:          ids.Next("crash"),
 			Src:         dep,
@@ -241,6 +256,21 @@ func (h Hang) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rules.Rul
 	}
 	out := make([]rules.Rule, 0, len(dependents))
 	for _, dep := range dependents {
+		// A hung service goes silent on the wire: stream dependents see a
+		// half-open connection (socket up, replies never arrive), the L4
+		// analogue of an unbounded delay.
+		if g.Protocol(dep, h.Service) == graph.ProtocolTCP {
+			out = append(out, rules.Rule{
+				ID:      ids.Next("hang"),
+				Src:     dep,
+				Dst:     h.Service,
+				On:      rules.OnResponse,
+				Layer:   rules.LayerL4,
+				Action:  rules.ActionHalfOpen,
+				Pattern: L4Pattern,
+			})
+			continue
+		}
 		out = append(out, rules.Rule{
 			ID:          ids.Next("hang"),
 			Src:         dep,
@@ -295,6 +325,33 @@ func (o Overload) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rules
 	}
 	var out []rules.Rule
 	for _, dep := range dependents {
+		// Stream dependents observe an overloaded upstream as refused
+		// connections (the full accept queue) plus slow connection
+		// establishment for the connections that do get through.
+		if g.Protocol(dep, o.Service) == graph.ProtocolTCP {
+			out = append(out,
+				rules.Rule{
+					ID:          ids.Next("overload-refuse"),
+					Src:         dep,
+					Dst:         o.Service,
+					Layer:       rules.LayerL4,
+					Action:      rules.ActionAbort,
+					Pattern:     L4Pattern,
+					Probability: abortFrac,
+				},
+				rules.Rule{
+					ID:          ids.Next("overload-cdelay"),
+					Src:         dep,
+					Dst:         o.Service,
+					Layer:       rules.LayerL4,
+					Action:      rules.ActionDelay,
+					Pattern:     L4Pattern,
+					Probability: 1,
+					DelayMillis: delay.Milliseconds(),
+				},
+			)
+			continue
+		}
 		out = append(out,
 			rules.Rule{
 				ID:          ids.Next("overload-abort"),
@@ -347,6 +404,12 @@ func (f FakeSuccess) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]ru
 	}
 	out := make([]rules.Rule, 0, len(dependents))
 	for _, dep := range dependents {
+		// Byte-rewriting is an HTTP-plane primitive; there is no L4
+		// equivalent of a well-formed-but-wrong reply, so stream
+		// dependents are skipped.
+		if g.Protocol(dep, f.Service) == graph.ProtocolTCP {
+			continue
+		}
 		out = append(out, rules.Rule{
 			ID:           ids.Next("fake"),
 			Src:          dep,
@@ -357,6 +420,9 @@ func (f FakeSuccess) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]ru
 			SearchBytes:  f.Search,
 			ReplaceBytes: f.Replace,
 		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: FakeSuccess(%s): all dependents reach the service over tcp edges, which cannot carry a modify", f.Service)
 	}
 	return out, nil
 }
@@ -386,6 +452,21 @@ func (p Partition) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rule
 	}
 	out := make([]rules.Rule, 0, len(cut))
 	for _, e := range cut {
+		// Stream edges crossing the cut are partitioned at the L4 plane:
+		// connections are refused at accept, the raw-TCP view of an
+		// unreachable peer.
+		if g.Protocol(e.Src, e.Dst) == graph.ProtocolTCP {
+			out = append(out, rules.Rule{
+				ID:          ids.Next("partition"),
+				Src:         e.Src,
+				Dst:         e.Dst,
+				Layer:       rules.LayerL4,
+				Action:      rules.ActionAbort,
+				Pattern:     L4Pattern,
+				Probability: 1,
+			})
+			continue
+		}
 		out = append(out, rules.Rule{
 			ID:          ids.Next("partition"),
 			Src:         e.Src,
@@ -447,6 +528,22 @@ func (d DegradeNetwork) Translate(g *graph.Graph, ids *IDGen, pattern string) ([
 	}
 	out := make([]rules.Rule, 0, len(edges))
 	for _, e := range edges {
+		// Stream edges take the degradation as per-chunk jitter — every
+		// relayed read is held by the interval, the L4 view of a slow
+		// network path.
+		if g.Protocol(e.Src, e.Dst) == graph.ProtocolTCP {
+			out = append(out, rules.Rule{
+				ID:          ids.Next("netdelay"),
+				Src:         e.Src,
+				Dst:         e.Dst,
+				Layer:       rules.LayerL4,
+				Action:      rules.ActionJitter,
+				Pattern:     L4Pattern,
+				Probability: d.Probability,
+				DelayMillis: d.Interval.Milliseconds(),
+			})
+			continue
+		}
 		out = append(out, rules.Rule{
 			ID:          ids.Next("netdelay"),
 			Src:         e.Src,

@@ -44,6 +44,11 @@ type scenarioSpec struct {
 	Replace       string            `json:"replace,omitempty"`
 	Pattern       string            `json:"pattern,omitempty"`
 	On            rules.MessageType `json:"on,omitempty"`
+
+	// Stream-scenario parameters (streamSever/streamThrottle/…).
+	RateBytesPerSec int64  `json:"rateBytesPerSec,omitempty"`
+	AbortAfterBytes int64  `json:"abortAfterBytes,omitempty"`
+	SeverMode       string `json:"severMode,omitempty"`
 }
 
 type checkSpec struct {
@@ -59,6 +64,10 @@ type checkSpec struct {
 	TdeltaMillis     int64   `json:"tdeltaMillis,omitempty"`
 	Rate             float64 `json:"rate,omitempty"`
 	OkFraction       float64 `json:"okFraction,omitempty"`
+
+	// streamFaults parameters.
+	RuleIDPrefix string `json:"ruleIdPrefix,omitempty"`
+	MinFired     int    `json:"minFired,omitempty"`
 }
 
 // ParseRecipe decodes a recipe from its JSON wire form:
@@ -71,8 +80,10 @@ type checkSpec struct {
 //	}
 //
 // Scenario types: abort, delay, modify, disconnect, crash, hang, overload,
-// fakeSuccess, partition. Check types: timeouts, boundedRetries,
-// circuitBreaker, bulkhead, noCalls, fallback.
+// fakeSuccess, partition, plus the stream (L4) scenarios streamSever,
+// streamHalfOpen, streamThrottle, streamJitter, connectRefuse and
+// connectDelay. Check types: timeouts, boundedRetries, circuitBreaker,
+// bulkhead, noCalls, fallback, streamFaults.
 func ParseRecipe(data []byte) (Recipe, error) {
 	var spec recipeSpec
 	if err := json.Unmarshal(data, &spec); err != nil {
@@ -120,6 +131,24 @@ func (s scenarioSpec) toScenario() (Scenario, error) {
 		return FakeSuccess{Service: s.Service, Search: s.Search, Replace: s.Replace}, nil
 	case "partition":
 		return Partition{SideA: s.SideA, SideB: s.SideB}, nil
+	case "streamSever":
+		return StreamSever{Src: s.Src, Dst: s.Dst, AfterBytes: s.AbortAfterBytes,
+			Mode: s.SeverMode, On: s.On, Pattern: s.Pattern, Probability: s.Probability}, nil
+	case "streamHalfOpen":
+		return StreamHalfOpen{Src: s.Src, Dst: s.Dst, AfterBytes: s.AbortAfterBytes,
+			On: s.On, Pattern: s.Pattern, Probability: s.Probability}, nil
+	case "streamThrottle":
+		return StreamThrottle{Src: s.Src, Dst: s.Dst, BytesPerSec: s.RateBytesPerSec,
+			On: s.On, Pattern: s.Pattern, Probability: s.Probability}, nil
+	case "streamJitter":
+		return StreamJitter{Src: s.Src, Dst: s.Dst, Interval: millis(s.DelayMillis),
+			On: s.On, Pattern: s.Pattern, Probability: s.Probability}, nil
+	case "connectRefuse":
+		return ConnectRefuse{Src: s.Src, Dst: s.Dst,
+			Pattern: s.Pattern, Probability: s.Probability}, nil
+	case "connectDelay":
+		return ConnectDelay{Src: s.Src, Dst: s.Dst, Interval: millis(s.DelayMillis),
+			Pattern: s.Pattern, Probability: s.Probability}, nil
 	default:
 		return nil, fmt.Errorf("unknown scenario type %q", s.Type)
 	}
@@ -155,6 +184,8 @@ func (c checkSpec) toCheck() (Check, error) {
 			return nil, fmt.Errorf("fallback check needs okFraction in (0,1]")
 		}
 		return ExpectFallback(c.Service, c.OkFraction), nil
+	case "streamFaults":
+		return ExpectStreamFaults(c.Src, c.Dst, c.RuleIDPrefix, c.MinFired), nil
 	default:
 		return nil, fmt.Errorf("unknown check type %q", c.Type)
 	}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// L4Pattern is the default request-ID pattern for stream scenarios.
+// L4 connections carry relay-minted connection IDs ("l4-<agent>-<n>"),
+// never the synthetic test-request IDs HTTP recipes filter on, so
+// stream rules default to matching every relayed connection instead of
+// inheriting the recipe's HTTP pattern (which would silently never
+// match). Campaign isolation for L4 units therefore rests on rule-ID
+// attribution in conn-close records, not request-ID namespaces.
+const L4Pattern = "l4-*"
+
+// l4Pick resolves a stream scenario's pattern: its own if set, else
+// L4Pattern (the recipe-wide HTTP pattern is deliberately not used).
+func l4Pick(specific string) string {
+	if specific != "" {
+		return specific
+	}
+	return L4Pattern
+}
+
+// StreamSever terminates matching Src→Dst connections mid-stream with a
+// TCP reset (or FIN, per Mode), optionally after AfterBytes have been
+// relayed in the On direction — the database connection that dies
+// halfway through a result set.
+type StreamSever struct {
+	Src, Dst string
+	// AfterBytes delays the sever until this many bytes crossed in the
+	// On direction; 0 severs before the first byte.
+	AfterBytes int64
+	// Mode is rules.SeverRST (default) or rules.SeverFIN.
+	Mode string
+	// On selects the direction watched for AfterBytes; defaults to the
+	// downstream→upstream stream (rules.OnRequest).
+	On          rules.MessageType
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s StreamSever) Describe() string {
+	return fmt.Sprintf("StreamSever(%s->%s, after=%dB, mode=%s)", s.Src, s.Dst, s.AfterBytes, s.Mode)
+}
+
+// Translate implements Scenario.
+func (s StreamSever) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:              ids.Next("sever"),
+		Src:             s.Src,
+		Dst:             s.Dst,
+		On:              s.On,
+		Layer:           rules.LayerL4,
+		Action:          rules.ActionSever,
+		Pattern:         l4Pick(s.Pattern),
+		Probability:     s.Probability,
+		AbortAfterBytes: s.AfterBytes,
+		SeverMode:       s.Mode,
+	}}, nil
+}
+
+// StreamHalfOpen stops relaying one direction of matching Src→Dst
+// connections while keeping both sockets open — the peer sees silence,
+// not an error, which is the failure mode application timeouts exist
+// for.
+type StreamHalfOpen struct {
+	Src, Dst   string
+	AfterBytes int64
+	// On selects the direction that goes dark; defaults to
+	// downstream→upstream. Use rules.OnResponse for "the reply never
+	// comes back".
+	On          rules.MessageType
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s StreamHalfOpen) Describe() string {
+	return fmt.Sprintf("StreamHalfOpen(%s->%s, on=%s, after=%dB)", s.Src, s.Dst, s.On, s.AfterBytes)
+}
+
+// Translate implements Scenario.
+func (s StreamHalfOpen) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:              ids.Next("halfopen"),
+		Src:             s.Src,
+		Dst:             s.Dst,
+		On:              s.On,
+		Layer:           rules.LayerL4,
+		Action:          rules.ActionHalfOpen,
+		Pattern:         l4Pick(s.Pattern),
+		Probability:     s.Probability,
+		AbortAfterBytes: s.AfterBytes,
+	}}, nil
+}
+
+// StreamThrottle paces one direction of matching Src→Dst connections to
+// BytesPerSec with a token bucket — the saturated replica link or the
+// bandwidth-limited cross-zone connection.
+type StreamThrottle struct {
+	Src, Dst    string
+	BytesPerSec int64
+	On          rules.MessageType
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s StreamThrottle) Describe() string {
+	return fmt.Sprintf("StreamThrottle(%s->%s, %dB/s)", s.Src, s.Dst, s.BytesPerSec)
+}
+
+// Translate implements Scenario.
+func (s StreamThrottle) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:              ids.Next("throttle"),
+		Src:             s.Src,
+		Dst:             s.Dst,
+		On:              s.On,
+		Layer:           rules.LayerL4,
+		Action:          rules.ActionThrottle,
+		Pattern:         l4Pick(s.Pattern),
+		Probability:     s.Probability,
+		RateBytesPerSec: s.BytesPerSec,
+	}}, nil
+}
+
+// StreamJitter sleeps Interval before relaying each chunk in the On
+// direction of matching Src→Dst connections — per-read latency, the
+// stream-plane analogue of Delay.
+type StreamJitter struct {
+	Src, Dst    string
+	Interval    time.Duration
+	On          rules.MessageType
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s StreamJitter) Describe() string {
+	return fmt.Sprintf("StreamJitter(%s->%s, %s)", s.Src, s.Dst, s.Interval)
+}
+
+// Translate implements Scenario.
+func (s StreamJitter) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:          ids.Next("jitter"),
+		Src:         s.Src,
+		Dst:         s.Dst,
+		On:          s.On,
+		Layer:       rules.LayerL4,
+		Action:      rules.ActionJitter,
+		Pattern:     l4Pick(s.Pattern),
+		Probability: s.Probability,
+		DelayMillis: s.Interval.Milliseconds(),
+	}}, nil
+}
+
+// ConnectRefuse resets matching Src→Dst connections at accept, before
+// the upstream is ever dialed — the crashed or unreachable dependency
+// as seen by a raw TCP client.
+type ConnectRefuse struct {
+	Src, Dst    string
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s ConnectRefuse) Describe() string {
+	return fmt.Sprintf("ConnectRefuse(%s->%s, p=%v)", s.Src, s.Dst, s.Probability)
+}
+
+// Translate implements Scenario.
+func (s ConnectRefuse) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:          ids.Next("refuse"),
+		Src:         s.Src,
+		Dst:         s.Dst,
+		Layer:       rules.LayerL4,
+		Action:      rules.ActionAbort,
+		Pattern:     l4Pick(s.Pattern),
+		Probability: s.Probability,
+	}}, nil
+}
+
+// ConnectDelay holds matching Src→Dst connections for Interval before
+// dialing the upstream — slow DNS, a saturated accept queue, a dying
+// load balancer.
+type ConnectDelay struct {
+	Src, Dst    string
+	Interval    time.Duration
+	Pattern     string
+	Probability float64
+}
+
+// Describe implements Scenario.
+func (s ConnectDelay) Describe() string {
+	return fmt.Sprintf("ConnectDelay(%s->%s, %s)", s.Src, s.Dst, s.Interval)
+}
+
+// Translate implements Scenario.
+func (s ConnectDelay) Translate(g *graph.Graph, ids *IDGen, _ string) ([]rules.Rule, error) {
+	if err := checkEdge(g, s.Src, s.Dst); err != nil {
+		return nil, err
+	}
+	return []rules.Rule{{
+		ID:          ids.Next("cdelay"),
+		Src:         s.Src,
+		Dst:         s.Dst,
+		Layer:       rules.LayerL4,
+		Action:      rules.ActionDelay,
+		Pattern:     l4Pick(s.Pattern),
+		Probability: s.Probability,
+		DelayMillis: s.Interval.Milliseconds(),
+	}}, nil
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// tcpGraph: web -> db over raw TCP, web -> auth over HTTP.
+func tcpGraph() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("web", "auth")
+	g.AddEdge("web", "db")
+	g.SetProtocol("web", "db", graph.ProtocolTCP)
+	return g
+}
+
+func translateOn(t *testing.T, g *graph.Graph, s Scenario) []rules.Rule {
+	t.Helper()
+	rs, err := s.Translate(g, NewIDGen("t"), DefaultPattern)
+	if err != nil {
+		t.Fatalf("translate %s: %v", s.Describe(), err)
+	}
+	if err := rules.ValidateAll(rs); err != nil {
+		t.Fatalf("%s produced invalid rules: %v", s.Describe(), err)
+	}
+	return rs
+}
+
+func TestStreamSeverTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), StreamSever{
+		Src: "web", Dst: "db", AfterBytes: 4096, Mode: rules.SeverFIN, Probability: 0.5,
+	})
+	if len(rs) != 1 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	r := rs[0]
+	if r.Layer != rules.LayerL4 || r.Action != rules.ActionSever ||
+		r.AbortAfterBytes != 4096 || r.SeverMode != rules.SeverFIN || r.Probability != 0.5 {
+		t.Fatalf("rule = %+v", r)
+	}
+	// Stream rules match relay-minted connection IDs, never the recipe's
+	// HTTP test-request pattern.
+	if r.Pattern != L4Pattern {
+		t.Fatalf("pattern = %q, want %q", r.Pattern, L4Pattern)
+	}
+}
+
+func TestStreamHalfOpenTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), StreamHalfOpen{
+		Src: "web", Dst: "db", On: rules.OnResponse, AfterBytes: 10,
+	})
+	if rs[0].Action != rules.ActionHalfOpen || rs[0].On != rules.OnResponse ||
+		rs[0].Layer != rules.LayerL4 || rs[0].AbortAfterBytes != 10 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestStreamThrottleTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), StreamThrottle{Src: "web", Dst: "db", BytesPerSec: 1024})
+	if rs[0].Action != rules.ActionThrottle || rs[0].RateBytesPerSec != 1024 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestStreamJitterTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), StreamJitter{Src: "web", Dst: "db", Interval: 20 * time.Millisecond})
+	if rs[0].Action != rules.ActionJitter || rs[0].DelayMillis != 20 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestConnectRefuseTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), ConnectRefuse{Src: "web", Dst: "db", Probability: 0.3})
+	if rs[0].Action != rules.ActionAbort || rs[0].Layer != rules.LayerL4 ||
+		rs[0].Probability != 0.3 || rs[0].ErrorCode != 0 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestConnectDelayTranslate(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), ConnectDelay{Src: "web", Dst: "db", Interval: 50 * time.Millisecond})
+	if rs[0].Action != rules.ActionDelay || rs[0].Layer != rules.LayerL4 || rs[0].DelayMillis != 50 {
+		t.Fatalf("rule = %+v", rs[0])
+	}
+}
+
+func TestStreamScenarioUnknownEdge(t *testing.T) {
+	for _, s := range []Scenario{
+		StreamSever{Src: "db", Dst: "web"},
+		StreamThrottle{Src: "ghost", Dst: "db", BytesPerSec: 1},
+		ConnectRefuse{Src: "web", Dst: "ghost"},
+	} {
+		if _, err := s.Translate(tcpGraph(), NewIDGen(""), ""); err == nil {
+			t.Fatalf("%s: want error for bad edge", s.Describe())
+		}
+	}
+}
+
+// TestCrashTCPDependents: a crash seen over a tcp edge is a connect
+// refuse, while http dependents keep the classic severed HTTP abort.
+func TestCrashTCPDependents(t *testing.T) {
+	g := tcpGraph()
+	g.AddEdge("auth", "db") // http edge into db too
+	rs := translateOn(t, g, Crash{Service: "db"})
+	if len(rs) != 2 {
+		t.Fatalf("rules = %+v", rs)
+	}
+	bysrc := map[string]rules.Rule{}
+	for _, r := range rs {
+		bysrc[r.Src] = r
+	}
+	web := bysrc["web"]
+	if web.Layer != rules.LayerL4 || web.Action != rules.ActionAbort ||
+		web.Pattern != L4Pattern || web.ErrorCode != 0 {
+		t.Fatalf("tcp dependent rule = %+v", web)
+	}
+	auth := bysrc["auth"]
+	if auth.Layer != "" || auth.ErrorCode != rules.AbortSeverConnection || auth.Pattern != DefaultPattern {
+		t.Fatalf("http dependent rule = %+v", auth)
+	}
+}
+
+func TestHangTCPDependents(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), Hang{Service: "db"})
+	if len(rs) != 1 {
+		t.Fatalf("rules = %+v", rs)
+	}
+	r := rs[0]
+	if r.Layer != rules.LayerL4 || r.Action != rules.ActionHalfOpen || r.On != rules.OnResponse {
+		t.Fatalf("rule = %+v", r)
+	}
+}
+
+func TestOverloadTCPDependents(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), Overload{Service: "db", AbortFraction: 0.4, Delay: 30 * time.Millisecond})
+	if len(rs) != 2 {
+		t.Fatalf("rules = %+v", rs)
+	}
+	var refuse, cdelay *rules.Rule
+	for i := range rs {
+		switch rs[i].Action {
+		case rules.ActionAbort:
+			refuse = &rs[i]
+		case rules.ActionDelay:
+			cdelay = &rs[i]
+		}
+	}
+	if refuse == nil || refuse.Layer != rules.LayerL4 || refuse.Probability != 0.4 {
+		t.Fatalf("refuse = %+v", refuse)
+	}
+	if cdelay == nil || cdelay.Layer != rules.LayerL4 || cdelay.DelayMillis != 30 || cdelay.Probability != 1 {
+		t.Fatalf("cdelay = %+v", cdelay)
+	}
+}
+
+func TestFakeSuccessSkipsTCPDependents(t *testing.T) {
+	// With one http and one tcp dependent, only the http edge carries the
+	// modify.
+	g := tcpGraph()
+	g.AddEdge("auth", "db")
+	rs := translateOn(t, g, FakeSuccess{Service: "db", Search: "ok", Replace: "ko"})
+	if len(rs) != 1 || rs[0].Src != "auth" || rs[0].Action != rules.ActionModify {
+		t.Fatalf("rules = %+v", rs)
+	}
+
+	// All-tcp dependents cannot carry a modify at all.
+	if _, err := (FakeSuccess{Service: "db", Search: "a", Replace: "b"}).
+		Translate(tcpGraph(), NewIDGen(""), DefaultPattern); err == nil ||
+		!strings.Contains(err.Error(), "tcp") {
+		t.Fatalf("err = %v, want all-tcp error", err)
+	}
+}
+
+func TestPartitionTCPEdges(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), Partition{SideA: []string{"web"}, SideB: []string{"auth", "db"}})
+	byDst := map[string]rules.Rule{}
+	for _, r := range rs {
+		byDst[r.Dst] = r
+	}
+	if r := byDst["db"]; r.Layer != rules.LayerL4 || r.Action != rules.ActionAbort || r.Pattern != L4Pattern {
+		t.Fatalf("tcp cut rule = %+v", r)
+	}
+	if r := byDst["auth"]; r.Layer != "" {
+		t.Fatalf("http cut rule = %+v", r)
+	}
+}
+
+func TestDegradeNetworkTCPEdges(t *testing.T) {
+	rs := translateOn(t, tcpGraph(), DegradeNetwork{Interval: 25 * time.Millisecond})
+	var l4 int
+	for _, r := range rs {
+		if r.Layer == rules.LayerL4 {
+			l4++
+			if r.Action != rules.ActionJitter || r.DelayMillis != 25 || r.Pattern != L4Pattern {
+				t.Fatalf("tcp degrade rule = %+v", r)
+			}
+		}
+	}
+	if l4 != 1 {
+		t.Fatalf("l4 rules = %d in %+v", l4, rs)
+	}
+}
+
+// TestParseRecipeStreamTypes exercises the JSON wire form of all six
+// stream scenarios and the streamFaults check.
+func TestParseRecipeStreamTypes(t *testing.T) {
+	r, err := ParseRecipe([]byte(`{
+	  "name": "l4-everything",
+	  "scenarios": [
+	    {"type": "streamSever",    "src": "web", "dst": "db", "abortAfterBytes": 2048, "severMode": "fin", "probability": 0.5},
+	    {"type": "streamHalfOpen", "src": "web", "dst": "db", "on": "response"},
+	    {"type": "streamThrottle", "src": "web", "dst": "db", "rateBytesPerSec": 4096},
+	    {"type": "streamJitter",   "src": "web", "dst": "db", "delayMillis": 15},
+	    {"type": "connectRefuse",  "src": "web", "dst": "db", "probability": 0.9},
+	    {"type": "connectDelay",   "src": "web", "dst": "db", "delayMillis": 200}
+	  ],
+	  "checks": [
+	    {"type": "streamFaults", "src": "web", "dst": "db", "ruleIdPrefix": "l4-everything", "minFired": 2}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 6 || len(r.Checks) != 1 {
+		t.Fatalf("got %d scenarios, %d checks", len(r.Scenarios), len(r.Checks))
+	}
+	if sv, ok := r.Scenarios[0].(StreamSever); !ok || sv.AfterBytes != 2048 || sv.Mode != rules.SeverFIN {
+		t.Fatalf("scenario 0 = %#v", r.Scenarios[0])
+	}
+	if ho, ok := r.Scenarios[1].(StreamHalfOpen); !ok || ho.On != rules.OnResponse {
+		t.Fatalf("scenario 1 = %#v", r.Scenarios[1])
+	}
+	if th, ok := r.Scenarios[2].(StreamThrottle); !ok || th.BytesPerSec != 4096 {
+		t.Fatalf("scenario 2 = %#v", r.Scenarios[2])
+	}
+	if jt, ok := r.Scenarios[3].(StreamJitter); !ok || jt.Interval != 15*time.Millisecond {
+		t.Fatalf("scenario 3 = %#v", r.Scenarios[3])
+	}
+	if cd, ok := r.Scenarios[5].(ConnectDelay); !ok || cd.Interval != 200*time.Millisecond {
+		t.Fatalf("scenario 5 = %#v", r.Scenarios[5])
+	}
+
+	rs, err := r.Translate(tcpGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range rs {
+		if rule.Layer != rules.LayerL4 || rule.Pattern != L4Pattern {
+			t.Fatalf("rule = %+v", rule)
+		}
+	}
+
+	// The parsed check runs against an empty store (and fails cleanly:
+	// no faults have fired yet).
+	c := newEmptyChecker(t)
+	res, err := r.Checks[0](c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatalf("check passed on an empty store: %+v", res)
+	}
+}
+
+func TestAutogenTCPGraph(t *testing.T) {
+	rcs, err := GenerateRecipes(tcpGraph(), GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range rcs {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"auto-l4-throttle-web-db", "auto-l4-sever-web-db"} {
+		if !names[want] {
+			t.Fatalf("missing %s in %v", want, names)
+		}
+	}
+	// Every generated recipe still translates to valid rules.
+	for _, r := range rcs {
+		rs, err := r.Translate(tcpGraph())
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if err := rules.ValidateAll(rs); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+	}
+}

@@ -113,6 +113,20 @@ func (c *Client) topology() int {
 	return out.Shards
 }
 
+// Info fetches the server's store topology and WAL durability
+// configuration (GET /v1/info).
+func (c *Client) Info() (StoreInfo, error) {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/v1/info", nil)
+	if err != nil {
+		return StoreInfo{}, fmt.Errorf("eventlog: store info: %w", err)
+	}
+	var out StoreInfo
+	if err := c.do(req, &out); err != nil {
+		return StoreInfo{}, fmt.Errorf("eventlog: store info: %w", err)
+	}
+	return out, nil
+}
+
 // batchBufPool recycles NDJSON encode buffers across flushes.
 var batchBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 

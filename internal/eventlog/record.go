@@ -17,13 +17,18 @@ import (
 	"time"
 )
 
-// Kind distinguishes the two halves of an HTTP exchange in the log.
+// Kind distinguishes the two halves of an HTTP exchange in the log, and
+// the two endpoints of an L4 connection's lifetime.
 type Kind string
 
-// Record kinds.
+// Record kinds. Request/reply pair up HTTP exchanges; conn-open and
+// conn-close bracket one relayed L4 connection (shared RequestID = the
+// relay's connection ID).
 const (
-	KindRequest Kind = "request"
-	KindReply   Kind = "reply"
+	KindRequest   Kind = "request"
+	KindReply     Kind = "reply"
+	KindConnOpen  Kind = "conn-open"
+	KindConnClose Kind = "conn-close"
 )
 
 // Record is one observation logged by a Gremlin agent: either a request
@@ -88,6 +93,13 @@ type Record struct {
 
 	// Agent identifies the reporting Gremlin agent instance.
 	Agent string `json:"agent,omitempty"`
+
+	// BytesUp and BytesDown are the byte counts an L4 relay moved
+	// downstream→upstream and upstream→downstream over the connection's
+	// lifetime (conn-close records only). On conn-close, LatencyMillis
+	// holds the connection's total duration.
+	BytesUp   int64 `json:"bytesUp,omitempty"`
+	BytesDown int64 `json:"bytesDown,omitempty"`
 }
 
 // Before reports whether r precedes other in the store's total order

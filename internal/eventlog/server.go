@@ -51,6 +51,8 @@ type shardSink interface {
 //	DELETE /v1/records   clear the store (?pattern= clears only matching
 //	                     request IDs, for per-campaign-run cleanup)
 //	GET    /v1/stats     store statistics (record count, shard count)
+//	GET    /v1/info      store topology and WAL durability configuration
+//	                     (shard count, fsync policy, data directory)
 //	GET    /v1/stream    live record feed (SSE; ?pattern= filters by
 //	                     request ID, ?buffer= sets the subscriber buffer)
 //	GET    /metrics      Prometheus text exposition
@@ -70,6 +72,34 @@ var streamHeartbeat = 15 * time.Second
 type statsBody struct {
 	Records int `json:"records"`
 	Shards  int `json:"shards,omitempty"`
+}
+
+// StoreInfo is the payload of GET /v1/info: the store's partition
+// topology and write-ahead-log durability configuration, surfaced so
+// operators can verify from the outside what guarantees their event logs
+// actually run with (gremlin-ctl status prints it).
+type StoreInfo struct {
+	Records    int  `json:"records"`
+	Shards     int  `json:"shards"`
+	Persistent bool `json:"persistent"`
+
+	// Fsync is the WAL durability policy ("always", "interval", "never"),
+	// set only for persistent stores.
+	Fsync string `json:"fsync,omitempty"`
+
+	// FsyncIntervalMillis is the background sync cadence, set only under
+	// the "interval" policy.
+	FsyncIntervalMillis int64 `json:"fsyncIntervalMillis,omitempty"`
+
+	// DataDir is the server-local WAL directory, set only for persistent
+	// stores.
+	DataDir string `json:"dataDir,omitempty"`
+}
+
+// durabilityReporter is the optional store surface backing GET /v1/info;
+// only persistent-capable stores (ShardedStore) implement it.
+type durabilityReporter interface {
+	Durability() (policy FsyncPolicy, interval time.Duration, dataDir string)
 }
 
 // countBody is the payload of POST /v1/count.
@@ -92,6 +122,7 @@ func NewServer(addr string, store StoreAPI) (*Server, error) {
 	mux.HandleFunc("/v1/count", s.handleCount)
 	mux.HandleFunc("/v1/compact", s.handleCompact)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/info", s.handleInfo)
 	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -246,6 +277,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, statsBody{Records: s.store.Len(), Shards: s.store.NumShards()})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	info := StoreInfo{Records: s.store.Len(), Shards: s.store.NumShards()}
+	if d, ok := s.store.(durabilityReporter); ok {
+		policy, interval, dir := d.Durability()
+		if dir != "" {
+			info.Persistent = true
+			info.Fsync = string(policy)
+			info.DataDir = dir
+			if policy == FsyncInterval {
+				info.FsyncIntervalMillis = interval.Milliseconds()
+			}
+		}
+	}
+	httpx.WriteJSON(w, http.StatusOK, info)
 }
 
 // handleStream serves the live record feed as Server-Sent Events: one

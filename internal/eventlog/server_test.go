@@ -291,3 +291,66 @@ func TestServerNDJSONIngest(t *testing.T) {
 		t.Fatalf("stats=%d, want 2", n)
 	}
 }
+
+func TestServerInfoVolatileStore(t *testing.T) {
+	_, c := newTestServer(t)
+	if err := c.Log(Record{Src: "a", Dst: "b", Kind: KindRequest, RequestID: "test-1", Timestamp: t0}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 1 || info.Shards != 1 || info.Persistent {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Fsync != "" || info.DataDir != "" || info.FsyncIntervalMillis != 0 {
+		t.Fatalf("volatile store leaked durability fields: %+v", info)
+	}
+}
+
+func TestServerInfoShardedWAL(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewShardedStore(StoreOptions{
+		Shards:        4,
+		DataDir:       dir,
+		Fsync:         FsyncInterval,
+		FsyncInterval: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close server: %v", err)
+		}
+		if err := ss.Close(); err != nil {
+			t.Errorf("close store: %v", err)
+		}
+	})
+	c := NewClient(srv.URL(), nil)
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 4 || !info.Persistent || info.Fsync != string(FsyncInterval) ||
+		info.FsyncIntervalMillis != 250 || info.DataDir != dir {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestServerInfoMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL()+"/v1/info", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

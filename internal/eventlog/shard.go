@@ -182,6 +182,13 @@ func checkShardCount(dir string, shards int) error {
 // NumShards reports the number of partitions.
 func (ss *ShardedStore) NumShards() int { return len(ss.shards) }
 
+// Durability reports the store's WAL configuration — fsync policy,
+// background sync cadence, and data directory (empty for volatile
+// stores). GET /v1/info exposes it to remote operators.
+func (ss *ShardedStore) Durability() (FsyncPolicy, time.Duration, string) {
+	return ss.opts.Fsync, ss.opts.FsyncInterval, ss.opts.DataDir
+}
+
 // Replayed reports how many records were recovered from the write-ahead
 // logs when the store was opened.
 func (ss *ShardedStore) Replayed() int {

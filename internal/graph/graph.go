@@ -16,10 +16,23 @@ import (
 // ErrUnknownService is returned when a named service is not in the graph.
 var ErrUnknownService = errors.New("graph: unknown service")
 
+// Protocols an edge can carry. ProtocolHTTP is the default; ProtocolTCP
+// marks a raw byte-stream dependency (database, cache, broker) served by
+// the agents' L4 stream relays instead of the HTTP proxy.
+const (
+	ProtocolHTTP = "http"
+	ProtocolTCP  = "tcp"
+)
+
 // Edge is one caller→callee dependency.
+//
+// Protocol is part of the wire form only (graph JSON files); in-memory
+// edges compare by (Src, Dst) alone and Graph.Edges returns them with
+// Protocol unset — query Graph.Protocol for an edge's protocol.
 type Edge struct {
-	Src string `json:"src"`
-	Dst string `json:"dst"`
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // Graph is a directed application dependency graph. The zero value is an
@@ -28,6 +41,9 @@ type Edge struct {
 type Graph struct {
 	out map[string]map[string]bool // src -> set of dst
 	in  map[string]map[string]bool // dst -> set of src
+	// proto holds per-edge protocols for edges that are not plain HTTP;
+	// absence means ProtocolHTTP.
+	proto map[Edge]string
 }
 
 // New creates an empty graph.
@@ -39,11 +55,14 @@ func New() *Graph {
 }
 
 // FromEdges builds a graph from an edge list. Vertices are created
-// implicitly.
+// implicitly; edges carrying a non-default Protocol keep it.
 func FromEdges(edges []Edge) *Graph {
 	g := New()
 	for _, e := range edges {
 		g.AddEdge(e.Src, e.Dst)
+		if e.Protocol != "" && e.Protocol != ProtocolHTTP {
+			g.SetProtocol(e.Src, e.Dst, e.Protocol)
+		}
 	}
 	return g
 }
@@ -80,6 +99,49 @@ func (g *Graph) ensure() {
 	if g.in == nil {
 		g.in = make(map[string]map[string]bool)
 	}
+}
+
+// SetProtocol marks the src→dst edge as carrying the given protocol
+// (e.g. ProtocolTCP), creating the edge if needed. Setting ProtocolHTTP
+// (or "") restores the default.
+func (g *Graph) SetProtocol(src, dst, protocol string) {
+	g.AddEdge(src, dst)
+	if g.proto == nil {
+		g.proto = make(map[Edge]string)
+	}
+	key := Edge{Src: src, Dst: dst}
+	if protocol == "" || protocol == ProtocolHTTP {
+		delete(g.proto, key)
+		return
+	}
+	g.proto[key] = protocol
+}
+
+// Protocol reports the protocol of the src→dst edge; ProtocolHTTP for
+// unmarked (or unknown) edges.
+func (g *Graph) Protocol(src, dst string) string {
+	if p, ok := g.proto[Edge{Src: src, Dst: dst}]; ok {
+		return p
+	}
+	return ProtocolHTTP
+}
+
+// TCPEdges returns the edges marked ProtocolTCP, sorted by (src, dst) —
+// the edges the campaign enumerator targets with stream-fault grids.
+func (g *Graph) TCPEdges() []Edge {
+	var edges []Edge
+	for e, p := range g.proto {
+		if p == ProtocolTCP && g.HasEdge(e.Src, e.Dst) {
+			edges = append(edges, e)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Src != edges[j].Src {
+			return edges[i].Src < edges[j].Src
+		}
+		return edges[i].Dst < edges[j].Dst
+	})
+	return edges
 }
 
 // Has reports whether the named service is a vertex of the graph.
@@ -293,7 +355,7 @@ func (g *Graph) DOT() string {
 	return b.String()
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph, edge protocols included.
 func (g *Graph) Clone() *Graph {
 	c := New()
 	for _, s := range g.Services() {
@@ -301,6 +363,11 @@ func (g *Graph) Clone() *Graph {
 	}
 	for _, e := range g.Edges() {
 		c.AddEdge(e.Src, e.Dst)
+	}
+	for e, p := range g.proto {
+		if g.HasEdge(e.Src, e.Dst) {
+			c.SetProtocol(e.Src, e.Dst, p)
+		}
 	}
 	return c
 }

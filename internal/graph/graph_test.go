@@ -86,10 +86,10 @@ func TestRootsAndLeaves(t *testing.T) {
 func TestEdgesSorted(t *testing.T) {
 	g := diamond()
 	want := []Edge{
-		{"auth", "db"},
-		{"catalog", "db"},
-		{"web", "auth"},
-		{"web", "catalog"},
+		{Src: "auth", Dst: "db"},
+		{Src: "catalog", Dst: "db"},
+		{Src: "web", Dst: "auth"},
+		{Src: "web", Dst: "catalog"},
 	}
 	if got := g.Edges(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Edges = %v, want %v", got, want)
@@ -110,7 +110,7 @@ func TestCut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Edge{{"auth", "db"}, {"web", "catalog"}}
+	want := []Edge{{Src: "auth", Dst: "db"}, {Src: "web", Dst: "catalog"}}
 	if !reflect.DeepEqual(cut, want) {
 		t.Fatalf("Cut = %v, want %v", cut, want)
 	}
@@ -136,7 +136,7 @@ func TestCutPartial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := []Edge{{"auth", "db"}}; !reflect.DeepEqual(cut, want) {
+	if want := []Edge{{Src: "auth", Dst: "db"}}; !reflect.DeepEqual(cut, want) {
 		t.Fatalf("Cut = %v, want %v", cut, want)
 	}
 }

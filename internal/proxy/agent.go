@@ -16,6 +16,7 @@ import (
 	"gremlin/internal/metrics"
 	"gremlin/internal/pattern"
 	"gremlin/internal/rules"
+	"gremlin/internal/streamproxy"
 	"gremlin/internal/trace"
 )
 
@@ -34,7 +35,8 @@ type Agent struct {
 	// prefix keeps span namespaces disjoint across agents sharing a store.
 	spanGen *trace.Generator
 
-	routes  map[string]*routeProxy // by Dst
+	routes  map[string]*routeProxy        // by Dst
+	relays  map[string]*streamproxy.Relay // L4 plane, by Dst
 	control *httpx.Server
 	started bool
 
@@ -111,6 +113,10 @@ type Stats struct {
 	// being amortized) and the largest single batch.
 	LogBatchRecords int64 `json:"logBatchRecords,omitempty"`
 	LogMaxBatch     int64 `json:"logMaxBatch,omitempty"`
+
+	// L4 aggregates the agent's stream relays (connections, bytes, and
+	// actuated stream faults). Nil when the agent has no L4 routes.
+	L4 *streamproxy.Stats `json:"l4,omitempty"`
 }
 
 // sinkHealth is the optional shipping-health surface of a sink.
@@ -148,7 +154,21 @@ func (a *Agent) Stats() Stats {
 		s.LogBatchRecords = h.BatchRecords()
 		s.LogMaxBatch = h.MaxBatch()
 	}
+	if len(a.relays) > 0 {
+		l4 := a.L4Stats()
+		s.L4 = &l4
+	}
 	return s
+}
+
+// L4Stats aggregates the agent's stream relays' counters (zero-valued
+// when the agent has no L4 routes).
+func (a *Agent) L4Stats() streamproxy.Stats {
+	var total streamproxy.Stats
+	for _, relay := range a.relays {
+		total.Add(relay.Stats())
+	}
+	return total
 }
 
 // countFault bumps the counter matching a fired decision.
@@ -255,6 +275,27 @@ func New(cfg Config) (*Agent, error) {
 		rp.server = srv
 		a.routes[r.Dst] = rp
 	}
+	a.relays = make(map[string]*streamproxy.Relay, len(cfg.L4Routes))
+	// Connection IDs share the span generator's collision-free scheme;
+	// the "l4-" prefix keeps them recognizable in rule patterns and logs.
+	connIDs := trace.NewGenerator("l4-"+cfg.agentID()+"-", nil)
+	for _, r := range cfg.L4Routes {
+		relay, err := streamproxy.New(streamproxy.Config{
+			Src:        cfg.ServiceName,
+			Dst:        r.Dst,
+			ListenAddr: r.ListenAddr,
+			Targets:    r.Targets,
+			Matcher:    a.matcher,
+			Log:        a.log,
+			ConnID:     connIDs.Next,
+			Agent:      cfg.agentID(),
+		})
+		if err != nil {
+			a.closeBound()
+			return nil, fmt.Errorf("proxy: bind l4 route %s->%s: %w", cfg.ServiceName, r.Dst, err)
+		}
+		a.relays[r.Dst] = relay
+	}
 	if cfg.ControlAddr != "" {
 		srv, err := httpx.NewServer(cfg.ControlAddr, a.controlHandler())
 		if err != nil {
@@ -270,6 +311,9 @@ func (a *Agent) closeBound() {
 	for _, rp := range a.routes {
 		_ = rp.server.Close()
 	}
+	for _, relay := range a.relays {
+		_ = relay.Close()
+	}
 	if a.control != nil {
 		_ = a.control.Close()
 	}
@@ -283,6 +327,9 @@ func (a *Agent) Start() {
 	a.started = true
 	for _, rp := range a.routes {
 		rp.server.Start()
+	}
+	for _, relay := range a.relays {
+		relay.Start()
 	}
 	if a.control != nil {
 		a.control.Start()
@@ -306,6 +353,11 @@ func (a *Agent) Close() error {
 		rp.mirrors.Wait()
 		rp.client.CloseIdleConnections()
 	}
+	for _, relay := range a.relays {
+		if err := relay.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if a.control != nil {
 		if err := a.control.Close(); err != nil && firstErr == nil {
 			firstErr = err
@@ -326,6 +378,17 @@ func (a *Agent) RouteAddr(dst string) (string, error) {
 		return "", fmt.Errorf("proxy: agent for %q has no route to %q", a.cfg.ServiceName, dst)
 	}
 	return rp.server.Addr(), nil
+}
+
+// L4RouteAddr returns the bound local address of the stream relay to
+// dst, or an error if the agent has no such L4 route. The co-located
+// microservice dials this address to reach the raw-TCP dependency.
+func (a *Agent) L4RouteAddr(dst string) (string, error) {
+	relay, ok := a.relays[dst]
+	if !ok {
+		return "", fmt.Errorf("proxy: agent for %q has no l4 route to %q", a.cfg.ServiceName, dst)
+	}
+	return relay.Addr(), nil
 }
 
 // RouteURL returns the base http URL for the route to dst.

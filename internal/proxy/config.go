@@ -59,6 +59,23 @@ type Route struct {
 	MirrorPattern string `json:"mirrorPattern,omitempty"`
 }
 
+// L4Route maps one outbound non-HTTP dependency: the co-located
+// microservice dials ListenAddr and the agent's stream relay forwards
+// the raw byte stream to one of the Targets, injecting connection-level
+// faults from LayerL4 rules.
+type L4Route struct {
+	// Dst is the logical name of the upstream dependency.
+	Dst string `json:"dst"`
+
+	// ListenAddr is the local TCP address the relay listens on
+	// ("127.0.0.1:0" for an ephemeral port).
+	ListenAddr string `json:"listenAddr"`
+
+	// Targets are the upstream instances' addresses ("host:port"),
+	// dialed round-robin per connection.
+	Targets []string `json:"targets"`
+}
+
 // Config configures a Gremlin agent.
 type Config struct {
 	// ServiceName is the logical name of the co-located microservice. All
@@ -75,8 +92,12 @@ type Config struct {
 	// server (rules can still be installed in-process via Matcher).
 	ControlAddr string
 
-	// Routes lists the microservice's outbound dependencies.
+	// Routes lists the microservice's outbound HTTP dependencies.
 	Routes []Route
+
+	// L4Routes lists the microservice's outbound non-HTTP (raw TCP)
+	// dependencies, each served by a stream relay on the L4 plane.
+	L4Routes []L4Route
 
 	// Sink receives observation records. If nil, observations are dropped
 	// (pure fault-injection mode).
@@ -92,7 +113,7 @@ func (c Config) Validate() error {
 	if c.ServiceName == "" {
 		return errors.New("proxy: config needs a ServiceName")
 	}
-	if len(c.Routes) == 0 {
+	if len(c.Routes) == 0 && len(c.L4Routes) == 0 {
 		return fmt.Errorf("proxy: agent for %q has no routes", c.ServiceName)
 	}
 	seen := make(map[string]bool, len(c.Routes))
@@ -127,6 +148,22 @@ func (c Config) Validate() error {
 			if _, err := pattern.Compile(r.MirrorPattern); err != nil {
 				return fmt.Errorf("proxy: route %s->%s mirror pattern: %w", c.ServiceName, r.Dst, err)
 			}
+		}
+	}
+	seenL4 := make(map[string]bool, len(c.L4Routes))
+	for _, r := range c.L4Routes {
+		if r.Dst == "" {
+			return fmt.Errorf("proxy: l4 route with empty Dst in agent for %q", c.ServiceName)
+		}
+		if seenL4[r.Dst] {
+			return fmt.Errorf("proxy: duplicate l4 route for %q in agent for %q", r.Dst, c.ServiceName)
+		}
+		seenL4[r.Dst] = true
+		if len(r.Targets) == 0 {
+			return fmt.Errorf("proxy: l4 route %s->%s has no targets", c.ServiceName, r.Dst)
+		}
+		if r.ListenAddr == "" {
+			return fmt.Errorf("proxy: l4 route %s->%s has no listen address", c.ServiceName, r.Dst)
 		}
 	}
 	return nil

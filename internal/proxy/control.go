@@ -46,10 +46,13 @@ type conflictBody struct {
 	Current rules.RuleSetStatus `json:"current"`
 }
 
-// RouteInfo is one route as reported by the control API.
+// RouteInfo is one route as reported by the control API. Layer is "l4"
+// for stream-relay routes and empty (implicitly "http") for proxy
+// routes, mirroring the rule schema's back-compat convention.
 type RouteInfo struct {
-	Dst        string `json:"dst"`
-	ListenAddr string `json:"listenAddr"`
+	Dst        string      `json:"dst"`
+	ListenAddr string      `json:"listenAddr"`
+	Layer      rules.Layer `json:"layer,omitempty"`
 }
 
 // controlHandler builds the agent's REST control API. This is the
@@ -83,6 +86,9 @@ func (a *Agent) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, rp := range a.routes {
 		info.Routes = append(info.Routes, RouteInfo{Dst: rp.route.Dst, ListenAddr: rp.server.Addr()})
+	}
+	for dst, relay := range a.relays {
+		info.Routes = append(info.Routes, RouteInfo{Dst: dst, ListenAddr: relay.Addr(), Layer: rules.LayerL4})
 	}
 	httpx.WriteJSON(w, http.StatusOK, info)
 }
@@ -208,6 +214,26 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.Gauge("gremlin_agent_log_retries", "Failed ship attempts that were retried.", float64(st.LogRetries), "service", svc)
 	mw.Gauge("gremlin_agent_log_batch_records", "Records shipped in successful flush batches.", float64(st.LogBatchRecords), "service", svc)
 	mw.Gauge("gremlin_agent_log_max_batch", "Largest batch shipped in one flush.", float64(st.LogMaxBatch), "service", svc)
+	// L4 plane. Emitted (zero-valued) even without L4 routes so the
+	// metric inventory is uniform across agents.
+	l4 := a.L4Stats()
+	mw.Counter("gremlin_agent_l4_connections_total", "TCP connections accepted by the agent's stream relays.", float64(l4.Conns), "service", svc)
+	mw.Gauge("gremlin_agent_l4_open_connections", "Currently relayed TCP connections.", float64(l4.Open), "service", svc)
+	mw.Counter("gremlin_agent_l4_bytes_total", "Bytes relayed by the L4 plane, by direction.", float64(l4.BytesUp), "service", svc, "direction", "up")
+	mw.Counter("gremlin_agent_l4_bytes_total", "Bytes relayed by the L4 plane, by direction.", float64(l4.BytesDown), "service", svc, "direction", "down")
+	for _, fam := range []struct {
+		action string
+		count  int64
+	}{
+		{"sever", l4.Severed},
+		{"halfopen", l4.HalfOpened},
+		{"throttle", l4.Throttled},
+		{"jitter", l4.Jittered},
+		{"refuse", l4.Refused},
+		{"connect_delay", l4.ConnectDelayed},
+	} {
+		mw.Counter("gremlin_agent_l4_faults_total", "Stream faults actuated by the L4 plane, by action.", float64(fam.count), "service", svc, "action", fam.action)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = mw.WriteTo(w)
@@ -226,7 +252,10 @@ func (a *Agent) InstallRules(batch ...rules.Rule) error {
 	return a.matcher.Install(batch...)
 }
 
-// validateTarget checks that a rule belongs on this agent at all.
+// validateTarget checks that a rule belongs on this agent at all: the
+// Src must be this service and the Dst a route on the rule's layer (an
+// L4 rule can only actuate on a stream relay, an HTTP rule only on a
+// proxy route).
 func (a *Agent) validateTarget(rule rules.Rule) error {
 	if err := rule.Validate(); err != nil {
 		return err
@@ -234,6 +263,13 @@ func (a *Agent) validateTarget(rule rules.Rule) error {
 	if rule.Src != a.cfg.ServiceName {
 		return fmt.Errorf("proxy: rule %q targets source %q but this agent serves %q",
 			rule.ID, rule.Src, a.cfg.ServiceName)
+	}
+	if rule.EffectiveLayer() == rules.LayerL4 {
+		if _, ok := a.relays[rule.Dst]; !ok {
+			return fmt.Errorf("proxy: l4 rule %q targets destination %q but agent for %q has no such l4 route",
+				rule.ID, rule.Dst, a.cfg.ServiceName)
+		}
+		return nil
 	}
 	if _, ok := a.routes[rule.Dst]; !ok {
 		return fmt.Errorf("proxy: rule %q targets destination %q but agent for %q has no such route",

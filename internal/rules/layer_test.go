@@ -1,0 +1,125 @@
+package rules
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestLayerAbsentMeansHTTP is the back-compat contract: rule JSON
+// written before the L4 plane existed (no "layer" key) must parse,
+// validate, match, and hash exactly as before.
+func TestLayerAbsentMeansHTTP(t *testing.T) {
+	raw := `{"id":"r1","src":"a","dst":"b","action":"abort","errorCode":503}`
+	var r Rule
+	if err := json.Unmarshal([]byte(raw), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Layer != "" || r.EffectiveLayer() != LayerHTTP {
+		t.Fatalf("layer = %q / %q, want absent + http", r.Layer, r.EffectiveLayer())
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("pre-L4 rule no longer validates: %v", err)
+	}
+
+	// Marshalling back must not introduce the new keys, so content
+	// hashes of old rule sets are unchanged.
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{"layer", "rateBytesPerSec", "abortAfterBytes", "severMode"} {
+		var m map[string]any
+		json.Unmarshal(out, &m)
+		if _, ok := m[forbidden]; ok {
+			t.Fatalf("marshalled pre-L4 rule grew key %q: %s", forbidden, out)
+		}
+	}
+	explicit := r
+	explicit.Layer = LayerHTTP
+	if HashRules([]Rule{r}) == HashRules([]Rule{explicit}) {
+		// An explicit "http" layer serializes, so the hash legitimately
+		// differs; what matters is the absent form is stable with itself.
+		t.Log("explicit http layer hashes like absent (also fine)")
+	}
+	if HashRules([]Rule{r}) != HashRules([]Rule{{ID: "r1", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 503}}) {
+		t.Fatal("hash of a layer-absent rule is not stable")
+	}
+}
+
+// TestLayerMatchingDisjoint asserts an HTTP message never matches an L4
+// rule and vice versa, in both the indexed and linear-scan matchers.
+func TestLayerMatchingDisjoint(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		m := NewMatcher(nil)
+		m.UseLinearScan(linear)
+		httpRule := Rule{ID: "h", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500}
+		l4Rule := Rule{ID: "l", Src: "a", Dst: "b", Layer: LayerL4, Action: ActionSever}
+		if err := m.Install(httpRule, l4Rule); err != nil {
+			t.Fatal(err)
+		}
+
+		httpMsg := Message{Src: "a", Dst: "b", Type: OnRequest}
+		if d := m.Decide(httpMsg); !d.Fired || d.Rule.ID != "h" {
+			t.Fatalf("linear=%v: http message decision = %+v", linear, d)
+		}
+		l4Msg := Message{Src: "a", Dst: "b", Type: OnRequest, Layer: LayerL4}
+		if d := m.Decide(l4Msg); !d.Fired || d.Rule.ID != "l" {
+			t.Fatalf("linear=%v: l4 message decision = %+v", linear, d)
+		}
+	}
+}
+
+func TestValidateL4(t *testing.T) {
+	base := Rule{ID: "r", Src: "a", Dst: "b", Layer: LayerL4}
+	ok := func(mutate func(*Rule)) Rule {
+		r := base
+		mutate(&r)
+		return r
+	}
+	valid := []Rule{
+		ok(func(r *Rule) { r.Action = ActionAbort }),
+		ok(func(r *Rule) { r.Action = ActionAbort; r.ErrorCode = AbortSeverConnection }),
+		ok(func(r *Rule) { r.Action = ActionDelay; r.DelayMillis = 10 }),
+		ok(func(r *Rule) { r.Action = ActionSever }),
+		ok(func(r *Rule) { r.Action = ActionSever; r.SeverMode = SeverFIN; r.AbortAfterBytes = 100 }),
+		ok(func(r *Rule) { r.Action = ActionHalfOpen; r.AbortAfterBytes = 5 }),
+		ok(func(r *Rule) { r.Action = ActionThrottle; r.RateBytesPerSec = 1024 }),
+		ok(func(r *Rule) { r.Action = ActionJitter; r.DelayMillis = 5 }),
+	}
+	for _, r := range valid {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", r, err)
+		}
+	}
+	invalid := []Rule{
+		ok(func(r *Rule) { r.Action = ActionAbort; r.ErrorCode = 503 }), // http code on refuse
+		ok(func(r *Rule) { r.Action = ActionDelay }),                    // no interval
+		ok(func(r *Rule) { r.Action = ActionSever; r.SeverMode = "x" }), // bad mode
+		ok(func(r *Rule) { r.Action = ActionSever; r.AbortAfterBytes = -1 }),
+		ok(func(r *Rule) { r.Action = ActionThrottle }),                    // no rate
+		ok(func(r *Rule) { r.Action = ActionModify; r.SearchBytes = "x" }), // no modify on streams
+		ok(func(r *Rule) { r.Action = ActionJitter }),                      // no interval
+	}
+	for _, r := range invalid {
+		if err := r.Validate(); err == nil {
+			t.Errorf("want validation error for %+v", r)
+		}
+	}
+}
+
+func TestValidateHTTPRejectsL4(t *testing.T) {
+	for _, a := range []Action{ActionSever, ActionHalfOpen, ActionThrottle, ActionJitter} {
+		r := Rule{ID: "r", Src: "a", Dst: "b", Action: a}
+		if err := r.Validate(); err == nil {
+			t.Errorf("http-layer rule with action %q must not validate", a)
+		}
+	}
+	withRate := Rule{ID: "r", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500, RateBytesPerSec: 5}
+	if err := withRate.Validate(); err == nil {
+		t.Error("http rule with stream parameters must not validate")
+	}
+	bad := Rule{ID: "r", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500, Layer: "udp"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown layer must not validate")
+	}
+}

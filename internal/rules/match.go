@@ -18,8 +18,21 @@ type Message struct {
 	// Type is the message direction: request or response.
 	Type MessageType
 	// RequestID is the flow ID propagated in the message headers. Empty
-	// when the caller did not stamp one.
+	// when the caller did not stamp one. L4 messages carry the relay's
+	// connection ID here.
 	RequestID string
+	// Layer is the data plane the message was observed on. Empty means
+	// LayerHTTP, matching pre-L4 callers.
+	Layer Layer
+}
+
+// layer returns the message's layer with the empty value normalized to
+// LayerHTTP.
+func (m Message) layer() Layer {
+	if m.Layer == "" {
+		return LayerHTTP
+	}
+	return m.Layer
 }
 
 // CompiledRule is a Rule with its request-ID pattern compiled for matching.
@@ -49,7 +62,7 @@ func (c CompiledRule) Matches(m Message) bool {
 	if c.Src != m.Src || c.Dst != m.Dst {
 		return false
 	}
-	if c.on() != m.Type {
+	if c.on() != m.Type || c.EffectiveLayer() != m.layer() {
 		return false
 	}
 	return c.pat.Match(m.RequestID)
@@ -67,12 +80,14 @@ type Decision struct {
 	Fired bool
 }
 
-// routeKey identifies the (src, dst, direction) bucket a rule can match.
-// Every message has exactly one routeKey, so rules installed for other
-// routes or the other direction are never visited by an indexed Decide.
+// routeKey identifies the (src, dst, direction, layer) bucket a rule can
+// match. Every message has exactly one routeKey, so rules installed for
+// other routes, the other direction, or the other data plane are never
+// visited by an indexed Decide.
 type routeKey struct {
 	src, dst string
 	on       MessageType
+	layer    Layer
 }
 
 // ruleCounters is one rule's lifetime match/fire tally. Counters live
@@ -139,7 +154,7 @@ func newSnapshot(rules []CompiledRule, prev *snapshot) *snapshot {
 			s.stats[i] = &ruleCounters{}
 		}
 		s.ids[r.ID] = struct{}{}
-		k := routeKey{src: r.Src, dst: r.Dst, on: r.on()}
+		k := routeKey{src: r.Src, dst: r.Dst, on: r.on(), layer: r.EffectiveLayer()}
 		s.index[k] = append(s.index[k], i)
 	}
 	return s
@@ -334,7 +349,7 @@ func (m *Matcher) Decide(msg Message) Decision {
 
 	var d Decision
 	fast := m.fastPath.Load()
-	for _, i := range snap.index[routeKey{src: msg.Src, dst: msg.Dst, on: msg.Type}] {
+	for _, i := range snap.index[routeKey{src: msg.Src, dst: msg.Dst, on: msg.Type, layer: msg.layer()}] {
 		r := &snap.rules[i]
 		if fast && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
 			continue

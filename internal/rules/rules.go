@@ -29,11 +29,43 @@ import (
 // Action identifies a primitive fault-injection action.
 type Action string
 
-// The three fault primitives exposed by the data plane (paper Table 2).
+// The three fault primitives exposed by the HTTP data plane (paper
+// Table 2).
 const (
 	ActionAbort  Action = "abort"
 	ActionDelay  Action = "delay"
 	ActionModify Action = "modify"
+)
+
+// Stream fault primitives, valid only on LayerL4 rules. On the L4 plane
+// ActionAbort means connect-refuse and ActionDelay means connect-delay;
+// the actions below act on the established byte stream.
+const (
+	// ActionSever terminates the connection mid-stream (RST or FIN,
+	// per SeverMode), optionally after AbortAfterBytes have been relayed
+	// in the rule's direction.
+	ActionSever Action = "sever"
+	// ActionHalfOpen stops relaying the rule's direction while keeping
+	// both sockets open — the classic half-open connection.
+	ActionHalfOpen Action = "halfopen"
+	// ActionThrottle paces the rule's direction to RateBytesPerSec with
+	// a token bucket.
+	ActionThrottle Action = "throttle"
+	// ActionJitter sleeps DelayMillis before relaying each read chunk in
+	// the rule's direction.
+	ActionJitter Action = "jitter"
+)
+
+// Layer selects which data plane a rule programs: the HTTP/1.1
+// request/reply proxy or the L4 byte-stream relay. Absent (empty) means
+// LayerHTTP, so rule sets written before the L4 plane existed parse and
+// behave exactly as before.
+type Layer string
+
+// Data-plane layers understood by the agents.
+const (
+	LayerHTTP Layer = "http"
+	LayerL4   Layer = "l4"
 )
 
 // MessageType selects which half of a request/response exchange a rule
@@ -72,7 +104,15 @@ type Rule struct {
 	Dst string `json:"dst"`
 
 	// On selects request or response messages. Defaults to OnRequest.
+	// On LayerL4 rules the same field names a relay direction: OnRequest
+	// is the downstream→upstream byte stream, OnResponse the
+	// upstream→downstream one.
 	On MessageType `json:"on,omitempty"`
+
+	// Layer selects the data plane the rule programs: LayerHTTP (the
+	// request/reply proxy) or LayerL4 (the stream relay). Empty means
+	// LayerHTTP for compatibility with pre-L4 rule sets.
+	Layer Layer `json:"layer,omitempty"`
 
 	// Action is the fault primitive to apply.
 	Action Action `json:"action"`
@@ -97,7 +137,27 @@ type Rule struct {
 
 	// ReplaceBytes is the replacement for SearchBytes in Modify rules.
 	ReplaceBytes string `json:"replaceBytes,omitempty"`
+
+	// RateBytesPerSec is the token-bucket pacing rate for L4 Throttle
+	// rules, in bytes per second.
+	RateBytesPerSec int64 `json:"rateBytesPerSec,omitempty"`
+
+	// AbortAfterBytes delays L4 Sever/HalfOpen actuation until this many
+	// bytes have been relayed in the rule's direction. Zero fires the
+	// fault before the first byte.
+	AbortAfterBytes int64 `json:"abortAfterBytes,omitempty"`
+
+	// SeverMode selects how an L4 Sever rule terminates the connection:
+	// SeverRST (default) resets it abruptly, SeverFIN closes it cleanly
+	// mid-stream.
+	SeverMode string `json:"severMode,omitempty"`
 }
+
+// Sever modes for L4 ActionSever rules.
+const (
+	SeverRST = "rst"
+	SeverFIN = "fin"
+)
 
 // Delay returns the rule's delay as a time.Duration.
 func (r Rule) Delay() time.Duration { return time.Duration(r.DelayMillis) * time.Millisecond }
@@ -111,18 +171,56 @@ func (r Rule) EffectiveProbability() float64 {
 	return r.Probability
 }
 
+// EffectiveLayer returns the rule's data-plane layer with the empty
+// value normalized to LayerHTTP.
+func (r Rule) EffectiveLayer() Layer {
+	if r.Layer == "" {
+		return LayerHTTP
+	}
+	return r.Layer
+}
+
+// EffectiveSeverMode returns the sever mode with the empty value
+// normalized to SeverRST.
+func (r Rule) EffectiveSeverMode() string {
+	if r.SeverMode == "" {
+		return SeverRST
+	}
+	return r.SeverMode
+}
+
 // String renders a compact human-readable description of the rule.
 func (r Rule) String() string {
 	switch r.Action {
 	case ActionAbort:
+		if r.EffectiveLayer() == LayerL4 {
+			return fmt.Sprintf("refuse[%s] l4 %s->%s pattern=%q p=%.2f",
+				r.ID, r.Src, r.Dst, r.Pattern, r.EffectiveProbability())
+		}
 		return fmt.Sprintf("abort[%s] %s->%s on=%s pattern=%q p=%.2f code=%d",
 			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.ErrorCode)
 	case ActionDelay:
+		if r.EffectiveLayer() == LayerL4 {
+			return fmt.Sprintf("connect-delay[%s] l4 %s->%s pattern=%q p=%.2f interval=%s",
+				r.ID, r.Src, r.Dst, r.Pattern, r.EffectiveProbability(), r.Delay())
+		}
 		return fmt.Sprintf("delay[%s] %s->%s on=%s pattern=%q p=%.2f interval=%s",
 			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.Delay())
 	case ActionModify:
 		return fmt.Sprintf("modify[%s] %s->%s on=%s pattern=%q p=%.2f %q->%q",
 			r.ID, r.Src, r.Dst, r.on(), r.Pattern, r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes)
+	case ActionSever:
+		return fmt.Sprintf("sever[%s] l4 %s->%s on=%s mode=%s after=%dB p=%.2f",
+			r.ID, r.Src, r.Dst, r.on(), r.EffectiveSeverMode(), r.AbortAfterBytes, r.EffectiveProbability())
+	case ActionHalfOpen:
+		return fmt.Sprintf("halfopen[%s] l4 %s->%s on=%s after=%dB p=%.2f",
+			r.ID, r.Src, r.Dst, r.on(), r.AbortAfterBytes, r.EffectiveProbability())
+	case ActionThrottle:
+		return fmt.Sprintf("throttle[%s] l4 %s->%s on=%s rate=%dB/s p=%.2f",
+			r.ID, r.Src, r.Dst, r.on(), r.RateBytesPerSec, r.EffectiveProbability())
+	case ActionJitter:
+		return fmt.Sprintf("jitter[%s] l4 %s->%s on=%s interval=%s p=%.2f",
+			r.ID, r.Src, r.Dst, r.on(), r.Delay(), r.EffectiveProbability())
 	default:
 		return fmt.Sprintf("invalid rule[%s] action=%q", r.ID, r.Action)
 	}
@@ -146,6 +244,12 @@ var (
 	ErrBadErrorCode  = errors.New("rules: abort error code must be -1 or a 4xx/5xx HTTP status")
 	ErrBadDelay      = errors.New("rules: delay rule needs a positive interval")
 	ErrBadModify     = errors.New("rules: modify rule needs non-empty search bytes")
+	ErrBadLayer      = errors.New("rules: unknown layer")
+	ErrLayerAction   = errors.New("rules: action not valid on this layer")
+	ErrBadRate       = errors.New("rules: throttle rule needs a positive rateBytesPerSec")
+	ErrBadSeverMode  = errors.New("rules: sever mode must be rst or fin")
+	ErrBadAfterBytes = errors.New("rules: abortAfterBytes must be non-negative")
+	ErrBadL4Abort    = errors.New("rules: l4 abort (connect-refuse) takes no errorCode")
 )
 
 // Validate checks the rule for structural problems. Agents reject invalid
@@ -171,6 +275,23 @@ func (r Rule) Validate() error {
 	if _, err := pattern.Compile(r.Pattern); err != nil {
 		return fmt.Errorf("rules: bad pattern %q (rule %s): %w", r.Pattern, r.ID, err)
 	}
+	switch r.EffectiveLayer() {
+	case LayerHTTP:
+		return r.validateHTTP()
+	case LayerL4:
+		return r.validateL4()
+	default:
+		return fmt.Errorf("%w %q (rule %s)", ErrBadLayer, r.Layer, r.ID)
+	}
+}
+
+// validateHTTP checks the parameters of a request/reply-plane rule. The
+// stream-only actions and knobs are rejected so a misrouted L4 rule
+// fails loudly at install time instead of silently never matching.
+func (r Rule) validateHTTP() error {
+	if r.RateBytesPerSec != 0 || r.AbortAfterBytes != 0 || r.SeverMode != "" {
+		return fmt.Errorf("%w: http rules take no l4 stream parameters (rule %s)", ErrLayerAction, r.ID)
+	}
 	switch r.Action {
 	case ActionAbort:
 		if r.ErrorCode != AbortSeverConnection && (r.ErrorCode < 400 || r.ErrorCode > 599) {
@@ -184,6 +305,43 @@ func (r Rule) Validate() error {
 		if r.SearchBytes == "" {
 			return fmt.Errorf("%w (rule %s)", ErrBadModify, r.ID)
 		}
+	case ActionSever, ActionHalfOpen, ActionThrottle, ActionJitter:
+		return fmt.Errorf("%w: %q requires layer %q (rule %s)", ErrLayerAction, r.Action, LayerL4, r.ID)
+	default:
+		return fmt.Errorf("%w %q (rule %s)", ErrBadAction, r.Action, r.ID)
+	}
+	return nil
+}
+
+// validateL4 checks the parameters of a stream-plane rule. Abort and
+// Delay keep their names but mean connect-refuse and connect-delay;
+// Modify has no meaning on an opaque byte stream.
+func (r Rule) validateL4() error {
+	if r.AbortAfterBytes < 0 {
+		return fmt.Errorf("%w: %d (rule %s)", ErrBadAfterBytes, r.AbortAfterBytes, r.ID)
+	}
+	switch r.Action {
+	case ActionAbort:
+		if r.ErrorCode != 0 && r.ErrorCode != AbortSeverConnection {
+			return fmt.Errorf("%w: got %d (rule %s)", ErrBadL4Abort, r.ErrorCode, r.ID)
+		}
+	case ActionDelay, ActionJitter:
+		if r.DelayMillis <= 0 {
+			return fmt.Errorf("%w (rule %s)", ErrBadDelay, r.ID)
+		}
+	case ActionSever:
+		switch r.EffectiveSeverMode() {
+		case SeverRST, SeverFIN:
+		default:
+			return fmt.Errorf("%w: %q (rule %s)", ErrBadSeverMode, r.SeverMode, r.ID)
+		}
+	case ActionHalfOpen:
+	case ActionThrottle:
+		if r.RateBytesPerSec <= 0 {
+			return fmt.Errorf("%w (rule %s)", ErrBadRate, r.ID)
+		}
+	case ActionModify:
+		return fmt.Errorf("%w: %q has no meaning on an opaque stream (rule %s)", ErrLayerAction, r.Action, r.ID)
 	default:
 		return fmt.Errorf("%w %q (rule %s)", ErrBadAction, r.Action, r.ID)
 	}

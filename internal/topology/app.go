@@ -39,6 +39,14 @@ type ServiceSpec struct {
 	// DependsOn lists the logical names of downstream services.
 	DependsOn []string
 
+	// TCPBackends maps logical names of raw-TCP dependencies (databases,
+	// caches — anything that is not HTTP) to their upstream addresses
+	// ("host:port"). Each is reached through the agent's L4 stream relay
+	// rather than the HTTP proxy, and contributes a protocol:tcp edge to
+	// the application graph. The backend itself is external to the
+	// topology — the caller runs it (e.g. a test echo server).
+	TCPBackends map[string]string
+
 	// Handler computes responses; nil defaults to FanOutHandler(FailFast)
 	// for services with dependencies and LeafHandler for leaves.
 	Handler microservice.Handler
@@ -110,6 +118,9 @@ func Build(spec Spec) (*App, error) {
 		g.AddService(s.Name)
 		for _, d := range s.DependsOn {
 			g.AddEdge(s.Name, d)
+		}
+		for d := range s.TCPBackends {
+			g.SetProtocol(s.Name, d, graph.ProtocolTCP)
 		}
 	}
 	for _, s := range spec.Services {
@@ -218,7 +229,7 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 		agent *proxy.Agent
 		deps  []microservice.Dependency
 	)
-	if len(s.DependsOn) > 0 {
+	if len(s.DependsOn) > 0 || len(s.TCPBackends) > 0 {
 		routes := make([]proxy.Route, 0, len(s.DependsOn))
 		for _, d := range s.DependsOn {
 			routes = append(routes, proxy.Route{
@@ -227,11 +238,25 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 				Targets:    []string{app.services[d].Addr()},
 			})
 		}
+		backends := make([]string, 0, len(s.TCPBackends))
+		for d := range s.TCPBackends {
+			backends = append(backends, d)
+		}
+		sortStrings(backends)
+		l4routes := make([]proxy.L4Route, 0, len(backends))
+		for _, d := range backends {
+			l4routes = append(l4routes, proxy.L4Route{
+				Dst:        d,
+				ListenAddr: "127.0.0.1:0",
+				Targets:    []string{s.TCPBackends[d]},
+			})
+		}
 		var err error
 		agent, err = proxy.New(proxy.Config{
 			ServiceName: s.Name,
 			ControlAddr: "127.0.0.1:0",
 			Routes:      routes,
+			L4Routes:    l4routes,
 			Sink:        sink,
 			RNG:         childRNG(rng),
 		})
@@ -332,6 +357,17 @@ func (app *App) ServiceURL(name string) (string, error) {
 		return "", fmt.Errorf("topology: unknown service %q", name)
 	}
 	return svc.URL(), nil
+}
+
+// L4Addr returns the local address of src's stream relay toward its
+// raw-TCP backend dst — the address the service (or a test client) dials
+// to reach the backend through the fault-injection plane.
+func (app *App) L4Addr(src, dst string) (string, error) {
+	a, ok := app.agents[src]
+	if !ok {
+		return "", fmt.Errorf("topology: service %q has no agent", src)
+	}
+	return a.L4RouteAddr(dst)
 }
 
 // Agent returns the sidecar agent of a service (nil for leaf services,

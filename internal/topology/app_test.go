@@ -3,12 +3,14 @@ package topology
 import (
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"gremlin/internal/eventlog"
+	"gremlin/internal/graph"
 	"gremlin/internal/rules"
 	"gremlin/internal/trace"
 )
@@ -342,4 +344,106 @@ func TestCustomSink(t *testing.T) {
 
 func selectReplies(src, dst string) eventlog.Query {
 	return eventlog.Query{Src: src, Dst: dst, Kind: eventlog.KindReply}
+}
+
+// echoTCP runs a byte-echo server for the lifetime of the test and
+// returns its address.
+func echoTCP(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestTCPBackends(t *testing.T) {
+	echo := echoTCP(t)
+	app := buildApp(t, Spec{
+		Services: []ServiceSpec{
+			{Name: "web", DependsOn: []string{"auth"}, TCPBackends: map[string]string{"db": echo}},
+			{Name: "auth"},
+		},
+	})
+
+	// The backend contributes a protocol:tcp edge to the graph.
+	if p := app.Graph.Protocol("web", "db"); p != graph.ProtocolTCP {
+		t.Fatalf("protocol = %q", p)
+	}
+	if len(app.Graph.TCPEdges()) != 1 {
+		t.Fatalf("tcp edges = %v", app.Graph.TCPEdges())
+	}
+
+	// Bytes relay through the agent's L4 plane to the echo backend.
+	addr, err := app.L4Addr("web", "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("ping through the relay")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echo = %q", buf)
+	}
+	conn.Close()
+
+	// The relay logs a paired conn-open/conn-close with byte counters.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		closes, err := app.Store.Select(eventlog.Query{Src: "web", Dst: "db", Kind: eventlog.KindConnClose})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(closes) == 1 {
+			r := closes[0]
+			if r.BytesUp != int64(len(msg)) || r.BytesDown != int64(len(msg)) {
+				t.Fatalf("close record = %+v", r)
+			}
+			if !strings.HasPrefix(r.RequestID, "l4-") {
+				t.Fatalf("conn ID = %q", r.RequestID)
+			}
+			opens, err := app.Store.Select(eventlog.Query{Src: "web", Dst: "db", Kind: eventlog.KindConnOpen})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(opens) != 1 || opens[0].RequestID != r.RequestID {
+				t.Fatalf("open records = %+v", opens)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no conn-close record, got %+v", closes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Unknown relays are an error, not a panic.
+	if _, err := app.L4Addr("web", "nope"); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+	if _, err := app.L4Addr("auth", "db"); err == nil {
+		t.Fatal("want error for service without an agent")
+	}
 }

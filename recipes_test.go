@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"gremlin"
@@ -85,12 +86,23 @@ func TestExampleRecipesRoundTrip(t *testing.T) {
 				if r.Pattern != gremlin.DefaultPattern {
 					t.Fatalf("rule pattern = %q, want the test-traffic default", r.Pattern)
 				}
+				// Pre-L4 recipes must keep producing pure HTTP rules.
+				if r.Layer != "" || r.EffectiveLayer() != gremlin.LayerHTTP {
+					t.Fatalf("rule %s layer = %q, want implicit http", r.ID, r.Layer)
+				}
 			}
 
-			// The translated rules survive the agent wire format.
+			// The translated rules survive the agent wire format, and the
+			// wire form is byte-identical to what pre-L4 builds emitted: no
+			// layer (or other stream-only) keys appear for HTTP rules.
 			wire, err := json.Marshal(ruleset)
 			if err != nil {
 				t.Fatal(err)
+			}
+			for _, key := range []string{"layer", "rateBytesPerSec", "abortAfterBytes", "severMode"} {
+				if strings.Contains(string(wire), `"`+key+`"`) {
+					t.Fatalf("HTTP ruleset wire form leaked %q: %s", key, wire)
+				}
 			}
 			var back []gremlin.Rule
 			if err := json.Unmarshal(wire, &back); err != nil {
@@ -100,5 +112,33 @@ func TestExampleRecipesRoundTrip(t *testing.T) {
 				t.Fatalf("rules changed across JSON round trip:\n%+v\n%+v", ruleset, back)
 			}
 		})
+	}
+}
+
+// TestPreL4RuleWireCompat feeds a rule JSON captured before the Layer
+// field existed through the current decoder: it must parse with an empty
+// (implicitly http) layer and marshal back without inventing new keys.
+func TestPreL4RuleWireCompat(t *testing.T) {
+	old := `{"id":"r1","src":"web","dst":"db","action":"abort","pattern":"test-*","errorCode":503}`
+	var r gremlin.Rule
+	if err := json.Unmarshal([]byte(old), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Layer != "" || r.EffectiveLayer() != gremlin.LayerHTTP {
+		t.Fatalf("layer = %q / %q, want empty / http", r.Layer, r.EffectiveLayer())
+	}
+	wire, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back gremlin.Rule
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("round trip changed rule:\n%+v\n%+v", r, back)
+	}
+	if strings.Contains(string(wire), "layer") {
+		t.Fatalf("marshaling a pre-L4 rule added a layer key: %s", wire)
 	}
 }
