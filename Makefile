@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke explore-smoke check
 
 all: check
 
@@ -65,5 +65,13 @@ store-smoke:
 # any mismatch.
 l4-smoke:
 	$(GO) run ./examples/l4
+
+# Coverage-guided search smoke: the explorer must discover the fallback
+# branch that never executes fault-free, exercise it with the revealing
+# aborts replayed as prerequisites, prune EI-equivalent duplicates, and
+# resume a killed session from the journal without re-running completed
+# points. Self-verifying; exits non-zero on any missed claim.
+explore-smoke:
+	$(GO) run ./examples/explore
 
 check: build vet test race

@@ -10,7 +10,7 @@
 //	gremlin-ctl remove  -agent http://127.0.0.1:9001 -id rule-1
 //	gremlin-ctl clear   -agent http://127.0.0.1:9001
 //	gremlin-ctl flush   -agent http://127.0.0.1:9001
-//	gremlin-ctl status  -registry registry.json
+//	gremlin-ctl status  -registry registry.json [-scorecard scorecard.json]
 //	gremlin-ctl drift   -registry registry.json [-file rules.json] [-repair]
 //	gremlin-ctl query   -store http://127.0.0.1:9200 -src a -dst b -kind reply -pattern 'test-*'
 //	gremlin-ctl stats   -store http://127.0.0.1:9200
@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"gremlin/internal/agentapi"
+	"gremlin/internal/campaign"
 	"gremlin/internal/core"
 	"gremlin/internal/eventlog"
 	"gremlin/internal/graph"
@@ -413,9 +414,10 @@ func agentCommand(sub string, args []string) error {
 func statusCommand(args []string) error {
 	fs := flag.NewFlagSet("gremlin-ctl status", flag.ContinueOnError)
 	var (
-		agentURL     = fs.String("agent", "", "agent control URL")
-		registryPath = fs.String("registry", "", "registry JSON file (all agents)")
-		storeURL     = fs.String("store", "", "event store URL (also report store topology and WAL durability)")
+		agentURL      = fs.String("agent", "", "agent control URL")
+		registryPath  = fs.String("registry", "", "registry JSON file (all agents)")
+		storeURL      = fs.String("store", "", "event store URL (also report store topology and WAL durability)")
+		scorecardPath = fs.String("scorecard", "", "campaign scorecard JSON; reports explore point coverage when present")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -434,8 +436,14 @@ func statusCommand(args []string) error {
 			return err
 		}
 	default:
-		if *storeURL == "" {
-			return fmt.Errorf("gremlin-ctl status: -agent, -registry or -store is required")
+		if *storeURL == "" && *scorecardPath == "" {
+			return fmt.Errorf("gremlin-ctl status: -agent, -registry, -store or -scorecard is required")
+		}
+	}
+
+	if *scorecardPath != "" {
+		if err := printScorecardStatus(*scorecardPath); err != nil {
+			return err
 		}
 	}
 
@@ -467,6 +475,32 @@ func statusCommand(args []string) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("gremlin-ctl status: %d of %d agents unreachable", failed, len(urls))
+	}
+	return nil
+}
+
+// printScorecardStatus summarizes a campaign scorecard file: the pass/fail
+// headline, and — when the campaign was an exploration — the point-coverage
+// counters the explore plane journalled (discovered, exercised, revealed
+// only under fault, pruned as EI-equivalent, rounds, convergence).
+func printScorecardStatus(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gremlin-ctl status: %w", err)
+	}
+	var sc campaign.Scorecard
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("gremlin-ctl status: parse %s: %w", path, err)
+	}
+	fmt.Printf("campaign %s: units=%d passed=%d failed=%d errors=%d skipped=%d\n",
+		sc.Campaign, sc.Units, sc.Passed, sc.Failed, sc.Errors, sc.Skipped)
+	if x := sc.Explore; x != nil {
+		state := "frontier not yet dry"
+		if x.Converged {
+			state = "converged"
+		}
+		fmt.Printf("explore: points discovered=%d exercised=%d revealed=%d pruned=%d rounds=%d (%s)\n",
+			x.PointsDiscovered, x.PointsExercised, x.PointsRevealed, x.PointsPruned, x.Rounds, state)
 	}
 	return nil
 }
@@ -639,7 +673,9 @@ agent commands (-agent <control URL>):
 
 fleet commands:
   status    per-agent rule-set generation/hash/lease (-agent or -registry);
-            -store <url> also reports store shards and WAL fsync policy
+            -store <url> also reports store shards and WAL fsync policy;
+            -scorecard <file> summarizes a campaign scorecard, including
+            explore point coverage when the campaign was an exploration
   drift     compare agents against desired state (-registry, optional
             -file <rules.json>, -repair to converge); non-zero exit on drift
 

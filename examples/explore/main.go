@@ -1,0 +1,158 @@
+// Command explore demonstrates Gremlin's coverage-guided search plane on
+// the topology static enumeration cannot crack: a frontend that calls a
+// primary and falls back to a backup only when the primary fails. The
+// frontend→backup edge sits in the declared graph, but no fault-free
+// request ever exercises it — its injection point simply does not exist
+// until another fault is staged.
+//
+// The explorer finds it from evidence: a fault-free probe inventories the
+// baseline call paths by execution index, frontier rounds abort each
+// unexercised point, and the traces of those faulted runs reveal the
+// fallback branch — which the next round then faults too, with the
+// enabling abort replayed as a prerequisite. The program kills the first
+// exploration midway and resumes it from the journal, verifying that
+// completed points are not re-run, then checks every claim it makes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"gremlin"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/microservice"
+	"gremlin/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("=== Gremlin explore: coverage-guided fault-space search ===")
+
+	// frontend calls primary; only when primary fails does it try backup.
+	spec := topology.Spec{Services: []topology.ServiceSpec{
+		{Name: "frontend", DependsOn: []string{"primary", "backup"},
+			Handler: microservice.FallbackHandler("primary", "backup")},
+		{Name: "primary"},
+		{Name: "backup"},
+	}}
+	spec.RNG = rand.New(rand.NewSource(17))
+	app, err := topology.Build(spec)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := app.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "close:", cerr)
+		}
+	}()
+
+	runner := gremlin.NewRunner(app.Graph, gremlin.NewOrchestrator(app.Registry), app.Store, app.Store)
+	journal := filepath.Join(os.TempDir(), fmt.Sprintf("gremlin-explore-%d.jsonl", os.Getpid()))
+	defer os.Remove(journal)
+
+	var loadSeed atomic.Int64
+	opts := func() gremlin.ExploreOptions {
+		return gremlin.ExploreOptions{
+			ID:          "demo",
+			JournalPath: journal,
+			Parallelism: 1,
+			Load: func(ctx context.Context, idPrefix string) error {
+				_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
+					N: 4, Concurrency: 2, IDPrefix: idPrefix,
+					Context: ctx,
+					RNG:     rand.New(rand.NewSource(loadSeed.Add(1))),
+				})
+				return err
+			},
+			Cleanup: func(pat string) { _, _ = app.Store.ClearMatching(pat) },
+		}
+	}
+
+	// Session 1: kill the exploration after its first settled unit, the way
+	// a crashed CI job or an operator's Ctrl-C would.
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	firstSession := map[string]bool{}
+	o1 := opts()
+	o1.OnEntry = func(e gremlin.CampaignEntry) {
+		mu.Lock()
+		defer mu.Unlock()
+		firstSession[e.Unit] = true
+		fmt.Printf("  session 1: %-7s %s\n", e.Status, e.Unit)
+		if len(firstSession) == 1 {
+			cancel()
+		}
+	}
+	if _, err := gremlin.Explore(ctx, runner, o1); err == nil {
+		return fmt.Errorf("killed exploration unexpectedly returned no error")
+	}
+	cancel()
+	fmt.Printf("session 1 killed after %d settled unit(s); journal holds the coverage\n\n", len(firstSession))
+
+	// Session 2: same journal, fresh context. Completed points restore from
+	// their journalled execution indexes and are never re-run.
+	rerun := map[string]bool{}
+	o2 := opts()
+	o2.OnEntry = func(e gremlin.CampaignEntry) {
+		mu.Lock()
+		defer mu.Unlock()
+		rerun[e.Unit] = true
+		fmt.Printf("  session 2: %-7s %s\n", e.Status, e.Unit)
+	}
+	res, err := gremlin.Explore(context.Background(), runner, o2)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Print(res.Scorecard.Markdown())
+
+	// --- Self-verification: every claim above, checked. -------------------
+	for unit := range firstSession {
+		if rerun[unit] {
+			return fmt.Errorf("unit %s completed in the killed session was re-run on resume", unit)
+		}
+	}
+	if !res.Converged {
+		return fmt.Errorf("exploration did not converge in %d rounds", res.Rounds)
+	}
+	revealed := res.Revealed()
+	if len(revealed) == 0 {
+		return fmt.Errorf("no fault-revealed points discovered; inventory: %+v", res.Points)
+	}
+	byEI := map[string]gremlin.ExplorePoint{}
+	for _, p := range res.Points {
+		byEI[p.EI] = p
+	}
+	backup, ok := byEI["frontend#0/backup#0"]
+	if !ok {
+		return fmt.Errorf("fallback point frontend#0/backup#0 not discovered; inventory: %+v", res.Points)
+	}
+	if len(backup.RevealedBy) == 0 || !backup.Exercised {
+		return fmt.Errorf("fallback point %+v should be fault-revealed and exercised", backup)
+	}
+	if res.PointsPruned < 1 {
+		return fmt.Errorf("no EI-equivalent duplicates were pruned")
+	}
+	x := res.Scorecard.Explore
+	if x == nil || x.PointsRevealed < 1 || !x.Converged {
+		return fmt.Errorf("scorecard explore coverage incomplete: %+v", x)
+	}
+
+	fmt.Printf("\nthe fallback branch %s never ran fault-free: it was revealed by\n", backup.EI)
+	fmt.Printf("faulting %v, then exercised with those aborts replayed as\n", backup.RevealedBy)
+	fmt.Printf("prerequisites. %d EI-equivalent duplicate observations were pruned,\n", res.PointsPruned)
+	fmt.Printf("and the killed session's %d unit(s) were restored, not re-run.\n", len(firstSession))
+	return nil
+}

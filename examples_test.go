@@ -17,6 +17,7 @@ var runnableExamples = []string{
 	"./examples/quickstart",
 	"./examples/campaign",
 	"./examples/enterprise",
+	"./examples/explore",
 	"./examples/l4",
 	"./examples/outages",
 	"./examples/pubsub",

@@ -37,6 +37,7 @@ import (
 	"gremlin/internal/checker"
 	"gremlin/internal/core"
 	"gremlin/internal/eventlog"
+	"gremlin/internal/explore"
 	"gremlin/internal/graph"
 	"gremlin/internal/orchestrator"
 	"gremlin/internal/proxy"
@@ -422,4 +423,32 @@ func EnumerateCampaign(g *Graph, opts EnumerateOptions) ([]CampaignUnit, error) 
 // coverage signature, and journalling outcomes for resume.
 func RunCampaign(ctx context.Context, r *Runner, units []CampaignUnit, opts CampaignOptions) (*Scorecard, error) {
 	return campaign.Run(ctx, r, units, opts)
+}
+
+// Explore types: coverage-guided fault-space search driven by observed
+// execution indexes rather than the static edge grid (see internal/explore).
+type (
+	// ExploreOptions tunes an exploration: identity, journal, load hook,
+	// round and combination bounds.
+	ExploreOptions = explore.Options
+
+	// ExploreResult is a finished (or interrupted) exploration: the point
+	// inventory with coverage, plus the campaign scorecard.
+	ExploreResult = explore.Result
+
+	// ExplorePoint is one discovered injection point, named by its
+	// canonical execution index.
+	ExplorePoint = explore.Point
+
+	// ExploreCoverage is the scorecard's explore-plane counter block.
+	ExploreCoverage = campaign.ExploreCoverage
+)
+
+// Explore runs a coverage-guided fault exploration: probe the application
+// fault-free to inventory its injection points by execution index, then
+// iteratively fault each unexercised point (replaying the prerequisite
+// faults that revealed it) until the frontier stays dry — discovering
+// retry, fallback and other paths that only execute under failure.
+func Explore(ctx context.Context, r *Runner, opts ExploreOptions) (*ExploreResult, error) {
+	return explore.Explore(ctx, r, opts)
 }

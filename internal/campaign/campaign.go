@@ -178,7 +178,8 @@ func Run(ctx context.Context, runner *core.Runner, units []Unit, opts Options) (
 						Campaign: o.ID, Unit: u.Key, Kind: u.Kind,
 						Service: u.Service, Target: u.Target,
 						Status: StatusSkipped, Signature: u.Signature,
-						Edges: u.Edges, Reason: "redundant with " + dupOf,
+						Edges: u.Edges, EIs: u.EIs,
+						Reason: "redundant with " + dupOf,
 					})
 					continue
 				}
@@ -205,7 +206,7 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 	e := Entry{
 		Campaign: o.ID, Unit: u.Key, Kind: u.Kind,
 		Service: u.Service, Target: u.Target,
-		RunID: runID, Signature: u.Signature, Edges: u.Edges,
+		RunID: runID, Signature: u.Signature, Edges: u.Edges, EIs: u.EIs,
 	}
 
 	recipe, err := u.Build(pat)
@@ -409,10 +410,15 @@ func (s *sched) next() (idx int, dupOf string, ok bool) {
 	s.pending = append(s.pending[:best], s.pending[best+1:]...)
 
 	u := s.units[idx]
-	if owner, dup := s.sigOwner[u.Signature]; dup {
-		return idx, owner, true
+	// A unit without a signature (not produced by Enumerate/Finalize) is
+	// never treated as redundant — an empty string must not become a
+	// signature class that swallows every unsigned unit after the first.
+	if u.Signature != "" {
+		if owner, dup := s.sigOwner[u.Signature]; dup {
+			return idx, owner, true
+		}
+		s.sigOwner[u.Signature] = u.Key
 	}
-	s.sigOwner[u.Signature] = u.Key
 	// Mark edges at dispatch, not completion, so concurrent workers
 	// spread across the graph instead of piling onto the same hot edges.
 	for _, e := range u.Edges {

@@ -39,6 +39,12 @@ type Unit struct {
 	// indistinguishable faults.
 	Signature string
 
+	// EIs are the canonical execution indexes the unit's faults are pinned
+	// to, when the unit targets specific injection points rather than whole
+	// edges (explore-plane units). Journalled, so a resumed exploration
+	// recovers its point coverage from completed entries.
+	EIs []string
+
 	// Build instantiates the unit's recipe confined to pattern.
 	Build func(pattern string) (core.Recipe, error)
 }
@@ -388,14 +394,25 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 
 	// Canonical translation fills in what each unit actually faults: its
 	// coverage signature and edge set.
+	if err := Finalize(g, units); err != nil {
+		return nil, err
+	}
+	return units, nil
+}
+
+// Finalize fills each unit's coverage signature and edge set from a
+// canonical translation against g. Enumerate calls it on the static grid;
+// planes that synthesize their own units (internal/explore) call it before
+// handing them to Run, so signature-based pruning treats them uniformly.
+func Finalize(g *graph.Graph, units []Unit) error {
 	for i := range units {
 		rec, err := units[i].Build(signaturePattern)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: enumerate %s: %w", units[i].Key, err)
+			return fmt.Errorf("campaign: finalize %s: %w", units[i].Key, err)
 		}
 		rs, err := rec.Translate(g)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: enumerate %s: %w", units[i].Key, err)
+			return fmt.Errorf("campaign: finalize %s: %w", units[i].Key, err)
 		}
 		units[i].Signature = signatureOf(rs)
 		units[i].Edges = edgesOf(rs)
@@ -403,7 +420,7 @@ func Enumerate(g *graph.Graph, opts EnumerateOptions) ([]Unit, error) {
 			units[i].Service = units[i].Edges[0].Dst
 		}
 	}
-	return units, nil
+	return nil
 }
 
 // splitAutoName maps a core.GenerateRecipes name ("auto-overload-db") to

@@ -41,6 +41,21 @@ type Entry struct {
 	// set, not the enumeration-time estimate).
 	Edges []graph.Edge `json:"edges,omitempty"`
 
+	// EIs are the execution indexes the unit's faults were pinned to, for
+	// explore-plane units. Omitted for plain edge-scoped units, keeping
+	// pre-explore journals byte-identical. On resume they restore the
+	// explorer's per-point coverage without re-running completed points.
+	EIs []string `json:"eis,omitempty"`
+
+	// Reveal marks this as an explore-plane discovery entry: a run's traces
+	// exposed an injection point reachable only under that run's faults.
+	// Reveal entries carry no run of their own (the campaign engine never
+	// produces or schedules them — their unit keys match no real unit);
+	// they persist the explorer's frontier through the journal, so a killed
+	// exploration restores revealed-but-unexercised points on resume even
+	// when the revealing unit itself is already settled and will not re-run.
+	Reveal *RevealedPoint `json:"reveal,omitempty"`
+
 	// Results are the run's assertion verdicts, in recipe order.
 	Results []checker.Result `json:"results,omitempty"`
 
@@ -68,6 +83,45 @@ type Entry struct {
 	LiveViolation string `json:"liveViolation,omitempty"`
 
 	ElapsedMillis int64 `json:"elapsedMillis,omitempty"`
+}
+
+// RevealedPoint is the payload of an explore-plane reveal entry: the
+// injection point a run's traces exposed, with everything a resumed
+// exploration needs to rebuild its frontier — the point's index and edge,
+// the discovery round, and the enabling faults to replay as prerequisites.
+type RevealedPoint struct {
+	EI    string          `json:"ei"`
+	Src   string          `json:"src,omitempty"`
+	Dst   string          `json:"dst,omitempty"`
+	Round int             `json:"round,omitempty"`
+	By    []RevealedFault `json:"by,omitempty"`
+}
+
+// RevealedFault is one enabling fault of a revealed point. On is the
+// message phase the fault fired on (rules.MessageType); phase is part of
+// the replay contract — a response-phase abort lets its callee's subtree
+// execute first, so replaying it on the request phase would cut off the
+// very path it revealed.
+type RevealedFault struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	EI  string `json:"ei"`
+	On  string `json:"on,omitempty"`
+}
+
+// AppendEntry appends one entry to the journal at path — the hook other
+// planes (internal/explore) use to persist their own state in the
+// journal's crash-safe format. Each call opens the file, writes one
+// fsynced line, and closes, so it is safe to call while a running
+// campaign holds the same journal: O_APPEND writes of one line each never
+// tear. An empty path is a no-op.
+func AppendEntry(path string, e Entry) error {
+	j, err := openJournal(path)
+	if err != nil {
+		return err
+	}
+	defer j.close()
+	return j.append(e)
 }
 
 // LoadJournal reads a campaign journal. A missing file (or empty path) is

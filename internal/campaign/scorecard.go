@@ -36,6 +36,35 @@ type BlastScore struct {
 	Failed  []string `json:"failed,omitempty"`
 }
 
+// ExploreCoverage summarizes execution-index point coverage for campaigns
+// driven by the explore plane (internal/explore). Exercised counts are
+// folded from journal entries; the discovery-side counters are filled in by
+// the explorer, which alone knows what its trace harvest surfaced.
+type ExploreCoverage struct {
+	// PointsDiscovered is how many distinct injection points (canonical
+	// execution indexes) the explorer inventoried from observed traces.
+	PointsDiscovered int `json:"pointsDiscovered"`
+
+	// PointsExercised is how many distinct points were faulted by at least
+	// one executed run (distinct EIs across passed and failed entries).
+	PointsExercised int `json:"pointsExercised"`
+
+	// PointsRevealed is how many discovered points were absent from the
+	// fault-free baseline — call paths (retry and fallback branches) that
+	// only exist while some enabling fault is staged.
+	PointsRevealed int `json:"pointsRevealed,omitempty"`
+
+	// PointsPruned counts candidate points dropped as EI-equivalent
+	// duplicates before any unit was built for them.
+	PointsPruned int `json:"pointsPruned,omitempty"`
+
+	// Rounds is how many frontier rounds the exploration ran; Converged
+	// reports whether it ended because the frontier ran dry (rather than
+	// hitting a round budget or cancellation).
+	Rounds    int  `json:"rounds,omitempty"`
+	Converged bool `json:"converged,omitempty"`
+}
+
 // Scorecard is the campaign's aggregate resilience report.
 type Scorecard struct {
 	Campaign string `json:"campaign"`
@@ -67,6 +96,11 @@ type Scorecard struct {
 	// missing.
 	Blast []BlastScore `json:"blast,omitempty"`
 
+	// Explore carries execution-index point coverage when any entry was
+	// pinned to specific injection points; nil for plain edge campaigns,
+	// keeping their JSON scorecards unchanged.
+	Explore *ExploreCoverage `json:"explore,omitempty"`
+
 	// FailedUnits lists the units whose assertions failed, with the first
 	// failing check's detail.
 	FailedUnits []string `json:"failedUnits,omitempty"`
@@ -91,8 +125,13 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 		svcIdx[s] = &ServiceScore{Service: s}
 	}
 
+	exercisedEIs := make(map[string]bool)
+	sawEIs := false
 	for _, e := range entries {
 		sc.Units++
+		if len(e.EIs) > 0 {
+			sawEIs = true
+		}
 		switch e.Status {
 		case StatusSkipped:
 			sc.Skipped++
@@ -119,6 +158,9 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 		}
 		if e.LogsDropped > 0 {
 			sc.Lossy++
+		}
+		for _, ei := range e.EIs {
+			exercisedEIs[ei] = true
 		}
 		if len(e.BlastReached) > 0 {
 			sc.Blast = append(sc.Blast, BlastScore{
@@ -173,6 +215,15 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 	if len(sc.Edges) > 0 {
 		sc.EdgeCoverage = float64(covered) / float64(len(sc.Edges))
 	}
+	if sawEIs {
+		// Discovery-side counters (discovered/revealed/pruned/rounds) are
+		// the explorer's to fill; a scorecard built from the journal alone
+		// still reports what was exercised.
+		sc.Explore = &ExploreCoverage{
+			PointsDiscovered: len(exercisedEIs),
+			PointsExercised:  len(exercisedEIs),
+		}
+	}
 	sort.Strings(sc.FailedUnits)
 	sort.Strings(sc.ErrorUnits)
 	sort.SliceStable(sc.Blast, func(i, j int) bool {
@@ -209,6 +260,21 @@ func (s *Scorecard) Markdown() string {
 	fmt.Fprintf(&b, "Edge coverage: %.0f%%.", 100*s.EdgeCoverage)
 	if s.Lossy > 0 {
 		fmt.Fprintf(&b, " **%d lossy runs** (event logs dropped records — verdicts untrustworthy).", s.Lossy)
+	}
+	if s.Explore != nil {
+		x := s.Explore
+		fmt.Fprintf(&b, "\nExplore coverage: %d injection points discovered", x.PointsDiscovered)
+		if x.PointsRevealed > 0 {
+			fmt.Fprintf(&b, " (%d revealed only under fault)", x.PointsRevealed)
+		}
+		fmt.Fprintf(&b, ", %d exercised, %d pruned as EI-equivalent.", x.PointsExercised, x.PointsPruned)
+		if x.Rounds > 0 {
+			state := "frontier not yet dry"
+			if x.Converged {
+				state = "converged"
+			}
+			fmt.Fprintf(&b, " %d rounds (%s).", x.Rounds, state)
+		}
 	}
 	b.WriteString("\n\n## Edges\n\n| edge | runs | passed | failed | verdict |\n|---|---:|---:|---:|---|\n")
 	for _, e := range s.Edges {

@@ -36,10 +36,17 @@ func signatureOf(rs []rules.Rule) string {
 		if r.Action == rules.ActionSever {
 			mode = r.EffectiveSeverMode()
 		}
-		keys = append(keys, fmt.Sprintf("%s>%s/%s/%s/%s/c%d/d%d/p%.3f/%s/%s/r%d/b%d/%s",
+		key := fmt.Sprintf("%s>%s/%s/%s/%s/c%d/d%d/p%.3f/%s/%s/r%d/b%d/%s",
 			r.Src, r.Dst, r.EffectiveLayer(), on, r.Action, r.ErrorCode, r.DelayMillis,
 			r.EffectiveProbability(), r.SearchBytes, r.ReplaceBytes,
-			r.RateBytesPerSec, r.AbortAfterBytes, mode))
+			r.RateBytesPerSec, r.AbortAfterBytes, mode)
+		// The callPath component is appended only when present, so every
+		// signature computed before execution indexing existed — including
+		// those persisted in old campaign journals — is unchanged.
+		if r.CallPath != "" {
+			key += "/ei=" + r.CallPath
+		}
+		keys = append(keys, key)
 	}
 	sort.Strings(keys)
 	h := fnv.New64a()

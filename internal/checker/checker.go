@@ -263,6 +263,24 @@ func RequestRate(rl RList) float64 {
 	return float64(len(rl)) / span.Seconds()
 }
 
+// CountFaultedAt counts the records in rl that carry an injected fault and
+// whose execution index equals ei. Explore units attribute point-scoped
+// faults this way: a rule pinned to one call path must be observed firing
+// at that call path — the same fault firing elsewhere proves nothing about
+// the targeted point.
+func CountFaultedAt(rl RList, ei string) int {
+	n := 0
+	for _, r := range rl {
+		if r.EI != ei {
+			continue
+		}
+		if r.FaultAction != "" || r.GremlinGenerated || r.InjectedDelayMillis > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // MaxLatency returns the largest observed latency among replies in rl under
 // the given withRule mode, or 0 for an empty list.
 func MaxLatency(rl RList, withRule bool) time.Duration {

@@ -68,6 +68,9 @@ type Abort struct {
 	Pattern     string // overrides the recipe pattern when non-empty
 	Probability float64
 	On          rules.MessageType
+	// CallPath, when non-empty, pins the fault to one execution index
+	// (canonical X-Gremlin-EI form) instead of every call on the edge.
+	CallPath string
 }
 
 // Describe implements Scenario.
@@ -87,6 +90,7 @@ func (a Abort) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rules.Ru
 		On:          a.On,
 		Action:      rules.ActionAbort,
 		Pattern:     pick(a.Pattern, pattern),
+		CallPath:    a.CallPath,
 		Probability: a.Probability,
 		ErrorCode:   a.ErrorCode,
 	}}, nil
@@ -100,6 +104,9 @@ type Delay struct {
 	Pattern     string
 	Probability float64
 	On          rules.MessageType
+	// CallPath, when non-empty, pins the fault to one execution index
+	// (canonical X-Gremlin-EI form) instead of every call on the edge.
+	CallPath string
 }
 
 // Describe implements Scenario.
@@ -119,6 +126,7 @@ func (d Delay) Translate(g *graph.Graph, ids *IDGen, pattern string) ([]rules.Ru
 		On:          d.On,
 		Action:      rules.ActionDelay,
 		Pattern:     pick(d.Pattern, pattern),
+		CallPath:    d.CallPath,
 		Probability: d.Probability,
 		DelayMillis: d.Interval.Milliseconds(),
 	}}, nil

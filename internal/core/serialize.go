@@ -45,6 +45,10 @@ type scenarioSpec struct {
 	Pattern       string            `json:"pattern,omitempty"`
 	On            rules.MessageType `json:"on,omitempty"`
 
+	// CallPath pins abort/delay scenarios to one execution index.
+	// Omitempty keeps pre-explore recipe files byte-identical.
+	CallPath string `json:"callPath,omitempty"`
+
 	// Stream-scenario parameters (streamSever/streamThrottle/…).
 	RateBytesPerSec int64  `json:"rateBytesPerSec,omitempty"`
 	AbortAfterBytes int64  `json:"abortAfterBytes,omitempty"`
@@ -111,10 +115,12 @@ func (s scenarioSpec) toScenario() (Scenario, error) {
 	switch s.Type {
 	case "abort":
 		return Abort{Src: s.Src, Dst: s.Dst, ErrorCode: s.ErrorCode,
-			Pattern: s.Pattern, Probability: s.Probability, On: s.On}, nil
+			Pattern: s.Pattern, Probability: s.Probability, On: s.On,
+			CallPath: s.CallPath}, nil
 	case "delay":
 		return Delay{Src: s.Src, Dst: s.Dst, Interval: millis(s.DelayMillis),
-			Pattern: s.Pattern, Probability: s.Probability, On: s.On}, nil
+			Pattern: s.Pattern, Probability: s.Probability, On: s.On,
+			CallPath: s.CallPath}, nil
 	case "modify":
 		return Modify{Src: s.Src, Dst: s.Dst, Search: s.Search, Replace: s.Replace,
 			Pattern: s.Pattern, Probability: s.Probability, On: s.On}, nil

@@ -57,6 +57,12 @@ type Record struct {
 	// application edge).
 	ParentSpanID string `json:"parentSpanId,omitempty"`
 
+	// EI is the execution index of this hop: the causal call path from
+	// the system edge down to and including this call, in canonical
+	// X-Gremlin-EI wire form. Empty on records logged before execution
+	// indexing existed, and on L4 connection records.
+	EI string `json:"ei,omitempty"`
+
 	// Src and Dst are the logical caller and callee service names.
 	Src string `json:"src"`
 	Dst string `json:"dst"`

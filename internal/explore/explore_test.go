@@ -1,0 +1,241 @@
+package explore_test
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gremlin/internal/campaign"
+	"gremlin/internal/core"
+	"gremlin/internal/explore"
+	"gremlin/internal/loadgen"
+	"gremlin/internal/microservice"
+	"gremlin/internal/orchestrator"
+	"gremlin/internal/topology"
+)
+
+// fallbackSpec is the canonical exploration target: a frontend that calls
+// primary and falls back to backup only when primary fails. The
+// frontend→backup call path exists in the static graph but never executes
+// fault-free, so only evidence-driven search can find and exercise its
+// injection point.
+func fallbackSpec() topology.Spec {
+	return topology.Spec{Services: []topology.ServiceSpec{
+		{Name: "frontend", DependsOn: []string{"primary", "backup"},
+			Handler: microservice.FallbackHandler("primary", "backup")},
+		{Name: "primary"},
+		{Name: "backup"},
+	}}
+}
+
+func newHarness(t *testing.T) (*topology.App, *core.Runner) {
+	t.Helper()
+	spec := fallbackSpec()
+	spec.RNG = rand.New(rand.NewSource(11))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := app.Close(); err != nil {
+			t.Errorf("close app: %v", err)
+		}
+	})
+	orch := orchestrator.New(app.Registry)
+	return app, core.NewRunner(app.Graph, orch, app.Store, app.Store)
+}
+
+func exploreOpts(app *topology.App, journal string) explore.Options {
+	var seed atomic.Int64
+	return explore.Options{
+		ID:          "xp",
+		JournalPath: journal,
+		Load: func(ctx context.Context, idPrefix string) error {
+			_, err := loadgen.Run(app.EntryURL(), loadgen.Options{
+				N: 4, Concurrency: 2, IDPrefix: idPrefix,
+				Context: ctx,
+				RNG:     rand.New(rand.NewSource(seed.Add(1))),
+			})
+			return err
+		},
+		Cleanup: func(pat string) { _, _ = app.Store.ClearMatching(pat) },
+	}
+}
+
+// TestExploreFallbackDiscovery is the subsystem's acceptance test: the
+// explorer inventories the baseline call paths, exercises each point,
+// discovers the fallback branch that only exists under fault, exercises
+// that too, and converges with the full story on the scorecard.
+func TestExploreFallbackDiscovery(t *testing.T) {
+	app, runner := newHarness(t)
+	journal := filepath.Join(t.TempDir(), "explore.jsonl")
+
+	res, err := explore.Explore(context.Background(), runner, exploreOpts(app, journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("exploration did not converge in %d rounds", res.Rounds)
+	}
+
+	byEI := map[string]explore.Point{}
+	for _, p := range res.Points {
+		byEI[p.EI] = p
+	}
+	for _, ei := range []string{"frontend#0", "frontend#0/primary#0"} {
+		p, ok := byEI[ei]
+		if !ok {
+			t.Fatalf("baseline point %s not discovered; have %+v", ei, res.Points)
+		}
+		if len(p.RevealedBy) != 0 || !p.Exercised {
+			t.Fatalf("baseline point %s = %+v, want revealed-by-nothing and exercised", ei, p)
+		}
+	}
+
+	// The fallback branch: absent from the baseline, revealed by the
+	// primary's fault, and exercised under that prerequisite.
+	backup, ok := byEI["frontend#0/backup#0"]
+	if !ok {
+		t.Fatalf("fallback point not discovered; have %+v", res.Points)
+	}
+	if len(backup.RevealedBy) == 0 {
+		t.Fatalf("fallback point %+v should carry the revealing fault set", backup)
+	}
+	if !backup.Exercised {
+		t.Fatalf("fallback point %+v was discovered but never exercised", backup)
+	}
+	if backup.Round == 0 {
+		t.Fatalf("fallback point claims baseline round: %+v", backup)
+	}
+
+	// Every probe request re-observes the same call paths, so plenty of
+	// EI-equivalent candidates must have been pruned at inventory time.
+	if res.PointsPruned < 1 {
+		t.Fatalf("PointsPruned = %d, want >= 1", res.PointsPruned)
+	}
+
+	x := res.Scorecard.Explore
+	if x == nil {
+		t.Fatal("scorecard carries no explore coverage")
+	}
+	if x.PointsDiscovered != len(res.Points) || x.PointsExercised < 3 ||
+		x.PointsRevealed < 1 || x.PointsPruned != res.PointsPruned || !x.Converged {
+		t.Fatalf("explore coverage = %+v, want discovered=%d exercised>=3 revealed>=1", x, len(res.Points))
+	}
+	if !strings.Contains(res.Scorecard.Markdown(), "Explore coverage:") {
+		t.Fatal("scorecard Markdown missing the explore coverage line")
+	}
+
+	// The journal carries each unit's pinned indexes, the resume contract.
+	entries, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEIs := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Unit, "pt-") && len(e.EIs) > 0 {
+			sawEIs = true
+		}
+	}
+	if !sawEIs {
+		t.Fatalf("no journalled unit carries EIs: %+v", entries)
+	}
+}
+
+// TestExploreResumeNoRerun re-runs a completed exploration against its
+// journal: every point is restored as exercised, the frontier stays empty,
+// and no unit executes again.
+func TestExploreResumeNoRerun(t *testing.T) {
+	app, runner := newHarness(t)
+	journal := filepath.Join(t.TempDir(), "explore.jsonl")
+
+	if _, err := explore.Explore(context.Background(), runner, exploreOpts(app, journal)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := exploreOpts(app, journal)
+	var reran atomic.Int64
+	opts.OnEntry = func(campaign.Entry) { reran.Add(1) }
+	res, err := explore.Explore(context.Background(), runner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reran.Load(); n != 0 {
+		t.Fatalf("resume re-executed %d units", n)
+	}
+	after, err := campaign.LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("journal grew across a no-op resume: %d -> %d entries", len(before), len(after))
+	}
+	if !res.Converged {
+		t.Fatal("resumed exploration did not converge")
+	}
+	if x := res.Scorecard.Explore; x == nil || x.PointsExercised < 3 {
+		t.Fatalf("resumed coverage lost exercised points: %+v", x)
+	}
+}
+
+// TestExploreKilledMidwayResumes cancels an exploration after its first
+// settled unit, then runs a second session on the same journal: completed
+// points are not re-run, and the second session still converges with full
+// coverage.
+func TestExploreKilledMidwayResumes(t *testing.T) {
+	app, runner := newHarness(t)
+	journal := filepath.Join(t.TempDir(), "explore.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := exploreOpts(app, journal)
+	var mu sync.Mutex
+	firstKeys := map[string]bool{}
+	opts.Parallelism = 1
+	opts.OnEntry = func(e campaign.Entry) {
+		mu.Lock()
+		defer mu.Unlock()
+		firstKeys[e.Unit] = true
+		if len(firstKeys) == 1 {
+			cancel() // kill after the first settled unit
+		}
+	}
+	if _, err := explore.Explore(ctx, runner, opts); err == nil {
+		t.Fatal("cancelled exploration returned nil error")
+	}
+	if len(firstKeys) == 0 {
+		t.Skip("cancellation won the race before any unit settled")
+	}
+
+	opts2 := exploreOpts(app, journal)
+	rerun := map[string]bool{}
+	opts2.OnEntry = func(e campaign.Entry) {
+		mu.Lock()
+		defer mu.Unlock()
+		rerun[e.Unit] = true
+	}
+	res, err := explore.Explore(context.Background(), runner, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range firstKeys {
+		if rerun[k] {
+			t.Fatalf("unit %s from the killed session was re-run", k)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("second session did not converge")
+	}
+	for _, p := range res.Points {
+		if p.Src != "" && p.Unbuildable == "" && !p.Exercised {
+			t.Fatalf("point %+v left unexercised after resume", p)
+		}
+	}
+}

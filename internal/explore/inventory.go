@@ -1,0 +1,342 @@
+package explore
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"gremlin/internal/campaign"
+	"gremlin/internal/eventlog"
+	"gremlin/internal/rules"
+	"gremlin/internal/trace"
+	"gremlin/internal/tracing"
+)
+
+// Point is one entry of the injection-point inventory: a call path the
+// explorer has observed executing, named by its canonical execution index.
+// One graph edge hosts many points (fan-out ordinals, retry branches), and
+// some points exist only while another fault is staged — the inventory
+// holds exactly what was observed reachable, never a fantasy grid.
+type Point struct {
+	// EI is the point's canonical execution index (X-Gremlin-EI form).
+	EI string `json:"ei"`
+
+	// Src and Dst are the caller and callee of the hop, as observed.
+	// Src may be empty for points restored from a journal (the index
+	// records the callee chain only); it is backfilled when the point is
+	// re-observed live.
+	Src string `json:"src,omitempty"`
+	Dst string `json:"dst,omitempty"`
+
+	// RevealedBy lists the execution indexes of the enabling faults under
+	// which this point first became reachable. Empty means the point is
+	// reachable fault-free (it appeared in the baseline probe).
+	RevealedBy []string `json:"revealedBy,omitempty"`
+
+	// Round is the frontier round that discovered the point (0 = the
+	// baseline probe).
+	Round int `json:"round"`
+
+	// Exercised reports whether a unit pinned to this point has settled.
+	Exercised bool `json:"exercised"`
+
+	// Unbuildable carries the reason no unit can target the point (e.g.
+	// its edge is outside the application graph); such points are excluded
+	// from the frontier but stay in the inventory for reporting.
+	Unbuildable string `json:"unbuildable,omitempty"`
+}
+
+// pointFault is one staged fault of an explore unit, precise enough to be
+// replayed as a prerequisite: the revealing unit's exact abort (edge,
+// execution index, and message phase). Phase matters — a response-phase
+// abort lets the callee's subtree execute first, so replaying a revealing
+// response abort as a request abort would cut off the very path it
+// revealed.
+type pointFault struct {
+	src, dst, ei string
+	on           rules.MessageType
+}
+
+// explorer is the mutable search state shared between the frontier loop
+// and the harvest callbacks running on campaign worker goroutines.
+type explorer struct {
+	o      Options
+	source eventlog.Source
+
+	mu     sync.Mutex
+	points map[string]*Point
+	order  []string // discovery order, for deterministic frontiers
+
+	// prereqs maps a revealed point to the fault set that revealed it.
+	prereqs map[string][]pointFault
+
+	// paths are the distinct critical-path EI sequences observed among
+	// fault-free (baseline) points, feeding combo generation.
+	paths    [][]string
+	pathSeen map[string]bool
+
+	// entries is the latest journal entry per unit key, merged across
+	// restored sessions and this one; the final scorecard folds it.
+	entries map[string]campaign.Entry
+
+	// combosBuilt claims combo keys already handed to a round this session.
+	combosBuilt map[string]bool
+
+	pruned int
+
+	// journalErr is the first failure persisting a reveal entry; surfaced
+	// when the exploration returns, since a lost discovery silently weakens
+	// the resume contract.
+	journalErr error
+}
+
+func newExplorer(o Options, source eventlog.Source) *explorer {
+	return &explorer{
+		o:        o,
+		source:   source,
+		points:   make(map[string]*Point),
+		prereqs:  make(map[string][]pointFault),
+		pathSeen: make(map[string]bool),
+		entries:  make(map[string]campaign.Entry),
+	}
+}
+
+// harvest assembles the records matching pat into span trees and folds
+// every observed execution index into the inventory. revealedBy is the
+// fault set staged while the records were produced (nil for the baseline
+// probe): points first seen under it are reachable only because of it.
+// Fault-revealed discoveries are journalled immediately — the revealing
+// unit settles as done and never re-runs, so a kill between discovery and
+// the point's own unit would otherwise lose the point forever. Returns how
+// many previously unknown points were discovered.
+func (e *explorer) harvest(pat string, revealedBy []pointFault, round int) int {
+	traces, err := tracing.FromSource(e.source, eventlog.Query{IDPattern: pat})
+	if err != nil {
+		return 0
+	}
+	e.mu.Lock()
+	discovered := 0
+	var reveals []campaign.Entry
+	for _, t := range traces {
+		for _, s := range t.Spans {
+			if s.EI == "" {
+				continue
+			}
+			ei := trace.CanonicalEI(s.EI)
+			if ei == "" {
+				continue
+			}
+			if p, ok := e.points[ei]; ok {
+				// EI-equivalent duplicate: the same injection point
+				// observed again (another request, another interleaving).
+				// Dropped before any unit is built for it.
+				e.pruned++
+				if p.Src == "" {
+					p.Src, p.Dst = s.Src, s.Dst
+				}
+				continue
+			}
+			p := &Point{EI: ei, Src: s.Src, Dst: s.Dst, Round: round}
+			for _, f := range revealedBy {
+				p.RevealedBy = append(p.RevealedBy, f.ei)
+			}
+			e.points[ei] = p
+			e.order = append(e.order, ei)
+			if len(revealedBy) > 0 {
+				e.prereqs[ei] = append([]pointFault(nil), revealedBy...)
+				reveals = append(reveals, revealEntry(e.o.ID, p, revealedBy))
+			}
+			discovered++
+		}
+		// Fault-free critical paths seed multi-fault combination units.
+		// Paths observed under staged faults are skipped: their points
+		// carry prerequisites of their own, and mixing prerequisite sets
+		// in one combo is not replayable.
+		if len(revealedBy) == 0 {
+			e.recordPathLocked(t)
+		}
+	}
+	e.mu.Unlock()
+
+	for _, en := range reveals {
+		if err := campaign.AppendEntry(e.o.JournalPath, en); err != nil {
+			e.mu.Lock()
+			if e.journalErr == nil {
+				e.journalErr = err
+			}
+			e.mu.Unlock()
+		}
+	}
+	return discovered
+}
+
+// revealEntry encodes one fault-revealed discovery as a journal line. Its
+// unit key matches no schedulable unit, so campaign resume ignores it; only
+// the explorer's own restore consumes the Reveal payload.
+func revealEntry(id string, p *Point, revealedBy []pointFault) campaign.Entry {
+	r := &campaign.RevealedPoint{EI: p.EI, Src: p.Src, Dst: p.Dst, Round: p.Round}
+	for _, f := range revealedBy {
+		r.By = append(r.By, campaign.RevealedFault{
+			Src: f.src, Dst: f.dst, EI: f.ei, On: string(f.on),
+		})
+	}
+	return campaign.Entry{
+		Campaign: id,
+		Unit:     "reveal-" + p.EI,
+		Kind:     "explore-reveal",
+		Service:  p.Dst,
+		Target:   p.EI,
+		Status:   campaign.StatusSkipped,
+		Reason:   "injection point revealed under fault; journalled for resume",
+		Reveal:   r,
+	}
+}
+
+func (e *explorer) recordPathLocked(t *tracing.Trace) {
+	cp := t.CriticalPath()
+	var seq []string
+	for _, st := range cp.Steps {
+		if st.Span.EI == "" {
+			continue
+		}
+		seq = append(seq, trace.CanonicalEI(st.Span.EI))
+	}
+	if len(seq) < 2 {
+		return
+	}
+	key := strings.Join(seq, "+")
+	if e.pathSeen[key] {
+		return
+	}
+	e.pathSeen[key] = true
+	e.paths = append(e.paths, seq)
+}
+
+// restore replays one journal entry from a previous session: its unit's
+// pinned execution indexes become exercised inventory points, so the
+// frontier never rebuilds work the journal already settled. Src is parsed
+// from the index where possible and backfilled on live re-observation.
+// Reveal entries restore the frontier instead: a revealed point returns
+// unexercised, with its enabling faults ready to replay — a later pt-
+// entry in the same journal marks it exercised.
+func (e *explorer) restore(en campaign.Entry) {
+	if en.Reveal != nil {
+		e.restoreReveal(en.Reveal)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries[en.Unit] = en
+	for _, ei := range en.EIs {
+		ei = trace.CanonicalEI(ei)
+		if ei == "" {
+			continue
+		}
+		p, ok := e.points[ei]
+		if !ok {
+			p = &Point{EI: ei, Dst: eiDst(ei)}
+			e.points[ei] = p
+			e.order = append(e.order, ei)
+		}
+		p.Exercised = true
+	}
+}
+
+// restoreReveal rebuilds one journalled discovery: the point enters the
+// inventory unexercised, carrying the fault set that revealed it, so the
+// next frontier round builds its unit with the prerequisites replayed.
+func (e *explorer) restoreReveal(r *campaign.RevealedPoint) {
+	ei := trace.CanonicalEI(r.EI)
+	if ei == "" {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.points[ei]
+	if !ok {
+		p = &Point{EI: ei, Round: r.Round}
+		e.points[ei] = p
+		e.order = append(e.order, ei)
+	}
+	if p.Src == "" {
+		p.Src = r.Src
+	}
+	if p.Dst == "" {
+		p.Dst = r.Dst
+	}
+	if len(p.RevealedBy) == 0 {
+		for _, f := range r.By {
+			p.RevealedBy = append(p.RevealedBy, f.EI)
+		}
+	}
+	if len(e.prereqs[ei]) == 0 && len(r.By) > 0 {
+		fs := make([]pointFault, 0, len(r.By))
+		for _, f := range r.By {
+			fs = append(fs, pointFault{src: f.Src, dst: f.Dst, ei: f.EI, on: rules.MessageType(f.On)})
+		}
+		e.prereqs[ei] = fs
+	}
+}
+
+// settle records a session entry and marks the unit's points exercised.
+// Skipped entries count too: a skip means another unit with an identical
+// fault signature — necessarily pinning the same indexes — already ran.
+func (e *explorer) settle(en campaign.Entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.entries[en.Unit] = en
+	if en.Status == campaign.StatusError {
+		return
+	}
+	for _, ei := range en.EIs {
+		if p, ok := e.points[ei]; ok {
+			p.Exercised = true
+		}
+	}
+}
+
+// eiDst is the callee of an execution index's final frame, or "" for a
+// bare truncation marker.
+func eiDst(ei string) string {
+	frames, _ := trace.ParseEI(ei)
+	if len(frames) == 0 {
+		return ""
+	}
+	return frames[len(frames)-1].Service
+}
+
+// size returns the inventory size (for dry-round detection).
+func (e *explorer) size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.points)
+}
+
+// snapshot copies the inventory in EI order.
+func (e *explorer) snapshot() []Point {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Point, 0, len(e.points))
+	for _, ei := range e.order {
+		out = append(out, *e.points[ei])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EI < out[j].EI })
+	return out
+}
+
+// sortedEntries returns the merged journal view in unit-key order, the
+// deterministic input for the final scorecard.
+func (e *explorer) sortedEntries() []campaign.Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make([]string, 0, len(e.entries))
+	for k := range e.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]campaign.Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, e.entries[k])
+	}
+	return out
+}

@@ -56,6 +56,13 @@ type Agent struct {
 	nSevered  atomic.Int64
 	nStreamed atomic.Int64
 	nSpans    atomic.Int64
+	nEITrunc  atomic.Int64
+
+	// ordMu guards ordinals, the bounded call-ordinal state used to build
+	// execution indices: how many calls with the same (parent span,
+	// destination) this agent has already proxied.
+	ordMu    sync.Mutex
+	ordinals map[string]int
 
 	// latency observes each proxied exchange's wall time in seconds
 	// (including injected delays), exposed via GET /metrics.
@@ -93,6 +100,13 @@ type Stats struct {
 	// hop — so scrapers can confirm causal tracing is live on the data
 	// path.
 	SpansMinted int64 `json:"spansMinted"`
+
+	// EITruncated counts hops whose execution index hit the depth or byte
+	// bound and was terminated with the truncation marker instead of
+	// growing — nonzero means the topology is deeper (or more cyclic)
+	// than X-Gremlin-EI can name, and explore-plane coverage of those
+	// hops is necessarily coarse.
+	EITruncated int64 `json:"eiTruncated,omitempty"`
 
 	// RulesetExpirations counts rule sets the agent cleared itself because
 	// their lease TTL lapsed without a renewing PUT — each one is a
@@ -143,6 +157,7 @@ func (a *Agent) Stats() Stats {
 		Modified:           a.nModified.Load(),
 		Streamed:           a.nStreamed.Load(),
 		SpansMinted:        a.nSpans.Load(),
+		EITruncated:        a.nEITrunc.Load(),
 		RulesetExpirations: a.nExpired.Load(),
 	}
 	if h, ok := a.sink.(sinkHealth); ok {
@@ -191,13 +206,48 @@ func (a *Agent) countFault(d rules.Decision) {
 }
 
 // flow carries one exchange's identity down the data path: the flat
-// request ID, the span this hop minted, its parent span, and the start
-// time every latency is measured from.
+// request ID, the span this hop minted, its parent span, the hop's
+// execution index, and the start time every latency is measured from.
 type flow struct {
 	reqID      string
 	spanID     string
 	parentSpan string
+	ei         string
 	start      time.Time
+}
+
+// maxOrdinalKeys bounds the ordinal map. When the cap is reached the
+// whole map is dropped: a coarse reset that keeps agent memory bounded on
+// long-lived processes at the cost of restarting ordinal counts for
+// (rare) flows still in flight across the reset. Execution indices stay
+// well-formed either way — at worst two sibling calls straddling a reset
+// share an ordinal and collapse into one explore point.
+const maxOrdinalKeys = 8192
+
+// nextOrdinal returns the 0-based ordinal of this call among its
+// siblings: calls from the same parent execution (identified by the
+// inbound span, which is minted fresh per request) to the same
+// destination. Sequential retries and repeated fan-out calls to one
+// dependency get 0, 1, 2, … so their execution indices differ.
+//
+// An entry hop — no parent span — is always ordinal 0: every request at
+// the application edge roots a fresh execution, even when a load
+// generator replays the same request ID across runs. Keying entry hops on
+// the request ID would make replayed IDs count up forever and drift every
+// downstream execution index between sessions.
+func (a *Agent) nextOrdinal(parentSpan, dst string) int {
+	if parentSpan == "" {
+		return 0
+	}
+	key := parentSpan + "\x00" + dst
+	a.ordMu.Lock()
+	defer a.ordMu.Unlock()
+	if a.ordinals == nil || len(a.ordinals) >= maxOrdinalKeys {
+		a.ordinals = make(map[string]int, 64)
+	}
+	n := a.ordinals[key]
+	a.ordinals[key] = n + 1
+	return n
 }
 
 type routeProxy struct {
@@ -445,7 +495,16 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	a.nProxied.Add(1)
 	a.nSpans.Add(1)
-	f := flow{reqID: reqID, spanID: spanID, parentSpan: parentSpan, start: start}
+	// This hop's execution index extends the caller's (relayed in
+	// X-Gremlin-EI) with one (destination, call-ordinal) frame. AppendEI
+	// bounds depth and bytes; a hop past the bound is counted and its
+	// index marker-terminated rather than grown.
+	hopEI, eiTruncated := trace.AppendEI(trace.EIFromRequest(r),
+		rp.route.Dst, a.nextOrdinal(parentSpan, rp.route.Dst))
+	if eiTruncated {
+		a.nEITrunc.Add(1)
+	}
+	f := flow{reqID: reqID, spanID: spanID, parentSpan: parentSpan, ei: hopEI, start: start}
 	// Deferred so severed connections (which unwind via ErrAbortHandler)
 	// still observe their duration.
 	defer func() { a.latency.Observe(time.Since(start).Seconds()) }()
@@ -454,6 +513,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Dst:       rp.route.Dst,
 		Type:      rules.OnRequest,
 		RequestID: reqID,
+		CallPath:  hopEI,
 	}
 	reqDecision := a.matcher.Decide(reqMsg)
 	a.countFault(reqDecision)
@@ -463,6 +523,7 @@ func (rp *routeProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqRec.RequestID = reqID
 	reqRec.SpanID = spanID
 	reqRec.ParentSpanID = parentSpan
+	reqRec.EI = hopEI
 	reqRec.Kind = eventlog.KindRequest
 	reqRec.Method = r.Method
 	reqRec.URI = r.URL.RequestURI()
@@ -601,6 +662,7 @@ func (rp *routeProxy) replyRecord(r *http.Request, f flow, status int,
 	rec.RequestID = f.reqID
 	rec.SpanID = f.spanID
 	rec.ParentSpanID = f.parentSpan
+	rec.EI = f.ei
 	rec.Kind = eventlog.KindReply
 	rec.Method = r.Method
 	rec.URI = r.URL.RequestURI()
@@ -692,8 +754,10 @@ func (rp *routeProxy) forward(r *http.Request, f flow, body []byte, buffered boo
 	copyHeaders(out.Header, r.Header)
 	// The outbound request carries this hop's span so the callee's agent
 	// (and any microservice relaying headers via trace.Propagate) links its
-	// own span to ours.
+	// own span to ours, and this hop's execution index so the callee's
+	// outbound calls extend the causal path.
 	trace.SetSpan(out, f.spanID, f.parentSpan)
+	trace.SetEI(out, f.ei)
 	out.Header.Del("Connection")
 	return rp.client.Do(out)
 }

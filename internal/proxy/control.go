@@ -201,6 +201,7 @@ func (a *Agent) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	mw.Counter("gremlin_agent_modified_total", "Messages rewritten by Modify rules.", float64(st.Modified), "service", svc)
 	mw.Counter("gremlin_agent_streamed_total", "Replies relayed on the unbuffered fast path.", float64(st.Streamed), "service", svc)
 	mw.Counter("gremlin_agent_spans_minted_total", "Span IDs minted for causal tracing, one per proxied hop.", float64(st.SpansMinted), "service", svc)
+	mw.Counter("gremlin_agent_ei_truncated_total", "Hops whose execution index hit the depth or byte bound and was marker-terminated instead of grown.", float64(st.EITruncated), "service", svc)
 	mw.Gauge("gremlin_agent_ruleset_generation", "Current rule-set generation; reconcilers compare it against the desired generation to detect drift.", float64(a.matcher.Generation()), "service", svc)
 	mw.Gauge("gremlin_agent_ruleset_rules", "Rules currently installed.", float64(a.matcher.Len()), "service", svc)
 	mw.Counter("gremlin_agent_ruleset_expired_total", "Leased rule sets the agent cleared itself after their TTL lapsed without renewal.", float64(st.RulesetExpirations), "service", svc)

@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCallPathAbsentMeansMatchAll is the back-compat contract: rule JSON
+// written before execution indexing existed (no "callPath" key) must
+// parse, validate, match, and hash exactly as before.
+func TestCallPathAbsentMeansMatchAll(t *testing.T) {
+	raw := `{"id":"r1","src":"a","dst":"b","action":"abort","errorCode":503}`
+	var r Rule
+	if err := json.Unmarshal([]byte(raw), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.CallPath != "" {
+		t.Fatalf("callPath = %q, want absent", r.CallPath)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("pre-EI rule no longer validates: %v", err)
+	}
+
+	// Marshalling back must not introduce the new key, so content hashes
+	// of old rule sets are unchanged.
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	json.Unmarshal(out, &m)
+	if _, ok := m["callPath"]; ok {
+		t.Fatalf("marshalled pre-EI rule grew a callPath key: %s", out)
+	}
+	if HashRules([]Rule{r}) != HashRules([]Rule{{ID: "r1", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 503}}) {
+		t.Fatal("hash of a callPath-absent rule is not stable")
+	}
+}
+
+// TestCallPathMatching asserts exact-equality matching in both the
+// indexed and linear-scan matchers: a callPath rule fires only on the
+// message carrying that exact execution index; a callPath-less rule
+// fires regardless of the message's index.
+func TestCallPathMatching(t *testing.T) {
+	for _, linear := range []bool{false, true} {
+		m := NewMatcher(nil)
+		m.UseLinearScan(linear)
+		pathRule := Rule{ID: "p", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500,
+			CallPath: "a#0/b#1"}
+		if err := m.Install(pathRule); err != nil {
+			t.Fatal(err)
+		}
+
+		hit := Message{Src: "a", Dst: "b", Type: OnRequest, RequestID: "test-1", CallPath: "a#0/b#1"}
+		if d := m.Decide(hit); !d.Fired || d.Rule.ID != "p" {
+			t.Fatalf("linear=%v: exact-path message decision = %+v", linear, d)
+		}
+		for _, miss := range []string{"a#0/b#0", "a#0", "a#0/b#1/c#0", ""} {
+			msg := hit
+			msg.CallPath = miss
+			if d := m.Decide(msg); d.Matched || d.Fired {
+				t.Fatalf("linear=%v: path %q matched %+v", linear, miss, d)
+			}
+		}
+
+		// A path-less rule still matches every index, including none.
+		m.Clear()
+		if err := m.Install(Rule{ID: "any", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500}); err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range []string{"", "a#0/b#1", "x#9"} {
+			msg := hit
+			msg.CallPath = path
+			if d := m.Decide(msg); !d.Fired {
+				t.Fatalf("linear=%v: path-less rule missed index %q", linear, path)
+			}
+		}
+	}
+}
+
+func TestValidateCallPath(t *testing.T) {
+	good := Rule{ID: "r", Src: "a", Dst: "b", Action: ActionAbort, ErrorCode: 500,
+		CallPath: "a#0/b#1"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("canonical callPath rejected: %v", err)
+	}
+	truncated := good
+	truncated.CallPath = "a#0/…"
+	if err := truncated.Validate(); err != nil {
+		t.Fatalf("truncated-but-canonical callPath rejected: %v", err)
+	}
+
+	bad := good
+	bad.CallPath = "not a call path"
+	if err := bad.Validate(); err == nil {
+		t.Error("non-canonical callPath must not validate")
+	}
+	trailing := good
+	trailing.CallPath = "a#0/"
+	if err := trailing.Validate(); err == nil {
+		t.Error("trailing-slash callPath must not validate")
+	}
+	l4 := Rule{ID: "r", Src: "a", Dst: "b", Layer: LayerL4, Action: ActionSever,
+		CallPath: "a#0"}
+	if err := l4.Validate(); err == nil {
+		t.Error("l4 rule with callPath must not validate")
+	}
+}

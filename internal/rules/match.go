@@ -21,6 +21,12 @@ type Message struct {
 	// when the caller did not stamp one. L4 messages carry the relay's
 	// connection ID here.
 	RequestID string
+	// CallPath is the execution index of this hop (canonical X-Gremlin-EI
+	// wire form): the causal call path from the system edge down to and
+	// including this call. Empty when the data plane does not compute
+	// indices (L4 connections, pre-EI agents). Rules with a CallPath
+	// criterion match by exact string equality.
+	CallPath string
 	// Layer is the data plane the message was observed on. Empty means
 	// LayerHTTP, matching pre-L4 callers.
 	Layer Layer
@@ -63,6 +69,9 @@ func (c CompiledRule) Matches(m Message) bool {
 		return false
 	}
 	if c.on() != m.Type || c.EffectiveLayer() != m.layer() {
+		return false
+	}
+	if c.CallPath != "" && c.CallPath != m.CallPath {
 		return false
 	}
 	return c.pat.Match(m.RequestID)
@@ -352,6 +361,9 @@ func (m *Matcher) Decide(msg Message) Decision {
 	for _, i := range snap.index[routeKey{src: msg.Src, dst: msg.Dst, on: msg.Type, layer: msg.layer()}] {
 		r := &snap.rules[i]
 		if fast && r.prefix != "" && !strings.HasPrefix(msg.RequestID, r.prefix) {
+			continue
+		}
+		if r.CallPath != "" && r.CallPath != msg.CallPath {
 			continue
 		}
 		if !r.pat.Match(msg.RequestID) {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"gremlin/internal/pattern"
+	"gremlin/internal/trace"
 )
 
 // Action identifies a primitive fault-injection action.
@@ -120,6 +121,14 @@ type Rule struct {
 	// Pattern matches request IDs (glob, or "re:<regexp>"). Empty matches
 	// every message.
 	Pattern string `json:"pattern,omitempty"`
+
+	// CallPath, when non-empty, restricts the rule to messages whose
+	// execution index (the causal call path propagated in X-Gremlin-EI,
+	// canonical wire form) equals it exactly. Absent means match-all, so
+	// rule sets written before execution indexing existed parse, match,
+	// and marshal exactly as before. Only meaningful on LayerHTTP rules —
+	// the L4 relay decides per connection, before any request flows.
+	CallPath string `json:"callPath,omitempty"`
 
 	// Probability in (0,1] of applying the fault to a matching message.
 	// Zero is treated as 1.
@@ -250,6 +259,8 @@ var (
 	ErrBadSeverMode  = errors.New("rules: sever mode must be rst or fin")
 	ErrBadAfterBytes = errors.New("rules: abortAfterBytes must be non-negative")
 	ErrBadL4Abort    = errors.New("rules: l4 abort (connect-refuse) takes no errorCode")
+	ErrBadCallPath   = errors.New("rules: callPath must be a canonical execution index")
+	ErrL4CallPath    = errors.New("rules: l4 rules take no callPath (connections carry no execution index)")
 )
 
 // Validate checks the rule for structural problems. Agents reject invalid
@@ -292,6 +303,9 @@ func (r Rule) validateHTTP() error {
 	if r.RateBytesPerSec != 0 || r.AbortAfterBytes != 0 || r.SeverMode != "" {
 		return fmt.Errorf("%w: http rules take no l4 stream parameters (rule %s)", ErrLayerAction, r.ID)
 	}
+	if r.CallPath != "" && trace.CanonicalEI(r.CallPath) != r.CallPath {
+		return fmt.Errorf("%w: %q (rule %s)", ErrBadCallPath, r.CallPath, r.ID)
+	}
 	switch r.Action {
 	case ActionAbort:
 		if r.ErrorCode != AbortSeverConnection && (r.ErrorCode < 400 || r.ErrorCode > 599) {
@@ -317,6 +331,9 @@ func (r Rule) validateHTTP() error {
 // Delay keep their names but mean connect-refuse and connect-delay;
 // Modify has no meaning on an opaque byte stream.
 func (r Rule) validateL4() error {
+	if r.CallPath != "" {
+		return fmt.Errorf("%w (rule %s)", ErrL4CallPath, r.ID)
+	}
 	if r.AbortAfterBytes < 0 {
 		return fmt.Errorf("%w: %d (rule %s)", ErrBadAfterBytes, r.AbortAfterBytes, r.ID)
 	}

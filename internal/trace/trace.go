@@ -135,13 +135,15 @@ func SetSpan(r *http.Request, spanID, parentID string) {
 	}
 }
 
-// Propagate copies the flow identity — the request ID and the span headers
-// — from an inbound request to an outbound request, preserving both the
-// flat flow ID and the causal chain across a microservice hop. It returns
-// the propagated request ID ("" when the inbound request carried none).
+// Propagate copies the flow identity — the request ID, the span headers,
+// and the execution index — from an inbound request to an outbound
+// request, preserving both the flat flow ID and the causal chain across a
+// microservice hop. It returns the propagated request ID ("" when the
+// inbound request carried none).
 func Propagate(in *http.Request, out *http.Request) string {
 	id := FromRequest(in)
 	SetRequestID(out, id)
 	SetSpan(out, in.Header.Get(HeaderSpan), in.Header.Get(HeaderParentSpan))
+	SetEI(out, in.Header.Get(HeaderEI))
 	return id
 }

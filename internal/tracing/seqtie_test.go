@@ -1,0 +1,89 @@
+package tracing
+
+import (
+	"testing"
+	"time"
+
+	"gremlin/internal/eventlog"
+)
+
+// TestAssembleBreaksTimestampTiesBySeq feeds assembly two sibling hops
+// with identical millisecond timestamps in both presentation orders: the
+// resulting sibling order (and therefore any execution index derived
+// from the tree) must follow the store sequence number, not arrival
+// order.
+func TestAssembleBreaksTimestampTiesBySeq(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	root := eventlog.Record{Seq: 1, Timestamp: ts, RequestID: "test-1",
+		SpanID: "sp-root", Src: "user", Dst: "a", Kind: eventlog.KindRequest}
+	childX := eventlog.Record{Seq: 2, Timestamp: ts, RequestID: "test-1",
+		SpanID: "sp-x", ParentSpanID: "sp-root", Src: "a", Dst: "b", Kind: eventlog.KindRequest}
+	childY := eventlog.Record{Seq: 3, Timestamp: ts, RequestID: "test-1",
+		SpanID: "sp-y", ParentSpanID: "sp-root", Src: "a", Dst: "c", Kind: eventlog.KindRequest}
+
+	for _, recs := range [][]eventlog.Record{
+		{root, childX, childY},
+		{childY, childX, root}, // reversed arrival, e.g. a shard-merge race
+	} {
+		traces := Assemble(recs)
+		if len(traces) != 1 {
+			t.Fatalf("traces = %d, want 1", len(traces))
+		}
+		tr := traces[0]
+		if len(tr.Spans) != 3 || tr.Spans[0].ID != "sp-root" ||
+			tr.Spans[1].ID != "sp-x" || tr.Spans[2].ID != "sp-y" {
+			t.Fatalf("span order not seq-stable: %v", spanIDs(tr.Spans))
+		}
+		r := tr.Root()
+		if len(r.Children) != 2 || r.Children[0].ID != "sp-x" || r.Children[1].ID != "sp-y" {
+			t.Fatalf("child order not seq-stable: %v", spanIDs(r.Children))
+		}
+	}
+}
+
+// TestAssembleBreaksTraceTiesBySeq: two flows starting on the same
+// millisecond must order by their first record's seq.
+func TestAssembleBreaksTraceTiesBySeq(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r1 := eventlog.Record{Seq: 10, Timestamp: ts, RequestID: "test-1",
+		SpanID: "sp-1", Src: "user", Dst: "a", Kind: eventlog.KindRequest}
+	r2 := eventlog.Record{Seq: 20, Timestamp: ts, RequestID: "test-2",
+		SpanID: "sp-2", Src: "user", Dst: "a", Kind: eventlog.KindRequest}
+	for _, recs := range [][]eventlog.Record{{r1, r2}, {r2, r1}} {
+		traces := Assemble(recs)
+		if len(traces) != 2 || traces[0].RequestID != "test-1" || traces[1].RequestID != "test-2" {
+			ids := []string{}
+			for _, tr := range traces {
+				ids = append(ids, tr.RequestID)
+			}
+			t.Fatalf("trace order not seq-stable: %v", ids)
+		}
+	}
+}
+
+// TestSpanCarriesEI: the execution index on a request record surfaces on
+// its span, where the explore plane's point inventory reads it.
+func TestSpanCarriesEI(t *testing.T) {
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	recs := []eventlog.Record{
+		{Seq: 1, Timestamp: ts, RequestID: "test-1", SpanID: "sp-1",
+			EI: "a#0", Src: "user", Dst: "a", Kind: eventlog.KindRequest},
+		{Seq: 2, Timestamp: ts.Add(time.Millisecond), RequestID: "test-1", SpanID: "sp-1",
+			EI: "a#0", Src: "user", Dst: "a", Kind: eventlog.KindReply, Status: 200},
+	}
+	traces := Assemble(recs)
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("unexpected assembly: %+v", traces)
+	}
+	if s := traces[0].Spans[0]; s.EI != "a#0" || s.Seq != 1 {
+		t.Fatalf("span EI/Seq = %q/%d, want a#0/1", s.EI, s.Seq)
+	}
+}
+
+func spanIDs(ss []*Span) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.ID
+	}
+	return out
+}

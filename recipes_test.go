@@ -93,13 +93,14 @@ func TestExampleRecipesRoundTrip(t *testing.T) {
 			}
 
 			// The translated rules survive the agent wire format, and the
-			// wire form is byte-identical to what pre-L4 builds emitted: no
-			// layer (or other stream-only) keys appear for HTTP rules.
+			// wire form is byte-identical to what pre-L4/pre-explore builds
+			// emitted: no layer (or other stream-only) keys, and no
+			// callPath key, appear for plain edge-scoped rules.
 			wire, err := json.Marshal(ruleset)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, key := range []string{"layer", "rateBytesPerSec", "abortAfterBytes", "severMode"} {
+			for _, key := range []string{"layer", "rateBytesPerSec", "abortAfterBytes", "severMode", "callPath"} {
 				if strings.Contains(string(wire), `"`+key+`"`) {
 					t.Fatalf("HTTP ruleset wire form leaked %q: %s", key, wire)
 				}
@@ -140,5 +141,8 @@ func TestPreL4RuleWireCompat(t *testing.T) {
 	}
 	if strings.Contains(string(wire), "layer") {
 		t.Fatalf("marshaling a pre-L4 rule added a layer key: %s", wire)
+	}
+	if strings.Contains(string(wire), "callPath") {
+		t.Fatalf("marshaling a pre-explore rule added a callPath key: %s", wire)
 	}
 }
