@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke explore-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke explore-smoke telemetry-smoke check
 
 all: check
 
@@ -73,5 +73,14 @@ l4-smoke:
 # points. Self-verifying; exits non-zero on any missed claim.
 explore-smoke:
 	$(GO) run ./examples/explore
+
+# Telemetry-plane smoke: an out-of-band scraper over a live fleet, a
+# 150ms delay unit whose fault-window p99 must land strictly above
+# baseline with a finite recovery time, a scrape-only quiet period that
+# must add zero event-log records, journal round-trip into the
+# scorecard's Telemetry section, and a gremlin-top frame over the live
+# fleet. Self-verifying; exits non-zero on any missed claim.
+telemetry-smoke:
+	$(GO) run ./examples/telemetry
 
 check: build vet test race

@@ -36,6 +36,7 @@ import (
 	"gremlin/internal/observe"
 	"gremlin/internal/orchestrator"
 	"gremlin/internal/registry"
+	"gremlin/internal/telemetry"
 )
 
 func main() {
@@ -66,6 +67,12 @@ func run(args []string) error {
 		keepLogs     = fs.Bool("keep-logs", false, "leave each run's records in the store instead of reclaiming them")
 		lease        = fs.Duration("lease", 30*time.Second, "lease TTL for each run's staged faults (0 disables leasing): if the campaign dies, agents self-expire the rules after this long")
 		liveAsserts  = fs.String("live-asserts", "", "JSON file of online assertions (observe specs); a live violation aborts that run's load early")
+		telemetryOn  = fs.Bool("telemetry", false, "scrape fleet metrics and add fault-window differentials to the scorecard")
+		scrapeEvery  = fs.Duration("scrape-interval", time.Second, "metric scrape interval (with -telemetry)")
+		telListen    = fs.String("telemetry-listen", "", "serve live snapshots (JSON + SSE) on this address for gremlin-top (implies -telemetry)")
+		recoveryWait = fs.Duration("recovery-wait", 5*time.Second, "keep scraping this long after the last unit to measure recovery (with -telemetry)")
+		htmlPath     = fs.String("html", "", "write a static HTML telemetry report here (implies -telemetry)")
+		profileDir   = fs.String("profile-dir", "", "capture a CPU profile per run here, kept only for failed/error runs (<runID>.cpu.pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +151,53 @@ func run(args []string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	// Telemetry plane: out-of-band metric scraping plus fault-window
+	// bookkeeping. It reads agent /metrics endpoints only — it never
+	// touches the event log the assertions run on.
+	if *telListen != "" || *htmlPath != "" {
+		*telemetryOn = true
+	}
+	var (
+		recorder *telemetry.Recorder
+		scraper  *telemetry.Scraper
+		series   *telemetry.SeriesStore
+	)
+	if *telemetryOn {
+		targets, err := telemetry.FleetTargets(reg, *storeURL)
+		if err != nil {
+			return err
+		}
+		recorder = telemetry.NewRecorder()
+		series = telemetry.NewSeriesStore(0)
+		scraper = telemetry.NewScraper(series, targets, telemetry.ScrapeOptions{Interval: *scrapeEvery})
+		scrapeCtx, stopScraping := context.WithCancel(context.Background())
+		defer stopScraping()
+		go scraper.Run(scrapeCtx)
+		if *telListen != "" {
+			snap := func() telemetry.Snapshot {
+				return telemetry.BuildSnapshot(series, recorder, scraper, 5*time.Second, 30*time.Second)
+			}
+			tsrv, err := telemetry.NewServer(*telListen, snap, telemetry.ServerOptions{
+				Interval: *scrapeEvery,
+				Metrics:  scraper.WriteMetrics,
+			})
+			if err != nil {
+				return err
+			}
+			defer tsrv.Close()
+			fmt.Printf("telemetry: serving snapshots at %s (gremlin-top -attach %s)\n", tsrv.URL(), tsrv.URL())
+		}
+	}
+
+	var profObserver campaign.RunObserver
+	if *profileDir != "" {
+		p, err := newProfiler(*profileDir)
+		if err != nil {
+			return err
+		}
+		profObserver = p
+	}
+
 	opts := campaign.Options{
 		ID:          *id,
 		Parallelism: *parallelism,
@@ -172,6 +226,14 @@ func run(args []string) error {
 			fmt.Printf("  %-7s %-9s %s\n", e.Status, e.Kind, e.Unit)
 		},
 	}
+	var observers []campaign.RunObserver
+	if recorder != nil {
+		observers = append(observers, recorder)
+	}
+	if profObserver != nil {
+		observers = append(observers, profObserver)
+	}
+	opts.RunObserver = campaign.CombineObservers(observers...)
 	if !*keepLogs {
 		opts.Cleanup = func(pat string) {
 			if _, err := storeClient.ClearMatching(pat); err != nil {
@@ -214,6 +276,41 @@ func run(args []string) error {
 	sc, runErr := campaign.Run(ctx, runner, units, opts)
 	if runErr != nil && runErr != context.Canceled {
 		return runErr
+	}
+
+	if *telemetryOn && runErr == nil {
+		// Let the scraper observe the post-fault tail, then diff each
+		// window against its baseline.
+		if *recoveryWait > 0 {
+			fmt.Printf("telemetry: scraping %s more for recovery measurement\n", *recoveryWait)
+			time.Sleep(*recoveryWait)
+		}
+		measured := telemetry.NewDiffer(series, recorder.Windows(), telemetry.DiffOptions{}).DiffAll()
+		for _, ut := range measured {
+			ut := ut
+			entry := campaign.Entry{
+				Campaign: *id, Unit: ut.Unit, Status: campaign.StatusTelemetry, Telemetry: &ut,
+			}
+			if err := campaign.AppendEntry(*journalPath, entry); err != nil {
+				log.Printf("journal telemetry %s: %v", ut.Unit, err)
+			}
+		}
+		stats := scraper.Stats()
+		sc.Telemetry = &campaign.TelemetrySummary{
+			Targets:       len(stats.Targets),
+			Scrapes:       stats.Scrapes,
+			ScrapeErrors:  stats.Errors,
+			StaleTargets:  stats.StaleTargets,
+			Series:        series.SeriesCount(),
+			RingEvictions: series.Evictions(),
+			Units:         measured,
+		}
+		if *htmlPath != "" {
+			report := telemetry.HTMLReport("gremlin-campaign "+*id, series, recorder.Windows(), measured)
+			if err := os.WriteFile(*htmlPath, []byte(report), 0o644); err != nil {
+				return err
+			}
+		}
 	}
 
 	md := sc.Markdown()

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+
+	"gremlin/internal/campaign"
+	"gremlin/internal/rules"
+)
+
+// profiler is a campaign.RunObserver that captures a CPU profile of the
+// campaign process per run and keeps it only when the run fails (assertion
+// violation or operational error), named <dir>/<runID>.cpu.pprof — a
+// post-mortem of what the engine itself was doing while the unit went
+// wrong. The Go runtime allows one CPU profile at a time, so with
+// Parallelism > 1 overlapping runs are skipped rather than queued: the
+// profile must cover the run it is named after, not some later window.
+type profiler struct {
+	dir string
+
+	// profMu is held from StartCPUProfile to StopCPUProfile; TryLock in
+	// RunStarted is what skips overlapping runs.
+	profMu sync.Mutex
+
+	mu     sync.Mutex // guards active, f
+	active string
+	f      *os.File
+}
+
+func newProfiler(dir string) (*profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &profiler{dir: dir}, nil
+}
+
+func (p *profiler) RunStarted(u campaign.Unit, runID string, _ []rules.Rule) {
+	if !p.profMu.TryLock() {
+		return // another run's profile is in flight
+	}
+	path := filepath.Join(p.dir, runID+".cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		p.profMu.Unlock()
+		log.Printf("profile %s: %v", runID, err)
+		return
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		p.profMu.Unlock()
+		log.Printf("profile %s: %v", runID, err)
+		return
+	}
+	p.mu.Lock()
+	p.active, p.f = runID, f
+	p.mu.Unlock()
+}
+
+func (p *profiler) RunFinished(_ campaign.Unit, runID string, e campaign.Entry) {
+	p.mu.Lock()
+	if p.active != runID {
+		p.mu.Unlock()
+		return
+	}
+	f := p.f
+	p.active, p.f = "", nil
+	p.mu.Unlock()
+
+	pprof.StopCPUProfile()
+	path := f.Name()
+	if err := f.Close(); err != nil {
+		log.Printf("profile %s: %v", runID, err)
+	}
+	p.profMu.Unlock()
+	if e.Status != campaign.StatusFailed && e.Status != campaign.StatusError {
+		os.Remove(path) // healthy run: the profile is noise
+	}
+}

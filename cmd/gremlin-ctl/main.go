@@ -455,8 +455,9 @@ func statusCommand(args []string) error {
 			fmt.Printf("store %s: UNREACHABLE (%v)\n", *storeURL, err)
 			failed++
 		} else {
-			fmt.Printf("store %s: records=%d shards=%d %s\n",
-				*storeURL, info.Records, info.Shards, describeDurability(info))
+			fmt.Printf("store %s: records=%d shards=%d subscribers=%d subscriberDropped=%d %s\n",
+				*storeURL, info.Records, info.Shards,
+				info.Subscribers, info.SubscriberDropped, describeDurability(info))
 		}
 	}
 	for _, url := range urls {
@@ -470,8 +471,16 @@ func statusCommand(args []string) error {
 		if body.Leased {
 			lease = "leased"
 		}
-		fmt.Printf("%s: generation=%d rules=%d %s hash=%s\n",
-			url, body.Generation, len(body.Rules), lease, body.Hash)
+		// Drop counters ride along from /v1/info: truncated execution
+		// indexes and shed log records silently skew every downstream
+		// verdict, so status must show them.
+		drops := ""
+		if info, ierr := agentapi.New(url, nil).Info(ctx); ierr == nil {
+			drops = fmt.Sprintf(" eiTruncated=%d logDropped=%d",
+				info.Stats.EITruncated, info.Stats.LogDropped)
+		}
+		fmt.Printf("%s: generation=%d rules=%d %s hash=%s%s\n",
+			url, body.Generation, len(body.Rules), lease, body.Hash, drops)
 	}
 	if failed > 0 {
 		return fmt.Errorf("gremlin-ctl status: %d of %d agents unreachable", failed, len(urls))

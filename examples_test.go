@@ -23,6 +23,7 @@ var runnableExamples = []string{
 	"./examples/pubsub",
 	"./examples/shadow",
 	"./examples/storecrash",
+	"./examples/telemetry",
 	"./examples/tracing",
 	"./examples/watch",
 }

@@ -43,6 +43,7 @@ import (
 	"gremlin/internal/proxy"
 	"gremlin/internal/registry"
 	"gremlin/internal/rules"
+	"gremlin/internal/telemetry"
 )
 
 // DefaultPattern is the request-ID pattern recipes default to, confining
@@ -451,4 +452,60 @@ type (
 // retry, fallback and other paths that only execute under failure.
 func Explore(ctx context.Context, r *Runner, opts ExploreOptions) (*ExploreResult, error) {
 	return explore.Explore(ctx, r, opts)
+}
+
+// Telemetry types: the out-of-band metrics plane — scraping agent and
+// store expositions, correlating fault windows with campaign runs, and
+// computing baseline-vs-fault differentials (see internal/telemetry).
+type (
+	// TelemetryTarget is one scrape endpoint (an agent control plane or
+	// the store server's /metrics).
+	TelemetryTarget = telemetry.Target
+
+	// TelemetryScraper polls targets on an interval into a SeriesStore.
+	TelemetryScraper = telemetry.Scraper
+
+	// TelemetrySeriesStore is a fixed-retention in-memory ring of
+	// scraped samples with counter-reset-aware rate and quantile math.
+	TelemetrySeriesStore = telemetry.SeriesStore
+
+	// TelemetryRecorder observes campaign runs and records fault windows.
+	TelemetryRecorder = telemetry.Recorder
+
+	// TelemetryWindow is one fault's injection interval as observed from
+	// the campaign lifecycle.
+	TelemetryWindow = telemetry.Window
+
+	// TelemetryDiffer computes per-unit baseline-vs-fault differentials.
+	TelemetryDiffer = telemetry.Differ
+
+	// TelemetrySnapshot is one dashboard frame: per-service rates,
+	// error ratios and latency quantiles plus window and scraper state.
+	TelemetrySnapshot = telemetry.Snapshot
+
+	// CampaignRunObserver receives unit run start/finish callbacks;
+	// the telemetry Recorder implements it.
+	CampaignRunObserver = campaign.RunObserver
+
+	// UnitTelemetry is one unit's measured differential as journalled
+	// and folded into the scorecard's Telemetry section.
+	UnitTelemetry = campaign.UnitTelemetry
+)
+
+// FleetTargets derives scrape targets from a registry: every agent
+// control plane (replicas suffixed -N) plus the store server, if any.
+func FleetTargets(reg Registry, storeURL string) ([]TelemetryTarget, error) {
+	return telemetry.FleetTargets(reg, storeURL)
+}
+
+// NewTelemetryScraper builds a scraper over targets; Run it in a
+// goroutine or drive it manually with ScrapeOnce.
+func NewTelemetryScraper(store *TelemetrySeriesStore, targets []TelemetryTarget, opts telemetry.ScrapeOptions) *TelemetryScraper {
+	return telemetry.NewScraper(store, targets, opts)
+}
+
+// NewTelemetryDiffer builds a differ over a series store and the fault
+// windows a Recorder collected during a campaign.
+func NewTelemetryDiffer(store *TelemetrySeriesStore, windows []TelemetryWindow, opts telemetry.DiffOptions) *TelemetryDiffer {
+	return telemetry.NewDiffer(store, windows, opts)
 }

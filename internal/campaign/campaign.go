@@ -83,6 +83,12 @@ type Options struct {
 	// (progress reporting; called from worker goroutines).
 	OnEntry func(Entry)
 
+	// RunObserver, when set, watches each executed run's lifecycle —
+	// window open at rule installation, window close once the entry
+	// settles. The telemetry plane's Recorder hooks fault windows here;
+	// use CombineObservers to attach several.
+	RunObserver RunObserver
+
 	// LeaseTTL, when positive, leases each run's staged faults: the run
 	// registers its rules under its run ID with this TTL (renewed in the
 	// background for as long as the run lives), so a killed campaign
@@ -248,10 +254,25 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 	if o.DroppedCount != nil {
 		droppedBefore = o.DroppedCount()
 	}
+	// The observer's window opens when the translated rules are about to
+	// install and closes when the entry settles; runs that never reach
+	// installation (Build errors) open no window.
+	observing := false
+	finishRun := func(e Entry) {
+		if observing {
+			o.RunObserver.RunFinished(u, runID, e)
+		}
+	}
 	ropts := core.RunOptions{
-		AfterTranslate: func(rs []rules.Rule) { e.Edges = edgesOf(rs) },
-		Owner:          runID,
-		LeaseTTL:       o.LeaseTTL,
+		AfterTranslate: func(rs []rules.Rule) {
+			e.Edges = edgesOf(rs)
+			if o.RunObserver != nil {
+				observing = true
+				o.RunObserver.RunStarted(u, runID, rs)
+			}
+		},
+		Owner:    runID,
+		LeaseTTL: o.LeaseTTL,
 	}
 	if o.Load != nil {
 		ropts.Load = func() error {
@@ -317,6 +338,7 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 	}
 	if err != nil {
 		e.Status, e.Reason = StatusError, err.Error()
+		finishRun(e)
 		return e
 	}
 	e.Results = report.Results
@@ -326,6 +348,7 @@ func runUnit(ctx context.Context, runner *core.Runner, u Unit, idx int, o Option
 	} else {
 		e.Status = StatusFailed
 	}
+	finishRun(e)
 	return e
 }
 
@@ -359,6 +382,9 @@ func newSched(units []Unit, prior []Entry) *sched {
 		}
 		if e.Status == StatusError {
 			continue // re-run errored units
+		}
+		if e.Status == StatusTelemetry {
+			continue // annotation, not an outcome: never marks a unit done
 		}
 		done[e.Unit] = true
 		if e.Status == StatusSkipped {

@@ -14,11 +14,17 @@ import (
 )
 
 // Entry statuses. Error entries are re-run on resume; the others are not.
+// Telemetry entries are annotations, not outcomes: the telemetry plane
+// appends one per measured unit (via AppendEntry) after the campaign
+// settles, carrying the unit's fault-window differential. The scheduler
+// ignores them on resume and the scorecard folds them into its Telemetry
+// section without counting them as units.
 const (
-	StatusPassed  = "passed"
-	StatusFailed  = "failed"
-	StatusSkipped = "skipped"
-	StatusError   = "error"
+	StatusPassed    = "passed"
+	StatusFailed    = "failed"
+	StatusSkipped   = "skipped"
+	StatusError     = "error"
+	StatusTelemetry = "telemetry"
 )
 
 // Entry is one journal line: the outcome of scheduling one unit. The
@@ -55,6 +61,11 @@ type Entry struct {
 	// exploration restores revealed-but-unexercised points on resume even
 	// when the revealing unit itself is already settled and will not re-run.
 	Reveal *RevealedPoint `json:"reveal,omitempty"`
+
+	// Telemetry is the unit's fault-window differential, carried by
+	// StatusTelemetry annotation entries the telemetry plane appends
+	// after the campaign settles.
+	Telemetry *UnitTelemetry `json:"telemetry,omitempty"`
 
 	// Results are the run's assertion verdicts, in recipe order.
 	Results []checker.Result `json:"results,omitempty"`

@@ -101,6 +101,11 @@ type Scorecard struct {
 	// keeping their JSON scorecards unchanged.
 	Explore *ExploreCoverage `json:"explore,omitempty"`
 
+	// Telemetry carries scraper health and per-unit fault-window
+	// differentials when the campaign ran with the telemetry plane
+	// attached; nil otherwise, keeping plain scorecards unchanged.
+	Telemetry *TelemetrySummary `json:"telemetry,omitempty"`
+
 	// FailedUnits lists the units whose assertions failed, with the first
 	// failing check's detail.
 	FailedUnits []string `json:"failedUnits,omitempty"`
@@ -128,6 +133,17 @@ func BuildScorecard(campaignID string, g *graph.Graph, entries []Entry) *Scoreca
 	exercisedEIs := make(map[string]bool)
 	sawEIs := false
 	for _, e := range entries {
+		if e.Status == StatusTelemetry {
+			// Telemetry annotations are not units: fold the differential
+			// into the Telemetry section without touching the counters.
+			if e.Telemetry != nil {
+				if sc.Telemetry == nil {
+					sc.Telemetry = &TelemetrySummary{}
+				}
+				sc.Telemetry.Units = append(sc.Telemetry.Units, *e.Telemetry)
+			}
+			continue
+		}
 		sc.Units++
 		if len(e.EIs) > 0 {
 			sawEIs = true
@@ -276,7 +292,13 @@ func (s *Scorecard) Markdown() string {
 			fmt.Fprintf(&b, " %d rounds (%s).", x.Rounds, state)
 		}
 	}
-	b.WriteString("\n\n## Edges\n\n| edge | runs | passed | failed | verdict |\n|---|---:|---:|---:|---|\n")
+	if s.Telemetry != nil {
+		b.WriteString("\n")
+		s.Telemetry.markdown(&b)
+		b.WriteString("\n## Edges\n\n| edge | runs | passed | failed | verdict |\n|---|---:|---:|---:|---|\n")
+	} else {
+		b.WriteString("\n\n## Edges\n\n| edge | runs | passed | failed | verdict |\n|---|---:|---:|---:|---|\n")
+	}
 	for _, e := range s.Edges {
 		fmt.Fprintf(&b, "| %s → %s | %d | %d | %d | %s |\n", e.Src, e.Dst, e.Runs, e.Passed, e.Failed, e.Verdict)
 	}

@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"gremlin/internal/rules"
+)
+
+// RunObserver observes each executed run's lifecycle. The telemetry
+// plane's Recorder implements it to annotate scraped series with fault
+// windows: RunStarted fires after the unit's recipe translates, just
+// before its rules install (window open); RunFinished fires once the
+// unit's entry is complete — rules reverted, namespace cleaned — with the
+// settled entry (window close). Both are called from worker goroutines,
+// concurrently when Parallelism > 1.
+type RunObserver interface {
+	RunStarted(u Unit, runID string, ruleset []rules.Rule)
+	RunFinished(u Unit, runID string, e Entry)
+}
+
+// CombineObservers fans lifecycle callbacks out to several observers.
+// Nils are dropped; combining zero observers returns nil.
+func CombineObservers(obs ...RunObserver) RunObserver {
+	var live multiObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiObserver []RunObserver
+
+func (m multiObserver) RunStarted(u Unit, runID string, ruleset []rules.Rule) {
+	for _, o := range m {
+		o.RunStarted(u, runID, ruleset)
+	}
+}
+
+func (m multiObserver) RunFinished(u Unit, runID string, e Entry) {
+	for _, o := range m {
+		o.RunFinished(u, runID, e)
+	}
+}
+
+// UnitTelemetry is one unit's fault-window differential, computed by the
+// telemetry plane's Differ from scraped metrics: what the fleet's request
+// rate, error ratio, and latency quantiles looked like before the fault
+// versus during it, and how long the measured service took to return to
+// its baseline band after cleanup.
+type UnitTelemetry struct {
+	Unit    string `json:"unit"`
+	Service string `json:"service"`
+	Target  string `json:"target,omitempty"`
+
+	BaselineRate float64 `json:"baselineRate"`
+	FaultRate    float64 `json:"faultRate"`
+
+	BaselineErrorRatio float64 `json:"baselineErrorRatio"`
+	FaultErrorRatio    float64 `json:"faultErrorRatio"`
+
+	BaselineP50Millis float64 `json:"baselineP50Millis,omitempty"`
+	FaultP50Millis    float64 `json:"faultP50Millis,omitempty"`
+	BaselineP99Millis float64 `json:"baselineP99Millis,omitempty"`
+	FaultP99Millis    float64 `json:"faultP99Millis,omitempty"`
+
+	// DropsDelta is how many records the data plane (proxy log shipping
+	// plus store subscriber fan-out) dropped during the fault window,
+	// fleet-wide.
+	DropsDelta int64 `json:"dropsDelta,omitempty"`
+
+	// Recovered reports whether the measured service's latency returned
+	// within the tolerance band of baseline after cleanup;
+	// RecoveryMillis is how long that took, measured from window close
+	// to the first in-band scrape.
+	Recovered      bool  `json:"recovered,omitempty"`
+	RecoveryMillis int64 `json:"recoveryMillis,omitempty"`
+}
+
+// TelemetrySummary is the scorecard's Telemetry section: scraper health
+// plus the per-unit differentials.
+type TelemetrySummary struct {
+	Targets       int             `json:"targets,omitempty"`
+	Scrapes       int64           `json:"scrapes,omitempty"`
+	ScrapeErrors  int64           `json:"scrapeErrors,omitempty"`
+	StaleTargets  int             `json:"staleTargets,omitempty"`
+	Series        int             `json:"series,omitempty"`
+	RingEvictions int64           `json:"ringEvictions,omitempty"`
+	Units         []UnitTelemetry `json:"units,omitempty"`
+}
+
+// markdown renders the Telemetry section rows.
+func (ts *TelemetrySummary) markdown(b *strings.Builder) {
+	b.WriteString("\n## Telemetry\n\n")
+	fmt.Fprintf(b, "%d units measured; %d targets, %d scrapes (%d errors, %d stale), %d series retained",
+		len(ts.Units), ts.Targets, ts.Scrapes, ts.ScrapeErrors, ts.StaleTargets, ts.Series)
+	if ts.RingEvictions > 0 {
+		fmt.Fprintf(b, ", %d ring evictions", ts.RingEvictions)
+	}
+	b.WriteString(".\n")
+	if len(ts.Units) == 0 {
+		return
+	}
+	b.WriteString("\nValues are baseline → fault window.\n\n")
+	b.WriteString("| unit | service | rate (rps) | errors | p50 (ms) | p99 (ms) | drops | recovery |\n")
+	b.WriteString("|---|---|---|---|---|---|---:|---|\n")
+	for _, u := range ts.Units {
+		recovery := "—"
+		if u.Recovered {
+			recovery = fmt.Sprintf("%dms", u.RecoveryMillis)
+		} else if u.BaselineP99Millis > 0 && u.FaultP99Millis > 0 {
+			recovery = "not recovered"
+		}
+		fmt.Fprintf(b, "| %s | %s | %.1f → %.1f | %.1f%% → %.1f%% | %s → %s | %s → %s | %d | %s |\n",
+			u.Unit, u.Service,
+			u.BaselineRate, u.FaultRate,
+			100*u.BaselineErrorRatio, 100*u.FaultErrorRatio,
+			fmtMillis(u.BaselineP50Millis), fmtMillis(u.FaultP50Millis),
+			fmtMillis(u.BaselineP99Millis), fmtMillis(u.FaultP99Millis),
+			u.DropsDelta, recovery)
+	}
+}
+
+func fmtMillis(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	if v < 10 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}

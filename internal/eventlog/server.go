@@ -83,6 +83,13 @@ type StoreInfo struct {
 	Shards     int  `json:"shards"`
 	Persistent bool `json:"persistent"`
 
+	// Subscribers is how many live-stream subscriptions are open;
+	// SubscriberDropped counts records dropped on full subscriber
+	// buffers. Non-zero drops mean watchers (gremlin-watch, live
+	// assertions) saw partial streams — silent unless surfaced here.
+	Subscribers       int   `json:"subscribers"`
+	SubscriberDropped int64 `json:"subscriberDropped,omitempty"`
+
 	// Fsync is the WAL durability policy ("always", "interval", "never"),
 	// set only for persistent stores.
 	Fsync string `json:"fsync,omitempty"`
@@ -284,7 +291,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
 		return
 	}
-	info := StoreInfo{Records: s.store.Len(), Shards: s.store.NumShards()}
+	info := StoreInfo{
+		Records:           s.store.Len(),
+		Shards:            s.store.NumShards(),
+		Subscribers:       s.store.Subscribers(),
+		SubscriberDropped: s.store.SubscriberDropped(),
+	}
 	if d, ok := s.store.(durabilityReporter); ok {
 		policy, interval, dir := d.Durability()
 		if dir != "" {

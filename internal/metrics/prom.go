@@ -6,8 +6,9 @@
 //
 // The package also provides Histogram, a fixed-bucket cumulative histogram
 // whose Observe is a few atomic adds — cheap enough for the proxy data
-// path — and Lint, a minimal format checker used by tests to keep the
-// hand-rolled exposition parseable.
+// path — and ParseExposition, a strict parser for the same dialect our
+// writers emit. The telemetry plane scrapes with it; Lint wraps it as the
+// format checker tests use to keep the hand-rolled exposition parseable.
 package metrics
 
 import (
@@ -198,15 +199,34 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // Count reports the number of observed samples.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
-// Lint checks that text is well-formed Prometheus text exposition: every
-// non-comment line parses as `name[{labels}] value`, every sample is
-// preceded by a # TYPE for its family, histogram families carry an
-// le="+Inf" bucket, and no family is declared twice. It is a format
-// checker for tests, not a full parser.
-func Lint(r io.Reader) error {
+// Sample is one parsed exposition sample. Name keeps any histogram
+// suffix (_bucket, _sum, _count); the owning Family carries the base name.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its # TYPE / # HELP declaration and every
+// sample that belongs to it, in exposition order. A histogram family
+// collects its _bucket, _sum, and _count samples.
+type Family struct {
+	Name    string
+	Type    string // counter, gauge, histogram, summary, or untyped
+	Help    string
+	Samples []Sample
+}
+
+// ParseExposition parses Prometheus text exposition (version 0.0.4) into
+// metric families, in declaration order. It is strict where our own
+// writers are strict: every sample must follow a # TYPE for its family, no
+// family may be declared twice, and histogram families must carry an
+// le="+Inf" bucket — so it doubles as the format checker behind Lint.
+func ParseExposition(r io.Reader) ([]Family, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	typed := make(map[string]string)
+	byName := make(map[string]*Family)
+	var order []string
 	infSeen := make(map[string]bool)
 	lineNo := 0
 	for sc.Scan() {
@@ -218,50 +238,84 @@ func Lint(r io.Reader) error {
 		if strings.HasPrefix(line, "#") {
 			fields := strings.Fields(line)
 			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
-				return fmt.Errorf("metrics: line %d: malformed comment %q", lineNo, line)
+				return nil, fmt.Errorf("metrics: line %d: malformed comment %q", lineNo, line)
 			}
-			if fields[1] == "TYPE" {
-				name := fields[2]
-				if _, dup := typed[name]; dup {
-					return fmt.Errorf("metrics: line %d: family %s declared twice", lineNo, name)
+			name := fields[2]
+			if fields[1] == "HELP" {
+				f := byName[name]
+				if f == nil {
+					f = &Family{Name: name}
+					byName[name] = f
+					order = append(order, name)
 				}
-				if len(fields) != 4 {
-					return fmt.Errorf("metrics: line %d: malformed TYPE %q", lineNo, line)
+				if i := strings.Index(line, name); i >= 0 {
+					f.Help = strings.TrimSpace(line[i+len(name):])
 				}
-				typed[name] = fields[3]
+				continue
 			}
+			f := byName[name]
+			if f != nil && f.Type != "" {
+				return nil, fmt.Errorf("metrics: line %d: family %s declared twice", lineNo, name)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("metrics: line %d: malformed TYPE %q", lineNo, line)
+			}
+			if f == nil {
+				f = &Family{Name: name}
+				byName[name] = f
+				order = append(order, name)
+			}
+			f.Type = fields[3]
 			continue
 		}
 		name, labels, value, err := parseSample(line)
 		if err != nil {
-			return fmt.Errorf("metrics: line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
 		}
 		family := name
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if base, ok := strings.CutSuffix(name, suffix); ok && typed[base] == "histogram" {
-				family = base
+			if base, ok := strings.CutSuffix(name, suffix); ok {
+				if f := byName[base]; f != nil && f.Type == "histogram" {
+					family = base
+				}
 			}
 		}
-		typ, ok := typed[family]
-		if !ok {
-			return fmt.Errorf("metrics: line %d: sample %s has no TYPE declaration", lineNo, name)
+		f := byName[family]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("metrics: line %d: sample %s has no TYPE declaration", lineNo, name)
 		}
-		if typ == "histogram" && strings.HasSuffix(name, "_bucket") {
+		if f.Type == "histogram" && strings.HasSuffix(name, "_bucket") {
 			if le, ok := labels["le"]; ok && le == "+Inf" {
 				infSeen[family] = true
 			}
 		}
-		_ = value
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	for name, typ := range typed {
-		if typ == "histogram" && !infSeen[name] {
-			return fmt.Errorf("metrics: histogram %s lacks an le=\"+Inf\" bucket", name)
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		f := byName[name]
+		if f.Type == "" {
+			// HELP without TYPE: our writers never emit this, and a sample
+			// under it would already have errored above.
+			f.Type = "untyped"
 		}
+		if f.Type == "histogram" && !infSeen[name] {
+			return nil, fmt.Errorf("metrics: histogram %s lacks an le=\"+Inf\" bucket", name)
+		}
+		out = append(out, *f)
 	}
-	return nil
+	return out, nil
+}
+
+// Lint checks that text is well-formed Prometheus text exposition. It is
+// a thin wrapper over ParseExposition, kept for test call sites that only
+// care about validity.
+func Lint(r io.Reader) error {
+	_, err := ParseExposition(r)
+	return err
 }
 
 // parseSample parses `name[{labels}] value` into parts.

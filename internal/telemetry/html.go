@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+	"time"
+
+	"gremlin/internal/campaign"
+)
+
+// Sparkline geometry. One series per chart (p99 over time), so no legend
+// box is needed — the title names the series; fault windows are shaded
+// spans labeled in text, never by color alone.
+const (
+	sparkW    = 640
+	sparkH    = 96
+	sparkPadX = 8
+	sparkPadY = 14
+)
+
+// HTMLReport renders a self-contained static report: per-unit
+// differential rows plus an inline SVG p99 sparkline per measured
+// service, with each unit's fault window shaded on it. No external
+// assets; colors are CSS custom properties with light and dark scopes.
+func HTMLReport(title string, store *SeriesStore, windows []Window, units []campaign.UnitTelemetry) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(reportCSS)
+	b.WriteString("</head>\n<body>\n<div class=\"viz-root\">\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	if len(units) > 0 {
+		b.WriteString("<h2>Fault-window differentials</h2>\n")
+		b.WriteString("<p class=\"sub\">Values are baseline → fault window.</p>\n")
+		b.WriteString("<table>\n<thead><tr><th>unit</th><th>service</th><th>rate (rps)</th><th>errors</th><th>p50 (ms)</th><th>p99 (ms)</th><th>drops</th><th>recovery</th></tr></thead>\n<tbody>\n")
+		for _, u := range units {
+			recovery := "—"
+			if u.Recovered {
+				recovery = fmt.Sprintf("%dms", u.RecoveryMillis)
+			} else if u.BaselineP99Millis > 0 && u.FaultP99Millis > 0 {
+				recovery = "not recovered"
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td class=\"num\">%.1f → %.1f</td><td class=\"num\">%.1f%% → %.1f%%</td><td class=\"num\">%s → %s</td><td class=\"num\">%s → %s</td><td class=\"num\">%d</td><td>%s</td></tr>\n",
+				html.EscapeString(u.Unit), html.EscapeString(u.Service),
+				u.BaselineRate, u.FaultRate,
+				100*u.BaselineErrorRatio, 100*u.FaultErrorRatio,
+				htmlMillis(u.BaselineP50Millis), htmlMillis(u.FaultP50Millis),
+				htmlMillis(u.BaselineP99Millis), htmlMillis(u.FaultP99Millis),
+				u.DropsDelta, recovery)
+		}
+		b.WriteString("</tbody>\n</table>\n")
+	}
+
+	for _, svc := range sparklineServices(store, units) {
+		pts := p99Series(store, svc)
+		if len(pts) < 2 {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>%s — p99 latency</h2>\n", html.EscapeString(svc))
+		writeSparkline(&b, pts, serviceWindows(windows, svc))
+	}
+
+	b.WriteString("</div>\n</body>\n</html>\n")
+	return b.String()
+}
+
+// sparklineServices is every service with latency series, measured units
+// first.
+func sparklineServices(store *SeriesStore, units []campaign.UnitTelemetry) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, u := range units {
+		if u.Service != "" && !seen[u.Service] {
+			seen[u.Service] = true
+			out = append(out, u.Service)
+		}
+	}
+	rest := store.LabelValues(familyDuration+"_count", "service")
+	sort.Strings(rest)
+	for _, svc := range rest {
+		if !seen[svc] {
+			seen[svc] = true
+			out = append(out, svc)
+		}
+	}
+	return out
+}
+
+// p99Series computes the instantaneous p99 at each scrape instant: the
+// quantile of the observations that landed between consecutive scrapes.
+// Instants with no new observations are skipped, breaking the line.
+func p99Series(store *SeriesStore, svc string) []Point {
+	match := map[string]string{"service": svc}
+	first, last, ok := store.Bounds()
+	if !ok {
+		return nil
+	}
+	stamps := store.Timestamps(familyDuration+"_count", match, first.Add(-time.Millisecond), last)
+	var out []Point
+	for i := 1; i < len(stamps); i++ {
+		if p, ok := store.Quantile(familyDuration, match, 0.99, stamps[i-1], stamps[i]); ok {
+			out = append(out, Point{T: stamps[i], V: 1000 * p})
+		}
+	}
+	return out
+}
+
+// serviceWindows picks the fault windows whose faulted edges observe at
+// svc (the edge Src, where the latency signal appears).
+func serviceWindows(windows []Window, svc string) []Window {
+	var out []Window
+	for _, w := range windows {
+		if w.Active() {
+			continue
+		}
+		for _, e := range w.Edges {
+			if e.Src == svc {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func writeSparkline(b *strings.Builder, pts []Point, windows []Window) {
+	t0, t1 := pts[0].T, pts[len(pts)-1].T
+	span := t1.Sub(t0).Seconds()
+	if span <= 0 {
+		span = 1
+	}
+	var vmax float64
+	for _, p := range pts {
+		if p.V > vmax {
+			vmax = p.V
+		}
+	}
+	if vmax <= 0 {
+		vmax = 1
+	}
+	x := func(t time.Time) float64 {
+		return sparkPadX + (float64(sparkW-2*sparkPadX) * t.Sub(t0).Seconds() / span)
+	}
+	y := func(v float64) float64 {
+		return float64(sparkH-sparkPadY) - float64(sparkH-2*sparkPadY)*v/vmax
+	}
+
+	fmt.Fprintf(b, "<svg class=\"spark\" viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" role=\"img\">\n",
+		sparkW, sparkH, sparkW, sparkH)
+	// Shaded fault-window spans sit under the line; the label carries
+	// identity (and failure state) in text, never color alone.
+	for _, w := range windows {
+		x0, x1 := x(w.Start), x(w.End)
+		if x1 < x0+2 {
+			x1 = x0 + 2
+		}
+		fmt.Fprintf(b, "  <rect class=\"window\" x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\"><title>%s</title></rect>\n",
+			x0, sparkPadY, x1-x0, sparkH-2*sparkPadY, html.EscapeString(w.Unit))
+		label := w.Unit
+		class := "winlabel"
+		if w.Status == campaign.StatusFailed {
+			label = "✕ " + label
+			class = "winlabel failed"
+		}
+		fmt.Fprintf(b, "  <text class=\"%s\" x=\"%.1f\" y=\"%d\">%s</text>\n",
+			class, x0, sparkPadY-4, html.EscapeString(label))
+	}
+	// Baseline axis.
+	fmt.Fprintf(b, "  <line class=\"axis\" x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\"/>\n",
+		sparkPadX, sparkH-sparkPadY, sparkW-sparkPadX, sparkH-sparkPadY)
+	// The series itself: one thin line.
+	var poly strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			poly.WriteByte(' ')
+		}
+		fmt.Fprintf(&poly, "%.1f,%.1f", x(p.T), y(p.V))
+	}
+	fmt.Fprintf(b, "  <polyline class=\"series\" points=\"%s\"><title>p99 (ms)</title></polyline>\n", poly.String())
+	// Max tick in muted ink — the single value label the scale needs.
+	fmt.Fprintf(b, "  <text class=\"tick\" x=\"%d\" y=\"%d\">%.0fms</text>\n",
+		sparkW-sparkPadX, sparkPadY+8, vmax)
+	b.WriteString("</svg>\n")
+}
+
+func htmlMillis(v float64) string {
+	if v <= 0 {
+		return "—"
+	}
+	if v < 10 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// reportCSS holds the palette as CSS custom properties: light values on
+// the root scope, dark values under both the OS media query and an
+// explicit data-theme toggle, so the dark steps are selected, not an
+// automatic flip.
+const reportCSS = `<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --series-1: #2a78d6;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --window-fill: #f0efec;
+  --status-critical: #d03b3b;
+  --border: rgba(11,11,11,0.10);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  color: var(--text-primary);
+  background: var(--surface-1);
+  max-width: 720px;
+  margin: 0 auto;
+  padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --series-1: #3987e5;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --window-fill: #383835;
+    --status-critical: #e66767;
+    --border: rgba(255,255,255,0.10);
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --series-1: #3987e5;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --window-fill: #383835;
+  --status-critical: #e66767;
+  --border: rgba(255,255,255,0.10);
+}
+body { margin: 0; background: var(--surface-1); }
+h1 { font-size: 20px; }
+h2 { font-size: 15px; margin-top: 28px; }
+.sub { color: var(--text-secondary); font-size: 13px; }
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th { text-align: left; color: var(--text-secondary); font-weight: 600; border-bottom: 1px solid var(--axis); padding: 4px 8px; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 8px; }
+td.num { font-variant-numeric: tabular-nums; }
+.spark { display: block; }
+.spark .series { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+.spark .axis { stroke: var(--axis); stroke-width: 1; }
+.spark .window { fill: var(--window-fill); }
+.spark .winlabel { fill: var(--text-secondary); font-size: 10px; }
+.spark .winlabel.failed { fill: var(--status-critical); }
+.spark .tick { fill: var(--text-muted); font-size: 10px; text-anchor: end; font-variant-numeric: tabular-nums; }
+</style>
+`

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gremlin/internal/metrics"
+)
+
+// Target is one /metrics endpoint the Scraper polls. Name becomes the
+// sample's instance label, so replicas of one service stay distinct
+// series.
+type Target struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ScrapeOptions configures a Scraper.
+type ScrapeOptions struct {
+	// Interval is the poll period (default 1s).
+	Interval time.Duration
+
+	// Concurrency bounds how many targets are scraped at once
+	// (default 8).
+	Concurrency int
+
+	// Timeout bounds each target fetch (default Interval, so one slow
+	// target can never skid the sweep into the next tick).
+	Timeout time.Duration
+
+	// Client issues the fetches; nil uses http.DefaultClient.
+	Client *http.Client
+
+	// StaleAfter is how long after the last successful scrape a target
+	// is reported stale (default 3×Interval).
+	StaleAfter time.Duration
+}
+
+// TargetStats is one target's scrape health.
+type TargetStats struct {
+	Name        string    `json:"name"`
+	URL         string    `json:"url"`
+	Scrapes     int64     `json:"scrapes"`
+	Errors      int64     `json:"errors"`
+	LastSuccess time.Time `json:"lastSuccess,omitempty"`
+	LastError   string    `json:"lastError,omitempty"`
+	Stale       bool      `json:"stale"`
+}
+
+// ScraperStats is one snapshot of the whole scraper's health.
+type ScraperStats struct {
+	Targets      []TargetStats `json:"targets"`
+	Scrapes      int64         `json:"scrapes"`
+	Errors       int64         `json:"errors"`
+	StaleTargets int           `json:"staleTargets"`
+}
+
+type target struct {
+	Target
+	mu          sync.Mutex
+	scrapes     int64
+	errors      int64
+	lastSuccess time.Time
+	lastErr     string
+}
+
+// Scraper polls every target's /metrics endpoint on an interval with
+// bounded concurrency and appends the parsed samples into a SeriesStore.
+// The scrape path is fully out-of-band: it issues plain GETs against
+// control endpoints and never writes event-log records.
+type Scraper struct {
+	store   *SeriesStore
+	targets []*target
+	opts    ScrapeOptions
+}
+
+// NewScraper creates a scraper over store. Targets with empty URLs are
+// dropped.
+func NewScraper(store *SeriesStore, targets []Target, opts ScrapeOptions) *Scraper {
+	if opts.Interval <= 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = opts.Interval
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.StaleAfter <= 0 {
+		opts.StaleAfter = 3 * opts.Interval
+	}
+	s := &Scraper{store: store, opts: opts}
+	for _, t := range targets {
+		if t.URL == "" {
+			continue
+		}
+		s.targets = append(s.targets, &target{Target: t})
+	}
+	sort.Slice(s.targets, func(i, j int) bool { return s.targets[i].Name < s.targets[j].Name })
+	return s
+}
+
+// Store returns the SeriesStore samples land in.
+func (s *Scraper) Store() *SeriesStore { return s.store }
+
+// Run polls every target each interval until ctx is done. The first
+// sweep runs immediately.
+func (s *Scraper) Run(ctx context.Context) {
+	tick := time.NewTicker(s.opts.Interval)
+	defer tick.Stop()
+	for {
+		s.ScrapeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// ScrapeOnce sweeps every target once with bounded concurrency and
+// returns when the sweep completes — the deterministic entry point tests
+// and the Differ's final flush use.
+func (s *Scraper) ScrapeOnce(ctx context.Context) {
+	sem := make(chan struct{}, s.opts.Concurrency)
+	var wg sync.WaitGroup
+	for _, t := range s.targets {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(t *target) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.scrapeTarget(ctx, t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+func (s *Scraper) scrapeTarget(ctx context.Context, t *target) {
+	fctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
+	defer cancel()
+	fams, err := s.fetch(fctx, t.URL)
+	now := time.Now()
+	t.mu.Lock()
+	t.scrapes++
+	if err != nil {
+		t.errors++
+		t.lastErr = err.Error()
+		t.mu.Unlock()
+		return
+	}
+	t.lastSuccess = now
+	t.lastErr = ""
+	t.mu.Unlock()
+	for _, f := range fams {
+		for _, sm := range f.Samples {
+			labels := sm.Labels
+			if _, ok := labels["instance"]; !ok {
+				labels = make(map[string]string, len(sm.Labels)+1)
+				for k, v := range sm.Labels {
+					labels[k] = v
+				}
+				labels["instance"] = t.Name
+			}
+			s.store.Append(now, sm.Name, labels, sm.Value)
+		}
+	}
+}
+
+func (s *Scraper) fetch(ctx context.Context, url string) ([]metrics.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return metrics.ParseExposition(resp.Body)
+}
+
+// Stats snapshots per-target and aggregate scrape health.
+func (s *Scraper) Stats() ScraperStats {
+	now := time.Now()
+	var st ScraperStats
+	for _, t := range s.targets {
+		t.mu.Lock()
+		ts := TargetStats{
+			Name:        t.Name,
+			URL:         t.URL,
+			Scrapes:     t.scrapes,
+			Errors:      t.errors,
+			LastSuccess: t.lastSuccess,
+			LastError:   t.lastErr,
+		}
+		t.mu.Unlock()
+		ts.Stale = ts.LastSuccess.IsZero() || now.Sub(ts.LastSuccess) > s.opts.StaleAfter
+		if ts.Scrapes == 0 {
+			// Never swept yet: not stale, just not started.
+			ts.Stale = false
+		}
+		st.Targets = append(st.Targets, ts)
+		st.Scrapes += ts.Scrapes
+		st.Errors += ts.Errors
+		if ts.Stale {
+			st.StaleTargets++
+		}
+	}
+	return st
+}
+
+// WriteMetrics emits the scraper's own health as gremlin_telemetry_*
+// families — the plane measures itself with the same format it scrapes.
+func (s *Scraper) WriteMetrics(mw *metrics.Writer) {
+	st := s.Stats()
+	mw.Gauge("gremlin_telemetry_targets", "Scrape targets configured.", float64(len(st.Targets)))
+	for _, t := range st.Targets {
+		mw.Counter("gremlin_telemetry_scrapes_total", "Scrape attempts per target.", float64(t.Scrapes), "target", t.Name)
+	}
+	for _, t := range st.Targets {
+		mw.Counter("gremlin_telemetry_scrape_errors_total", "Failed scrapes per target.", float64(t.Errors), "target", t.Name)
+	}
+	mw.Gauge("gremlin_telemetry_stale_targets", "Targets with no successful scrape within the staleness horizon.", float64(st.StaleTargets))
+	mw.Gauge("gremlin_telemetry_series", "Distinct series retained in the ring store.", float64(s.store.SeriesCount()))
+	mw.Counter("gremlin_telemetry_ring_evictions_total", "Points overwritten by series-ring wraparound.", float64(s.store.Evictions()))
+}

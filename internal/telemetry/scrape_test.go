@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gremlin/internal/metrics"
+)
+
+func metricsHandler(counter *atomic.Int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		mw := metrics.NewWriter()
+		mw.Counter("gremlin_agent_proxied_total", "Proxied.", float64(counter.Load()), "service", "web")
+		mw.Gauge("gremlin_agent_rules", "Rules.", 2)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		mw.WriteTo(w)
+	}
+}
+
+func TestScraperAppendsSamplesWithInstanceLabel(t *testing.T) {
+	var c atomic.Int64
+	c.Store(5)
+	srv := httptest.NewServer(metricsHandler(&c))
+	defer srv.Close()
+
+	st := NewSeriesStore(0)
+	sc := NewScraper(st, []Target{
+		{Name: "web", URL: srv.URL},
+		{Name: "", URL: ""}, // dropped
+	}, ScrapeOptions{Interval: 10 * time.Millisecond})
+
+	sc.ScrapeOnce(context.Background())
+	c.Store(9)
+	sc.ScrapeOnce(context.Background())
+
+	sd := st.Match("gremlin_agent_proxied_total", map[string]string{"service": "web"})
+	if len(sd) != 1 {
+		t.Fatalf("series = %+v", sd)
+	}
+	if sd[0].Labels["instance"] != "web" {
+		t.Fatalf("instance label = %q", sd[0].Labels["instance"])
+	}
+	if n := len(sd[0].Points); n != 2 {
+		t.Fatalf("points = %d, want 2", n)
+	}
+	if sd[0].Points[1].V != 9 {
+		t.Fatalf("latest value = %v", sd[0].Points[1].V)
+	}
+
+	stats := sc.Stats()
+	if stats.Scrapes != 2 || stats.Errors != 0 || stats.StaleTargets != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestScraperCountsErrorsAndStaleness(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	st := NewSeriesStore(0)
+	sc := NewScraper(st, []Target{{Name: "bad", URL: srv.URL}},
+		ScrapeOptions{Interval: 5 * time.Millisecond, StaleAfter: time.Nanosecond})
+	sc.ScrapeOnce(context.Background())
+
+	stats := sc.Stats()
+	if stats.Errors != 1 {
+		t.Fatalf("errors = %d", stats.Errors)
+	}
+	if stats.StaleTargets != 1 {
+		t.Fatalf("stale = %d (no success ever, horizon passed)", stats.StaleTargets)
+	}
+	if stats.Targets[0].LastError == "" {
+		t.Fatal("last error not recorded")
+	}
+	if st.SeriesCount() != 0 {
+		t.Fatal("failed scrape must not append samples")
+	}
+
+	// The scraper's own exposition stays lintable and carries every
+	// documented family.
+	mw := metrics.NewWriter()
+	sc.WriteMetrics(mw)
+	text := mw.String()
+	if err := metrics.Lint(strings.NewReader(text)); err != nil {
+		t.Fatalf("self metrics lint: %v", err)
+	}
+	for _, fam := range []string{
+		"gremlin_telemetry_targets",
+		"gremlin_telemetry_scrapes_total",
+		"gremlin_telemetry_scrape_errors_total",
+		"gremlin_telemetry_stale_targets",
+		"gremlin_telemetry_series",
+		"gremlin_telemetry_ring_evictions_total",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Errorf("self metrics missing %s", fam)
+		}
+	}
+}
+
+func TestTelemetryServerSnapshotAndStream(t *testing.T) {
+	st := NewSeriesStore(0)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		ts := now.Add(time.Duration(i-3) * time.Second)
+		m := map[string]string{"service": "web", "instance": "web"}
+		st.Append(ts, familyDuration+"_count", m, float64(10*i))
+		st.Append(ts, familyProxied, m, float64(10*i))
+		lm := map[string]string{"service": "web", "instance": "web", "le": "+Inf"}
+		st.Append(ts, familyDuration+"_bucket", lm, float64(10*i))
+		fm := map[string]string{"service": "web", "instance": "web", "le": "0.01"}
+		st.Append(ts, familyDuration+"_bucket", fm, float64(10*i))
+	}
+	rec := NewRecorder()
+	snapFn := func() Snapshot { return BuildSnapshot(st, rec, nil, 10*time.Second, time.Minute) }
+
+	srv, err := NewServer("127.0.0.1:0", snapFn, ServerOptions{Interval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/v1/snapshot")
+	if err != nil {
+		t.Fatalf("GET snapshot: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := jsonDecode(resp, &snap); err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if len(snap.Services) != 1 || snap.Services[0].Service != "web" {
+		t.Fatalf("snapshot services = %+v", snap.Services)
+	}
+	if snap.Services[0].Rate <= 0 {
+		t.Fatalf("rate = %v, want positive", snap.Services[0].Rate)
+	}
+
+	// The SSE stream leads with one data frame immediately.
+	sresp, err := http.Get(srv.URL() + "/v1/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	line, err := bufio.NewReader(sresp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	if !strings.HasPrefix(line, "data: ") || !strings.Contains(line, `"web"`) {
+		t.Fatalf("stream line = %q", line)
+	}
+}
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,419 @@
+// Package telemetry is Gremlin's scrape-and-analyze plane. A Scraper
+// polls agent and store /metrics endpoints, parses their expositions with
+// metrics.ParseExposition, and appends every sample into an in-memory ring
+// SeriesStore. Campaigns annotate the store with fault windows (Recorder,
+// a campaign.RunObserver), and a Differ turns the two into per-unit
+// differentials — baseline-vs-fault request rate, error ratio, latency
+// quantiles, drop counters, and recovery time — that land in the campaign
+// journal and scorecard. The plane is fully out-of-band: it reads HTTP
+// /metrics endpoints and writes nothing to the event-log path.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultRetention is how many points each series ring keeps. At a one-
+// second scrape interval that is over eight minutes of history per series
+// — enough for any campaign window plus recovery measurement.
+const DefaultRetention = 512
+
+// Point is one scraped sample of one series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// SeriesData is a snapshot of one series: its identity and points in
+// time order.
+type SeriesData struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Points []Point           `json:"points"`
+}
+
+// series is one ring of points. When full, appends overwrite the oldest
+// point; start marks the ring's logical head.
+type series struct {
+	name   string
+	labels map[string]string
+	points []Point
+	start  int
+	full   bool
+}
+
+func (s *series) append(p Point, cap int) (evicted bool) {
+	if !s.full && len(s.points) < cap {
+		s.points = append(s.points, p)
+		if len(s.points) == cap {
+			s.full = true
+		}
+		return false
+	}
+	s.points[s.start] = p
+	s.start = (s.start + 1) % len(s.points)
+	return true
+}
+
+// snapshot returns the ring's points oldest-first.
+func (s *series) snapshot() []Point {
+	if !s.full {
+		out := make([]Point, len(s.points))
+		copy(out, s.points)
+		return out
+	}
+	out := make([]Point, 0, len(s.points))
+	out = append(out, s.points[s.start:]...)
+	out = append(out, s.points[:s.start]...)
+	return out
+}
+
+// SeriesStore retains scraped samples in fixed-size rings, one per
+// distinct (name, labels) series, and evaluates counter-reset-aware
+// increases and histogram quantiles over time windows. Safe for
+// concurrent use.
+type SeriesStore struct {
+	mu        sync.RWMutex
+	retention int
+	series    map[string]*series
+	evictions int64
+}
+
+// NewSeriesStore creates a store keeping up to retention points per
+// series; retention <= 0 selects DefaultRetention.
+func NewSeriesStore(retention int) *SeriesStore {
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &SeriesStore{retention: retention, series: make(map[string]*series)}
+}
+
+// seriesKey is name plus sorted label pairs — one ring per distinct
+// labeled series.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte(0xff)
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Append records one sample. NaN values are dropped.
+func (st *SeriesStore) Append(t time.Time, name string, labels map[string]string, v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	key := seriesKey(name, labels)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.series[key]
+	if s == nil {
+		lcopy := make(map[string]string, len(labels))
+		for k, val := range labels {
+			lcopy[k] = val
+		}
+		s = &series{name: name, labels: lcopy}
+		st.series[key] = s
+	}
+	if s.append(Point{T: t, V: v}, st.retention) {
+		st.evictions++
+	}
+}
+
+// SeriesCount reports how many distinct series the store holds.
+func (st *SeriesStore) SeriesCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.series)
+}
+
+// Evictions reports how many points rings have overwritten.
+func (st *SeriesStore) Evictions() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.evictions
+}
+
+// matches reports whether have carries every pair in want.
+func matches(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Match returns snapshots of every series named name whose labels are a
+// superset of match, sorted by label key for determinism.
+func (st *SeriesStore) Match(name string, match map[string]string) []SeriesData {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	type keyed struct {
+		key string
+		s   *series
+	}
+	var hits []keyed
+	for key, s := range st.series {
+		if s.name == name && matches(s.labels, match) {
+			hits = append(hits, keyed{key, s})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].key < hits[j].key })
+	out := make([]SeriesData, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, SeriesData{Name: h.s.name, Labels: h.s.labels, Points: h.s.snapshot()})
+	}
+	return out
+}
+
+// LabelValues returns the distinct values of label across series named
+// name, sorted.
+func (st *SeriesStore) LabelValues(name, label string) []string {
+	st.mu.RLock()
+	vals := make(map[string]bool)
+	for _, s := range st.series {
+		if s.name != name {
+			continue
+		}
+		if v, ok := s.labels[label]; ok {
+			vals[v] = true
+		}
+	}
+	st.mu.RUnlock()
+	out := make([]string, 0, len(vals))
+	for v := range vals {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Interval is one time window; used by the Differ to carve baselines
+// around other units' fault windows.
+type Interval struct {
+	From, To time.Time
+}
+
+func (iv Interval) seconds() float64 { return iv.To.Sub(iv.From).Seconds() }
+
+// increaseIn computes the counter-reset-aware increase of one series over
+// (from, to]: the sum of positive deltas, with a reset (value dropping)
+// counted as the post-reset value. The anchor is the last point at or
+// before from; a series first seen inside the window anchors at its first
+// in-window point, which therefore contributes nothing (its prior value
+// is unknown).
+func increaseIn(pts []Point, from, to time.Time) float64 {
+	var (
+		inc      float64
+		prev     float64
+		anchored bool
+	)
+	for _, p := range pts {
+		if p.T.After(to) {
+			break
+		}
+		if !p.T.After(from) {
+			prev, anchored = p.V, true
+			continue
+		}
+		if !anchored {
+			prev, anchored = p.V, true
+			continue
+		}
+		if p.V >= prev {
+			inc += p.V - prev
+		} else {
+			// Counter reset: the new value is the increase since.
+			inc += p.V
+		}
+		prev = p.V
+	}
+	return inc
+}
+
+// Increase sums the counter-reset-aware increase of every matching
+// series over (from, to].
+func (st *SeriesStore) Increase(name string, match map[string]string, from, to time.Time) float64 {
+	var total float64
+	for _, sd := range st.Match(name, match) {
+		total += increaseIn(sd.Points, from, to)
+	}
+	return total
+}
+
+// IncreaseOver sums Increase over a set of disjoint intervals — the
+// Differ's baseline windows, which exclude other units' fault windows.
+func (st *SeriesStore) IncreaseOver(name string, match map[string]string, ivs []Interval) float64 {
+	var total float64
+	for _, iv := range ivs {
+		total += st.Increase(name, match, iv.From, iv.To)
+	}
+	return total
+}
+
+// Rate is Increase divided by the window length in seconds.
+func (st *SeriesStore) Rate(name string, match map[string]string, from, to time.Time) float64 {
+	secs := to.Sub(from).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return st.Increase(name, match, from, to) / secs
+}
+
+// RateOver is IncreaseOver divided by the summed interval length.
+func (st *SeriesStore) RateOver(name string, match map[string]string, ivs []Interval) float64 {
+	var secs float64
+	for _, iv := range ivs {
+		secs += iv.seconds()
+	}
+	if secs <= 0 {
+		return 0
+	}
+	return st.IncreaseOver(name, match, ivs) / secs
+}
+
+// Quantile computes histogram_quantile(q) for the histogram family base
+// over the window: per-le bucket increases are summed across matching
+// series (all instances), then the quantile is read off the cumulative
+// distribution with linear interpolation inside the bucket. The second
+// return is false when the window holds no observations. Values beyond
+// the last finite bound clamp to it, as Prometheus does.
+func (st *SeriesStore) Quantile(base string, match map[string]string, q float64, from, to time.Time) (float64, bool) {
+	return st.QuantileOver(base, match, q, []Interval{{From: from, To: to}})
+}
+
+// QuantileOver is Quantile over a set of disjoint intervals.
+func (st *SeriesStore) QuantileOver(base string, match map[string]string, q float64, ivs []Interval) (float64, bool) {
+	type bucket struct {
+		le  float64
+		inc float64
+	}
+	byLE := make(map[float64]*bucket)
+	for _, sd := range st.Match(base+"_bucket", match) {
+		leStr, ok := sd.Labels["le"]
+		if !ok {
+			continue
+		}
+		le, err := parseLE(leStr)
+		if err != nil {
+			continue
+		}
+		b := byLE[le]
+		if b == nil {
+			b = &bucket{le: le}
+			byLE[le] = b
+		}
+		for _, iv := range ivs {
+			b.inc += increaseIn(sd.Points, iv.From, iv.To)
+		}
+	}
+	if len(byLE) == 0 {
+		return 0, false
+	}
+	buckets := make([]bucket, 0, len(byLE))
+	for _, b := range byLE {
+		// Clamp torn negatives (buckets are cumulative counters; a torn
+		// scrape can briefly read one behind its neighbor).
+		if b.inc < 0 {
+			b.inc = 0
+		}
+		buckets = append(buckets, *b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].inc
+	if total <= 0 {
+		return 0, false
+	}
+	rank := q * total
+	var (
+		lower   float64
+		prevCum float64
+	)
+	for _, b := range buckets {
+		if math.IsInf(b.le, 1) {
+			// Beyond the last finite bound: clamp to it.
+			return lower, true
+		}
+		if b.inc >= rank {
+			in := b.inc - prevCum
+			if in <= 0 {
+				return b.le, true
+			}
+			pos := (rank - prevCum) / in
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > 1 {
+				pos = 1
+			}
+			return lower + (b.le-lower)*pos, true
+		}
+		lower = b.le
+		prevCum = b.inc
+	}
+	return lower, true
+}
+
+// Timestamps returns the sorted distinct point timestamps of matching
+// series within (from, to] — the scrape instants recovery measurement
+// steps through.
+func (st *SeriesStore) Timestamps(name string, match map[string]string, from, to time.Time) []time.Time {
+	seen := make(map[int64]time.Time)
+	for _, sd := range st.Match(name, match) {
+		for _, p := range sd.Points {
+			if p.T.After(from) && !p.T.After(to) {
+				seen[p.T.UnixNano()] = p.T
+			}
+		}
+	}
+	out := make([]time.Time, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Bounds reports the earliest and latest point timestamps across the
+// whole store; ok is false when the store is empty.
+func (st *SeriesStore) Bounds() (first, last time.Time, ok bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, s := range st.series {
+		for _, p := range s.snapshot() {
+			if !ok || p.T.Before(first) {
+				first = p.T
+			}
+			if !ok || p.T.After(last) {
+				last = p.T
+			}
+			ok = true
+		}
+	}
+	return first, last, ok
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

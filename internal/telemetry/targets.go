@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"gremlin/internal/registry"
+)
+
+// FleetTargets builds one scrape target per distinct agent control URL in
+// the registry, named by service (replicas disambiguated by index), plus
+// the event store when storeURL is non-empty. Services without agents
+// (leaves, external APIs) have nothing to scrape and are skipped.
+func FleetTargets(reg registry.Registry, storeURL string) ([]Target, error) {
+	services, err := reg.Services()
+	if err != nil {
+		return nil, err
+	}
+	var targets []Target
+	seen := make(map[string]bool)
+	for _, svc := range services {
+		instances, err := reg.Instances(svc)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, ins := range instances {
+			if ins.AgentControlURL == "" || seen[ins.AgentControlURL] {
+				continue
+			}
+			seen[ins.AgentControlURL] = true
+			n++
+			name := svc
+			if n > 1 {
+				name = fmt.Sprintf("%s-%d", svc, n)
+			}
+			targets = append(targets, Target{
+				Name: name, URL: strings.TrimRight(ins.AgentControlURL, "/") + "/metrics",
+			})
+		}
+	}
+	if storeURL != "" {
+		targets = append(targets, Target{
+			Name: "store", URL: strings.TrimRight(storeURL, "/") + "/metrics",
+		})
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("telemetry: registry has no agent control URLs to scrape")
+	}
+	return targets, nil
+}

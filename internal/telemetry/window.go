@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"gremlin/internal/campaign"
+	"gremlin/internal/graph"
+	"gremlin/internal/rules"
+)
+
+// Window is one unit's fault window: the span during which its rules were
+// installed, plus everything the Differ needs to attribute the fault —
+// the faulted edges (whose Src services carry the latency signal) and the
+// installed rule IDs.
+type Window struct {
+	Unit    string       `json:"unit"`
+	RunID   string       `json:"runId"`
+	Kind    string       `json:"kind,omitempty"`
+	Service string       `json:"service,omitempty"`
+	Target  string       `json:"target,omitempty"`
+	Edges   []graph.Edge `json:"edges,omitempty"`
+	RuleIDs []string     `json:"ruleIds,omitempty"`
+
+	Start time.Time `json:"start"`
+	// End is zero while the window is open (rules still installed).
+	End time.Time `json:"end,omitempty"`
+	// Status is the unit's settled entry status; empty while open.
+	Status string `json:"status,omitempty"`
+}
+
+// Active reports whether the window is still open.
+func (w Window) Active() bool { return w.End.IsZero() }
+
+// Recorder implements campaign.RunObserver: it timestamps each run's
+// fault window as the campaign engine opens and closes it, annotating
+// whatever a SeriesStore scraped during the span. Safe for concurrent
+// use; campaigns with Parallelism > 1 overlap windows, and the Differ
+// carves baselines around the overlaps.
+type Recorder struct {
+	mu      sync.Mutex
+	windows []Window
+	open    map[string]int // runID -> index into windows
+}
+
+// NewRecorder creates an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[string]int)}
+}
+
+// RunStarted opens the unit's window: its rules are translated and about
+// to install.
+func (r *Recorder) RunStarted(u campaign.Unit, runID string, ruleset []rules.Rule) {
+	w := Window{
+		Unit:    u.Key,
+		RunID:   runID,
+		Kind:    u.Kind,
+		Service: u.Service,
+		Target:  u.Target,
+		Start:   time.Now(),
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, rl := range ruleset {
+		w.RuleIDs = append(w.RuleIDs, rl.ID)
+		e := graph.Edge{Src: rl.Src, Dst: rl.Dst}
+		if (e.Src != "" || e.Dst != "") && !seen[e] {
+			seen[e] = true
+			w.Edges = append(w.Edges, e)
+		}
+	}
+	r.mu.Lock()
+	r.open[runID] = len(r.windows)
+	r.windows = append(r.windows, w)
+	r.mu.Unlock()
+}
+
+// RunFinished closes the unit's window with its settled entry.
+func (r *Recorder) RunFinished(u campaign.Unit, runID string, e campaign.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i, ok := r.open[runID]
+	if !ok {
+		return
+	}
+	delete(r.open, runID)
+	r.windows[i].End = time.Now()
+	r.windows[i].Status = e.Status
+}
+
+// Windows returns a copy of every recorded window, in start order.
+func (r *Recorder) Windows() []Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Window, len(r.windows))
+	copy(out, r.windows)
+	return out
+}
+
+// ActiveWindows returns the windows still open.
+func (r *Recorder) ActiveWindows() []Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Window
+	for _, w := range r.windows {
+		if w.Active() {
+			out = append(out, w)
+		}
+	}
+	return out
+}

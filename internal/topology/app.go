@@ -283,11 +283,18 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 		}
 	}
 
+	handler := s.Handler
+	if handler == nil && len(s.DependsOn) > 0 {
+		// Honor the ServiceSpec contract: a service with dependencies
+		// defaults to fanning out over them (microservice.New alone would
+		// default to a leaf echo, silently orphaning the graph edges).
+		handler = microservice.FanOutHandler(microservice.FailFast)
+	}
 	svc, err := microservice.New(microservice.Config{
 		Name:         s.Name,
 		ListenAddr:   "127.0.0.1:0",
 		Dependencies: deps,
-		Handler:      s.Handler,
+		Handler:      handler,
 		WorkTime:     s.WorkTime,
 	})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"gremlin/internal/metrics"
 	"gremlin/internal/orchestrator"
 	"gremlin/internal/rules"
+	"gremlin/internal/telemetry"
 )
 
 // TestMetricInventoryDocumented scrapes every metrics producer — a live
@@ -60,6 +61,15 @@ func TestMetricInventoryDocumented(t *testing.T) {
 	mw := metrics.NewWriter()
 	orch.WriteMetrics(mw)
 	expositions = append(expositions, mw.String())
+
+	// The telemetry plane measures itself with the same format it scrapes.
+	scraper := telemetry.NewScraper(telemetry.NewSeriesStore(0), []telemetry.Target{
+		{Name: "serviceA", URL: app.Agent("serviceA").ControlURL() + "/metrics"},
+	}, telemetry.ScrapeOptions{})
+	scraper.ScrapeOnce(ctx)
+	tw := metrics.NewWriter()
+	scraper.WriteMetrics(tw)
+	expositions = append(expositions, tw.String())
 
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
