@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke explore-smoke telemetry-smoke check
+.PHONY: all build test race vet cover bench bench-json bench-figures campaign-smoke trace-smoke store-smoke l4-smoke explore-smoke telemetry-smoke fleet-smoke check
 
 all: check
 
@@ -82,5 +82,16 @@ explore-smoke:
 # fleet. Self-verifying; exits non-zero on any missed claim.
 telemetry-smoke:
 	$(GO) run ./examples/telemetry
+
+# Dynamic-fleet smoke: a generated 100-service multi-replica fleet under
+# a lease-based registry and open-loop Poisson load. A killed replica
+# must produce a visible error window, be drained from every dependent's
+# load-balancer pool by active health checks (with the registry marking
+# it down), and the error ratio must recover; a short-TTL ghost instance
+# must be targeted by the discovery-triggered reconciler while alive and
+# dropped once its lease lapses. Self-verifying; exits non-zero on any
+# missed claim.
+fleet-smoke:
+	$(GO) run ./examples/fleet
 
 check: build vet test race

@@ -46,6 +46,7 @@ import (
 	"gremlin/internal/eventlog"
 	"gremlin/internal/httpx"
 	"gremlin/internal/proxy"
+	"gremlin/internal/registry"
 )
 
 type fileConfig struct {
@@ -55,6 +56,14 @@ type fileConfig struct {
 	LogStore string          `json:"logstore,omitempty"`
 	Routes   []proxy.Route   `json:"routes"`
 	L4       []proxy.L4Route `json:"l4,omitempty"`
+
+	// ServiceAddr is the co-located microservice's own listen address,
+	// registered (with -registry) so dependents and health checkers can
+	// reach the workload this agent fronts.
+	ServiceAddr string `json:"serviceAddr,omitempty"`
+
+	// Replica is this instance's replica index within its service.
+	Replica int `json:"replica,omitempty"`
 }
 
 // l4Flags collects repeated -l4 dst=listen=target[,target...] values.
@@ -86,6 +95,8 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "path to the agent JSON config (required)")
 	flushEvery := fs.Duration("flush", 2*time.Second, "interval for flushing buffered observations")
 	pprofAddr := fs.String("pprof", "", "listen address for /debug/pprof/ endpoints (disabled when empty)")
+	registryURL := fs.String("registry", "", "dynamic registry server URL; the agent registers itself and heartbeats its lease (disabled when empty)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "registration lease TTL when -registry is set")
 	var l4 l4Flags
 	fs.Var(&l4, "l4", "add a stream relay: dst=listenAddr=target[,target...] (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -161,8 +172,28 @@ func run(args []string) error {
 		fmt.Printf("  l4 relay %s -> %v via %s\n", r.Dst, r.Targets, addr)
 	}
 
+	var stopHeartbeat func()
+	if *registryURL != "" {
+		addr := cfg.ServiceAddr
+		if addr == "" {
+			// Without a workload address, register the agent's own control
+			// endpoint host so membership at least reflects the sidecar.
+			addr = strings.TrimPrefix(agent.ControlURL(), "http://")
+		}
+		stopHeartbeat = registry.NewClient(*registryURL, nil).Heartbeat(registry.Instance{
+			Service:         cfg.Service,
+			Addr:            addr,
+			AgentControlURL: agent.ControlURL(),
+			Replica:         cfg.Replica,
+		}, *leaseTTL, *leaseTTL/3)
+		fmt.Printf("  registered with %s (lease %s, heartbeat %s)\n", *registryURL, *leaseTTL, *leaseTTL/3)
+	}
+
 	waitForSignal()
 	fmt.Println("shutting down")
+	if stopHeartbeat != nil {
+		stopHeartbeat()
+	}
 	err = agent.Close()
 	if buffered != nil {
 		if ferr := buffered.Close(); ferr != nil && err == nil {

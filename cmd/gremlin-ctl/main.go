@@ -11,6 +11,7 @@
 //	gremlin-ctl clear   -agent http://127.0.0.1:9001
 //	gremlin-ctl flush   -agent http://127.0.0.1:9001
 //	gremlin-ctl status  -registry registry.json [-scorecard scorecard.json]
+//	gremlin-ctl fleet   -registry http://127.0.0.1:9300 [-expect 5]
 //	gremlin-ctl drift   -registry registry.json [-file rules.json] [-repair]
 //	gremlin-ctl query   -store http://127.0.0.1:9200 -src a -dst b -kind reply -pattern 'test-*'
 //	gremlin-ctl stats   -store http://127.0.0.1:9200
@@ -60,6 +61,8 @@ func run(args []string) error {
 		return storeCommand(sub, rest)
 	case "status":
 		return statusCommand(rest)
+	case "fleet":
+		return fleetCommand(rest)
 	case "drift":
 		return driftCommand(rest)
 	case "run":
@@ -514,6 +517,54 @@ func printScorecardStatus(path string) error {
 	return nil
 }
 
+// fleetCommand lists the live members of a dynamic registry server: one
+// line per instance with service, replica index, health state, lease age,
+// and the agent's current rule-set generation. With -expect N the command
+// exits non-zero when fewer than N instances are live — a scriptable
+// membership check for CI smoke tests and deploy gates.
+func fleetCommand(args []string) error {
+	fs := flag.NewFlagSet("gremlin-ctl fleet", flag.ContinueOnError)
+	var (
+		regURL = fs.String("registry", "", "dynamic registry server URL (required)")
+		expect = fs.Int("expect", 0, "exit non-zero unless at least this many instances are live")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *regURL == "" {
+		return fmt.Errorf("gremlin-ctl fleet: -registry is required")
+	}
+	members, err := registry.NewClient(*regURL, nil).Members()
+	if err != nil {
+		return fmt.Errorf("gremlin-ctl fleet: list members: %w", err)
+	}
+
+	ctx := context.Background()
+	now := time.Now()
+	for _, m := range members {
+		health := m.Health
+		if health == "" {
+			health = "unknown"
+		}
+		gen := "-"
+		if m.AgentControlURL != "" {
+			if body, err := agentapi.New(m.AgentControlURL, nil).GetRuleSet(ctx); err == nil {
+				gen = fmt.Sprintf("%d", body.Generation)
+			} else {
+				gen = "unreachable"
+			}
+		}
+		fmt.Printf("%-24s replica=%-3d %-24s %-8s lease=%-8s gen=%s\n",
+			m.Service, m.Replica, m.Addr, health,
+			m.LeaseAge(now).Round(time.Millisecond), gen)
+	}
+	fmt.Printf("%d live instances\n", len(members))
+	if *expect > 0 && len(members) < *expect {
+		return fmt.Errorf("gremlin-ctl fleet: %d live instances, expected at least %d", len(members), *expect)
+	}
+	return nil
+}
+
 // driftCommand compares every agent's installed rule set against declared
 // desired state — the rules in -file, or "no faults anywhere" when -file is
 // omitted — and reports which agents have drifted. It is read-only unless
@@ -681,6 +732,9 @@ agent commands (-agent <control URL>):
   flush     flush buffered observations to the store
 
 fleet commands:
+  fleet     list live instances of a dynamic registry (-registry <url>):
+            service, replica, health, lease age, agent generation;
+            -expect N exits non-zero when membership is short
   status    per-agent rule-set generation/hash/lease (-agent or -registry);
             -store <url> also reports store shards and WAL fsync policy;
             -scorecard <file> summarizes a campaign scorecard, including

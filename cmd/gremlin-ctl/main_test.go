@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -417,5 +418,63 @@ func TestStatusAndDriftCommands(t *testing.T) {
 	}
 	if len(list) != 0 {
 		t.Fatalf("repair left %d rules installed", len(list))
+	}
+}
+
+// TestFleetCommand lists live members of a dynamic registry server and
+// enforces -expect as a membership floor.
+func TestFleetCommand(t *testing.T) {
+	if err := run([]string{"fleet"}); err == nil {
+		t.Fatal("fleet without -registry should fail")
+	}
+
+	spec := topology.TwoServices(3, time.Millisecond)
+	spec.RNG = rand.New(rand.NewSource(1))
+	app, err := topology.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	dyn := registry.NewDynamic(registry.DynamicOptions{DefaultTTL: time.Minute})
+	srv, err := registry.NewServer("127.0.0.1:0", dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	services, err := app.Registry.Services()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, svc := range services {
+		ins, err := app.Registry.Instances(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range ins {
+			if err := dyn.Register(in, 0); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("topology registered no instances")
+	}
+
+	if err := run([]string{"fleet", "-registry", srv.URL()}); err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if err := run([]string{"fleet", "-registry", srv.URL(), "-expect", fmt.Sprint(n)}); err != nil {
+		t.Fatalf("fleet -expect %d with %d live: %v", n, n, err)
+	}
+	if err := run([]string{"fleet", "-registry", srv.URL(), "-expect", fmt.Sprint(n + 1)}); err == nil {
+		t.Fatalf("fleet -expect %d with only %d live should fail", n+1, n)
 	}
 }

@@ -18,6 +18,7 @@ var runnableExamples = []string{
 	"./examples/campaign",
 	"./examples/enterprise",
 	"./examples/explore",
+	"./examples/fleet",
 	"./examples/l4",
 	"./examples/outages",
 	"./examples/pubsub",

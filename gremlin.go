@@ -214,6 +214,29 @@ type (
 
 	// Instance is one physical service instance plus its agent.
 	Instance = registry.Instance
+
+	// DynamicRegistry is a lease-based Registry: instances register with
+	// a TTL, stay members while heartbeats renew the lease, and expire
+	// otherwise. Membership changes stream through WaitEvents.
+	DynamicRegistry = registry.Dynamic
+
+	// DynamicRegistryOptions configures a DynamicRegistry.
+	DynamicRegistryOptions = registry.DynamicOptions
+
+	// RegistryMember is one live instance plus its lease state.
+	RegistryMember = registry.Member
+
+	// RegistryEvent is one membership change (join, update, leave,
+	// expire) from the registry's event ring.
+	RegistryEvent = registry.Event
+
+	// RegistryServer exposes a registry over HTTP: register, renew,
+	// deregister, members, long-poll watch.
+	RegistryServer = registry.Server
+
+	// RegistryClient drives a remote RegistryServer, including the
+	// Heartbeat renew loop agents run until shutdown.
+	RegistryClient = registry.Client
 )
 
 // NewGraph creates an empty application graph.
@@ -224,6 +247,22 @@ func GraphFromEdges(edges []GraphEdge) *Graph { return graph.FromEdges(edges) }
 
 // NewRegistry builds a static registry from instances.
 func NewRegistry(instances ...Instance) *StaticRegistry { return registry.NewStatic(instances...) }
+
+// NewDynamicRegistry builds a lease-based registry. The zero options value
+// uses a 10s default TTL and a 1024-event watch ring.
+func NewDynamicRegistry(opts DynamicRegistryOptions) *DynamicRegistry {
+	return registry.NewDynamic(opts)
+}
+
+// NewRegistryServer serves a registry over HTTP on addr ("127.0.0.1:0"
+// for an ephemeral port). Dynamic-only endpoints (renew, members, watch)
+// are enabled when reg is a *DynamicRegistry.
+func NewRegistryServer(addr string, reg registry.Backend) (*RegistryServer, error) {
+	return registry.NewServer(addr, reg)
+}
+
+// NewRegistryClient returns a client for a remote registry server.
+func NewRegistryClient(baseURL string) *RegistryClient { return registry.NewClient(baseURL, nil) }
 
 // Control-plane types: orchestrator, checker, recipes, runner.
 type (

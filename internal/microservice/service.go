@@ -24,6 +24,11 @@ import (
 	"gremlin/internal/trace"
 )
 
+// HealthPath is the liveness probe endpoint every Service answers without
+// invoking its handler (and without simulated WorkTime), so active health
+// checks stay cheap and never fan out into the topology.
+const HealthPath = "/-/healthz"
+
 // Dependency wires one downstream service.
 type Dependency struct {
 	// Name is the logical name of the downstream service.
@@ -120,6 +125,11 @@ func (s *Service) Addr() string { return s.server.Addr() }
 func (s *Service) URL() string { return s.server.URL() }
 
 func (s *Service) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == HealthPath {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+		return
+	}
 	if s.cfg.WorkTime > 0 {
 		select {
 		case <-time.After(s.cfg.WorkTime):

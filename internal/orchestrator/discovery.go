@@ -1,0 +1,67 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gremlin/internal/registry"
+)
+
+// MembershipWatcher is the slice of the registry change feed the
+// orchestrator consumes for discovery-driven reconciliation. Both
+// *registry.Dynamic (in-process) and *registry.Client (over HTTP)
+// implement it.
+type MembershipWatcher interface {
+	WaitEvents(ctx context.Context, since uint64) ([]registry.Event, uint64, error)
+}
+
+// StartDiscovery watches registry membership and runs a reconcile pass on
+// every change: a newly joined agent is configured with the rules it is
+// supposed to hold before the next periodic anti-entropy tick, and an
+// expired lease drops its agent out of the next pass's fan-out so the
+// orchestrator stops targeting the dead instance. Bursts of events
+// coalesce — changes arriving while a pass runs are picked up together by
+// the next one. timeout bounds each pass (default 10 s). Pass failures are
+// carried in the reports (visible via Metrics and LastReport), never fatal
+// to the loop.
+func (o *Orchestrator) StartDiscovery(w MembershipWatcher, timeout time.Duration) (stop func()) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		var since uint64
+		for {
+			_, v, err := w.WaitEvents(ctx, since)
+			if ctx.Err() != nil {
+				return
+			}
+			since = v
+			if err != nil && !errors.Is(err, registry.ErrWatchGap) {
+				// Transient watch failure (e.g. registry server briefly
+				// unreachable): back off and retry rather than spinning.
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(250 * time.Millisecond):
+				}
+				continue
+			}
+			// A gap still means membership changed; reconcile resolves the
+			// registry afresh, so no event replay is needed.
+			o.mu.Lock()
+			o.nDiscoveries++
+			o.mu.Unlock()
+			rctx, rcancel := context.WithTimeout(ctx, timeout)
+			_, _ = o.Reconcile(rctx)
+			rcancel()
+		}
+	}()
+	return func() {
+		cancel()
+		<-stopped
+	}
+}

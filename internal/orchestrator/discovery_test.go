@@ -1,0 +1,123 @@
+package orchestrator
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"gremlin/internal/registry"
+	"gremlin/internal/rules"
+)
+
+// dynFixture wires an orchestrator to a Dynamic (lease-based) registry
+// with a dialer that lazily creates fake agents, so joins can introduce
+// agents the fixture has never seen.
+type dynFixture struct {
+	reg  *registry.Dynamic
+	orch *Orchestrator
+
+	mu     sync.Mutex
+	agents map[string]*fakeAgent
+}
+
+func newDynFixture(opts registry.DynamicOptions) *dynFixture {
+	f := &dynFixture{
+		reg:    registry.NewDynamic(opts),
+		agents: map[string]*fakeAgent{},
+	}
+	f.orch = New(f.reg,
+		WithDialer(func(url string) AgentControl { return f.agent(url) }),
+		WithRetry(2, time.Millisecond))
+	return f
+}
+
+func (f *dynFixture) agent(url string) *fakeAgent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, ok := f.agents[url]
+	if !ok {
+		a = newFakeAgent()
+		f.agents[url] = a
+	}
+	return a
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestDiscoveryConfiguresNewAgent(t *testing.T) {
+	f := newDynFixture(registry.DynamicOptions{})
+	if err := f.reg.Register(registry.Instance{Service: "a", Addr: "a1:80", AgentControlURL: "http://agent-a1"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.orch.SetOwner(context.Background(), "test", []rules.Rule{delayRule("r1", "a")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if f.agent("http://agent-a1").count() != 1 {
+		t.Fatal("initial agent not configured")
+	}
+
+	stop := f.orch.StartDiscovery(f.reg, time.Second)
+	defer stop()
+
+	// A second replica joins: discovery must configure it without waiting
+	// for a periodic anti-entropy tick.
+	if err := f.reg.Register(registry.Instance{Service: "a", Addr: "a2:80", AgentControlURL: "http://agent-a2", Replica: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "new agent to receive rules", func() bool {
+		return f.agent("http://agent-a2").count() == 1
+	})
+}
+
+func TestDiscoveryStopsTargetingExpiredAgent(t *testing.T) {
+	f := newDynFixture(registry.DynamicOptions{DefaultTTL: 50 * time.Millisecond})
+	if err := f.reg.Register(registry.Instance{Service: "a", Addr: "a1:80", AgentControlURL: "http://agent-a1"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.reg.Register(registry.Instance{Service: "a", Addr: "a2:80", AgentControlURL: "http://agent-a2", Replica: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.orch.SetOwner(context.Background(), "test", []rules.Rule{delayRule("r1", "a")}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := f.orch.StartDiscovery(f.reg, time.Second)
+	defer stop()
+	sweep := f.reg.StartSweeper(10 * time.Millisecond)
+	defer sweep()
+
+	// a2 stops heartbeating; its lease lapses and the next reconcile pass
+	// no longer targets the dead agent.
+	waitFor(t, "reconcile fan-out to drop the expired agent", func() bool {
+		rep := f.orch.LastReport()
+		if rep == nil {
+			return false
+		}
+		for _, a := range rep.Agents {
+			if a.URL == "http://agent-a2" {
+				return false
+			}
+		}
+		return len(rep.Agents) == 1
+	})
+
+	puts := f.agent("http://agent-a2").putCount()
+	if _, err := f.orch.Reconcile(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.agent("http://agent-a2").putCount(); got != puts {
+		t.Fatalf("reconcile still pushing to expired agent: %d -> %d puts", puts, got)
+	}
+}

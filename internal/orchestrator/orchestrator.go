@@ -93,8 +93,9 @@ type Orchestrator struct {
 	nextApply  int               // anonymous owner names for Apply
 	lastReport *Report           // most recent reconcile/drift outcome, for metrics
 
-	nRepairs  int64 // content pushes made by anti-entropy passes
-	nExpiries int64 // owner leases lapsed
+	nRepairs     int64 // content pushes made by anti-entropy passes
+	nExpiries    int64 // owner leases lapsed
+	nDiscoveries int64 // reconcile passes triggered by membership events
 }
 
 // owner is one registered slice of desired state.

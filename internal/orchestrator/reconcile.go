@@ -500,6 +500,7 @@ func (o *Orchestrator) WriteMetrics(w *metrics.Writer) {
 	owners := len(o.owners)
 	repairs := o.nRepairs
 	expiries := o.nExpiries
+	discoveries := o.nDiscoveries
 	rep := o.lastReport
 	o.mu.Unlock()
 
@@ -511,6 +512,8 @@ func (o *Orchestrator) WriteMetrics(w *metrics.Writer) {
 		"Rule-set pushes made by anti-entropy passes to repair drifted agents.", float64(repairs))
 	w.Counter("gremlin_reconciler_lease_expiries_total",
 		"Owner leases that lapsed without renewal.", float64(expiries))
+	w.Counter("gremlin_reconciler_discovery_syncs_total",
+		"Reconcile passes triggered by registry membership events.", float64(discoveries))
 	if rep != nil {
 		for _, a := range rep.Agents {
 			w.Gauge("gremlin_reconciler_agent_generation",

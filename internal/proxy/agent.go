@@ -257,10 +257,12 @@ type routeProxy struct {
 	client *http.Client
 	// recProto carries the parts of an eventlog.Record that are constant
 	// for this route, so the data path only fills in per-message fields.
-	recProto   eventlog.Record
+	recProto eventlog.Record
+	// pool is the live, health-aware target set (seeded from
+	// route.Targets; swapped at runtime via Agent.SetRouteTargets).
+	pool       *targetPool
 	canaryPat  pattern.Pattern
 	mirrorPat  pattern.Pattern
-	next       atomic.Uint64 // round-robin target index
 	canaryNext atomic.Uint64 // round-robin canary index
 	mirrorNext atomic.Uint64 // round-robin mirror index
 	mirrors    sync.WaitGroup
@@ -301,6 +303,7 @@ func New(cfg Config) (*Agent, error) {
 			agent:     a,
 			route:     r,
 			recProto:  eventlog.Record{Src: cfg.ServiceName, Dst: r.Dst},
+			pool:      newTargetPool(r.Targets),
 			canaryPat: canaryPat,
 			mirrorPat: mirrorPat,
 			// The data-path client must be transparent: no timeout, since
@@ -724,7 +727,15 @@ func (rp *routeProxy) forward(r *http.Request, f flow, body []byte, buffered boo
 	if len(rp.route.CanaryTargets) > 0 && rp.canaryPat.Match(trace.FromRequest(r)) {
 		target = rp.route.CanaryTargets[int(rp.canaryNext.Add(1)-1)%len(rp.route.CanaryTargets)]
 	} else {
-		target = rp.route.Targets[int(rp.next.Add(1)-1)%len(rp.route.Targets)]
+		// Live pool: least-pending replica wins, round-robin among equals.
+		// A fully drained pool (every replica unhealthy) fails the exchange,
+		// which the caller reports as 502.
+		addr, release, ok := rp.pool.pick()
+		if !ok {
+			return nil, fmt.Errorf("no live targets (all replicas of %s drained)", rp.route.Dst)
+		}
+		defer release()
+		target = addr
 	}
 	url := "http://" + target + r.URL.RequestURI()
 	var (

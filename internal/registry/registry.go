@@ -33,6 +33,14 @@ type Instance struct {
 	// AgentControlURL is the base URL of the sidecar agent's control API.
 	// Empty for services that run without an agent (e.g. external APIs).
 	AgentControlURL string `json:"agentControlUrl,omitempty"`
+
+	// Replica is the instance's replica index within its service (0-based).
+	// Single-replica services leave it zero.
+	Replica int `json:"replica,omitempty"`
+
+	// Health is the instance's last known health state as reported by its
+	// registrar or a health checker ("up", "down"; empty = unknown/unchecked).
+	Health string `json:"health,omitempty"`
 }
 
 // Registry resolves logical service names.

@@ -2,32 +2,55 @@ package registry
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"time"
 
 	"gremlin/internal/httpx"
+	"gremlin/internal/metrics"
 )
 
-// Server exposes a Static registry over HTTP for dynamic service
+// Backend is the store a registry Server exposes. *Static implements the
+// fixed-table model; *Dynamic adds lease-based membership, and the server
+// serves its lease, member, watch, and metrics endpoints as well.
+type Backend interface {
+	Registry
+	Add(in Instance)
+	Remove(service, addr string) bool
+}
+
+// Server exposes a registry Backend over HTTP for dynamic service
 // registration:
 //
-//	POST   /v1/instances                register an instance
+//	POST   /v1/instances[?ttlMillis=]   register an instance (lease-based
+//	                                    when the backend is Dynamic)
 //	DELETE /v1/instances?service=&addr= deregister
 //	GET    /v1/instances?service=       list a service's instances
 //	GET    /v1/services                 list service names
 //	GET    /healthz                     liveness probe
+//
+// Dynamic backends additionally serve:
+//
+//	POST /v1/renew?service=&addr=&ttlMillis=  heartbeat a lease
+//	GET  /v1/members                          live members with lease state
+//	GET  /v1/watch?since=N&timeoutMillis=M    long-poll the change feed
+//	GET  /metrics                             registry self-metrics
 type Server struct {
-	reg  *Static
+	reg  Backend
+	dyn  *Dynamic // non-nil when reg is lease-based
 	http *httpx.Server
 }
 
 // NewServer creates and starts a registry server on addr.
-func NewServer(addr string, reg *Static) (*Server, error) {
+func NewServer(addr string, reg Backend) (*Server, error) {
 	s := &Server{reg: reg}
+	s.dyn, _ = reg.(*Dynamic)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/instances", s.handleRegister)
 	mux.HandleFunc("DELETE /v1/instances", s.handleDeregister)
@@ -36,6 +59,12 @@ func NewServer(addr string, reg *Static) (*Server, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.dyn != nil {
+		mux.HandleFunc("POST /v1/renew", s.handleRenew)
+		mux.HandleFunc("GET /v1/members", s.handleMembers)
+		mux.HandleFunc("GET /v1/watch", s.handleWatch)
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	hs, err := httpx.NewServer(addr, mux)
 	if err != nil {
 		return nil, err
@@ -61,8 +90,104 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "instance needs service and addr")
 		return
 	}
-	s.reg.Add(in)
+	if s.dyn != nil {
+		ttl, err := ttlParam(r)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := s.dyn.Register(in, ttl); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		s.reg.Add(in)
+	}
 	httpx.WriteJSON(w, http.StatusCreated, in)
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	service, addr := r.URL.Query().Get("service"), r.URL.Query().Get("addr")
+	if service == "" || addr == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "need service and addr query parameters")
+		return
+	}
+	ttl, err := ttlParam(r)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.dyn.Renew(service, addr, ttl); err != nil {
+		// The lease is gone: the registrar must re-register, and 404 is
+		// the signal heartbeat loops react to.
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
+}
+
+func (s *Server) handleMembers(w http.ResponseWriter, _ *http.Request) {
+	members := s.dyn.Members()
+	if members == nil {
+		members = []Member{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, members)
+}
+
+// WatchResponse is one long-poll result: the events after the requested
+// cursor and the version to resume from. Resync is set (with empty
+// events) when the cursor fell off the bounded event ring and the
+// consumer must re-list members before resuming.
+type WatchResponse struct {
+	Version uint64  `json:"version"`
+	Events  []Event `json:"events"`
+	Resync  bool    `json:"resync,omitempty"`
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "bad since: %v", err)
+			return
+		}
+		since = n
+	}
+	timeout := 30 * time.Second
+	if v := q.Get("timeoutMillis"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpx.WriteError(w, http.StatusBadRequest, "bad timeoutMillis %q", v)
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	events, version, err := s.dyn.WaitEvents(ctx, since)
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		// Timed out with no changes: an empty poll, not an error.
+		version, events = since, nil
+	default:
+		// The cursor fell behind the ring; tell the consumer to resync.
+		httpx.WriteJSON(w, http.StatusOK, WatchResponse{Version: s.dyn.Version(), Resync: true, Events: []Event{}})
+		return
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, WatchResponse{Version: version, Events: events})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	mw := metrics.NewWriter()
+	s.dyn.WriteMetrics(mw)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = mw.WriteTo(w)
 }
 
 func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +229,20 @@ func (s *Server) handleServices(w http.ResponseWriter, _ *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, services)
 }
 
+// ttlParam parses an optional ?ttlMillis= query parameter (0 = use the
+// registry's default TTL).
+func ttlParam(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("ttlMillis")
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad ttlMillis %q", v)
+	}
+	return time.Duration(n) * time.Millisecond, nil
+}
+
 // Client is a Registry backed by a remote registry Server.
 type Client struct {
 	baseURL string
@@ -121,17 +260,90 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 	return &Client{baseURL: baseURL, http: hc}
 }
 
-// Register adds an instance to the remote registry.
+// Register adds an instance to the remote registry (with the server's
+// default lease when it is dynamic).
 func (c *Client) Register(in Instance) error {
+	return c.RegisterTTL(in, 0)
+}
+
+// RegisterTTL adds an instance under an explicit lease TTL. Against a
+// static-backed server the TTL is ignored.
+func (c *Client) RegisterTTL(in Instance, ttl time.Duration) error {
 	b, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("registry: marshal instance: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/v1/instances", "application/json", bytes.NewReader(b))
+	u := c.baseURL + "/v1/instances"
+	if ttl > 0 {
+		u += "?ttlMillis=" + strconv.FormatInt(ttl.Milliseconds(), 10)
+	}
+	resp, err := c.http.Post(u, "application/json", bytes.NewReader(b))
 	if err != nil {
 		return fmt.Errorf("registry: register: %w", err)
 	}
 	return checkAndClose(resp)
+}
+
+// Renew heartbeats an instance's lease. A failed renewal (lease already
+// expired server-side) is an error; the instance must re-register.
+func (c *Client) Renew(service, addr string, ttl time.Duration) error {
+	u := fmt.Sprintf("%s/v1/renew?service=%s&addr=%s",
+		c.baseURL, url.QueryEscape(service), url.QueryEscape(addr))
+	if ttl > 0 {
+		u += "&ttlMillis=" + strconv.FormatInt(ttl.Milliseconds(), 10)
+	}
+	resp, err := c.http.Post(u, "application/json", nil)
+	if err != nil {
+		return fmt.Errorf("registry: renew: %w", err)
+	}
+	return checkAndClose(resp)
+}
+
+// Members lists the server's live members with lease bookkeeping
+// (dynamic backends only).
+func (c *Client) Members() ([]Member, error) {
+	resp, err := c.http.Get(c.baseURL + "/v1/members")
+	if err != nil {
+		return nil, fmt.Errorf("registry: members: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("registry: members: server returned %d (not a lease-based registry?)", resp.StatusCode)
+	}
+	var out []Member
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("registry: decode members: %w", err)
+	}
+	return out, nil
+}
+
+// WaitEvents long-polls the server's change feed: it blocks (up to the
+// server's poll window) until the membership version exceeds since, then
+// returns the new events and the version to resume from. A resync signal
+// (cursor fell off the ring) is surfaced as ErrWatchGap with the current
+// version; the consumer should re-list members and resume from it.
+func (c *Client) WaitEvents(ctx context.Context, since uint64) ([]Event, uint64, error) {
+	u := fmt.Sprintf("%s/v1/watch?since=%d&timeoutMillis=%d", c.baseURL, since, 30000)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, since, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, since, fmt.Errorf("registry: watch: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode >= 400 {
+		return nil, since, fmt.Errorf("registry: watch: server returned %d", resp.StatusCode)
+	}
+	var wr WatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, since, fmt.Errorf("registry: decode watch: %w", err)
+	}
+	if wr.Resync {
+		return nil, wr.Version, ErrWatchGap
+	}
+	return wr.Events, wr.Version, nil
 }
 
 // Deregister removes an instance from the remote registry.
@@ -184,6 +396,39 @@ func (c *Client) Services() ([]string, error) {
 		return nil, fmt.Errorf("registry: decode services: %w", err)
 	}
 	return out, nil
+}
+
+// Heartbeat registers in under a ttl lease and renews it every interval
+// until the returned stop function is called (which also deregisters).
+// A renewal that finds the lease expired re-registers, so a restarted or
+// partitioned-and-healed registry converges back to the full membership.
+func (c *Client) Heartbeat(in Instance, ttl, interval time.Duration) (stop func()) {
+	_ = c.RegisterTTL(in, ttl)
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				_ = c.Deregister(in.Service, in.Addr)
+				return
+			case <-t.C:
+				if err := c.Renew(in.Service, in.Addr, ttl); err != nil {
+					_ = c.RegisterTTL(in, ttl)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-stopped
+		})
+	}
 }
 
 func checkAndClose(resp *http.Response) error {

@@ -31,7 +31,13 @@ func FleetTargets(reg registry.Registry, storeURL string) ([]Target, error) {
 			seen[ins.AgentControlURL] = true
 			n++
 			name := svc
-			if n > 1 {
+			// Replicated services get deterministic per-replica names from
+			// the registry's replica index (stable across restarts and
+			// listing order); instances without one fall back to seen-order.
+			switch {
+			case ins.Replica > 0:
+				name = fmt.Sprintf("%s-%d", svc, ins.Replica)
+			case n > 1:
 				name = fmt.Sprintf("%s-%d", svc, n)
 			}
 			targets = append(targets, Target{

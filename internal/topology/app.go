@@ -36,6 +36,14 @@ type ServiceSpec struct {
 	// Name is the service's logical name.
 	Name string
 
+	// Replicas is how many physical instances of the service to run
+	// (0 and 1 both mean a single replica). Each replica gets its own
+	// listener and its own sidecar agent; dependents load-balance across
+	// all replicas, and the registry records one Instance per replica so
+	// the orchestrator "locates and configures all physical instances"
+	// (paper §4.2).
+	Replicas int
+
 	// DependsOn lists the logical names of downstream services.
 	DependsOn []string
 
@@ -73,6 +81,11 @@ type Spec struct {
 	// store (exposed as App.Store).
 	Sink eventlog.Sink
 
+	// Registry receives one Instance per replica as the application is
+	// built. Nil uses a fresh registry.Static; pass a *registry.Dynamic to
+	// put the application under lease-based membership.
+	Registry registry.Backend
+
 	// RNG seeds the agents' probability sampling. Nil is
 	// non-deterministic.
 	RNG *rand.Rand
@@ -83,17 +96,22 @@ type App struct {
 	// Graph is the logical application graph (including the edge service).
 	Graph *graph.Graph
 
-	// Registry maps logical services to instances and agents.
-	Registry *registry.Static
+	// Registry maps logical services to instances and agents — one
+	// Instance per replica.
+	Registry registry.Backend
 
 	// Store is the in-process event store backing the agents' sink. Nil
 	// when the Spec supplied its own Sink.
 	Store *eventlog.Store
 
-	services map[string]*microservice.Service
-	agents   map[string]*proxy.Agent
-	edge     *proxy.Agent
-	entry    string
+	services map[string][]*microservice.Service // per replica
+	agents   map[string][]*proxy.Agent          // per replica (nil for leaves)
+	// dependents indexes the agents holding a route toward each service —
+	// every dependent replica's agent plus, for the entry service, the
+	// edge agent. The health checker drains and restores through it.
+	dependents map[string][]*proxy.Agent
+	edge       *proxy.Agent
+	entry      string
 }
 
 // Build constructs and starts the application described by spec.
@@ -146,12 +164,17 @@ func Build(spec Spec) (*App, error) {
 		return nil, fmt.Errorf("topology: entry service %q not declared", entry)
 	}
 
+	reg := spec.Registry
+	if reg == nil {
+		reg = registry.NewStatic()
+	}
 	app := &App{
-		Graph:    g,
-		Registry: registry.NewStatic(),
-		services: make(map[string]*microservice.Service, len(specs)),
-		agents:   make(map[string]*proxy.Agent, len(specs)),
-		entry:    entry,
+		Graph:      g,
+		Registry:   reg,
+		services:   make(map[string][]*microservice.Service, len(specs)),
+		agents:     make(map[string][]*proxy.Agent, len(specs)),
+		dependents: make(map[string][]*proxy.Agent),
+		entry:      entry,
 	}
 	sink := spec.Sink
 	if sink == nil {
@@ -225,6 +248,23 @@ func buildOrder(specs map[string]ServiceSpec) ([]string, error) {
 }
 
 func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) error {
+	replicas := s.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	for i := 0; i < replicas; i++ {
+		if err := app.buildReplica(s, i, sink, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildReplica builds one physical instance of a service: its own
+// microservice listener plus (when the service has dependencies) its own
+// sidecar agent, whose routes load-balance across every replica of each
+// dependency.
+func (app *App) buildReplica(s ServiceSpec, idx int, sink eventlog.Sink, rng *rand.Rand) error {
 	var (
 		agent *proxy.Agent
 		deps  []microservice.Dependency
@@ -235,7 +275,7 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 			routes = append(routes, proxy.Route{
 				Dst:        d,
 				ListenAddr: "127.0.0.1:0",
-				Targets:    []string{app.services[d].Addr()},
+				Targets:    app.ReplicaAddrs(d),
 			})
 		}
 		backends := make([]string, 0, len(s.TCPBackends))
@@ -264,7 +304,10 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 			return fmt.Errorf("topology: agent for %s: %w", s.Name, err)
 		}
 		agent.Start()
-		app.agents[s.Name] = agent
+		app.agents[s.Name] = append(app.agents[s.Name], agent)
+		for _, d := range s.DependsOn {
+			app.dependents[d] = append(app.dependents[d], agent)
+		}
 
 		for _, d := range s.DependsOn {
 			u, err := agent.RouteURL(d)
@@ -301,9 +344,9 @@ func (app *App) buildService(s ServiceSpec, sink eventlog.Sink, rng *rand.Rand) 
 		return fmt.Errorf("topology: service %s: %w", s.Name, err)
 	}
 	svc.Start()
-	app.services[s.Name] = svc
+	app.services[s.Name] = append(app.services[s.Name], svc)
 
-	inst := registry.Instance{Service: s.Name, Addr: svc.Addr()}
+	inst := registry.Instance{Service: s.Name, Addr: svc.Addr(), Replica: idx}
 	if agent != nil {
 		inst.AgentControlURL = agent.ControlURL()
 	}
@@ -318,7 +361,7 @@ func (app *App) buildEdge(sink eventlog.Sink, rng *rand.Rand) error {
 		Routes: []proxy.Route{{
 			Dst:        app.entry,
 			ListenAddr: "127.0.0.1:0",
-			Targets:    []string{app.services[app.entry].Addr()},
+			Targets:    app.ReplicaAddrs(app.entry),
 		}},
 		Sink: sink,
 		RNG:  childRNG(rng),
@@ -328,6 +371,7 @@ func (app *App) buildEdge(sink eventlog.Sink, rng *rand.Rand) error {
 	}
 	edge.Start()
 	app.edge = edge
+	app.dependents[app.entry] = append(app.dependents[app.entry], edge)
 	app.Graph.AddEdge(EdgeService, app.entry)
 	addr, err := edge.RouteAddr(app.entry)
 	if err != nil {
@@ -356,34 +400,73 @@ func (app *App) EntryURL() string {
 // Entry returns the entry service's logical name.
 func (app *App) Entry() string { return app.entry }
 
-// ServiceURL returns the direct URL of a service (bypassing agents), or an
-// error for unknown names.
+// ServiceURL returns the direct URL of a service's first replica
+// (bypassing agents), or an error for unknown names.
 func (app *App) ServiceURL(name string) (string, error) {
-	svc, ok := app.services[name]
-	if !ok {
+	svcs, ok := app.services[name]
+	if !ok || len(svcs) == 0 {
 		return "", fmt.Errorf("topology: unknown service %q", name)
 	}
-	return svc.URL(), nil
+	return svcs[0].URL(), nil
+}
+
+// Replicas returns how many replicas of a service were built (0 for
+// unknown names).
+func (app *App) Replicas(name string) int { return len(app.services[name]) }
+
+// ReplicaAddrs returns the listen addresses of every replica of a service,
+// in replica order.
+func (app *App) ReplicaAddrs(name string) []string {
+	svcs := app.services[name]
+	addrs := make([]string, len(svcs))
+	for i, s := range svcs {
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+// KillReplica shuts down one replica's listener (connection-refused to
+// dependents and health probes), emulating a crashed instance. The
+// replica's sidecar agent keeps running, like a real sidecar outliving its
+// workload.
+func (app *App) KillReplica(name string, idx int) error {
+	svcs := app.services[name]
+	if idx < 0 || idx >= len(svcs) {
+		return fmt.Errorf("topology: service %q has no replica %d", name, idx)
+	}
+	return svcs[idx].Close()
 }
 
 // L4Addr returns the local address of src's stream relay toward its
 // raw-TCP backend dst — the address the service (or a test client) dials
 // to reach the backend through the fault-injection plane.
 func (app *App) L4Addr(src, dst string) (string, error) {
-	a, ok := app.agents[src]
-	if !ok {
+	agents := app.agents[src]
+	if len(agents) == 0 {
 		return "", fmt.Errorf("topology: service %q has no agent", src)
 	}
-	return a.L4RouteAddr(dst)
+	return agents[0].L4RouteAddr(dst)
 }
 
-// Agent returns the sidecar agent of a service (nil for leaf services,
-// which make no outbound calls).
+// Agent returns the sidecar agent of a service's first replica (nil for
+// leaf services, which make no outbound calls).
 func (app *App) Agent(name string) *proxy.Agent {
 	if name == EdgeService {
 		return app.edge
 	}
-	return app.agents[name]
+	if agents := app.agents[name]; len(agents) > 0 {
+		return agents[0]
+	}
+	return nil
+}
+
+// Agents returns every replica's sidecar agent for a service, in replica
+// order (empty for leaf services).
+func (app *App) Agents(name string) []*proxy.Agent {
+	if name == EdgeService {
+		return []*proxy.Agent{app.edge}
+	}
+	return append([]*proxy.Agent(nil), app.agents[name]...)
 }
 
 // Services returns the logical service names (excluding the edge), sorted.
@@ -404,14 +487,18 @@ func (app *App) Close() error {
 			firstErr = err
 		}
 	}
-	for _, a := range app.agents {
-		if err := a.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, replicas := range app.agents {
+		for _, a := range replicas {
+			if err := a.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	for _, s := range app.services {
-		if err := s.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, replicas := range app.services {
+		for _, s := range replicas {
+			if err := s.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr

@@ -12,8 +12,10 @@ import (
 	"gremlin/internal/eventlog"
 	"gremlin/internal/metrics"
 	"gremlin/internal/orchestrator"
+	"gremlin/internal/registry"
 	"gremlin/internal/rules"
 	"gremlin/internal/telemetry"
+	"gremlin/internal/topology"
 )
 
 // TestMetricInventoryDocumented scrapes every metrics producer — a live
@@ -70,6 +72,22 @@ func TestMetricInventoryDocumented(t *testing.T) {
 	tw := metrics.NewWriter()
 	scraper.WriteMetrics(tw)
 	expositions = append(expositions, tw.String())
+
+	// The dynamic registry's membership gauges and lease counters.
+	dyn := registry.NewDynamic(registry.DynamicOptions{})
+	if err := dyn.Register(registry.Instance{Service: "serviceA", Addr: "127.0.0.1:1"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	rw := metrics.NewWriter()
+	dyn.WriteMetrics(rw)
+	expositions = append(expositions, rw.String())
+
+	// The active health checker's per-replica gauges and probe counters.
+	hc := app.NewHealthChecker(topology.HealthOptions{})
+	hc.ProbeOnce()
+	hw := metrics.NewWriter()
+	hc.WriteMetrics(hw)
+	expositions = append(expositions, hw.String())
 
 	readme, err := os.ReadFile("README.md")
 	if err != nil {
